@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks of the surrounding pipeline: trace generation,
+//! the SMURF* baseline, the streaming engine, the pattern matcher, and
+//! centroid-based query-state sharing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfid_core::{InferenceConfig, InferenceEngine};
+use rfid_query::{share_states, ExposureAutomaton, ObjectQueryState};
+use rfid_sim::{WarehouseConfig, WarehouseSimulator};
+use rfid_smurf::{SmurfStar, SmurfStarConfig};
+use rfid_types::{Epoch, TagId, Trace};
+
+fn small_trace() -> Trace {
+    WarehouseSimulator::new(
+        WarehouseConfig::default()
+            .with_length(900)
+            .with_read_rate(0.8)
+            .with_items_per_case(5)
+            .with_cases_per_pallet(2)
+            .with_seed(17),
+    )
+    .generate()
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("warehouse_trace_900s", |b| b.iter(small_trace));
+    group.finish();
+}
+
+fn bench_smurf_star(c: &mut Criterion) {
+    let trace = small_trace();
+    let mut group = c.benchmark_group("baseline");
+    group.sample_size(10);
+    group.bench_function("smurf_star_full_trace", |b| {
+        b.iter(|| SmurfStar::new(SmurfStarConfig::default()).run(&trace.readings))
+    });
+    group.finish();
+}
+
+fn bench_streaming_engine(c: &mut Criterion) {
+    let trace = small_trace();
+    let mut group = c.benchmark_group("streaming_engine");
+    group.sample_size(10);
+    group.bench_function("replay_900s_with_periodic_inference", |b| {
+        b.iter(|| {
+            let mut engine = InferenceEngine::new(
+                InferenceConfig::default().with_period(300).without_change_detection(),
+                trace.read_rates.clone(),
+            );
+            let mut readings = trace.readings.clone();
+            for r in readings.readings() {
+                engine.observe(*r);
+            }
+            for t in (0..=trace.meta.length).step_by(300) {
+                engine.step(Epoch(t));
+            }
+            engine.run_inference(Epoch(trace.meta.length))
+        })
+    });
+    group.finish();
+}
+
+fn bench_pattern_matcher(c: &mut Criterion) {
+    c.bench_function("pattern_automaton_10k_events", |b| {
+        b.iter(|| {
+            let mut automaton = ExposureAutomaton::new(3600);
+            let mut matches = 0usize;
+            for t in 0..10_000u32 {
+                let qualifies = t % 100 != 0; // periodic reset
+                if automaton.feed(Epoch(t), qualifies, 21.0).is_some() {
+                    matches += 1;
+                }
+            }
+            matches
+        })
+    });
+}
+
+fn bench_state_sharing(c: &mut Criterion) {
+    // 50 objects of one case with nearly identical query state.
+    let states: Vec<ObjectQueryState> = (0..50)
+        .map(|i| ObjectQueryState {
+            query: "Q1".to_string(),
+            tag: TagId::item(i),
+            automaton: rfid_query::AutomatonState::Accumulating {
+                since: Epoch(100),
+                readings: (0..30).map(|k| (Epoch(100 + k * 10), 21.0)).collect(),
+                fired: false,
+            },
+        })
+        .collect();
+    c.bench_function("centroid_state_sharing_50_objects", |b| {
+        b.iter(|| share_states(&states).map(|bundle| bundle.wire_bytes()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_trace_generation,
+    bench_smurf_star,
+    bench_streaming_engine,
+    bench_pattern_matcher,
+    bench_state_sharing
+);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--scale smoke|default|paper] [experiment...]
+//! ```
+//!
+//! With no experiment names, every experiment is run. Results are printed as
+//! plain-text tables / series; `EXPERIMENTS.md` records one full run.
+
+use rfid_bench::{
+    fig4, fig5a, fig5b, fig5c, fig5d, fig5e, fig5f, fig6a, fig6b, scalability, table3, table4,
+    table5, table_query, Scale,
+};
+use rfid_eval::Series;
+use std::time::Instant;
+
+const ALL: &[&str] = &[
+    "fig4", "fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig6a", "fig6b", "table3",
+    "table4", "table5", "table_query", "scalability",
+];
+
+fn print_series(title: &str, series: &[Series]) {
+    println!("## {title}");
+    for s in series {
+        println!("{s}");
+    }
+    println!();
+}
+
+fn run(name: &str, scale: Scale) {
+    let started = Instant::now();
+    match name {
+        "fig4" => print_series(
+            "Figure 4: point / cumulative evidence of co-location (R, NRC, NRNC)",
+            &fig4(scale),
+        ),
+        "fig5a" => print_series(
+            "Figure 5(a): error (%) vs read rate — All / W1200 / CR",
+            &fig5a(scale),
+        ),
+        "fig5b" => print_series(
+            "Figure 5(b): inference time (s) vs trace length — All / W1200 / CR",
+            &fig5b(scale),
+        ),
+        "fig5c" => print_series(
+            "Figure 5(c): change-detection F-measure (%) vs change interval — RFINFER vs SMURF*",
+            &fig5c(scale),
+        ),
+        "fig5d" => println!("{}", fig5d(scale)),
+        "fig5e" => print_series(
+            "Figure 5(e): distributed error (%) vs read rate — None / CR / Centralized",
+            &fig5e(scale),
+        ),
+        "fig5f" => print_series(
+            "Figure 5(f): distributed error (%) vs change interval — None / CR / Centralized",
+            &fig5f(scale),
+        ),
+        "fig6a" => print_series(
+            "Figure 6(a): basic algorithm error (%) vs read rate",
+            &fig6a(scale),
+        ),
+        "fig6b" => print_series(
+            "Figure 6(b): containment error (%) vs trace length — All / W1200 / CR",
+            &fig6b(scale),
+        ),
+        "table3" => println!("{}", table3(scale)),
+        "table4" => println!("{}", table4(scale)),
+        "table5" => println!("{}", table5(scale)),
+        "table_query" => println!("{}", table_query(scale)),
+        "scalability" => println!("{}", scalability(scale)),
+        other => {
+            eprintln!("unknown experiment '{other}'. known: {}", ALL.join(", "));
+            std::process::exit(2);
+        }
+    }
+    eprintln!("[{name} finished in {:.1}s]\n", started.elapsed().as_secs_f64());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Default;
+    let mut names: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--scale" {
+            let value = iter.next().unwrap_or_default();
+            scale = Scale::parse(&value).unwrap_or_else(|| {
+                eprintln!("unknown scale '{value}' (use smoke, default or paper)");
+                std::process::exit(2);
+            });
+        } else if arg == "--help" || arg == "-h" {
+            println!("usage: experiments [--scale smoke|default|paper] [experiment...]");
+            println!("experiments: {}", ALL.join(", "));
+            return;
+        } else {
+            names.push(arg);
+        }
+    }
+    if names.is_empty() {
+        names = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    println!("# Reproduction experiments (scale: {scale:?})\n");
+    for name in names {
+        run(&name, scale);
+    }
+}

@@ -1,0 +1,349 @@
+//! Distributed experiments: Figures 5(e)–5(f), Table 5, the query-state
+//! table of Section 5.4 and the scalability study of Section 5.3.
+
+use crate::Scale;
+use rfid_core::InferenceConfig;
+use rfid_dist::{DistributedConfig, DistributedDriver, DistributedOutcome, MigrationStrategy};
+use rfid_eval::{Series, Table};
+use rfid_query::{Alert, ExposureQuery, QueryProcessor};
+use rfid_sim::{ChainConfig, ChainTrace, SupplyChainSimulator, TemperatureModel, WarehouseConfig};
+use rfid_types::{Epoch, LocationId, ObjectEvent, TagId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+fn chain_config(scale: Scale, read_rate: f64, anomaly: Option<u32>) -> ChainConfig {
+    let mut warehouse = WarehouseConfig::default()
+        .with_length(scale.change_trace_secs())
+        .with_read_rate(read_rate)
+        .with_items_per_case(scale.items_per_case())
+        .with_cases_per_pallet(scale.cases_per_pallet())
+        .with_seed(97);
+    warehouse.anomaly_interval = anomaly;
+    ChainConfig {
+        warehouse,
+        num_warehouses: scale.num_warehouses(),
+        transit_secs: 120,
+        fanout: 2,
+    }
+}
+
+fn dist_config(strategy: MigrationStrategy) -> DistributedConfig {
+    DistributedConfig {
+        strategy,
+        inference: InferenceConfig::default(),
+        ..Default::default()
+    }
+}
+
+/// Containment error rate (%) of a distributed outcome against the chain's
+/// ground truth, evaluated at the end of the trace.
+pub fn chain_containment_error(chain: &ChainTrace, outcome: &DistributedOutcome) -> f64 {
+    let end = Epoch(chain.sites[0].meta.length);
+    let objects = chain.objects();
+    if objects.is_empty() {
+        return 0.0;
+    }
+    let wrong = objects
+        .iter()
+        .filter(|&&o| outcome.container_of(o) != chain.containment.container_at(o, end))
+        .count();
+    100.0 * wrong as f64 / objects.len() as f64
+}
+
+/// Figure 5(e): distributed inference error versus read rate for the None /
+/// CR (critical-region state migration) / Centralized strategies.
+pub fn fig5e(scale: Scale) -> Vec<Series> {
+    let mut none = Series::new("None");
+    let mut cr = Series::new("CR");
+    let mut central = Series::new("Centralized");
+    let rates: &[f64] = match scale {
+        Scale::Smoke => &[0.7, 0.9],
+        _ => &[0.6, 0.7, 0.8, 0.9, 1.0],
+    };
+    for &rr in rates {
+        let chain = SupplyChainSimulator::new(chain_config(scale, rr, Some(60))).generate();
+        for (series, strategy) in [
+            (&mut none, MigrationStrategy::None),
+            (&mut cr, MigrationStrategy::CriticalRegionReadings),
+            (&mut central, MigrationStrategy::Centralized),
+        ] {
+            let outcome = DistributedDriver::new(dist_config(strategy)).run(&chain);
+            series.push(rr, chain_containment_error(&chain, &outcome));
+        }
+    }
+    vec![none, cr, central]
+}
+
+/// Figure 5(f): distributed inference error versus the containment-change
+/// interval.
+pub fn fig5f(scale: Scale) -> Vec<Series> {
+    let mut none = Series::new("None");
+    let mut cr = Series::new("CR");
+    let mut central = Series::new("Centralized");
+    let intervals: &[u32] = match scale {
+        Scale::Smoke => &[60, 120],
+        _ => &[20, 40, 60, 80, 100, 120],
+    };
+    for &interval in intervals {
+        let chain = SupplyChainSimulator::new(chain_config(scale, 0.8, Some(interval))).generate();
+        for (series, strategy) in [
+            (&mut none, MigrationStrategy::None),
+            (&mut cr, MigrationStrategy::CriticalRegionReadings),
+            (&mut central, MigrationStrategy::Centralized),
+        ] {
+            let outcome = DistributedDriver::new(dist_config(strategy)).run(&chain);
+            series.push(interval as f64, chain_containment_error(&chain, &outcome));
+        }
+    }
+    vec![none, cr, central]
+}
+
+/// Table 5: communication cost (bytes) of the centralized approach and of the
+/// None / CR migration methods, across read rates.
+pub fn table5(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Table 5: communication cost (bytes)",
+        &["read rate", "Centralized", "None", "CR (collapsed)", "CR (readings)"],
+    );
+    let rates: &[f64] = match scale {
+        Scale::Smoke => &[0.8],
+        _ => &[0.6, 0.7, 0.8, 0.9],
+    };
+    for &rr in rates {
+        let chain = SupplyChainSimulator::new(chain_config(scale, rr, None)).generate();
+        let central = DistributedDriver::new(dist_config(MigrationStrategy::Centralized)).run(&chain);
+        let none = DistributedDriver::new(dist_config(MigrationStrategy::None)).run(&chain);
+        let collapsed =
+            DistributedDriver::new(dist_config(MigrationStrategy::CollapsedWeights)).run(&chain);
+        let readings =
+            DistributedDriver::new(dist_config(MigrationStrategy::CriticalRegionReadings)).run(&chain);
+        table.push_row(&[
+            format!("{rr:.1}"),
+            central.comm.total_bytes().to_string(),
+            none.comm.total_bytes().to_string(),
+            collapsed.comm.total_bytes().to_string(),
+            readings.comm.total_bytes().to_string(),
+        ]);
+    }
+    table
+}
+
+/// Ground-truth alerts for a chain: run the query processor over the *true*
+/// object events (true location and containment) so inferred results can be
+/// scored with an F-measure.
+pub fn ground_truth_alerts(
+    chain: &ChainTrace,
+    queries: &[ExposureQuery],
+    temperature: &TemperatureModel,
+    properties: &BTreeMap<TagId, String>,
+    stride: u32,
+) -> Vec<Alert> {
+    let horizon = chain.sites[0].meta.length;
+    let mut processor = QueryProcessor::new();
+    for q in queries {
+        processor.register(q.clone());
+    }
+    // one shared temperature stream (all sites use the same model)
+    for reading in temperature.generate(chain.sites[0].meta.num_locations, Epoch(horizon)) {
+        processor.on_sensor(reading);
+    }
+    let objects = chain.objects();
+    let mut t = 0;
+    while t <= horizon {
+        let now = Epoch(t);
+        for &object in &objects {
+            // the true location of the object at its current site
+            let location: Option<LocationId> = chain
+                .sites
+                .iter()
+                .find_map(|site| site.truth.location_at(object, now));
+            let Some(location) = location else { continue };
+            let container = chain.containment.container_at(object, now);
+            let mut event = ObjectEvent::new(now, object, location, container);
+            if let Some(prop) = properties.get(&object) {
+                event.property = Some(prop.clone());
+            }
+            processor.on_event(&event);
+        }
+        t += stride;
+    }
+    processor.alerts().to_vec()
+}
+
+/// F-measure between two alert sets: an inferred alert matches a true alert
+/// on the same object for the same query.
+pub fn alert_f_measure(truth: &[Alert], inferred: &[Alert]) -> f64 {
+    let truth_keys: BTreeSet<(String, TagId)> =
+        truth.iter().map(|a| (a.query.clone(), a.tag)).collect();
+    let inferred_keys: BTreeSet<(String, TagId)> =
+        inferred.iter().map(|a| (a.query.clone(), a.tag)).collect();
+    if truth_keys.is_empty() && inferred_keys.is_empty() {
+        return 100.0;
+    }
+    let matched = truth_keys.intersection(&inferred_keys).count() as f64;
+    let precision = if inferred_keys.is_empty() {
+        0.0
+    } else {
+        matched / inferred_keys.len() as f64
+    };
+    let recall = if truth_keys.is_empty() {
+        1.0
+    } else {
+        matched / truth_keys.len() as f64
+    };
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        100.0 * 2.0 * precision * recall / (precision + recall)
+    }
+}
+
+/// The Section 5.4 table: F-measure and query-state size (with and without
+/// centroid-based sharing) for Q1 and Q2 across read rates.
+pub fn table_query(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Section 5.4: query accuracy and state size",
+        &["query", "read rate", "F-measure (%)", "state w/o share (bytes)", "state w/ share (bytes)"],
+    );
+    let rates: &[f64] = match scale {
+        Scale::Smoke => &[0.8],
+        _ => &[0.6, 0.7, 0.8, 0.9],
+    };
+    // Freezer shelves: the first shelf location of every warehouse is a
+    // freezer; everything else is at room temperature. Exposure windows are
+    // scaled down so alerts fire within the simulated horizon.
+    let temperature = TemperatureModel::new([LocationId(2)]);
+    for &rr in rates {
+        let chain = SupplyChainSimulator::new(chain_config(scale, rr, None)).generate();
+        let mut properties = BTreeMap::new();
+        for object in chain.objects() {
+            let class = if object.serial() % 2 == 0 {
+                "temperature-sensitive"
+            } else {
+                "frozen-food"
+            };
+            properties.insert(object, class.to_string());
+        }
+        let queries = vec![
+            ExposureQuery {
+                duration_secs: 900,
+                ..ExposureQuery::q1([])
+            },
+            ExposureQuery {
+                duration_secs: 1200,
+                temp_threshold: 10.0,
+                ..ExposureQuery::q2()
+            },
+        ];
+        let truth_alerts =
+            ground_truth_alerts(&chain, &queries, &temperature, &properties, 10);
+
+        let mut config = dist_config(MigrationStrategy::CollapsedWeights);
+        config.queries = queries.clone();
+        config.product_properties = properties;
+        config.temperature = Some(temperature.clone());
+        let outcome = DistributedDriver::new(config).run(&chain);
+
+        for query in ["Q1", "Q2"] {
+            let truth: Vec<Alert> = truth_alerts.iter().filter(|a| a.query == query).cloned().collect();
+            let inferred: Vec<Alert> = outcome.alerts.iter().filter(|a| a.query == query).cloned().collect();
+            table.push_row(&[
+                query.to_string(),
+                format!("{rr:.1}"),
+                format!("{:.1}", alert_f_measure(&truth, &inferred)),
+                outcome.query_state_unshared_bytes.to_string(),
+                outcome.query_state_shared_bytes.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// Section 5.3 scalability: wall-clock time of distributed inference as the
+/// number of items per warehouse grows, with static and mobile shelf readers.
+pub fn scalability(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Section 5.3: scalability (distributed inference wall-clock)",
+        &["items per warehouse", "shelf readers", "total items", "inference time (s)"],
+    );
+    let multipliers: &[u32] = match scale {
+        Scale::Smoke => &[1, 2],
+        _ => &[1, 2, 4],
+    };
+    for &m in multipliers {
+        for mobile in [false, true] {
+            let mut config = chain_config(scale, 0.8, None);
+            config.warehouse.items_per_case = scale.items_per_case() * m;
+            if mobile {
+                config.warehouse.shelf_scan = rfid_sim::ShelfScanMode::Mobile {
+                    dwell_secs: 10,
+                    shelves_per_aisle: config.warehouse.num_shelves,
+                };
+            }
+            let chain = SupplyChainSimulator::new(config.clone()).generate();
+            let total_items = chain.objects().len();
+            let started = Instant::now();
+            let _ = DistributedDriver::new(dist_config(MigrationStrategy::CollapsedWeights)).run(&chain);
+            let elapsed = started.elapsed();
+            let per_site = total_items / config.num_warehouses.max(1) as usize;
+            table.push_row(&[
+                per_site.to_string(),
+                if mobile { "mobile".to_string() } else { "static".to_string() },
+                total_items.to_string(),
+                format!("{:.2}", elapsed.as_secs_f64()),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5e_cr_tracks_centralized_and_beats_none_on_average() {
+        let series = fig5e(Scale::Smoke);
+        let none = &series[0];
+        let cr = &series[1];
+        let central = &series[2];
+        let mean = |s: &Series| s.points.iter().map(|(_, y)| y).sum::<f64>() / s.points.len() as f64;
+        assert!(mean(cr) <= mean(none) + 5.0, "CR should not be much worse than None");
+        assert!(mean(cr) <= mean(central) + 10.0, "CR should approximate centralized");
+        assert!(!central.points.is_empty());
+    }
+
+    #[test]
+    fn table5_centralized_dwarfs_cr_costs() {
+        let table = table5(Scale::Smoke);
+        assert_eq!(table.headers.len(), 5);
+        for row in &table.rows {
+            let central: f64 = row[1].parse().unwrap();
+            let none: f64 = row[2].parse().unwrap();
+            let collapsed: f64 = row[3].parse().unwrap();
+            assert_eq!(none, 0.0);
+            // At smoke scale the gap is tens of times; at the paper's scale
+            // (32k items per warehouse) it reaches three orders of magnitude.
+            assert!(
+                central > 20.0 * collapsed,
+                "centralized ({central}) should dwarf collapsed-weight migration ({collapsed})"
+            );
+        }
+    }
+
+    #[test]
+    fn alert_f_measure_edge_cases() {
+        assert_eq!(alert_f_measure(&[], &[]), 100.0);
+        let alert = Alert {
+            query: "Q1".to_string(),
+            tag: TagId::item(1),
+            since: Epoch(0),
+            at: Epoch(10),
+            readings: vec![],
+        };
+        assert_eq!(alert_f_measure(&[alert.clone()], &[]), 0.0);
+        assert_eq!(alert_f_measure(&[alert.clone()], &[alert.clone()]), 100.0);
+        let other = Alert { tag: TagId::item(2), ..alert.clone() };
+        assert!((alert_f_measure(&[alert.clone()], &[alert, other]) - 66.66).abs() < 1.0);
+    }
+}

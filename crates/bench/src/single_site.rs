@@ -1,0 +1,476 @@
+//! Single-site experiments: Figures 4, 5(a)–5(d), 6(a)–6(b) and Tables 3–4.
+
+use crate::Scale;
+use rfid_core::{
+    InferenceConfig, InferenceEngine, LikelihoodModel, Observations, RfInfer, TruncationPolicy,
+};
+use rfid_eval::{changes_f_measure, metrics::ReportedChange, ChangeMatchConfig, Series, Table};
+use rfid_sim::{EvidenceScenario, LabConfig, LabTraceId, WarehouseConfig, WarehouseSimulator};
+use rfid_smurf::{SmurfStar, SmurfStarConfig};
+use rfid_types::{Epoch, TagId, Trace};
+use std::time::{Duration, Instant};
+
+/// The accuracy / cost summary of one inference method on one trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingleSiteEval {
+    /// Containment error rate (%) at the end of the trace.
+    pub containment_error: f64,
+    /// Location error rate (%) over sampled epochs.
+    pub location_error: f64,
+    /// F-measure (%) of containment-change detection (100 when the trace has
+    /// no changes and none were reported).
+    pub f_measure: f64,
+    /// Total wall-clock time spent in inference.
+    pub inference_time: Duration,
+}
+
+fn base_config(scale: Scale, read_rate: f64, length: u32) -> WarehouseConfig {
+    WarehouseConfig::default()
+        .with_length(length)
+        .with_read_rate(read_rate)
+        .with_items_per_case(scale.items_per_case())
+        .with_cases_per_pallet(scale.cases_per_pallet())
+        .with_seed(71)
+}
+
+/// Replay a trace through the streaming engine and score it against ground
+/// truth.
+pub fn evaluate_rfinfer(trace: &Trace, config: InferenceConfig) -> SingleSiteEval {
+    let mut engine = InferenceEngine::new(config, trace.read_rates.clone());
+    let mut readings = trace.readings.clone();
+    readings.ensure_sorted();
+    let horizon = trace.meta.length;
+
+    let mut cursor = 0usize;
+    let all = readings.readings_unordered().to_vec();
+    let mut inference_time = Duration::ZERO;
+    let mut location_samples: Vec<(TagId, Epoch, Option<rfid_types::LocationId>)> = Vec::new();
+    let mut last_report_at = Epoch::ZERO;
+
+    // Sample location estimates at the epochs for which the inference module
+    // actually emits events — the epochs at which a tag (or its container)
+    // was observed — mirroring how the paper's event stream is evaluated.
+    let mut sample_locations = |report: &rfid_core::InferenceReport, from: Epoch, to: Epoch| {
+        const STRIDE: usize = 5;
+        for (tag, entries) in &report.outcome.tag_locations {
+            for (t, _) in entries
+                .iter()
+                .filter(|(t, _)| *t > from && *t <= to)
+                .step_by(STRIDE)
+            {
+                location_samples.push((*tag, *t, report.outcome.location_of(*tag, *t)));
+            }
+        }
+        for (object, evidence) in &report.outcome.objects {
+            let Some(series) = evidence.point_evidence.values().next() else {
+                continue;
+            };
+            for (t, _) in series
+                .iter()
+                .filter(|(t, _)| *t > from && *t <= to)
+                .step_by(STRIDE)
+            {
+                location_samples.push((*object, *t, report.outcome.location_of(*object, *t)));
+            }
+        }
+    };
+
+    for t in 0..=horizon {
+        let now = Epoch(t);
+        while cursor < all.len() && all[cursor].time == now {
+            engine.observe(all[cursor]);
+            cursor += 1;
+        }
+        if engine.due(now) {
+            let report = engine.run_inference(now);
+            inference_time += report.duration;
+            sample_locations(&report, last_report_at, now);
+            last_report_at = now;
+        }
+    }
+    let final_report = engine.run_inference(Epoch(horizon));
+    sample_locations(&final_report, last_report_at, Epoch(horizon));
+    inference_time += final_report.duration;
+
+    // Containment error at the end of the trace.
+    let objects = trace.objects();
+    let end = Epoch(horizon);
+    let containment_error = rfid_eval::containment_error(
+        &trace.truth,
+        |o| engine.container_of(o),
+        &objects,
+        end,
+    );
+
+    // Location error over the sampled (tag, epoch) pairs.
+    let evaluated = location_samples.len().max(1);
+    let wrong = location_samples
+        .iter()
+        .filter(|(tag, at, est)| trace.truth.location_at(*tag, *at) != *est)
+        .count();
+    let location_error = 100.0 * wrong as f64 / evaluated as f64;
+
+    // Change-detection F-measure.
+    let reported: Vec<ReportedChange> = engine
+        .detected_changes()
+        .iter()
+        .map(|c| ReportedChange {
+            object: c.object,
+            change_at: c.change_at,
+            new_container: c.new_container,
+        })
+        .collect();
+    let f_measure = changes_f_measure(
+        trace.truth.containment.changes(),
+        &reported,
+        ChangeMatchConfig::default(),
+    )
+    .f_measure();
+
+    SingleSiteEval {
+        containment_error,
+        location_error,
+        f_measure,
+        inference_time,
+    }
+}
+
+/// Run the SMURF* baseline over a trace and score it the same way.
+pub fn evaluate_smurf_star(trace: &Trace) -> SingleSiteEval {
+    let started = Instant::now();
+    let outcome = SmurfStar::new(SmurfStarConfig::default()).run(&trace.readings);
+    let inference_time = started.elapsed();
+
+    let objects = trace.objects();
+    let end = Epoch(trace.meta.length);
+    let containment_error = rfid_eval::containment_error(
+        &trace.truth,
+        |o| outcome.container_of(o),
+        &objects,
+        end,
+    );
+
+    // Evaluate SMURF*'s location estimates at the same kind of epochs as
+    // RFINFER's: the epochs at which each tag was actually observed.
+    let mut evaluated = 0usize;
+    let mut wrong = 0usize;
+    for (tag, observations) in trace.readings.clone().by_tag() {
+        for (at, _) in observations.iter().step_by(5) {
+            if let Some(true_loc) = trace.truth.location_at(tag, *at) {
+                evaluated += 1;
+                if outcome.location_of(tag, *at) != Some(true_loc) {
+                    wrong += 1;
+                }
+            }
+        }
+    }
+    let location_error = 100.0 * wrong as f64 / evaluated.max(1) as f64;
+
+    let reported: Vec<ReportedChange> = outcome
+        .changes
+        .iter()
+        .map(|c| ReportedChange {
+            object: c.object,
+            change_at: c.change_at,
+            new_container: c.new_container,
+        })
+        .collect();
+    let f_measure = changes_f_measure(
+        trace.truth.containment.changes(),
+        &reported,
+        ChangeMatchConfig::default(),
+    )
+    .f_measure();
+
+    SingleSiteEval {
+        containment_error,
+        location_error,
+        f_measure,
+        inference_time,
+    }
+}
+
+fn cr_config() -> InferenceConfig {
+    InferenceConfig::default().without_change_detection()
+}
+
+fn full_config() -> InferenceConfig {
+    InferenceConfig::default()
+        .with_truncation(TruncationPolicy::Full)
+        .without_change_detection()
+}
+
+fn window_config(secs: u32) -> InferenceConfig {
+    InferenceConfig::default()
+        .with_truncation(TruncationPolicy::Window { window_secs: secs })
+        .without_change_detection()
+}
+
+/// Figure 4: point and cumulative evidence of co-location for the three
+/// candidate containers (R, NRC, NRNC) of the evidence scenario.
+pub fn fig4(_scale: Scale) -> Vec<Series> {
+    let (trace, tags) = EvidenceScenario::default().generate();
+    let model = LikelihoodModel::new(trace.read_rates.clone());
+    let obs = Observations::from_batch(&trace.readings);
+    let outcome = RfInfer::new(&model, &obs).run();
+    let evidence = &outcome.objects[&tags.object];
+
+    let mut series = Vec::new();
+    for (label, container) in [("R", tags.real), ("NRC", tags.nrc), ("NRNC", tags.nrnc)] {
+        let mut point = Series::new(format!("point-evidence {label}"));
+        for &(t, e) in evidence.point_evidence.get(&container).into_iter().flatten() {
+            point.push(t.0 as f64, e);
+        }
+        let mut cumulative = Series::new(format!("cumulative-evidence {label}"));
+        for (t, e) in evidence.cumulative_evidence(container) {
+            cumulative.push(t.0 as f64, e);
+        }
+        series.push(point);
+        series.push(cumulative);
+    }
+    series
+}
+
+/// Figure 5(a): containment/location error of the All / W1200 / CR methods
+/// as the read rate varies (stable containment).
+pub fn fig5a(scale: Scale) -> Vec<Series> {
+    let mut all = Series::new("Containment(All)");
+    let mut window = Series::new("Containment(W1200)");
+    let mut cr = Series::new("Containment(CR)");
+    let mut loc = Series::new("Location(CR)");
+    for &rr in &[0.6, 0.7, 0.8, 0.9, 1.0] {
+        let trace = WarehouseSimulator::new(base_config(scale, rr, scale.trace_secs())).generate();
+        let e_all = evaluate_rfinfer(&trace, full_config());
+        let e_window = evaluate_rfinfer(&trace, window_config(1200));
+        let e_cr = evaluate_rfinfer(&trace, cr_config());
+        all.push(rr, e_all.containment_error);
+        window.push(rr, e_window.containment_error);
+        cr.push(rr, e_cr.containment_error);
+        loc.push(rr, e_cr.location_error);
+    }
+    vec![all, window, cr, loc]
+}
+
+/// Figure 5(b): total inference time of the All / W1200 / CR methods as the
+/// trace length varies.
+pub fn fig5b(scale: Scale) -> Vec<Series> {
+    let mut all = Series::new("Inference(All)");
+    let mut window = Series::new("Inference(W1200)");
+    let mut cr = Series::new("Inference(CR)");
+    let lengths: &[u32] = match scale {
+        Scale::Smoke => &[600, 1200],
+        _ => &[600, 1200, 1800, 2400, 3000, 3600],
+    };
+    for &len in lengths {
+        let trace = WarehouseSimulator::new(base_config(scale, 0.8, len)).generate();
+        all.push(len as f64, evaluate_rfinfer(&trace, full_config()).inference_time.as_secs_f64());
+        window.push(len as f64, evaluate_rfinfer(&trace, window_config(1200)).inference_time.as_secs_f64());
+        cr.push(len as f64, evaluate_rfinfer(&trace, cr_config()).inference_time.as_secs_f64());
+    }
+    vec![all, window, cr]
+}
+
+/// Figure 5(c): F-measure of containment-change detection versus the
+/// containment-change interval, for RFINFER (H̄ = 500) and SMURF*.
+pub fn fig5c(scale: Scale) -> Vec<Series> {
+    let mut series = Vec::new();
+    for &rr in &[0.8, 0.7] {
+        let mut ours = Series::new(format!("RR={rr} H=500"));
+        let mut smurf = Series::new(format!("RR={rr} SMURF*"));
+        let intervals: &[u32] = match scale {
+            Scale::Smoke => &[60, 120],
+            _ => &[20, 40, 60, 80, 100, 120],
+        };
+        for &interval in intervals {
+            let mut config = base_config(scale, rr, scale.change_trace_secs());
+            config.anomaly_interval = Some(interval);
+            let trace = WarehouseSimulator::new(config).generate();
+            let ours_eval = evaluate_rfinfer(
+                &trace,
+                InferenceConfig::default().with_recent_history(500),
+            );
+            ours.push(interval as f64, ours_eval.f_measure);
+            smurf.push(interval as f64, evaluate_smurf_star(&trace).f_measure);
+        }
+        series.push(ours);
+        series.push(smurf);
+    }
+    series
+}
+
+/// Figure 5(d): containment and location error of RFINFER and SMURF* on the
+/// lab traces T1–T8.
+pub fn fig5d(_scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 5(d): lab traces — error rates (%)",
+        &["trace", "RFINFER cont.", "RFINFER loc.", "SMURF* cont.", "SMURF* loc."],
+    );
+    for trace_id in LabTraceId::ALL {
+        let trace = LabConfig::published(trace_id).generate();
+        let ours = evaluate_rfinfer(
+            &trace,
+            InferenceConfig::default().with_period(300).with_recent_history(600),
+        );
+        let smurf = evaluate_smurf_star(&trace);
+        table.push_row(&[
+            trace_id.label().to_string(),
+            format!("{:.1}", ours.containment_error),
+            format!("{:.1}", ours.location_error),
+            format!("{:.1}", smurf.containment_error),
+            format!("{:.1}", smurf.location_error),
+        ]);
+    }
+    table
+}
+
+/// Figure 6(a): error of the basic algorithm (full history) as the read rate
+/// varies.
+pub fn fig6a(scale: Scale) -> Vec<Series> {
+    let mut containment = Series::new("Containment");
+    let mut location = Series::new("Location");
+    for &rr in &[0.6, 0.7, 0.8, 0.9, 1.0] {
+        let trace = WarehouseSimulator::new(base_config(scale, rr, scale.trace_secs())).generate();
+        let eval = evaluate_rfinfer(&trace, full_config());
+        containment.push(rr, eval.containment_error);
+        location.push(rr, eval.location_error);
+    }
+    vec![containment, location]
+}
+
+/// Figure 6(b): containment error of the All / W1200 / CR methods as the
+/// trace length varies.
+pub fn fig6b(scale: Scale) -> Vec<Series> {
+    let mut all = Series::new("Containment(All)");
+    let mut window = Series::new("Containment(W1200)");
+    let mut cr = Series::new("Containment(CR)");
+    let lengths: &[u32] = match scale {
+        Scale::Smoke => &[600, 1200],
+        _ => &[600, 1200, 1800, 2400, 3000, 3600],
+    };
+    for &len in lengths {
+        let trace = WarehouseSimulator::new(base_config(scale, 0.8, len)).generate();
+        all.push(len as f64, evaluate_rfinfer(&trace, full_config()).containment_error);
+        window.push(len as f64, evaluate_rfinfer(&trace, window_config(1200)).containment_error);
+        cr.push(len as f64, evaluate_rfinfer(&trace, cr_config()).containment_error);
+    }
+    vec![all, window, cr]
+}
+
+/// Table 3: F-measure of change detection for fixed thresholds δ and for the
+/// offline-calibrated threshold, across read rates.
+pub fn table3(scale: Scale) -> Table {
+    let deltas = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
+    let mut headers: Vec<String> = vec!["read rate".to_string()];
+    headers.extend(deltas.iter().map(|d| format!("δ={d}")));
+    headers.push("calibrated".to_string());
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new("Table 3: change-detection F-measure (%) vs threshold δ", &headers_ref);
+
+    let rates: &[f64] = match scale {
+        Scale::Smoke => &[0.7],
+        _ => &[0.6, 0.7, 0.8, 0.9],
+    };
+    for &rr in rates {
+        let mut config = base_config(scale, rr, scale.change_trace_secs());
+        config.anomaly_interval = Some(60);
+        let trace = WarehouseSimulator::new(config).generate();
+        let mut row = vec![format!("{rr:.1}")];
+        for &delta in &deltas {
+            let eval = evaluate_rfinfer(
+                &trace,
+                InferenceConfig::default().with_fixed_threshold(delta),
+            );
+            row.push(format!("{:.0}", eval.f_measure));
+        }
+        let calibrated = evaluate_rfinfer(&trace, InferenceConfig::default());
+        row.push(format!("{:.0}", calibrated.f_measure));
+        table.push_row(&row);
+    }
+    table
+}
+
+/// Table 4: F-measure and inference time of change detection for different
+/// recent-history sizes H̄ and read rates.
+pub fn table4(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Table 4: change detection vs recent-history size H̄",
+        &["read rate", "H̄ (s)", "F-measure (%)", "time (s)"],
+    );
+    let rates: &[f64] = match scale {
+        Scale::Smoke => &[0.8],
+        _ => &[0.6, 0.7, 0.8, 0.9],
+    };
+    let histories: &[u32] = match scale {
+        Scale::Smoke => &[300, 600],
+        _ => &[300, 400, 500, 600, 700, 800, 900],
+    };
+    for &rr in rates {
+        let mut config = base_config(scale, rr, scale.change_trace_secs());
+        config.anomaly_interval = Some(60);
+        let trace = WarehouseSimulator::new(config).generate();
+        for &h in histories {
+            let eval = evaluate_rfinfer(
+                &trace,
+                InferenceConfig::default().with_recent_history(h),
+            );
+            table.push_row(&[
+                format!("{rr:.1}"),
+                h.to_string(),
+                format!("{:.0}", eval.f_measure),
+                format!("{:.2}", eval.inference_time.as_secs_f64()),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfinfer_beats_smurf_star_on_a_noisy_trace() {
+        let trace = WarehouseSimulator::new(base_config(Scale::Smoke, 0.7, 900)).generate();
+        let ours = evaluate_rfinfer(&trace, cr_config());
+        let smurf = evaluate_smurf_star(&trace);
+        assert!(ours.containment_error <= smurf.containment_error + 1e-9);
+        assert!(ours.containment_error < 15.0, "got {}", ours.containment_error);
+        assert!(ours.location_error < 10.0, "got {}", ours.location_error);
+    }
+
+    #[test]
+    fn fig4_evidence_separates_the_real_container_in_the_belt_region() {
+        let series = fig4(Scale::Smoke);
+        assert_eq!(series.len(), 6);
+        let cum_r = series.iter().find(|s| s.name == "cumulative-evidence R").unwrap();
+        let cum_nrnc = series.iter().find(|s| s.name == "cumulative-evidence NRNC").unwrap();
+        let final_r = cum_r.points.last().unwrap().1;
+        let final_nrnc = cum_nrnc.points.last().unwrap().1;
+        assert!(
+            final_r > final_nrnc,
+            "the real container must accumulate more evidence ({final_r} vs {final_nrnc})"
+        );
+    }
+
+    #[test]
+    fn fig6a_error_decreases_with_read_rate() {
+        let series = fig6a(Scale::Smoke);
+        let containment = &series[0];
+        let at_low = containment.y_at(0.6).unwrap();
+        let at_high = containment.y_at(1.0).unwrap();
+        assert!(at_high <= at_low + 1e-9, "error should not grow with read rate");
+        // at perfect read rate containment inference is essentially perfect
+        assert!(at_high < 5.0);
+        let location = &series[1];
+        assert!(location.y_at(0.8).unwrap() < 10.0);
+    }
+
+    #[test]
+    fn fig5b_cr_inference_is_not_slower_than_full_history() {
+        let series = fig5b(Scale::Smoke);
+        let all = series.iter().find(|s| s.name == "Inference(All)").unwrap();
+        let cr = series.iter().find(|s| s.name == "Inference(CR)").unwrap();
+        let longest = all.points.last().unwrap().0;
+        assert!(cr.y_at(longest).unwrap() <= all.y_at(longest).unwrap() * 1.5 + 0.05);
+    }
+}

@@ -1,0 +1,394 @@
+//! Change-point detection for containment relationships (Section 3.3,
+//! Appendix A.2).
+//!
+//! For every object the detector compares two hypotheses over the observed
+//! window `[0, T]`:
+//!
+//! * **null** — the object stayed in one (best) container the whole time;
+//!   its score is `L(C_{0:T}) = max_c E_co(T)`;
+//! * **change at t'** — the object was in one container before `t'` and a
+//!   (possibly different) container from `t'` on; its score is
+//!   `max_{t'} [ max_c E_co(t') + max_{c'} (E_{c'o}(T) − E_{c'o}(t')) ]`.
+//!
+//! The generalized-likelihood-ratio statistic `Δ_o(T)` is the difference
+//! between the best change hypothesis and the null hypothesis (the paper's
+//! Eq. 6 up to sign — see DESIGN.md), and a change is flagged when it exceeds
+//! a threshold δ. δ is calibrated offline by sampling observation sequences
+//! from the model itself (which by construction contain no change point) and
+//! taking the largest statistic seen — any larger value observed online is
+//! then unlikely to be a false positive.
+
+use crate::likelihood::LikelihoodModel;
+use crate::rfinfer::ObjectEvidence;
+use rand::Rng;
+use rfid_types::{Epoch, LocationId, TagId};
+use serde::{Deserialize, Serialize};
+
+/// A detected containment change for one object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectedChange {
+    /// The object whose containment changed.
+    pub object: TagId,
+    /// The epoch at which the change most likely happened.
+    pub change_at: Epoch,
+    /// The best container before the change.
+    pub old_container: Option<TagId>,
+    /// The best container after the change.
+    pub new_container: Option<TagId>,
+    /// The value of the GLR statistic that triggered the detection.
+    pub statistic: f64,
+}
+
+/// The change-point statistic for one object, with the split that achieves
+/// it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChangeStatistic {
+    /// `Δ_o(T)`: best split score minus best single-container score.
+    pub delta: f64,
+    /// The split epoch achieving the maximum (observations strictly before it
+    /// belong to the prefix).
+    pub split_at: Epoch,
+    /// Best container on the prefix.
+    pub prefix_container: Option<TagId>,
+    /// Best container on the suffix.
+    pub suffix_container: Option<TagId>,
+}
+
+/// Compute the change-point statistic for one object from the point evidence
+/// produced by RFINFER. Returns `None` when the object has fewer than two
+/// candidate containers or fewer than two observations (no split possible).
+pub fn change_statistic(evidence: &ObjectEvidence) -> Option<ChangeStatistic> {
+    let candidates: Vec<TagId> = evidence.point_evidence.keys().copied().collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    // All candidates share the same observation epochs (the object's).
+    let epochs: Vec<Epoch> = evidence
+        .point_evidence
+        .values()
+        .next()
+        .map(|v| v.iter().map(|&(t, _)| t).collect())
+        .unwrap_or_default();
+    let n = epochs.len();
+    if n < 2 {
+        return None;
+    }
+
+    // Prefix sums of point evidence per candidate: prefix[c][k] = sum of the
+    // first k observations' evidence.
+    let mut prefix: Vec<Vec<f64>> = Vec::with_capacity(candidates.len());
+    for c in &candidates {
+        let points = &evidence.point_evidence[c];
+        let mut sums = Vec::with_capacity(n + 1);
+        let mut acc = 0.0;
+        sums.push(0.0);
+        for &(_, e) in points {
+            acc += e;
+            sums.push(acc);
+        }
+        // A candidate may (rarely) miss some epochs if its posterior was not
+        // computed there; pad so indexing stays consistent.
+        while sums.len() < n + 1 {
+            sums.push(acc);
+        }
+        prefix.push(sums);
+    }
+
+    let best_total = (0..candidates.len())
+        .map(|ci| (ci, prefix[ci][n]))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+
+    // Best split: for every split index k in 1..n, best prefix candidate +
+    // best suffix candidate.
+    let mut best = ChangeStatistic {
+        delta: f64::NEG_INFINITY,
+        split_at: epochs[0],
+        prefix_container: None,
+        suffix_container: None,
+    };
+    for k in 1..n {
+        let (pre_ci, pre_score) = (0..candidates.len())
+            .map(|ci| (ci, prefix[ci][k]))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        let (suf_ci, suf_score) = (0..candidates.len())
+            .map(|ci| (ci, prefix[ci][n] - prefix[ci][k]))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        let delta = pre_score + suf_score - best_total.1;
+        if delta > best.delta {
+            best = ChangeStatistic {
+                delta,
+                split_at: epochs[k],
+                prefix_container: Some(candidates[pre_ci]),
+                suffix_container: Some(candidates[suf_ci]),
+            };
+        }
+    }
+    Some(best)
+}
+
+/// Run change-point detection over every object of an inference outcome.
+/// Objects whose statistic exceeds `threshold` are reported, each with the
+/// suffix container as its new containment estimate.
+pub fn detect_changes(
+    objects: &std::collections::BTreeMap<TagId, ObjectEvidence>,
+    threshold: f64,
+) -> Vec<DetectedChange> {
+    let mut changes = Vec::new();
+    for (&object, evidence) in objects {
+        if let Some(stat) = change_statistic(evidence) {
+            if stat.delta >= threshold && stat.prefix_container != stat.suffix_container {
+                changes.push(DetectedChange {
+                    object,
+                    change_at: stat.split_at,
+                    old_container: stat.prefix_container,
+                    new_container: stat.suffix_container,
+                    statistic: stat.delta,
+                });
+            }
+        }
+    }
+    changes
+}
+
+/// Offline calibration of the detection threshold δ (Section 3.3).
+///
+/// Hypothetical observation sequences are sampled from the generative model
+/// of Section 3.1 itself: every container's location is drawn uniformly from
+/// the set of reader locations at every epoch, one object travels with its
+/// (fixed) true container, and every reader independently detects every tag
+/// according to the read-rate table. None of these sequences contains a
+/// change point, so any change statistic they produce is pure noise; δ is the
+/// largest statistic observed across `samples` replicates (plus a small
+/// safety margin).
+pub struct ThresholdCalibrator {
+    /// Number of hypothetical sequences to sample.
+    pub samples: usize,
+    /// Number of observation epochs per sequence.
+    pub epochs: usize,
+    /// Number of decoy containers per sequence.
+    pub num_decoys: usize,
+    /// Multiplicative safety margin applied to the maximum observed
+    /// statistic.
+    pub margin: f64,
+}
+
+impl Default for ThresholdCalibrator {
+    fn default() -> ThresholdCalibrator {
+        ThresholdCalibrator {
+            samples: 80,
+            epochs: 150,
+            num_decoys: 4,
+            margin: 2.5,
+        }
+    }
+}
+
+impl ThresholdCalibrator {
+    /// Calibrate δ for the given likelihood model.
+    pub fn calibrate<R: Rng>(&self, model: &LikelihoodModel, rng: &mut R) -> f64 {
+        use crate::observations::Observations;
+        use crate::rfinfer::RfInfer;
+        use rfid_types::{RawReading, ReadingBatch};
+
+        let num_locations = model.num_locations().max(2);
+        let locations: Vec<LocationId> = (0..num_locations as u16).map(LocationId).collect();
+        // The reader (other than the co-located one) most likely to detect a
+        // tag at `a` — i.e. the overlapping neighbour, if the deployment has
+        // reader overlap.
+        let neighbour = |a: LocationId| -> LocationId {
+            locations
+                .iter()
+                .copied()
+                .filter(|&r| r != a)
+                .max_by(|&x, &y| {
+                    model
+                        .rates()
+                        .rate(x, a)
+                        .partial_cmp(&model.rates().rate(y, a))
+                        .unwrap()
+                })
+                .unwrap_or(a)
+        };
+        let mut worst: f64 = 0.0;
+        for sample in 0..self.samples.max(1) {
+            let object = TagId::item(1_000_000 + sample as u64);
+            let real = TagId::case(1_000_000);
+            let decoys: Vec<TagId> = (0..self.num_decoys)
+                .map(|d| TagId::case(1_000_001 + d as u64))
+                .collect();
+            let mut readings = Vec::new();
+            // A representative no-change world: the object and its container
+            // travel from loc_a to loc_b halfway through; decoy containers
+            // sit at loc_a (co-located early), at loc_b (co-located late), and
+            // at the readers overlapping those locations — the configurations
+            // that generate the largest no-change statistics in a real
+            // deployment.
+            let loc_a = locations[rng.gen_range(0..locations.len())];
+            let loc_b = locations[rng.gen_range(0..locations.len())];
+            let decoy_locations = [loc_a, loc_b, neighbour(loc_b), neighbour(loc_a)];
+            let half = self.epochs / 2;
+            for t in 0..self.epochs {
+                let epoch = Epoch(t as u32);
+                let real_loc = if t < half { loc_a } else { loc_b };
+                let mut tags_at: Vec<(TagId, LocationId)> =
+                    vec![(object, real_loc), (real, real_loc)];
+                for (i, decoy) in decoys.iter().enumerate() {
+                    let at = decoy_locations
+                        .get(i)
+                        .copied()
+                        .unwrap_or_else(|| locations[rng.gen_range(0..locations.len())]);
+                    tags_at.push((*decoy, at));
+                }
+                // Sample readings from pi(r, a), skipping readers whose
+                // detection probability is negligible (background).
+                for (tag, at) in tags_at {
+                    for &reader in &locations {
+                        let p = model.rates().rate(reader, at);
+                        if p > 1e-3 && rng.gen_bool(p) {
+                            readings.push(RawReading::new(epoch, tag, reader.reader()));
+                        }
+                    }
+                }
+            }
+            if readings.is_empty() {
+                continue;
+            }
+            let obs = Observations::from_batch(&ReadingBatch::from_readings(readings));
+            let outcome = RfInfer::new(model, &obs).run();
+            if let Some(evidence) = outcome.objects.get(&object) {
+                if let Some(stat) = change_statistic(evidence) {
+                    worst = worst.max(stat.delta);
+                }
+            }
+        }
+        (worst * self.margin).max(1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observations::Observations;
+    use crate::rfinfer::RfInfer;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use rfid_types::{RawReading, ReadRateTable, ReaderId, ReadingBatch};
+    use std::collections::BTreeMap;
+
+    fn model(n: usize) -> LikelihoodModel {
+        LikelihoodModel::new(ReadRateTable::diagonal(n, 0.8, 1e-4))
+    }
+
+    /// Deterministic observations where item 1 travels with case 1 for the
+    /// first ten epochs and then with case 2 (which is at a different
+    /// location) for the next ten.
+    fn obs_with_change() -> Observations {
+        let mut readings = Vec::new();
+        for t in 0..10u32 {
+            readings.push(RawReading::new(Epoch(t), TagId::item(1), ReaderId(0)));
+            readings.push(RawReading::new(Epoch(t), TagId::case(1), ReaderId(0)));
+            readings.push(RawReading::new(Epoch(t), TagId::case(2), ReaderId(1)));
+        }
+        for t in 10..20u32 {
+            readings.push(RawReading::new(Epoch(t), TagId::item(1), ReaderId(1)));
+            readings.push(RawReading::new(Epoch(t), TagId::case(1), ReaderId(0)));
+            readings.push(RawReading::new(Epoch(t), TagId::case(2), ReaderId(1)));
+        }
+        Observations::from_batch(&ReadingBatch::from_readings(readings))
+    }
+
+    fn obs_without_change() -> Observations {
+        let mut readings = Vec::new();
+        for t in 0..20u32 {
+            readings.push(RawReading::new(Epoch(t), TagId::item(1), ReaderId(0)));
+            readings.push(RawReading::new(Epoch(t), TagId::case(1), ReaderId(0)));
+            readings.push(RawReading::new(Epoch(t), TagId::case(2), ReaderId(1)));
+        }
+        Observations::from_batch(&ReadingBatch::from_readings(readings))
+    }
+
+    #[test]
+    fn statistic_is_large_when_containment_changed() {
+        let m = model(2);
+        let outcome = RfInfer::new(&m, &obs_with_change()).run();
+        let stat = change_statistic(&outcome.objects[&TagId::item(1)]).unwrap();
+        assert!(stat.delta > 10.0, "clear change should score high, got {}", stat.delta);
+        assert_eq!(stat.prefix_container, Some(TagId::case(1)));
+        assert_eq!(stat.suffix_container, Some(TagId::case(2)));
+        assert_eq!(stat.split_at, Epoch(10));
+    }
+
+    #[test]
+    fn statistic_is_small_without_a_change() {
+        let m = model(2);
+        let outcome = RfInfer::new(&m, &obs_without_change()).run();
+        let stat = change_statistic(&outcome.objects[&TagId::item(1)]).unwrap();
+        assert!(stat.delta.abs() < 1.0, "no change: statistic stays near zero, got {}", stat.delta);
+    }
+
+    #[test]
+    fn detect_changes_applies_the_threshold() {
+        let m = model(2);
+        let with = RfInfer::new(&m, &obs_with_change()).run();
+        let without = RfInfer::new(&m, &obs_without_change()).run();
+        let threshold = 5.0;
+        let found = detect_changes(&with.objects, threshold);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].object, TagId::item(1));
+        assert_eq!(found[0].new_container, Some(TagId::case(2)));
+        assert!(found[0].statistic >= threshold);
+        assert!(detect_changes(&without.objects, threshold).is_empty());
+    }
+
+    #[test]
+    fn statistic_requires_candidates_and_multiple_observations() {
+        let empty = ObjectEvidence {
+            candidates: vec![],
+            weights: BTreeMap::new(),
+            point_evidence: BTreeMap::new(),
+            assigned: None,
+        };
+        assert!(change_statistic(&empty).is_none());
+        let single = ObjectEvidence {
+            candidates: vec![TagId::case(1)],
+            weights: BTreeMap::new(),
+            point_evidence: BTreeMap::from([(TagId::case(1), vec![(Epoch(0), -1.0)])]),
+            assigned: Some(TagId::case(1)),
+        };
+        assert!(change_statistic(&single).is_none());
+    }
+
+    #[test]
+    fn calibrated_threshold_separates_change_from_no_change() {
+        let m = model(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let delta = ThresholdCalibrator {
+            samples: 30,
+            epochs: 40,
+            ..Default::default()
+        }
+        .calibrate(&m, &mut rng);
+        assert!(delta > 0.0);
+        // A genuine change scores above the calibrated threshold...
+        let with = RfInfer::new(&m, &obs_with_change()).run();
+        let stat = change_statistic(&with.objects[&TagId::item(1)]).unwrap();
+        assert!(stat.delta > delta);
+        // ...and a stable object scores below it.
+        let without = RfInfer::new(&m, &obs_without_change()).run();
+        let stat = change_statistic(&without.objects[&TagId::item(1)]).unwrap();
+        assert!(stat.delta < delta);
+    }
+
+    #[test]
+    fn calibration_is_deterministic_given_the_rng_seed() {
+        let m = model(3);
+        let a = ThresholdCalibrator::default()
+            .calibrate(&m, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = ThresholdCalibrator::default()
+            .calibrate(&m, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,135 @@
+//! Configuration of the streaming inference engine.
+
+use crate::rfinfer::RfInferConfig;
+use crate::truncate::TruncationPolicy;
+use serde::{Deserialize, Serialize};
+
+/// How the change-point detection threshold δ is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ThresholdPolicy {
+    /// Use a fixed threshold value.
+    Fixed(f64),
+    /// Calibrate offline by sampling hypothetical observation sequences from
+    /// the model (Section 3.3); calibration happens once, lazily, before the
+    /// first inference run.
+    Calibrated {
+        /// Number of sampled sequences.
+        samples: usize,
+        /// Length of each sequence in epochs.
+        epochs: usize,
+    },
+}
+
+impl Default for ThresholdPolicy {
+    fn default() -> ThresholdPolicy {
+        ThresholdPolicy::Calibrated {
+            samples: 60,
+            epochs: 60,
+        }
+    }
+}
+
+/// Configuration of change-point detection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ChangeDetectionConfig {
+    /// Threshold selection policy.
+    pub threshold: ThresholdPolicy,
+}
+
+/// Configuration of the streaming [`InferenceEngine`](crate::InferenceEngine).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceConfig {
+    /// Seconds between two inference runs (the paper's default is 300 s).
+    pub period_secs: u32,
+    /// Length of the recent history `H̄` retained in addition to critical
+    /// regions (the paper's default is 600 s).
+    pub recent_history_secs: u32,
+    /// History-truncation policy applied after every inference run.
+    pub truncation: TruncationPolicy,
+    /// RFINFER tuning knobs.
+    pub rfinfer: RfInferConfig,
+    /// Change-point detection; `None` disables it (stable-containment
+    /// deployments).
+    pub change_detection: Option<ChangeDetectionConfig>,
+    /// RNG seed used for threshold calibration.
+    pub seed: u64,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> InferenceConfig {
+        InferenceConfig {
+            period_secs: 300,
+            recent_history_secs: 600,
+            truncation: TruncationPolicy::default(),
+            rfinfer: RfInferConfig::default(),
+            change_detection: Some(ChangeDetectionConfig::default()),
+            seed: 23,
+        }
+    }
+}
+
+impl InferenceConfig {
+    /// Builder-style setter for the inference period.
+    pub fn with_period(mut self, secs: u32) -> Self {
+        self.period_secs = secs;
+        self
+    }
+
+    /// Builder-style setter for the recent-history length `H̄`.
+    pub fn with_recent_history(mut self, secs: u32) -> Self {
+        self.recent_history_secs = secs;
+        self
+    }
+
+    /// Builder-style setter for the truncation policy.
+    pub fn with_truncation(mut self, policy: TruncationPolicy) -> Self {
+        self.truncation = policy;
+        self
+    }
+
+    /// Disable change-point detection.
+    pub fn without_change_detection(mut self) -> Self {
+        self.change_detection = None;
+        self
+    }
+
+    /// Use a fixed change-point threshold.
+    pub fn with_fixed_threshold(mut self, delta: f64) -> Self {
+        self.change_detection = Some(ChangeDetectionConfig {
+            threshold: ThresholdPolicy::Fixed(delta),
+        });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = InferenceConfig::default();
+        assert_eq!(c.period_secs, 300);
+        assert_eq!(c.recent_history_secs, 600);
+        assert!(c.change_detection.is_some());
+        assert!(matches!(c.truncation, TruncationPolicy::CriticalRegion { .. }));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = InferenceConfig::default()
+            .with_period(120)
+            .with_recent_history(500)
+            .with_truncation(TruncationPolicy::Full)
+            .with_fixed_threshold(40.0);
+        assert_eq!(c.period_secs, 120);
+        assert_eq!(c.recent_history_secs, 500);
+        assert_eq!(c.truncation, TruncationPolicy::Full);
+        assert_eq!(
+            c.change_detection.unwrap().threshold,
+            ThresholdPolicy::Fixed(40.0)
+        );
+        let off = c.without_change_detection();
+        assert!(off.change_detection.is_none());
+    }
+}

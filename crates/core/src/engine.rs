@@ -1,0 +1,511 @@
+//! The streaming inference engine: the component a site runs continuously.
+//!
+//! The engine accumulates raw readings, periodically (every
+//! [`InferenceConfig::period_secs`]) runs RFINFER over the retained history
+//! (critical regions + recent history `H̄` + new readings), applies
+//! change-point detection, truncates the stored history according to the
+//! configured policy, and exposes the resulting containment and location
+//! estimates plus the enriched event stream. It also exports and imports the
+//! per-object migration state used by the distributed layer.
+
+use crate::changepoint::{detect_changes, DetectedChange, ThresholdCalibrator};
+use crate::config::{InferenceConfig, ThresholdPolicy};
+use crate::likelihood::LikelihoodModel;
+use crate::observations::Observations;
+use crate::rfinfer::{InferenceOutcome, PriorWeights, RfInfer};
+use crate::state::{CollapsedState, MigrationState, ReadingsState};
+use crate::truncate::retention_plan;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rfid_types::{
+    ContainmentMap, Epoch, LocationId, ObjectEvent, RawReading, ReadRateTable, ReadingBatch, TagId,
+};
+use std::time::{Duration, Instant};
+
+/// The report produced by one inference run.
+#[derive(Debug, Clone)]
+pub struct InferenceReport {
+    /// The epoch at which inference ran.
+    pub at: Epoch,
+    /// The RFINFER outcome (containment, locations, evidence).
+    pub outcome: InferenceOutcome,
+    /// Containment changes detected during this run.
+    pub changes: Vec<DetectedChange>,
+    /// Number of (tag, epoch) observations retained after truncation.
+    pub retained_observations: usize,
+    /// Wall-clock time spent in this run.
+    pub duration: Duration,
+}
+
+/// Streaming inference engine for one site.
+pub struct InferenceEngine {
+    config: InferenceConfig,
+    model: LikelihoodModel,
+    store: Observations,
+    prior: PriorWeights,
+    containment: ContainmentMap,
+    detected: Vec<DetectedChange>,
+    last_outcome: Option<InferenceOutcome>,
+    last_inference_at: Option<Epoch>,
+    threshold: Option<f64>,
+}
+
+impl InferenceEngine {
+    /// Create an engine for a site whose readers have the given read-rate
+    /// table.
+    pub fn new(config: InferenceConfig, rates: ReadRateTable) -> InferenceEngine {
+        InferenceEngine {
+            config,
+            model: LikelihoodModel::new(rates),
+            store: Observations::new(),
+            prior: PriorWeights::empty(),
+            containment: ContainmentMap::new(),
+            detected: Vec::new(),
+            last_outcome: None,
+            last_inference_at: None,
+            threshold: None,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &InferenceConfig {
+        &self.config
+    }
+
+    /// Feed one raw reading into the engine.
+    pub fn observe(&mut self, reading: RawReading) {
+        self.store.insert(reading);
+    }
+
+    /// Feed a batch of raw readings into the engine.
+    pub fn observe_batch(&mut self, batch: &ReadingBatch) {
+        for r in batch.readings_unordered() {
+            self.store.insert(*r);
+        }
+    }
+
+    /// Whether an inference run is due at the given epoch.
+    pub fn due(&self, now: Epoch) -> bool {
+        match self.last_inference_at {
+            None => !self.store.is_empty(),
+            Some(last) => now.since(last) >= self.config.period_secs,
+        }
+    }
+
+    /// Run inference if it is due; returns the report if a run happened.
+    pub fn step(&mut self, now: Epoch) -> Option<InferenceReport> {
+        if self.due(now) {
+            Some(self.run_inference(now))
+        } else {
+            None
+        }
+    }
+
+    /// Run RFINFER (plus change-point detection and history truncation) now.
+    pub fn run_inference(&mut self, now: Epoch) -> InferenceReport {
+        let started = Instant::now();
+        let mut outcome = RfInfer::with_prior(&self.model, &self.store, &self.prior)
+            .with_config(self.config.rfinfer.clone())
+            .run();
+
+        // Containment estimates: the M-step assignment...
+        self.containment = outcome.containment.clone();
+
+        // ...refined by change-point detection (Section 3.3 / Appendix A.2).
+        let mut changes = Vec::new();
+        if self.config.change_detection.is_some() {
+            let threshold = self.threshold_value();
+            changes = detect_changes(&outcome.objects, threshold);
+            for change in &changes {
+                if let Some(new_container) = change.new_container {
+                    self.containment.set(change.object, new_container);
+                } else {
+                    self.containment.remove(change.object);
+                }
+                // Per Appendix A.2: after a change at t', the strength of
+                // co-location becomes the suffix sum of point evidence, and
+                // data before the change point is disregarded in subsequent
+                // runs so the same change is not flagged twice.
+                if let Some(evidence) = outcome.objects.get_mut(&change.object) {
+                    for (c, series) in &evidence.point_evidence {
+                        let suffix: f64 = series
+                            .iter()
+                            .filter(|(t, _)| *t >= change.change_at)
+                            .map(|(_, e)| e)
+                            .sum();
+                        evidence.weights.insert(*c, suffix);
+                    }
+                    evidence.assigned = change.new_container;
+                }
+                self.store
+                    .retain_ranges_for(change.object, &[(change.change_at, now)]);
+            }
+            self.detected.extend(changes.iter().cloned());
+        }
+
+        // History truncation for the next run.
+        let plan = retention_plan(
+            self.config.truncation,
+            &outcome,
+            now,
+            self.config.recent_history_secs,
+        );
+        let tags: Vec<TagId> = self.store.tags().collect();
+        for tag in tags {
+            let ranges = plan.ranges_for(tag, now);
+            self.store.retain_ranges_for(tag, &ranges);
+        }
+
+        self.last_outcome = Some(outcome.clone());
+        self.last_inference_at = Some(now);
+        InferenceReport {
+            at: now,
+            outcome,
+            changes,
+            retained_observations: self.store.len(),
+            duration: started.elapsed(),
+        }
+    }
+
+    /// The current containment estimate (after change-point refinement).
+    pub fn containment(&self) -> &ContainmentMap {
+        &self.containment
+    }
+
+    /// The inferred container of one object.
+    pub fn container_of(&self, object: TagId) -> Option<TagId> {
+        self.containment.container_of(object)
+    }
+
+    /// The current location estimate of a tag at epoch `t`.
+    pub fn location_of(&self, tag: TagId, t: Epoch) -> Option<LocationId> {
+        let outcome = self.last_outcome.as_ref()?;
+        if tag.is_object() {
+            if let Some(container) = self.containment.container_of(tag) {
+                if let Some(loc) = outcome.location_of(container, t) {
+                    return Some(loc);
+                }
+            }
+        }
+        outcome.location_of(tag, t)
+    }
+
+    /// Enriched object events at epoch `t`, reflecting the engine's current
+    /// (change-point refined) containment.
+    pub fn events_at(&self, t: Epoch) -> Vec<ObjectEvent> {
+        let Some(outcome) = self.last_outcome.as_ref() else {
+            return Vec::new();
+        };
+        outcome
+            .objects
+            .keys()
+            .filter_map(|&object| {
+                self.location_of(object, t).map(|loc| {
+                    ObjectEvent::new(t, object, loc, self.containment.container_of(object))
+                })
+            })
+            .collect()
+    }
+
+    /// All containment changes detected so far.
+    pub fn detected_changes(&self) -> &[DetectedChange] {
+        &self.detected
+    }
+
+    /// The outcome of the most recent inference run.
+    pub fn last_outcome(&self) -> Option<&InferenceOutcome> {
+        self.last_outcome.as_ref()
+    }
+
+    /// Number of (tag, epoch) observations currently stored.
+    pub fn stored_observations(&self) -> usize {
+        self.store.len()
+    }
+
+    /// The change-point threshold in force (calibrating it lazily if the
+    /// policy asks for calibration).
+    pub fn threshold_value(&mut self) -> f64 {
+        if let Some(existing) = self.threshold {
+            return existing;
+        }
+        let value = match self.config.change_detection.map(|c| c.threshold) {
+            Some(ThresholdPolicy::Fixed(delta)) => delta,
+            Some(ThresholdPolicy::Calibrated { samples, epochs }) => {
+                let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+                ThresholdCalibrator {
+                    samples,
+                    epochs,
+                    ..Default::default()
+                }
+                .calibrate(&self.model, &mut rng)
+            }
+            None => f64::INFINITY,
+        };
+        self.threshold = Some(value);
+        value
+    }
+
+    /// Export the collapsed inference state of one object (Section 4.1,
+    /// *Collapsing Inference State*).
+    ///
+    /// Weights are exported *relative to the best candidate* (the maximum is
+    /// subtracted), so that at the receiving site candidates first seen there
+    /// — which start with weight zero — compete fairly with the best-known
+    /// container from this site, while this site's rejected decoys keep their
+    /// penalty. See DESIGN.md §6 for the rationale of this refinement.
+    pub fn export_collapsed(&self, object: TagId) -> CollapsedState {
+        let mut weights = self
+            .last_outcome
+            .as_ref()
+            .and_then(|o| o.objects.get(&object))
+            .map(|e| e.weights.clone())
+            .unwrap_or_default();
+        let max = weights
+            .values()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if max.is_finite() {
+            for w in weights.values_mut() {
+                *w -= max;
+            }
+        }
+        CollapsedState {
+            object,
+            weights,
+            container: self.containment.container_of(object),
+        }
+    }
+
+    /// Export the critical-region inference state of one object: its retained
+    /// readings plus those of its candidate containers (Section 4.1,
+    /// *Truncating History*).
+    pub fn export_readings(&self, object: TagId) -> ReadingsState {
+        let mut tags = vec![object];
+        if let Some(outcome) = &self.last_outcome {
+            if let Some(evidence) = outcome.objects.get(&object) {
+                tags.extend(evidence.candidates.iter().copied());
+            }
+        }
+        let mut readings = Vec::new();
+        for tag in tags {
+            for obs in self.store.obs_for(tag) {
+                for reader in &obs.readers {
+                    readings.push(RawReading::new(obs.epoch, tag, reader.reader()));
+                }
+            }
+        }
+        ReadingsState {
+            object,
+            readings,
+            container: self.containment.container_of(object),
+        }
+    }
+
+    /// Import migration state for an object arriving from another site.
+    pub fn import_state(&mut self, state: MigrationState) {
+        match state {
+            MigrationState::None => {}
+            MigrationState::Collapsed(collapsed) => {
+                if let Some(container) = collapsed.container {
+                    self.containment.set(collapsed.object, container);
+                }
+                self.prior.merge(&collapsed.to_prior());
+            }
+            MigrationState::Readings(readings) => {
+                if let Some(container) = readings.container {
+                    self.containment.set(readings.object, container);
+                }
+                for r in readings.readings {
+                    self.store.insert(r);
+                }
+            }
+        }
+    }
+
+    /// Forget everything about a tag (used when an object permanently leaves
+    /// a site and its state has been shipped elsewhere).
+    pub fn forget(&mut self, tag: TagId) {
+        self.store.retain_ranges_for(tag, &[]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truncate::TruncationPolicy;
+    use rfid_types::ReaderId;
+
+    fn rates() -> ReadRateTable {
+        ReadRateTable::diagonal(3, 0.8, 1e-4)
+    }
+
+    fn feed_co_travel(engine: &mut InferenceEngine, from: u32, to: u32, loc: u16) {
+        for t in from..to {
+            engine.observe(RawReading::new(Epoch(t), TagId::item(1), ReaderId(loc)));
+            engine.observe(RawReading::new(Epoch(t), TagId::case(1), ReaderId(loc)));
+            engine.observe(RawReading::new(Epoch(t), TagId::case(2), ReaderId((loc + 1) % 3)));
+        }
+    }
+
+    #[test]
+    fn engine_runs_when_due_and_reports_containment() {
+        let config = InferenceConfig::default().with_period(10).without_change_detection();
+        let mut engine = InferenceEngine::new(config, rates());
+        assert!(!engine.due(Epoch(0)), "no data yet");
+        feed_co_travel(&mut engine, 0, 10, 0);
+        assert!(engine.due(Epoch(10)));
+        let report = engine.step(Epoch(10)).expect("inference due");
+        assert_eq!(engine.container_of(TagId::item(1)), Some(TagId::case(1)));
+        assert_eq!(report.at, Epoch(10));
+        assert!(report.duration.as_nanos() > 0);
+        assert!(!engine.due(Epoch(15)), "not due again until the period elapses");
+        assert!(engine.due(Epoch(20)));
+        assert_eq!(engine.location_of(TagId::item(1), Epoch(5)), Some(LocationId(0)));
+        assert_eq!(engine.events_at(Epoch(5)).len(), 1);
+    }
+
+    #[test]
+    fn change_point_detection_updates_containment() {
+        let config = InferenceConfig::default()
+            .with_period(10)
+            .with_fixed_threshold(5.0)
+            .with_truncation(TruncationPolicy::Full);
+        let mut engine = InferenceEngine::new(config, rates());
+        // First period: item travels with case 1 at location 0, case 2 at 1.
+        feed_co_travel(&mut engine, 0, 20, 0);
+        engine.run_inference(Epoch(20));
+        assert_eq!(engine.container_of(TagId::item(1)), Some(TagId::case(1)));
+        // Second period: the item now co-travels with case 2 at location 1.
+        for t in 20..40u32 {
+            engine.observe(RawReading::new(Epoch(t), TagId::item(1), ReaderId(1)));
+            engine.observe(RawReading::new(Epoch(t), TagId::case(1), ReaderId(0)));
+            engine.observe(RawReading::new(Epoch(t), TagId::case(2), ReaderId(1)));
+        }
+        let report = engine.run_inference(Epoch(40));
+        assert!(
+            !report.changes.is_empty() || engine.container_of(TagId::item(1)) == Some(TagId::case(2)),
+            "the engine should recognise the containment change"
+        );
+        assert_eq!(engine.container_of(TagId::item(1)), Some(TagId::case(2)));
+        assert_eq!(engine.detected_changes().len(), report.changes.len());
+    }
+
+    #[test]
+    fn truncation_bounds_stored_history() {
+        let config = InferenceConfig::default()
+            .with_period(50)
+            .with_recent_history(20)
+            .without_change_detection();
+        let mut engine = InferenceEngine::new(config, rates());
+        feed_co_travel(&mut engine, 0, 200, 0);
+        let before = engine.stored_observations();
+        let report = engine.run_inference(Epoch(200));
+        assert!(report.retained_observations < before, "history must shrink");
+        assert_eq!(report.retained_observations, engine.stored_observations());
+    }
+
+    #[test]
+    fn full_policy_keeps_all_history() {
+        let config = InferenceConfig::default()
+            .with_period(50)
+            .with_truncation(TruncationPolicy::Full)
+            .without_change_detection();
+        let mut engine = InferenceEngine::new(config, rates());
+        feed_co_travel(&mut engine, 0, 100, 0);
+        let before = engine.stored_observations();
+        engine.run_inference(Epoch(100));
+        assert_eq!(engine.stored_observations(), before);
+    }
+
+    #[test]
+    fn export_import_collapsed_state_transfers_belief() {
+        let config = InferenceConfig::default().with_period(10).without_change_detection();
+        let mut site_a = InferenceEngine::new(config.clone(), rates());
+        // At site A the item travels with case 1; case 2 is briefly
+        // co-located at the start (so it becomes a candidate) and then
+        // diverges, accumulating a heavy penalty.
+        for t in 0..30u32 {
+            site_a.observe(RawReading::new(Epoch(t), TagId::item(1), ReaderId(0)));
+            site_a.observe(RawReading::new(Epoch(t), TagId::case(1), ReaderId(0)));
+            let decoy_reader = if t < 3 { 0 } else { 1 };
+            site_a.observe(RawReading::new(Epoch(t), TagId::case(2), ReaderId(decoy_reader)));
+        }
+        site_a.run_inference(Epoch(30));
+        let state = site_a.export_collapsed(TagId::item(1));
+        assert_eq!(state.container, Some(TagId::case(1)));
+        assert!(!state.weights.is_empty());
+        assert!(state.wire_bytes() < 200);
+        // weights are exported relative to the best candidate
+        assert_eq!(state.weights[&TagId::case(1)], 0.0);
+
+        // Site B briefly sees the item co-located with the *old decoy*
+        // (case 2); the imported weights keep the original belief because the
+        // decoy carries a large penalty from site A.
+        let mut site_b = InferenceEngine::new(config.clone(), rates());
+        site_b.import_state(MigrationState::Collapsed(state.clone()));
+        assert_eq!(site_b.container_of(TagId::item(1)), Some(TagId::case(1)));
+        for t in 100..102u32 {
+            site_b.observe(RawReading::new(Epoch(t), TagId::item(1), ReaderId(2)));
+            site_b.observe(RawReading::new(Epoch(t), TagId::case(2), ReaderId(2)));
+        }
+        site_b.run_inference(Epoch(102));
+        assert_eq!(site_b.container_of(TagId::item(1)), Some(TagId::case(1)));
+
+        // Without the imported state the same local readings point at the
+        // decoy — that is exactly the error the "None" strategy makes.
+        let mut site_c = InferenceEngine::new(config, rates());
+        for t in 100..102u32 {
+            site_c.observe(RawReading::new(Epoch(t), TagId::item(1), ReaderId(2)));
+            site_c.observe(RawReading::new(Epoch(t), TagId::case(2), ReaderId(2)));
+        }
+        site_c.run_inference(Epoch(102));
+        assert_eq!(site_c.container_of(TagId::item(1)), Some(TagId::case(2)));
+    }
+
+    #[test]
+    fn export_import_readings_state_reconstructs_history() {
+        let config = InferenceConfig::default()
+            .with_period(10)
+            .with_truncation(TruncationPolicy::Full)
+            .without_change_detection();
+        let mut site_a = InferenceEngine::new(config.clone(), rates());
+        feed_co_travel(&mut site_a, 0, 30, 0);
+        site_a.run_inference(Epoch(30));
+        let state = site_a.export_readings(TagId::item(1));
+        assert!(state.readings.len() > 30, "object + candidate container readings");
+
+        let mut site_b = InferenceEngine::new(config, rates());
+        site_b.import_state(MigrationState::Readings(state));
+        let report = site_b.run_inference(Epoch(31));
+        assert_eq!(report.outcome.container_of(TagId::item(1)), Some(TagId::case(1)));
+    }
+
+    #[test]
+    fn forget_drops_a_tag_from_the_store() {
+        let config = InferenceConfig::default().without_change_detection();
+        let mut engine = InferenceEngine::new(config, rates());
+        feed_co_travel(&mut engine, 0, 5, 0);
+        let before = engine.stored_observations();
+        engine.forget(TagId::item(1));
+        assert!(engine.stored_observations() < before);
+    }
+
+    #[test]
+    fn fixed_and_calibrated_thresholds_are_produced() {
+        let mut fixed = InferenceEngine::new(
+            InferenceConfig::default().with_fixed_threshold(42.0),
+            rates(),
+        );
+        assert_eq!(fixed.threshold_value(), 42.0);
+        let mut off = InferenceEngine::new(
+            InferenceConfig::default().without_change_detection(),
+            rates(),
+        );
+        assert_eq!(off.threshold_value(), f64::INFINITY);
+        let mut calibrated = InferenceEngine::new(InferenceConfig::default(), rates());
+        let t = calibrated.threshold_value();
+        assert!(t.is_finite() && t > 0.0);
+        // cached on the second call
+        assert_eq!(calibrated.threshold_value(), t);
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-tag observation likelihoods under the paper's sensing model
+//! (Section 3.1, Eq. 1).
+//!
+//! For a tag whose true location is `a`, every reader `r` independently
+//! detects it with probability `pi(r, a)`. The log-probability of one epoch's
+//! observations of that tag is therefore
+//!
+//! ```text
+//! sum_r [ read(r) * log pi(r,a) + (1 - read(r)) * log (1 - pi(r,a)) ]
+//! ```
+//!
+//! Evaluating that sum naively costs `O(R)` per (tag, epoch, location). The
+//! optimization of Appendix A.3 applies here: precompute, per location, the
+//! "missed by everyone" term `sum_r log (1 - pi(r,a))` once, and then correct
+//! it only for the readers that actually fired — of which there are at most a
+//! handful.
+
+use rfid_types::{LocationId, ReadRateTable};
+
+/// Precomputed log-likelihood helper bound to one read-rate table.
+#[derive(Debug, Clone)]
+pub struct LikelihoodModel {
+    rates: ReadRateTable,
+    /// `log_all_miss[a] = sum_r log (1 - pi(r, a))`.
+    log_all_miss: Vec<f64>,
+}
+
+impl LikelihoodModel {
+    /// Build the model from a read-rate table.
+    pub fn new(rates: ReadRateTable) -> LikelihoodModel {
+        let log_all_miss = rates
+            .locations()
+            .map(|a| rates.log_all_miss(a))
+            .collect();
+        LikelihoodModel {
+            rates,
+            log_all_miss,
+        }
+    }
+
+    /// The read-rate table the model was built from.
+    pub fn rates(&self) -> &ReadRateTable {
+        &self.rates
+    }
+
+    /// Number of discrete locations `R`.
+    pub fn num_locations(&self) -> usize {
+        self.rates.num_locations()
+    }
+
+    /// All locations.
+    pub fn locations(&self) -> impl Iterator<Item = LocationId> {
+        self.rates.locations()
+    }
+
+    /// Log-probability that a tag at location `at` is missed by every reader
+    /// during one epoch.
+    pub fn unread_loglik(&self, at: LocationId) -> f64 {
+        self.log_all_miss[at.index()]
+    }
+
+    /// Log-probability of one epoch's observations of a tag, given that the
+    /// tag is truly at `at` and was detected by exactly the readers in
+    /// `readers` (readers not listed missed it).
+    pub fn tag_loglik(&self, readers: &[LocationId], at: LocationId) -> f64 {
+        let mut ll = self.log_all_miss[at.index()];
+        for &r in readers {
+            ll += self.rates.log_hit(r, at) - self.rates.log_miss(r, at);
+        }
+        ll
+    }
+
+    /// Log-probability of one epoch's observations where `readers` is `None`
+    /// when the tag was not detected at all that epoch.
+    pub fn tag_loglik_opt(&self, readers: Option<&[LocationId]>, at: LocationId) -> f64 {
+        match readers {
+            Some(rs) => self.tag_loglik(rs, at),
+            None => self.unread_loglik(at),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> LikelihoodModel {
+        LikelihoodModel::new(ReadRateTable::diagonal(4, 0.8, 1e-4))
+    }
+
+    /// Naive reference implementation of the full sum over readers.
+    fn naive_loglik(rates: &ReadRateTable, readers: &[LocationId], at: LocationId) -> f64 {
+        rates
+            .locations()
+            .map(|r| {
+                if readers.contains(&r) {
+                    rates.log_hit(r, at)
+                } else {
+                    rates.log_miss(r, at)
+                }
+            })
+            .sum()
+    }
+
+    #[test]
+    fn optimized_loglik_matches_naive_sum() {
+        let m = model();
+        for at in m.locations().collect::<Vec<_>>() {
+            for readers in [
+                vec![],
+                vec![LocationId(0)],
+                vec![LocationId(1)],
+                vec![at],
+                vec![LocationId(0), LocationId(2)],
+                vec![LocationId(0), LocationId(1), LocationId(2), LocationId(3)],
+            ] {
+                let fast = m.tag_loglik(&readers, at);
+                let slow = naive_loglik(m.rates(), &readers, at);
+                assert!(
+                    (fast - slow).abs() < 1e-9,
+                    "mismatch for readers {readers:?} at {at}: {fast} vs {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn being_read_at_own_location_is_most_likely() {
+        let m = model();
+        let at_true = m.tag_loglik(&[LocationId(2)], LocationId(2));
+        let at_other = m.tag_loglik(&[LocationId(2)], LocationId(1));
+        assert!(
+            at_true > at_other,
+            "a detection by reader 2 should favour location 2"
+        );
+    }
+
+    #[test]
+    fn missed_reading_slightly_penalises_the_own_location() {
+        let m = model();
+        // When a tag is not read at all, locations with high read rates are
+        // less likely than they would be under a detection, but all
+        // locations have the same own-read-rate here, so the unread
+        // likelihood is identical across locations.
+        let a = m.unread_loglik(LocationId(0));
+        let b = m.unread_loglik(LocationId(3));
+        assert!((a - b).abs() < 1e-12);
+        assert!(a < 0.0);
+        assert_eq!(m.tag_loglik_opt(None, LocationId(0)), a);
+        assert_eq!(
+            m.tag_loglik_opt(Some(&[LocationId(0)]), LocationId(0)),
+            m.tag_loglik(&[LocationId(0)], LocationId(0))
+        );
+    }
+
+    #[test]
+    fn asymmetric_rates_shift_the_unread_likelihood() {
+        // A location covered by a high-rate reader is *less* likely when the
+        // tag is never read.
+        let mut rates = ReadRateTable::diagonal(2, 0.5, 1e-4);
+        rates.set(LocationId(0), LocationId(0), 0.95);
+        let m = LikelihoodModel::new(rates);
+        assert!(m.unread_loglik(LocationId(0)) < m.unread_loglik(LocationId(1)));
+    }
+}

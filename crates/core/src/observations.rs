@@ -1,0 +1,335 @@
+//! Sparse index over raw RFID readings.
+//!
+//! RFINFER never needs the dense binary matrices `x` and `y` of the paper's
+//! notation — almost all entries are zero. What it needs, per tag, is the
+//! list of epochs at which the tag was read and by which readers, plus a fast
+//! way to find which containers were co-located with an object (same epoch,
+//! same reader), which drives candidate pruning (Appendix A.3).
+
+use rfid_types::{Epoch, LocationId, RawReading, ReadingBatch, TagId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The readers that detected one tag during one epoch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsAt {
+    /// The epoch of the observation.
+    pub epoch: Epoch,
+    /// Sorted, de-duplicated list of reader locations that detected the tag.
+    pub readers: Vec<LocationId>,
+}
+
+/// Sparse per-tag observation index built from raw readings.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Observations {
+    per_tag: BTreeMap<TagId, Vec<ObsAt>>,
+}
+
+impl Observations {
+    /// Create an empty index.
+    pub fn new() -> Observations {
+        Observations::default()
+    }
+
+    /// Build an index from a batch of raw readings.
+    pub fn from_batch(batch: &ReadingBatch) -> Observations {
+        let mut obs = Observations::new();
+        for r in batch.readings_unordered() {
+            obs.insert(*r);
+        }
+        obs
+    }
+
+    /// Insert a single reading.
+    pub fn insert(&mut self, reading: RawReading) {
+        let entry = self.per_tag.entry(reading.tag).or_default();
+        let loc = reading.reader.location();
+        // Readings arrive roughly in time order; search from the back.
+        match entry.iter_mut().rev().find(|o| o.epoch == reading.time) {
+            Some(o) => {
+                if let Err(pos) = o.readers.binary_search(&loc) {
+                    o.readers.insert(pos, loc);
+                }
+            }
+            None => {
+                let obs = ObsAt {
+                    epoch: reading.time,
+                    readers: vec![loc],
+                };
+                match entry.binary_search_by_key(&reading.time, |o| o.epoch) {
+                    Ok(_) => unreachable!("epoch found but not matched above"),
+                    Err(pos) => entry.insert(pos, obs),
+                }
+            }
+        }
+    }
+
+    /// Merge every reading of another index into this one.
+    pub fn merge(&mut self, other: &Observations) {
+        for (tag, list) in &other.per_tag {
+            for obs in list {
+                for reader in &obs.readers {
+                    self.insert(RawReading::new(obs.epoch, *tag, reader.reader()));
+                }
+            }
+        }
+    }
+
+    /// All tags with at least one observation.
+    pub fn tags(&self) -> impl Iterator<Item = TagId> + '_ {
+        self.per_tag.keys().copied()
+    }
+
+    /// All observed object (item) tags.
+    pub fn objects(&self) -> Vec<TagId> {
+        self.tags().filter(|t| t.is_object()).collect()
+    }
+
+    /// All observed container (case/pallet) tags.
+    pub fn containers(&self) -> Vec<TagId> {
+        self.tags().filter(|t| t.is_container()).collect()
+    }
+
+    /// Observations of one tag, in epoch order.
+    pub fn obs_for(&self, tag: TagId) -> &[ObsAt] {
+        self.per_tag.get(&tag).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Observations of one tag restricted to the inclusive epoch range.
+    pub fn obs_between(&self, tag: TagId, from: Epoch, to: Epoch) -> &[ObsAt] {
+        let all = self.obs_for(tag);
+        let lo = all.partition_point(|o| o.epoch < from);
+        let hi = all.partition_point(|o| o.epoch <= to);
+        &all[lo..hi]
+    }
+
+    /// The readers that detected `tag` at exactly epoch `t`, if any.
+    pub fn readers_at(&self, tag: TagId, t: Epoch) -> Option<&[LocationId]> {
+        let all = self.obs_for(tag);
+        all.binary_search_by_key(&t, |o| o.epoch)
+            .ok()
+            .map(|idx| all[idx].readers.as_slice())
+    }
+
+    /// Number of distinct (tag, epoch) observations.
+    pub fn len(&self) -> usize {
+        self.per_tag.values().map(|v| v.len()).sum()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.per_tag.is_empty()
+    }
+
+    /// The earliest observed epoch.
+    pub fn first_epoch(&self) -> Option<Epoch> {
+        self.per_tag
+            .values()
+            .filter_map(|v| v.first().map(|o| o.epoch))
+            .min()
+    }
+
+    /// The latest observed epoch.
+    pub fn last_epoch(&self) -> Option<Epoch> {
+        self.per_tag
+            .values()
+            .filter_map(|v| v.last().map(|o| o.epoch))
+            .max()
+    }
+
+    /// Count, for each container, the number of epochs at which it was read
+    /// by the *same reader in the same epoch* as `object` — the co-location
+    /// signal that seeds containment inference and candidate pruning.
+    pub fn colocation_counts(&self, object: TagId) -> BTreeMap<TagId, usize> {
+        let mut counts: BTreeMap<TagId, usize> = BTreeMap::new();
+        let object_obs = self.obs_for(object);
+        if object_obs.is_empty() {
+            return counts;
+        }
+        for (tag, obs_list) in &self.per_tag {
+            if !tag.is_container() || *tag == object {
+                continue;
+            }
+            let mut count = 0usize;
+            let mut i = 0usize;
+            let mut j = 0usize;
+            while i < object_obs.len() && j < obs_list.len() {
+                match object_obs[i].epoch.cmp(&obs_list[j].epoch) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        let shared = object_obs[i]
+                            .readers
+                            .iter()
+                            .any(|r| obs_list[j].readers.contains(r));
+                        if shared {
+                            count += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            if count > 0 {
+                counts.insert(*tag, count);
+            }
+        }
+        counts
+    }
+
+    /// The `limit` containers most frequently co-located with `object`
+    /// (candidate pruning, Appendix A.3), most frequent first.
+    pub fn candidate_containers(&self, object: TagId, limit: usize) -> Vec<TagId> {
+        let counts = self.colocation_counts(object);
+        let mut ranked: Vec<(TagId, usize)> = counts.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.into_iter().take(limit).map(|(c, _)| c).collect()
+    }
+
+    /// Drop, for the given tag, every observation outside the union of the
+    /// provided inclusive epoch ranges. Used by per-object history
+    /// truncation.
+    pub fn retain_ranges_for(&mut self, tag: TagId, ranges: &[(Epoch, Epoch)]) {
+        if let Some(list) = self.per_tag.get_mut(&tag) {
+            list.retain(|o| ranges.iter().any(|&(lo, hi)| o.epoch >= lo && o.epoch <= hi));
+            if list.is_empty() {
+                self.per_tag.remove(&tag);
+            }
+        }
+    }
+
+    /// Drop every observation (for all tags) strictly older than `cutoff`.
+    pub fn retain_since(&mut self, cutoff: Epoch) {
+        self.per_tag.retain(|_, list| {
+            list.retain(|o| o.epoch >= cutoff);
+            !list.is_empty()
+        });
+    }
+
+    /// The set of epochs at which any of the given tags was observed.
+    pub fn epochs_of(&self, tags: &[TagId]) -> BTreeSet<Epoch> {
+        let mut set = BTreeSet::new();
+        for tag in tags {
+            for o in self.obs_for(*tag) {
+                set.insert(o.epoch);
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_types::ReaderId;
+
+    fn read(t: u32, tag: TagId, reader: u16) -> RawReading {
+        RawReading::new(Epoch(t), tag, ReaderId(reader))
+    }
+
+    fn sample() -> Observations {
+        let batch = ReadingBatch::from_readings(vec![
+            read(1, TagId::item(1), 0),
+            read(1, TagId::case(1), 0),
+            read(2, TagId::item(1), 0),
+            read(2, TagId::case(1), 0),
+            read(2, TagId::case(2), 1),
+            read(3, TagId::item(1), 1),
+            read(3, TagId::case(2), 1),
+            read(3, TagId::item(1), 2), // two readers in one epoch
+        ]);
+        Observations::from_batch(&batch)
+    }
+
+    #[test]
+    fn per_tag_obs_are_ordered_and_merged_per_epoch() {
+        let obs = sample();
+        let item = obs.obs_for(TagId::item(1));
+        assert_eq!(item.len(), 3);
+        assert_eq!(item[0].epoch, Epoch(1));
+        assert_eq!(item[2].epoch, Epoch(3));
+        assert_eq!(item[2].readers, vec![LocationId(1), LocationId(2)]);
+        assert_eq!(obs.len(), 3 + 2 + 2);
+        assert_eq!(obs.first_epoch(), Some(Epoch(1)));
+        assert_eq!(obs.last_epoch(), Some(Epoch(3)));
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut obs = sample();
+        let before = obs.len();
+        obs.insert(read(3, TagId::item(1), 1));
+        assert_eq!(obs.len(), before);
+        assert_eq!(obs.readers_at(TagId::item(1), Epoch(3)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn obs_between_slices_by_epoch() {
+        let obs = sample();
+        let item = TagId::item(1);
+        assert_eq!(obs.obs_between(item, Epoch(2), Epoch(3)).len(), 2);
+        assert_eq!(obs.obs_between(item, Epoch(0), Epoch(0)).len(), 0);
+        assert_eq!(obs.obs_between(item, Epoch(1), Epoch(1)).len(), 1);
+        assert!(obs.readers_at(item, Epoch(5)).is_none());
+    }
+
+    #[test]
+    fn objects_and_containers_are_classified() {
+        let obs = sample();
+        assert_eq!(obs.objects(), vec![TagId::item(1)]);
+        assert_eq!(obs.containers(), vec![TagId::case(1), TagId::case(2)]);
+    }
+
+    #[test]
+    fn colocation_counts_require_same_epoch_and_reader() {
+        let obs = sample();
+        let counts = obs.colocation_counts(TagId::item(1));
+        // case1 co-located with item1 at epochs 1 and 2 (reader 0)
+        assert_eq!(counts.get(&TagId::case(1)), Some(&2));
+        // case2 co-located only at epoch 3 (reader 1); at epoch 2 they were
+        // read by different readers.
+        assert_eq!(counts.get(&TagId::case(2)), Some(&1));
+        let cands = obs.candidate_containers(TagId::item(1), 1);
+        assert_eq!(cands, vec![TagId::case(1)]);
+        let cands2 = obs.candidate_containers(TagId::item(1), 5);
+        assert_eq!(cands2.len(), 2);
+    }
+
+    #[test]
+    fn retain_ranges_for_prunes_one_tag_only() {
+        let mut obs = sample();
+        obs.retain_ranges_for(TagId::item(1), &[(Epoch(3), Epoch(3))]);
+        assert_eq!(obs.obs_for(TagId::item(1)).len(), 1);
+        assert_eq!(obs.obs_for(TagId::case(1)).len(), 2, "other tags untouched");
+        obs.retain_ranges_for(TagId::item(1), &[(Epoch(9), Epoch(9))]);
+        assert!(obs.obs_for(TagId::item(1)).is_empty());
+        assert!(!obs.objects().contains(&TagId::item(1)));
+    }
+
+    #[test]
+    fn retain_since_prunes_globally() {
+        let mut obs = sample();
+        obs.retain_since(Epoch(3));
+        assert_eq!(obs.last_epoch(), Some(Epoch(3)));
+        assert_eq!(obs.first_epoch(), Some(Epoch(3)));
+        assert!(obs.obs_for(TagId::case(1)).is_empty());
+    }
+
+    #[test]
+    fn merge_combines_indexes() {
+        let mut a = Observations::new();
+        a.insert(read(1, TagId::item(1), 0));
+        let mut b = Observations::new();
+        b.insert(read(2, TagId::item(1), 1));
+        b.insert(read(1, TagId::item(1), 0)); // overlap
+        a.merge(&b);
+        assert_eq!(a.obs_for(TagId::item(1)).len(), 2);
+    }
+
+    #[test]
+    fn epochs_of_unions_tags() {
+        let obs = sample();
+        let set = obs.epochs_of(&[TagId::item(1), TagId::case(2)]);
+        assert_eq!(set.len(), 3);
+    }
+}

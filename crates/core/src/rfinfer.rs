@@ -1,0 +1,710 @@
+//! RFINFER — the paper's EM algorithm for joint containment and location
+//! inference (Section 3.2, Algorithm 1), including the optimizations of
+//! Appendix A.3 (candidate pruning, memoization, sparse likelihood
+//! evaluation) and support for prior co-location weights imported from a
+//! previous site (the collapsed inference state of Section 4.1).
+
+use crate::likelihood::LikelihoodModel;
+use crate::observations::Observations;
+use crate::posterior::{container_posterior, Posterior};
+use rfid_types::{ContainmentMap, Epoch, LocationId, ObjectEvent, TagId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tuning knobs of the RFINFER algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RfInferConfig {
+    /// Maximum number of candidate containers considered per object
+    /// (candidate pruning, Appendix A.3). Ignored when
+    /// `candidate_pruning` is false.
+    pub candidate_limit: usize,
+    /// Maximum number of EM iterations; the algorithm usually converges in
+    /// just a few.
+    pub max_iterations: usize,
+    /// Whether to restrict each object's candidate containers to the most
+    /// frequently co-located ones.
+    pub candidate_pruning: bool,
+    /// Whether to reuse a container's posterior from the previous iteration
+    /// when its member set did not change (the memoization optimization;
+    /// introduces no error).
+    pub memoization: bool,
+}
+
+impl Default for RfInferConfig {
+    fn default() -> RfInferConfig {
+        RfInferConfig {
+            candidate_limit: 5,
+            max_iterations: 10,
+            candidate_pruning: true,
+            memoization: true,
+        }
+    }
+}
+
+/// Prior co-location weights carried over from previous sites (the collapsed
+/// inference state): for an object, a map from candidate container to the
+/// accumulated weight `w_co` computed elsewhere. The M-step simply adds these
+/// to the locally computed weights.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PriorWeights {
+    map: BTreeMap<TagId, BTreeMap<TagId, f64>>,
+}
+
+impl PriorWeights {
+    /// No prior information.
+    pub fn empty() -> PriorWeights {
+        PriorWeights::default()
+    }
+
+    /// Set the prior weight of `(object, container)`.
+    pub fn set(&mut self, object: TagId, container: TagId, weight: f64) {
+        self.map.entry(object).or_default().insert(container, weight);
+    }
+
+    /// Add to the prior weight of `(object, container)`.
+    pub fn add(&mut self, object: TagId, container: TagId, weight: f64) {
+        *self
+            .map
+            .entry(object)
+            .or_default()
+            .entry(container)
+            .or_insert(0.0) += weight;
+    }
+
+    /// The prior weight of `(object, container)`, zero if absent.
+    pub fn get(&self, object: TagId, container: TagId) -> f64 {
+        self.map
+            .get(&object)
+            .and_then(|m| m.get(&container))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Containers with prior information for the given object.
+    pub fn containers_for(&self, object: TagId) -> Vec<TagId> {
+        self.map
+            .get(&object)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Objects with prior information.
+    pub fn objects(&self) -> impl Iterator<Item = TagId> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Whether no prior information is stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Merge another set of priors into this one (weights add up).
+    pub fn merge(&mut self, other: &PriorWeights) {
+        for (o, m) in &other.map {
+            for (c, w) in m {
+                self.add(*o, *c, *w);
+            }
+        }
+    }
+}
+
+/// Everything the M-step learned about one object.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObjectEvidence {
+    /// Candidate containers considered for this object (pruned set).
+    pub candidates: Vec<TagId>,
+    /// Total co-location weight `w_co` per candidate (Eq. 5), including any
+    /// prior weight.
+    pub weights: BTreeMap<TagId, f64>,
+    /// Point evidence `e_co(t)` (Eq. 7) per candidate, at every epoch the
+    /// object was observed, in epoch order.
+    pub point_evidence: BTreeMap<TagId, Vec<(Epoch, f64)>>,
+    /// The container chosen by the M-step (argmax weight), if any candidate
+    /// existed.
+    pub assigned: Option<TagId>,
+}
+
+impl ObjectEvidence {
+    /// Cumulative evidence `E_co(t)` for one candidate: the running sum of
+    /// point evidence up to and including each epoch.
+    pub fn cumulative_evidence(&self, container: TagId) -> Vec<(Epoch, f64)> {
+        let mut total = 0.0;
+        self.point_evidence
+            .get(&container)
+            .map(|points| {
+                points
+                    .iter()
+                    .map(|&(t, e)| {
+                        total += e;
+                        (t, total)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The best and second-best candidate weights, if at least two candidates
+    /// exist. Used by history truncation to decide whether the evidence is
+    /// decisive.
+    pub fn weight_margin(&self) -> Option<f64> {
+        let mut ws: Vec<f64> = self.weights.values().copied().collect();
+        if ws.len() < 2 {
+            return None;
+        }
+        ws.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        Some(ws[0] - ws[1])
+    }
+}
+
+/// The result of one RFINFER run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InferenceOutcome {
+    /// Inferred containment: each object mapped to its most likely container.
+    pub containment: ContainmentMap,
+    /// Per-object evidence (weights, point evidence, candidates).
+    pub objects: BTreeMap<TagId, ObjectEvidence>,
+    /// MAP location estimates per tag and epoch. For containers these come
+    /// from the E-step posterior; for objects without an assigned container
+    /// they come from the object's own readings.
+    pub tag_locations: BTreeMap<TagId, Vec<(Epoch, LocationId)>>,
+    /// Number of EM iterations executed before convergence.
+    pub iterations: usize,
+    /// Number of discrete locations in the model.
+    pub num_locations: usize,
+}
+
+impl InferenceOutcome {
+    /// The location estimate for `tag` at epoch `t`: the estimate at the
+    /// nearest epoch for which a posterior was computed. Objects inherit the
+    /// location of their inferred container (smoothing over containment).
+    pub fn location_of(&self, tag: TagId, t: Epoch) -> Option<LocationId> {
+        let lookup = |key: TagId| -> Option<LocationId> {
+            let locs = self.tag_locations.get(&key)?;
+            if locs.is_empty() {
+                return None;
+            }
+            let idx = locs.partition_point(|&(e, _)| e <= t);
+            let candidate = if idx == 0 { &locs[0] } else { &locs[idx - 1] };
+            // prefer the nearest estimate in time
+            let best = if idx < locs.len() {
+                let after = &locs[idx];
+                if after.0.since(t) < t.since(candidate.0) {
+                    after
+                } else {
+                    candidate
+                }
+            } else {
+                candidate
+            };
+            Some(best.1)
+        };
+        if tag.is_object() {
+            if let Some(container) = self.containment.container_of(tag) {
+                if let Some(loc) = lookup(container) {
+                    return Some(loc);
+                }
+            }
+        }
+        lookup(tag)
+    }
+
+    /// The inferred container of an object.
+    pub fn container_of(&self, object: TagId) -> Option<TagId> {
+        self.containment.container_of(object)
+    }
+
+    /// The co-location weight of an (object, container) pair, if the pair was
+    /// considered.
+    pub fn weight(&self, object: TagId, container: TagId) -> Option<f64> {
+        self.objects
+            .get(&object)
+            .and_then(|e| e.weights.get(&container))
+            .copied()
+    }
+
+    /// Build enriched object events `(time, tag, location, container)` at the
+    /// given epoch for every object with a location estimate.
+    pub fn events_at(&self, t: Epoch) -> Vec<ObjectEvent> {
+        let mut events = Vec::new();
+        for object in self.objects.keys() {
+            if let Some(loc) = self.location_of(*object, t) {
+                events.push(ObjectEvent::new(
+                    t,
+                    *object,
+                    loc,
+                    self.containment.container_of(*object),
+                ));
+            }
+        }
+        events
+    }
+}
+
+/// The RFINFER algorithm bound to a likelihood model, an observation index
+/// and optional prior weights.
+pub struct RfInfer<'a> {
+    model: &'a LikelihoodModel,
+    obs: &'a Observations,
+    prior: &'a PriorWeights,
+    config: RfInferConfig,
+}
+
+impl<'a> RfInfer<'a> {
+    /// Create an inference run with no prior state.
+    pub fn new(model: &'a LikelihoodModel, obs: &'a Observations) -> RfInfer<'a> {
+        static EMPTY: once_empty::Lazy = once_empty::Lazy;
+        RfInfer {
+            model,
+            obs,
+            prior: EMPTY.get(),
+            config: RfInferConfig::default(),
+        }
+    }
+
+    /// Create an inference run with prior weights imported from another site.
+    pub fn with_prior(
+        model: &'a LikelihoodModel,
+        obs: &'a Observations,
+        prior: &'a PriorWeights,
+    ) -> RfInfer<'a> {
+        RfInfer {
+            model,
+            obs,
+            prior,
+            config: RfInferConfig::default(),
+        }
+    }
+
+    /// Override the configuration (builder style).
+    pub fn with_config(mut self, config: RfInferConfig) -> RfInfer<'a> {
+        self.config = config;
+        self
+    }
+
+    /// Run EM to convergence and return the inferred containment, locations
+    /// and evidence.
+    pub fn run(&self) -> InferenceOutcome {
+        let objects = self.obs.objects();
+        let all_containers = self.obs.containers();
+
+        // Candidate pruning: the containers most frequently co-located with
+        // each object, plus any container we have prior information about.
+        let mut candidates: BTreeMap<TagId, Vec<TagId>> = BTreeMap::new();
+        for &o in &objects {
+            let mut cands = if self.config.candidate_pruning {
+                self.obs.candidate_containers(o, self.config.candidate_limit)
+            } else {
+                all_containers.clone()
+            };
+            for c in self.prior.containers_for(o) {
+                if !cands.contains(&c) {
+                    cands.push(c);
+                }
+            }
+            candidates.insert(o, cands);
+        }
+
+        // Initial assignment: the strongest prior if one exists, otherwise
+        // the most frequently co-located candidate.
+        let mut assignment: BTreeMap<TagId, TagId> = BTreeMap::new();
+        for (&o, cands) in &candidates {
+            if cands.is_empty() {
+                continue;
+            }
+            let by_prior = cands
+                .iter()
+                .map(|&c| (c, self.prior.get(o, c)))
+                .filter(|&(_, w)| w != 0.0)
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let initial = by_prior.map(|(c, _)| c).unwrap_or(cands[0]);
+            assignment.insert(o, initial);
+        }
+
+        // Which epochs each container's posterior is needed at: every epoch
+        // at which an object that lists it as a candidate was observed, plus
+        // the container's own observation epochs.
+        let relevant_containers: BTreeSet<TagId> = candidates
+            .values()
+            .flat_map(|cs| cs.iter().copied())
+            .chain(all_containers.iter().copied())
+            .collect();
+        let mut needed_epochs: BTreeMap<TagId, BTreeSet<Epoch>> = BTreeMap::new();
+        for &c in &relevant_containers {
+            let own: BTreeSet<Epoch> = self.obs.obs_for(c).iter().map(|o| o.epoch).collect();
+            needed_epochs.insert(c, own);
+        }
+        for (&o, cands) in &candidates {
+            let epochs: Vec<Epoch> = self.obs.obs_for(o).iter().map(|x| x.epoch).collect();
+            for &c in cands {
+                needed_epochs.entry(c).or_default().extend(epochs.iter().copied());
+            }
+        }
+
+        // EM loop.
+        let mut posteriors: BTreeMap<TagId, BTreeMap<Epoch, Posterior>> = BTreeMap::new();
+        let mut members_prev: BTreeMap<TagId, Vec<TagId>> = BTreeMap::new();
+        let mut weights: BTreeMap<TagId, BTreeMap<TagId, f64>> = BTreeMap::new();
+        let mut iterations = 0;
+        for iter in 0..self.config.max_iterations.max(1) {
+            iterations = iter + 1;
+            // E-step (Eq. 4): posterior over each relevant container's
+            // location at every needed epoch, smoothing over its currently
+            // assigned members.
+            for &c in &relevant_containers {
+                let members: Vec<TagId> = assignment
+                    .iter()
+                    .filter(|(_, cc)| **cc == c)
+                    .map(|(o, _)| *o)
+                    .collect();
+                let unchanged = members_prev.get(&c).map(|m| *m == members).unwrap_or(false);
+                if self.config.memoization && unchanged && posteriors.contains_key(&c) {
+                    continue;
+                }
+                let mut per_epoch = BTreeMap::new();
+                for &t in needed_epochs.get(&c).into_iter().flatten() {
+                    let container_readers = self.obs.readers_at(c, t);
+                    let member_readers: Vec<Option<&[LocationId]>> =
+                        members.iter().map(|&m| self.obs.readers_at(m, t)).collect();
+                    per_epoch.insert(
+                        t,
+                        container_posterior(self.model, container_readers, &member_readers),
+                    );
+                }
+                posteriors.insert(c, per_epoch);
+                members_prev.insert(c, members);
+            }
+
+            // M-step (Eq. 5): co-location weights and the new assignment.
+            let mut new_assignment: BTreeMap<TagId, TagId> = BTreeMap::new();
+            for (&o, cands) in &candidates {
+                let mut per_container = BTreeMap::new();
+                for &c in cands {
+                    let mut w = self.prior.get(o, c);
+                    if let Some(posterior_map) = posteriors.get(&c) {
+                        for obs_at in self.obs.obs_for(o) {
+                            if let Some(q) = posterior_map.get(&obs_at.epoch) {
+                                w += q.expect(|a| self.model.tag_loglik(&obs_at.readers, a));
+                            }
+                        }
+                    }
+                    per_container.insert(c, w);
+                }
+                if let Some((&best, _)) = per_container
+                    .iter()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                {
+                    new_assignment.insert(o, best);
+                }
+                weights.insert(o, per_container);
+            }
+
+            let converged = new_assignment == assignment;
+            assignment = new_assignment;
+            if converged {
+                break;
+            }
+        }
+
+        self.build_outcome(candidates, assignment, weights, posteriors, iterations)
+    }
+
+    fn build_outcome(
+        &self,
+        candidates: BTreeMap<TagId, Vec<TagId>>,
+        assignment: BTreeMap<TagId, TagId>,
+        weights: BTreeMap<TagId, BTreeMap<TagId, f64>>,
+        posteriors: BTreeMap<TagId, BTreeMap<Epoch, Posterior>>,
+        iterations: usize,
+    ) -> InferenceOutcome {
+        // Point evidence per (object, candidate) from the final posteriors.
+        let mut objects = BTreeMap::new();
+        for (&o, cands) in &candidates {
+            let mut point_evidence = BTreeMap::new();
+            for &c in cands {
+                let mut points = Vec::new();
+                if let Some(posterior_map) = posteriors.get(&c) {
+                    for obs_at in self.obs.obs_for(o) {
+                        if let Some(q) = posterior_map.get(&obs_at.epoch) {
+                            let e = q.expect(|a| self.model.tag_loglik(&obs_at.readers, a));
+                            points.push((obs_at.epoch, e));
+                        }
+                    }
+                }
+                point_evidence.insert(c, points);
+            }
+            objects.insert(
+                o,
+                ObjectEvidence {
+                    candidates: cands.clone(),
+                    weights: weights.get(&o).cloned().unwrap_or_default(),
+                    point_evidence,
+                    assigned: assignment.get(&o).copied(),
+                },
+            );
+        }
+
+        // Location estimates: containers from their posteriors — but only at
+        // *informative* epochs, i.e. epochs at which the container itself or
+        // one of its assigned members was observed. Posteriors computed at
+        // other epochs (they exist because some object merely lists the
+        // container as a candidate) carry no location information and would
+        // pollute the estimates. Objects with no assigned container fall
+        // back to their own readings.
+        let mut tag_locations: BTreeMap<TagId, Vec<(Epoch, LocationId)>> = BTreeMap::new();
+        for (c, per_epoch) in &posteriors {
+            let members: Vec<TagId> = assignment
+                .iter()
+                .filter(|(_, cc)| **cc == *c)
+                .map(|(o, _)| *o)
+                .collect();
+            let informative = |t: Epoch| {
+                self.obs.readers_at(*c, t).is_some()
+                    || members.iter().any(|m| self.obs.readers_at(*m, t).is_some())
+            };
+            let locs: Vec<(Epoch, LocationId)> = per_epoch
+                .iter()
+                .filter(|(t, _)| informative(**t))
+                .map(|(t, q)| (*t, q.map_location()))
+                .collect();
+            if !locs.is_empty() {
+                tag_locations.insert(*c, locs);
+            }
+        }
+        for &o in candidates.keys() {
+            if assignment.contains_key(&o) {
+                continue;
+            }
+            let locs: Vec<(Epoch, LocationId)> = self
+                .obs
+                .obs_for(o)
+                .iter()
+                .map(|obs_at| {
+                    let q = container_posterior(self.model, Some(&obs_at.readers), &[]);
+                    (obs_at.epoch, q.map_location())
+                })
+                .collect();
+            if !locs.is_empty() {
+                tag_locations.insert(o, locs);
+            }
+        }
+
+        let mut containment = ContainmentMap::new();
+        for (o, c) in &assignment {
+            containment.set(*o, *c);
+        }
+
+        InferenceOutcome {
+            containment,
+            objects,
+            tag_locations,
+            iterations,
+            num_locations: self.model.num_locations(),
+        }
+    }
+}
+
+/// A tiny helper that hands out a `'static` empty [`PriorWeights`] so that
+/// [`RfInfer::new`] does not force callers to keep one alive.
+mod once_empty {
+    use super::PriorWeights;
+    use std::sync::OnceLock;
+
+    pub struct Lazy;
+
+    impl Lazy {
+        pub fn get(&self) -> &'static PriorWeights {
+            static EMPTY: OnceLock<PriorWeights> = OnceLock::new();
+            EMPTY.get_or_init(PriorWeights::empty)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_types::{RawReading, ReadRateTable, ReaderId, ReadingBatch};
+
+    /// Build observations where `item(1)` truly travels with `case(1)`
+    /// through locations 0 -> 1 -> 2, while `case(2)` is co-located only at
+    /// location 0 and `case(3)` never is. Readings are deterministic (no
+    /// noise) to make assertions exact.
+    fn co_travel_obs() -> Observations {
+        let mut readings = Vec::new();
+        let path = [(0u32, 0u16), (1, 0), (2, 0), (3, 1), (4, 1), (5, 2), (6, 2)];
+        for &(t, loc) in &path {
+            readings.push(RawReading::new(Epoch(t), TagId::item(1), ReaderId(loc)));
+            readings.push(RawReading::new(Epoch(t), TagId::case(1), ReaderId(loc)));
+        }
+        // case 2 stays at location 0 the whole time
+        for t in 0..7u32 {
+            readings.push(RawReading::new(Epoch(t), TagId::case(2), ReaderId(0)));
+        }
+        // case 3 stays at location 2
+        for t in 0..7u32 {
+            readings.push(RawReading::new(Epoch(t), TagId::case(3), ReaderId(2)));
+        }
+        Observations::from_batch(&ReadingBatch::from_readings(readings))
+    }
+
+    fn model(n: usize) -> LikelihoodModel {
+        LikelihoodModel::new(ReadRateTable::diagonal(n, 0.8, 1e-4))
+    }
+
+    #[test]
+    fn rfinfer_recovers_true_containment_and_location() {
+        let obs = co_travel_obs();
+        let model = model(3);
+        let outcome = RfInfer::new(&model, &obs).run();
+        assert_eq!(outcome.container_of(TagId::item(1)), Some(TagId::case(1)));
+        // the real container has strictly larger weight than both decoys
+        let w1 = outcome.weight(TagId::item(1), TagId::case(1)).unwrap();
+        let w2 = outcome.weight(TagId::item(1), TagId::case(2)).unwrap();
+        assert!(w1 > w2);
+        // locations follow the path
+        assert_eq!(outcome.location_of(TagId::case(1), Epoch(0)), Some(LocationId(0)));
+        assert_eq!(outcome.location_of(TagId::case(1), Epoch(4)), Some(LocationId(1)));
+        assert_eq!(outcome.location_of(TagId::item(1), Epoch(6)), Some(LocationId(2)));
+        assert!(outcome.iterations >= 1);
+        assert_eq!(outcome.num_locations, 3);
+    }
+
+    #[test]
+    fn smoothing_over_containment_fills_in_missed_container_readings() {
+        // The container is *never* read at location 1, but its object is;
+        // the container's location at those epochs must still be 1.
+        let mut readings = Vec::new();
+        for t in 0..4u32 {
+            readings.push(RawReading::new(Epoch(t), TagId::item(1), ReaderId(0)));
+            readings.push(RawReading::new(Epoch(t), TagId::case(1), ReaderId(0)));
+        }
+        for t in 4..8u32 {
+            readings.push(RawReading::new(Epoch(t), TagId::item(1), ReaderId(1)));
+            // case 1 missed at location 1
+        }
+        let obs = Observations::from_batch(&ReadingBatch::from_readings(readings));
+        let model = model(2);
+        let outcome = RfInfer::new(&model, &obs).run();
+        assert_eq!(outcome.container_of(TagId::item(1)), Some(TagId::case(1)));
+        assert_eq!(outcome.location_of(TagId::case(1), Epoch(6)), Some(LocationId(1)));
+        assert_eq!(outcome.location_of(TagId::item(1), Epoch(6)), Some(LocationId(1)));
+    }
+
+    #[test]
+    fn prior_weights_bias_the_assignment() {
+        // Locally the object is read together with case 2, while case 1 sits
+        // at a different location; a large prior weight (accumulated at a
+        // previous site) can still keep case 1, but a tiny one cannot.
+        let mut readings = Vec::new();
+        for t in 0..3u32 {
+            readings.push(RawReading::new(Epoch(t), TagId::item(1), ReaderId(0)));
+            readings.push(RawReading::new(Epoch(t), TagId::case(2), ReaderId(0)));
+            readings.push(RawReading::new(Epoch(t), TagId::case(1), ReaderId(1)));
+        }
+        let obs = Observations::from_batch(&ReadingBatch::from_readings(readings));
+        let model = model(2);
+
+        let no_prior = RfInfer::new(&model, &obs).run();
+        assert_eq!(no_prior.container_of(TagId::item(1)), Some(TagId::case(2)));
+
+        let mut prior = PriorWeights::empty();
+        prior.set(TagId::item(1), TagId::case(1), 1000.0);
+        let with_prior = RfInfer::with_prior(&model, &obs, &prior).run();
+        assert_eq!(with_prior.container_of(TagId::item(1)), Some(TagId::case(1)));
+        // but with only a tiny prior the local evidence wins
+        let mut weak = PriorWeights::empty();
+        weak.set(TagId::item(1), TagId::case(1), 0.1);
+        let weak_outcome = RfInfer::with_prior(&model, &obs, &weak).run();
+        assert_eq!(weak_outcome.container_of(TagId::item(1)), Some(TagId::case(2)));
+    }
+
+    #[test]
+    fn pruning_and_memoization_do_not_change_the_answer() {
+        let obs = co_travel_obs();
+        let model = model(3);
+        let base = RfInfer::new(&model, &obs)
+            .with_config(RfInferConfig {
+                candidate_pruning: false,
+                memoization: false,
+                ..Default::default()
+            })
+            .run();
+        let optimized = RfInfer::new(&model, &obs).run();
+        assert_eq!(
+            base.container_of(TagId::item(1)),
+            optimized.container_of(TagId::item(1))
+        );
+        assert_eq!(
+            base.location_of(TagId::case(1), Epoch(3)),
+            optimized.location_of(TagId::case(1), Epoch(3))
+        );
+    }
+
+    #[test]
+    fn point_evidence_favours_the_real_container_in_the_belt_region() {
+        let obs = co_travel_obs();
+        let model = model(3);
+        let outcome = RfInfer::new(&model, &obs).run();
+        let evidence = &outcome.objects[&TagId::item(1)];
+        // At epoch 3 (the object is at location 1, away from both decoys) the
+        // real container's point evidence exceeds the decoy's.
+        let real = &evidence.point_evidence[&TagId::case(1)];
+        let decoy = &evidence.point_evidence[&TagId::case(2)];
+        let real_at3 = real.iter().find(|(t, _)| *t == Epoch(3)).unwrap().1;
+        let decoy_at3 = decoy.iter().find(|(t, _)| *t == Epoch(3)).unwrap().1;
+        assert!(real_at3 > decoy_at3 + 1.0);
+        // Cumulative evidence is the prefix sum of point evidence.
+        let cum = evidence.cumulative_evidence(TagId::case(1));
+        assert_eq!(cum.len(), real.len());
+        let total: f64 = real.iter().map(|(_, e)| e).sum();
+        assert!((cum.last().unwrap().1 - total).abs() < 1e-9);
+        assert!(evidence.weight_margin().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn object_with_no_candidate_container_gets_fallback_location() {
+        let readings = vec![
+            RawReading::new(Epoch(0), TagId::item(7), ReaderId(1)),
+            RawReading::new(Epoch(1), TagId::item(7), ReaderId(1)),
+        ];
+        let obs = Observations::from_batch(&ReadingBatch::from_readings(readings));
+        let model = model(2);
+        let outcome = RfInfer::new(&model, &obs).run();
+        assert_eq!(outcome.container_of(TagId::item(7)), None);
+        assert_eq!(outcome.location_of(TagId::item(7), Epoch(1)), Some(LocationId(1)));
+        let events = outcome.events_at(Epoch(1));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].container, None);
+        assert_eq!(events[0].location, LocationId(1));
+    }
+
+    #[test]
+    fn events_at_reports_location_and_container() {
+        let obs = co_travel_obs();
+        let model = model(3);
+        let outcome = RfInfer::new(&model, &obs).run();
+        let events = outcome.events_at(Epoch(5));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].tag, TagId::item(1));
+        assert_eq!(events[0].container, Some(TagId::case(1)));
+        assert_eq!(events[0].location, LocationId(2));
+    }
+
+    #[test]
+    fn prior_weight_collection_behaves() {
+        let mut p = PriorWeights::empty();
+        assert!(p.is_empty());
+        p.set(TagId::item(1), TagId::case(1), 2.0);
+        p.add(TagId::item(1), TagId::case(1), 3.0);
+        p.add(TagId::item(1), TagId::case(2), -1.0);
+        assert_eq!(p.get(TagId::item(1), TagId::case(1)), 5.0);
+        assert_eq!(p.get(TagId::item(1), TagId::case(9)), 0.0);
+        assert_eq!(p.containers_for(TagId::item(1)).len(), 2);
+        assert_eq!(p.objects().count(), 1);
+        let mut q = PriorWeights::empty();
+        q.set(TagId::item(1), TagId::case(1), 1.0);
+        q.set(TagId::item(2), TagId::case(3), 4.0);
+        p.merge(&q);
+        assert_eq!(p.get(TagId::item(1), TagId::case(1)), 6.0);
+        assert_eq!(p.get(TagId::item(2), TagId::case(3)), 4.0);
+    }
+}

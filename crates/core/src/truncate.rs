@@ -1,0 +1,319 @@
+//! History truncation (Section 4.1): the Critical Region method and the
+//! simpler alternatives it is compared against in Figures 5(a), 5(b) and
+//! 6(b).
+//!
+//! The critical-region search slides a small window over an object's
+//! observation history and looks for the period in which the point evidence
+//! of the best candidate container exceeds the second best by a clear margin
+//! — the observations most informative about the true containment (e.g. the
+//! conveyor-belt scan in Figure 4). After inference, only the readings inside
+//! the critical region and a short recent history `H̄` need to be retained.
+
+use crate::rfinfer::{InferenceOutcome, ObjectEvidence};
+use rfid_types::{Epoch, TagId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which history-truncation method to use between inference runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TruncationPolicy {
+    /// Keep the entire history ("All" in Figure 5(a)).
+    Full,
+    /// Keep only the most recent `window_secs` of readings ("W1200").
+    Window {
+        /// Length of the retained window in seconds.
+        window_secs: u32,
+    },
+    /// Keep each object's critical region plus the recent history ("CR").
+    CriticalRegion {
+        /// Length of the sliding window used to search for the critical
+        /// region, in seconds.
+        window_secs: u32,
+        /// Minimum margin (best minus second-best windowed evidence) for a
+        /// window to qualify as a critical region.
+        margin: f64,
+    },
+}
+
+impl Default for TruncationPolicy {
+    fn default() -> TruncationPolicy {
+        TruncationPolicy::CriticalRegion {
+            window_secs: 60,
+            margin: 3.0,
+        }
+    }
+}
+
+/// The critical region found for one object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CriticalRegion {
+    /// Inclusive start of the region.
+    pub start: Epoch,
+    /// Inclusive end of the region.
+    pub end: Epoch,
+}
+
+impl CriticalRegion {
+    /// Whether an epoch lies inside the region.
+    pub fn contains(&self, t: Epoch) -> bool {
+        t >= self.start && t <= self.end
+    }
+
+    /// Length of the region in seconds.
+    pub fn len_secs(&self) -> u32 {
+        self.end.since(self.start)
+    }
+}
+
+/// Search one object's point evidence for its critical region: the most
+/// recent sliding window `[t - window, t]` in which the best candidate's
+/// summed point evidence beats the second best by at least `margin`.
+/// Objects with fewer than two candidates have no critical region (there is
+/// nothing to disambiguate).
+pub fn critical_region(
+    evidence: &ObjectEvidence,
+    window_secs: u32,
+    margin: f64,
+) -> Option<CriticalRegion> {
+    if evidence.point_evidence.len() < 2 {
+        return None;
+    }
+    // The object's observation epochs (same for every candidate series).
+    let epochs: Vec<Epoch> = evidence
+        .point_evidence
+        .values()
+        .next()
+        .map(|v| v.iter().map(|&(t, _)| t).collect())
+        .unwrap_or_default();
+    if epochs.is_empty() {
+        return None;
+    }
+    let candidates: Vec<&Vec<(Epoch, f64)>> = evidence.point_evidence.values().collect();
+
+    let mut best: Option<CriticalRegion> = None;
+    for &end in &epochs {
+        let start = end.minus(window_secs);
+        // Sum each candidate's point evidence inside [start, end].
+        let mut sums: Vec<f64> = Vec::with_capacity(candidates.len());
+        for series in &candidates {
+            let sum = series
+                .iter()
+                .filter(|&&(t, _)| t >= start && t <= end)
+                .map(|&(_, e)| e)
+                .sum();
+            sums.push(sum);
+        }
+        sums.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        if sums.len() >= 2 && sums[0] - sums[1] >= margin {
+            // Most recent qualifying window wins (overwrite).
+            best = Some(CriticalRegion { start, end });
+        }
+    }
+    best
+}
+
+/// The retention plan produced by a truncation policy: per tag, the inclusive
+/// epoch ranges worth keeping for the next inference run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RetentionPlan {
+    /// Ranges to keep per tag. Tags not listed keep only the recent history.
+    pub per_tag: BTreeMap<TagId, Vec<(Epoch, Epoch)>>,
+    /// Inclusive start of the recent history every tag keeps.
+    pub recent_from: Epoch,
+}
+
+impl RetentionPlan {
+    /// The ranges to retain for one tag: its critical-region ranges (if any)
+    /// plus the shared recent history.
+    pub fn ranges_for(&self, tag: TagId, now: Epoch) -> Vec<(Epoch, Epoch)> {
+        let mut ranges = self.per_tag.get(&tag).cloned().unwrap_or_default();
+        ranges.push((self.recent_from, now));
+        ranges
+    }
+}
+
+/// Build a retention plan from an inference outcome.
+///
+/// * `Full` keeps everything (the plan covers `[0, now]`).
+/// * `Window` keeps only `[now - window, now]` for every tag.
+/// * `CriticalRegion` keeps, per object, its critical region (and the same
+///   region for its candidate containers) plus the recent history
+///   `[now - recent_secs, now]`.
+pub fn retention_plan(
+    policy: TruncationPolicy,
+    outcome: &InferenceOutcome,
+    now: Epoch,
+    recent_secs: u32,
+) -> RetentionPlan {
+    match policy {
+        TruncationPolicy::Full => RetentionPlan {
+            per_tag: BTreeMap::new(),
+            recent_from: Epoch::ZERO,
+        },
+        TruncationPolicy::Window { window_secs } => RetentionPlan {
+            per_tag: BTreeMap::new(),
+            recent_from: now.minus(window_secs),
+        },
+        TruncationPolicy::CriticalRegion { window_secs, margin } => {
+            let mut per_tag: BTreeMap<TagId, Vec<(Epoch, Epoch)>> = BTreeMap::new();
+            for (&object, evidence) in &outcome.objects {
+                if let Some(cr) = critical_region(evidence, window_secs, margin) {
+                    per_tag.entry(object).or_default().push((cr.start, cr.end));
+                    // The same readings of the candidate containers are what
+                    // makes the region informative — keep them too.
+                    for &c in &evidence.candidates {
+                        per_tag.entry(c).or_default().push((cr.start, cr.end));
+                    }
+                }
+            }
+            // Merge overlapping ranges per tag to keep the plan small.
+            for ranges in per_tag.values_mut() {
+                ranges.sort_unstable();
+                let mut merged: Vec<(Epoch, Epoch)> = Vec::with_capacity(ranges.len());
+                for &(lo, hi) in ranges.iter() {
+                    match merged.last_mut() {
+                        Some(last) if lo <= last.1.plus(1) => last.1 = last.1.max(hi),
+                        _ => merged.push((lo, hi)),
+                    }
+                }
+                *ranges = merged;
+            }
+            RetentionPlan {
+                per_tag,
+                recent_from: now.minus(recent_secs),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// Synthetic evidence: the real container is clearly better only during
+    /// epochs 100..=110 (the "belt"), exactly like Figure 4(b).
+    fn belt_evidence() -> ObjectEvidence {
+        let real = TagId::case(0);
+        let decoy = TagId::case(1);
+        let mut real_points = Vec::new();
+        let mut decoy_points = Vec::new();
+        for t in (0..200u32).step_by(5) {
+            let e_real = -1.0;
+            let e_decoy = if (100..=110).contains(&t) { -12.0 } else { -1.2 };
+            real_points.push((Epoch(t), e_real));
+            decoy_points.push((Epoch(t), e_decoy));
+        }
+        ObjectEvidence {
+            candidates: vec![real, decoy],
+            weights: BTreeMap::from([(real, -40.0), (decoy, -60.0)]),
+            point_evidence: BTreeMap::from([(real, real_points), (decoy, decoy_points)]),
+            assigned: Some(real),
+        }
+    }
+
+    #[test]
+    fn critical_region_covers_the_informative_period() {
+        let cr = critical_region(&belt_evidence(), 20, 5.0).expect("region found");
+        // The region must overlap the informative belt period 100..=110
+        // (most-recent-window semantics may place it at the tail of it).
+        assert!(
+            cr.start <= Epoch(110) && cr.end >= Epoch(100),
+            "region {cr:?} should overlap the belt period"
+        );
+        assert!(cr.len_secs() <= 20);
+        assert!(cr.end <= Epoch(130));
+    }
+
+    #[test]
+    fn no_region_without_margin_or_candidates() {
+        // Margin too large: no window qualifies.
+        assert!(critical_region(&belt_evidence(), 20, 1e6).is_none());
+        // Single candidate: nothing to disambiguate.
+        let single = ObjectEvidence {
+            candidates: vec![TagId::case(0)],
+            weights: BTreeMap::new(),
+            point_evidence: BTreeMap::from([(TagId::case(0), vec![(Epoch(0), -1.0)])]),
+            assigned: Some(TagId::case(0)),
+        };
+        assert!(critical_region(&single, 20, 1.0).is_none());
+    }
+
+    #[test]
+    fn most_recent_qualifying_window_wins() {
+        // Two informative periods; the later one should be returned.
+        let real = TagId::case(0);
+        let decoy = TagId::case(1);
+        let mut real_points = Vec::new();
+        let mut decoy_points = Vec::new();
+        for t in (0..300u32).step_by(5) {
+            let informative = (50..=60).contains(&t) || (200..=210).contains(&t);
+            real_points.push((Epoch(t), -1.0));
+            decoy_points.push((Epoch(t), if informative { -15.0 } else { -1.1 }));
+        }
+        let evidence = ObjectEvidence {
+            candidates: vec![real, decoy],
+            weights: BTreeMap::new(),
+            point_evidence: BTreeMap::from([(real, real_points), (decoy, decoy_points)]),
+            assigned: Some(real),
+        };
+        let cr = critical_region(&evidence, 20, 5.0).unwrap();
+        assert!(cr.end >= Epoch(200), "the most recent region should win: {cr:?}");
+    }
+
+    #[test]
+    fn retention_plans_reflect_the_policy() {
+        let outcome = InferenceOutcome {
+            containment: Default::default(),
+            objects: BTreeMap::from([(TagId::item(0), belt_evidence())]),
+            tag_locations: BTreeMap::new(),
+            iterations: 1,
+            num_locations: 4,
+        };
+        let now = Epoch(200);
+
+        let full = retention_plan(TruncationPolicy::Full, &outcome, now, 600);
+        assert_eq!(full.recent_from, Epoch::ZERO);
+        assert_eq!(full.ranges_for(TagId::item(0), now), vec![(Epoch::ZERO, now)]);
+
+        let window = retention_plan(TruncationPolicy::Window { window_secs: 50 }, &outcome, now, 600);
+        assert_eq!(window.recent_from, Epoch(150));
+        assert!(window.per_tag.is_empty());
+
+        let cr = retention_plan(TruncationPolicy::default(), &outcome, now, 30);
+        assert_eq!(cr.recent_from, Epoch(170));
+        let ranges = cr.ranges_for(TagId::item(0), now);
+        assert!(ranges.len() >= 2, "critical region plus recent history");
+        assert!(ranges.iter().any(|&(lo, hi)| lo <= Epoch(110) && hi >= Epoch(100)));
+        // candidate containers keep the same region
+        assert!(cr.per_tag.contains_key(&TagId::case(0)));
+        assert!(cr.per_tag.contains_key(&TagId::case(1)));
+        // tags without a critical region only keep the recent history
+        assert_eq!(cr.ranges_for(TagId::item(99), now), vec![(Epoch(170), now)]);
+    }
+
+    #[test]
+    fn overlapping_ranges_are_merged() {
+        // Two objects sharing a candidate container with overlapping regions.
+        let mut objects = BTreeMap::new();
+        objects.insert(TagId::item(0), belt_evidence());
+        let mut shifted = belt_evidence();
+        // shift the second object's informative window slightly
+        for series in shifted.point_evidence.values_mut() {
+            for point in series.iter_mut() {
+                point.0 = point.0.plus(10);
+            }
+        }
+        objects.insert(TagId::item(1), shifted);
+        let outcome = InferenceOutcome {
+            containment: Default::default(),
+            objects,
+            tag_locations: BTreeMap::new(),
+            iterations: 1,
+            num_locations: 4,
+        };
+        let plan = retention_plan(TruncationPolicy::default(), &outcome, Epoch(250), 10);
+        let case_ranges = &plan.per_tag[&TagId::case(0)];
+        assert_eq!(case_ranges.len(), 1, "overlapping regions merge: {case_ranges:?}");
+    }
+}

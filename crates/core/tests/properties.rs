@@ -1,0 +1,121 @@
+//! Property-based tests of the inference core: the posterior normalization,
+//! the optimized likelihood evaluation, the change-point statistic and the
+//! EM invariants hold for arbitrary inputs, not just the hand-picked cases of
+//! the unit tests.
+
+use proptest::prelude::*;
+use rfid_core::{
+    change_statistic, container_posterior, LikelihoodModel, Observations, Posterior, RfInfer,
+    RfInferConfig,
+};
+use rfid_types::{Epoch, LocationId, RawReading, ReadRateTable, ReaderId, ReadingBatch, TagId};
+
+fn naive_loglik(rates: &ReadRateTable, readers: &[LocationId], at: LocationId) -> f64 {
+    rates
+        .locations()
+        .map(|r| {
+            if readers.contains(&r) {
+                rates.log_hit(r, at)
+            } else {
+                rates.log_miss(r, at)
+            }
+        })
+        .sum()
+}
+
+proptest! {
+    /// Posteriors built from arbitrary finite log-weights are normalized and
+    /// their MAP is the argmax of the inputs.
+    #[test]
+    fn posterior_normalizes(weights in prop::collection::vec(-1e4f64..0.0, 1..12)) {
+        let posterior = Posterior::from_log_weights(weights.clone());
+        let total: f64 = posterior.iter().map(|(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(posterior.iter().all(|(_, p)| (0.0..=1.0 + 1e-12).contains(&p)));
+        let argmax = weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        // the MAP location has at least the probability of the true argmax
+        prop_assert!(
+            posterior.prob(posterior.map_location()) >= posterior.prob(LocationId(argmax as u16)) - 1e-12
+        );
+    }
+
+    /// The sparse likelihood evaluation (all-miss + corrections) equals the
+    /// naive sum over every reader, for arbitrary reader subsets and rates.
+    #[test]
+    fn optimized_likelihood_matches_naive(
+        own in 0.4f64..0.99,
+        background in 1e-6f64..1e-2,
+        num_locations in 2usize..8,
+        reader_mask in prop::collection::vec(any::<bool>(), 8),
+        at in 0u16..8,
+    ) {
+        let at = LocationId(at % num_locations as u16);
+        let rates = ReadRateTable::diagonal(num_locations, own, background);
+        let model = LikelihoodModel::new(rates.clone());
+        let readers: Vec<LocationId> = (0..num_locations as u16)
+            .map(LocationId)
+            .filter(|l| reader_mask[l.index()])
+            .collect();
+        let fast = model.tag_loglik(&readers, at);
+        let slow = naive_loglik(&rates, &readers, at);
+        prop_assert!((fast - slow).abs() < 1e-9);
+    }
+
+    /// The E-step posterior favours a location where more of the container's
+    /// members were read, whatever the (diagonal) read-rate table looks like.
+    #[test]
+    fn posterior_favours_majority_location(
+        own in 0.5f64..0.95,
+        votes_a in 1usize..5,
+        votes_b in 0usize..1,
+    ) {
+        let model = LikelihoodModel::new(ReadRateTable::diagonal(2, own, 1e-4));
+        let a = [LocationId(0)];
+        let b = [LocationId(1)];
+        let mut members: Vec<Option<&[LocationId]>> = Vec::new();
+        for _ in 0..votes_a { members.push(Some(&a)); }
+        for _ in 0..votes_b { members.push(Some(&b)); }
+        let posterior = container_posterior(&model, None, &members);
+        prop_assert_eq!(posterior.map_location(), LocationId(0));
+    }
+
+    /// RFINFER always assigns every observed object that has at least one
+    /// co-located container, and candidate pruning never changes that
+    /// guarantee; the change statistic of any object is non-negative.
+    #[test]
+    fn rfinfer_total_assignment_and_nonnegative_statistic(
+        seedlike in prop::collection::vec((0u32..40, 0u64..3, 0u64..3), 20..120),
+    ) {
+        // Build a co-location structure: each triple (t, object, container)
+        // produces a pair of readings at the same reader, so the object is
+        // guaranteed a candidate.
+        let mut readings = Vec::new();
+        for &(t, o, c) in &seedlike {
+            let reader = ReaderId((c % 3) as u16);
+            readings.push(RawReading::new(Epoch(t), TagId::item(o), reader));
+            readings.push(RawReading::new(Epoch(t), TagId::case(c), reader));
+        }
+        let obs = Observations::from_batch(&ReadingBatch::from_readings(readings));
+        let model = LikelihoodModel::new(ReadRateTable::diagonal(3, 0.8, 1e-4));
+        let outcome = RfInfer::new(&model, &obs)
+            .with_config(RfInferConfig { max_iterations: 5, ..Default::default() })
+            .run();
+        for object in obs.objects() {
+            let evidence = &outcome.objects[&object];
+            prop_assert!(!evidence.candidates.is_empty());
+            prop_assert!(evidence.assigned.is_some());
+            prop_assert!(outcome.containment.container_of(object).is_some());
+            if let Some(stat) = change_statistic(evidence) {
+                prop_assert!(stat.delta >= -1e-9, "GLR statistic must be non-negative, got {}", stat.delta);
+            }
+            // weights are finite
+            prop_assert!(evidence.weights.values().all(|w| w.is_finite()));
+        }
+        prop_assert!(outcome.iterations >= 1);
+    }
+}

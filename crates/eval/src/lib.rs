@@ -1,0 +1,16 @@
+//! # rfid-eval
+//!
+//! Evaluation metrics and table formatting for the reproduction experiments:
+//! location/containment error rates (Sections 5.1–5.3), precision / recall /
+//! F-measure for containment-change detection, and small helpers for printing
+//! the tables and figure series the benchmark harness regenerates.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod table;
+
+pub use metrics::{
+    changes_f_measure, containment_error, location_error, ChangeMatchConfig, PrecisionRecall,
+};
+pub use table::{Series, Table};

@@ -1,0 +1,266 @@
+//! The per-site query processor.
+//!
+//! A monitoring query is registered with every site ("querying where an
+//! object is located"). The processor consumes the enriched object-event
+//! stream produced by the inference engine together with the site's sensor
+//! streams, maintains per-object query state for every registered query, and
+//! emits alerts. Per-object state can be exported when the object leaves the
+//! site and imported at the next one; groups of states can be compressed with
+//! centroid-based sharing before transfer.
+
+use crate::exposure::{Alert, ExposureQuery};
+use crate::pattern::ExposureAutomaton;
+use crate::state::ObjectQueryState;
+use crate::windows::LatestByLocation;
+use rfid_types::{ObjectEvent, SensorReading, TagId};
+use std::collections::BTreeMap;
+
+/// Per-site continuous query processor.
+#[derive(Debug, Clone, Default)]
+pub struct QueryProcessor {
+    queries: Vec<ExposureQuery>,
+    temperatures: LatestByLocation,
+    automata: BTreeMap<(String, TagId), ExposureAutomaton>,
+    alerts: Vec<Alert>,
+}
+
+impl QueryProcessor {
+    /// Create a processor with no registered queries.
+    pub fn new() -> QueryProcessor {
+        QueryProcessor::default()
+    }
+
+    /// Register a monitoring query.
+    pub fn register(&mut self, query: ExposureQuery) {
+        self.queries.push(query);
+    }
+
+    /// The registered queries.
+    pub fn queries(&self) -> &[ExposureQuery] {
+        &self.queries
+    }
+
+    /// Feed a sensor reading (local processing of the inner query block).
+    pub fn on_sensor(&mut self, reading: SensorReading) {
+        self.temperatures.insert(reading);
+    }
+
+    /// Feed one enriched object event; returns any alerts it triggered.
+    pub fn on_event(&mut self, event: &ObjectEvent) -> Vec<Alert> {
+        let mut fired = Vec::new();
+        let temperature = self.temperatures.value_at(event.location);
+        for query in &self.queries {
+            if !query.applies_to(event) {
+                continue;
+            }
+            let qualifies = query.qualifies(event, temperature);
+            let key = (query.name.clone(), event.tag);
+            let automaton = self
+                .automata
+                .entry(key)
+                .or_insert_with(|| ExposureAutomaton::new(query.duration_secs));
+            if let Some(m) = automaton.feed(event.time, qualifies, temperature.unwrap_or(f64::NAN))
+            {
+                let alert = Alert {
+                    query: query.name.clone(),
+                    tag: event.tag,
+                    since: m.since,
+                    at: m.at,
+                    readings: m.readings,
+                };
+                fired.push(alert.clone());
+                self.alerts.push(alert);
+            }
+        }
+        fired
+    }
+
+    /// All alerts emitted so far.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Alerts emitted by a specific query.
+    pub fn alerts_for(&self, query: &str) -> Vec<&Alert> {
+        self.alerts.iter().filter(|a| a.query == query).collect()
+    }
+
+    /// Export the query state of one object for every registered query
+    /// (only queries for which the object has state are returned).
+    pub fn export_state(&self, tag: TagId) -> Vec<ObjectQueryState> {
+        self.automata
+            .iter()
+            .filter(|((_, t), _)| *t == tag)
+            .map(|((query, _), automaton)| ObjectQueryState {
+                query: query.clone(),
+                tag,
+                automaton: automaton.state().clone(),
+            })
+            .collect()
+    }
+
+    /// Total serialized size of one object's query state, in bytes.
+    pub fn state_bytes(&self, tag: TagId) -> usize {
+        self.export_state(tag).iter().map(ObjectQueryState::wire_bytes).sum()
+    }
+
+    /// Import query state for an object arriving from another site.
+    pub fn import_state(&mut self, states: Vec<ObjectQueryState>) {
+        for state in states {
+            let duration = self
+                .queries
+                .iter()
+                .find(|q| q.name == state.query)
+                .map(|q| q.duration_secs)
+                .unwrap_or(0);
+            let automaton = self
+                .automata
+                .entry((state.query.clone(), state.tag))
+                .or_insert_with(|| ExposureAutomaton::new(duration));
+            automaton.restore(state.automaton);
+        }
+    }
+
+    /// Drop the query state of an object that has left the site.
+    pub fn forget(&mut self, tag: TagId) {
+        self.automata.retain(|(_, t), _| *t != tag);
+    }
+
+    /// Number of per-object automata currently maintained.
+    pub fn tracked_states(&self) -> usize {
+        self.automata.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_types::{Epoch, LocationId};
+
+    fn warm(loc: u16, t: u32) -> SensorReading {
+        SensorReading::new(Epoch(t), LocationId(loc), 21.0)
+    }
+
+    fn cold(loc: u16, t: u32) -> SensorReading {
+        SensorReading::new(Epoch(t), LocationId(loc), -18.0)
+    }
+
+    fn event(t: u32, loc: u16, container: Option<TagId>) -> ObjectEvent {
+        ObjectEvent::new(Epoch(t), TagId::item(1), LocationId(loc), container)
+            .with_property("temperature-sensitive")
+    }
+
+    fn q1_short(freezers: impl IntoIterator<Item = TagId>) -> ExposureQuery {
+        ExposureQuery {
+            duration_secs: 100,
+            ..ExposureQuery::q1(freezers)
+        }
+    }
+
+    #[test]
+    fn q1_alert_fires_after_sustained_warm_exposure() {
+        let mut qp = QueryProcessor::new();
+        qp.register(q1_short([TagId::case(9)]));
+        qp.on_sensor(warm(0, 0));
+        let mut alerts = Vec::new();
+        for t in (0..=120).step_by(10) {
+            alerts.extend(qp.on_event(&event(t, 0, Some(TagId::case(1)))));
+        }
+        assert_eq!(alerts.len(), 1);
+        let alert = &alerts[0];
+        assert_eq!(alert.query, "Q1");
+        assert_eq!(alert.tag, TagId::item(1));
+        assert_eq!(alert.since, Epoch(0));
+        assert!(alert.at.0 > 100);
+        assert!(alert.readings.iter().all(|(_, v)| *v > 0.0));
+        assert_eq!(qp.alerts_for("Q1").len(), 1);
+    }
+
+    #[test]
+    fn being_in_a_freezer_container_or_cold_location_prevents_the_alert() {
+        let freezer = TagId::case(9);
+        let mut qp = QueryProcessor::new();
+        qp.register(q1_short([freezer]));
+        qp.on_sensor(warm(0, 0));
+        qp.on_sensor(cold(1, 0));
+        for t in (0..=200).step_by(10) {
+            // inside the freezer container at a warm location: no alert
+            qp.on_event(&event(t, 0, Some(freezer)));
+        }
+        for t in (0..=200).step_by(10) {
+            // outside any container but at a cold location: no alert
+            qp.on_event(&event(t, 1, None));
+        }
+        assert!(qp.alerts().is_empty());
+    }
+
+    #[test]
+    fn product_class_filter_excludes_other_objects() {
+        let mut qp = QueryProcessor::new();
+        qp.register(q1_short([]));
+        qp.on_sensor(warm(0, 0));
+        let other = ObjectEvent::new(Epoch(0), TagId::item(2), LocationId(0), None)
+            .with_property("stationery");
+        for t in (0..=200).step_by(10) {
+            let mut e = other.clone();
+            e.time = Epoch(t);
+            qp.on_event(&e);
+        }
+        assert!(qp.alerts().is_empty());
+        assert_eq!(qp.tracked_states(), 0, "non-matching objects get no state");
+    }
+
+    #[test]
+    fn state_export_import_continues_the_run_at_another_site() {
+        let mut site_a = QueryProcessor::new();
+        site_a.register(q1_short([]));
+        site_a.on_sensor(warm(0, 0));
+        for t in (0..=60).step_by(10) {
+            site_a.on_event(&event(t, 0, None));
+        }
+        assert!(site_a.alerts().is_empty(), "not exposed long enough yet");
+        let state = site_a.export_state(TagId::item(1));
+        assert_eq!(state.len(), 1);
+        assert!(site_a.state_bytes(TagId::item(1)) > 0);
+        site_a.forget(TagId::item(1));
+        assert_eq!(site_a.tracked_states(), 0);
+
+        // The object arrives at site B, which imports the state; the exposure
+        // run continues and crosses the threshold counting time from site A.
+        let mut site_b = QueryProcessor::new();
+        site_b.register(q1_short([]));
+        site_b.on_sensor(warm(3, 70));
+        let mut alerts = Vec::new();
+        site_b.import_state(state);
+        for t in (70..=120).step_by(10) {
+            alerts.extend(site_b.on_event(&ObjectEvent::new(
+                Epoch(t),
+                TagId::item(1),
+                LocationId(3),
+                None,
+            ).with_property("temperature-sensitive")));
+        }
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].since, Epoch(0), "exposure started at site A");
+    }
+
+    #[test]
+    fn q1_and_q2_run_side_by_side() {
+        let mut qp = QueryProcessor::new();
+        qp.register(q1_short([]));
+        qp.register(ExposureQuery {
+            duration_secs: 50,
+            temp_threshold: 10.0,
+            product_class: Some("temperature-sensitive".to_string()),
+            ..ExposureQuery::q2()
+        });
+        qp.on_sensor(warm(0, 0));
+        for t in (0..=120).step_by(10) {
+            qp.on_event(&event(t, 0, None));
+        }
+        assert_eq!(qp.alerts_for("Q1").len(), 1);
+        assert_eq!(qp.alerts_for("Q2").len(), 1);
+        assert_eq!(qp.tracked_states(), 2);
+        assert_eq!(qp.queries().len(), 2);
+    }
+}

@@ -1,0 +1,285 @@
+//! Centroid-based sharing of query state across co-contained objects
+//! (Section 4.2, Appendix B).
+//!
+//! At the exit point of a storage area, the objects of one container have the
+//! same container and location and usually very similar query state. The
+//! sharing scheme picks the most representative state (the *centroid*, the
+//! one minimising the total byte-difference to the others) and stores every
+//! other state as a delta against it, which the paper reports to shrink the
+//! migrated query state by up to an order of magnitude.
+//!
+//! The object's tag id is carried outside the diffed payload (it is the
+//! partition key, not shared content), and a delta that would be larger than
+//! the state itself falls back to storing the full payload, so sharing never
+//! makes migration more expensive.
+
+use crate::state::ObjectQueryState;
+use rfid_types::TagId;
+use serde::{Deserialize, Serialize};
+
+/// A byte-level delta against the centroid payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateDelta {
+    /// The object this delta reconstructs.
+    pub tag: TagId,
+    /// `(position, byte)` pairs where this payload differs from the centroid
+    /// within the common prefix length. Empty when `full` is used.
+    pub edits: Vec<(u32, u8)>,
+    /// Bytes beyond the centroid's length (empty if the payload is not
+    /// longer). Unused when `full` is set.
+    pub suffix: Vec<u8>,
+    /// The total length of the reconstructed payload.
+    pub len: u32,
+    /// Fallback: the full payload, used when a delta would not be smaller.
+    pub full: Option<Vec<u8>>,
+}
+
+impl StateDelta {
+    /// Size of the delta in bytes: 8 for the tag, 4 for the length, 5 per
+    /// edit (4-byte position + byte) plus the suffix — or the full payload
+    /// when the fallback is used.
+    pub fn wire_bytes(&self) -> usize {
+        match &self.full {
+            Some(full) => 8 + 4 + full.len(),
+            None => 8 + 4 + 5 * self.edits.len() + self.suffix.len(),
+        }
+    }
+}
+
+/// A bundle of query states compressed against a centroid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SharedStateBundle {
+    /// The centroid object's tag.
+    pub centroid_tag: TagId,
+    /// The centroid's full serialized payload.
+    pub centroid_bytes: Vec<u8>,
+    /// Deltas for every other object.
+    pub deltas: Vec<StateDelta>,
+}
+
+impl SharedStateBundle {
+    /// Total size of the bundle in bytes — what migration actually transfers.
+    pub fn wire_bytes(&self) -> usize {
+        8 + self.centroid_bytes.len()
+            + self.deltas.iter().map(StateDelta::wire_bytes).sum::<usize>()
+    }
+
+    /// Reconstruct every `(tag, payload)` in the bundle (centroid first).
+    pub fn expand(&self) -> Vec<(TagId, Vec<u8>)> {
+        let mut out = vec![(self.centroid_tag, self.centroid_bytes.clone())];
+        for delta in &self.deltas {
+            if let Some(full) = &delta.full {
+                out.push((delta.tag, full.clone()));
+                continue;
+            }
+            let mut bytes = self.centroid_bytes.clone();
+            bytes.resize(delta.len as usize, 0);
+            for &(pos, byte) in &delta.edits {
+                bytes[pos as usize] = byte;
+            }
+            let suffix_start = (delta.len as usize).saturating_sub(delta.suffix.len());
+            bytes[suffix_start..].copy_from_slice(&delta.suffix);
+            out.push((delta.tag, bytes));
+        }
+        out
+    }
+
+    /// Reconstruct the full [`ObjectQueryState`]s in the bundle.
+    pub fn expand_states(&self) -> Result<Vec<ObjectQueryState>, serde_json::Error> {
+        self.expand()
+            .into_iter()
+            .map(|(tag, payload)| payload_to_state(tag, &payload))
+            .collect()
+    }
+}
+
+/// The diffable payload of a query state: everything except the tag id.
+fn state_payload(state: &ObjectQueryState) -> Vec<u8> {
+    serde_json::to_vec(&(&state.query, &state.automaton)).expect("payload serializes")
+}
+
+/// Rebuild an [`ObjectQueryState`] from its tag and payload.
+fn payload_to_state(tag: TagId, payload: &[u8]) -> Result<ObjectQueryState, serde_json::Error> {
+    let (query, automaton) = serde_json::from_slice(payload)?;
+    Ok(ObjectQueryState {
+        query,
+        tag,
+        automaton,
+    })
+}
+
+/// Byte distance between two serialized payloads: differing positions within
+/// the common prefix plus the length difference.
+fn distance(a: &[u8], b: &[u8]) -> usize {
+    let common = a.len().min(b.len());
+    let diff = a[..common]
+        .iter()
+        .zip(&b[..common])
+        .filter(|(x, y)| x != y)
+        .count();
+    diff + (a.len().max(b.len()) - common)
+}
+
+/// Build a delta that reconstructs `payload` from `centroid`, falling back to
+/// the full payload when the delta would not be smaller.
+fn delta_against(centroid: &[u8], tag: TagId, payload: &[u8]) -> StateDelta {
+    let common = centroid.len().min(payload.len());
+    let edits: Vec<(u32, u8)> = (0..common)
+        .filter(|&i| centroid[i] != payload[i])
+        .map(|i| (i as u32, payload[i]))
+        .collect();
+    let suffix = if payload.len() > centroid.len() {
+        payload[centroid.len()..].to_vec()
+    } else {
+        Vec::new()
+    };
+    let delta = StateDelta {
+        tag,
+        edits,
+        suffix,
+        len: payload.len() as u32,
+        full: None,
+    };
+    if delta.wire_bytes() >= 8 + 4 + payload.len() {
+        StateDelta {
+            tag,
+            edits: Vec::new(),
+            suffix: Vec::new(),
+            len: payload.len() as u32,
+            full: Some(payload.to_vec()),
+        }
+    } else {
+        delta
+    }
+}
+
+/// Compress a group of per-object query states (typically the objects of one
+/// container) with centroid-based sharing.
+///
+/// Returns `None` when the group is empty.
+pub fn share_states(states: &[ObjectQueryState]) -> Option<SharedStateBundle> {
+    if states.is_empty() {
+        return None;
+    }
+    let serialized: Vec<(TagId, Vec<u8>)> = states
+        .iter()
+        .map(|s| (s.tag, state_payload(s)))
+        .collect();
+    // Pick the centroid: the payload minimising the total distance to all
+    // others (O(n^2), acceptable for the 20-50 objects of one case).
+    let (centroid_idx, _) = serialized
+        .iter()
+        .enumerate()
+        .map(|(i, (_, bytes))| {
+            let total: usize = serialized
+                .iter()
+                .map(|(_, other)| distance(bytes, other))
+                .sum();
+            (i, total)
+        })
+        .min_by_key(|&(_, total)| total)?;
+    let (centroid_tag, centroid_bytes) = serialized[centroid_idx].clone();
+    let deltas = serialized
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != centroid_idx)
+        .map(|(_, (tag, bytes))| delta_against(&centroid_bytes, *tag, bytes))
+        .collect();
+    Some(SharedStateBundle {
+        centroid_tag,
+        centroid_bytes,
+        deltas,
+    })
+}
+
+/// The total size of a group of states *without* sharing — the baseline the
+/// paper's Section 5.4 table compares against.
+pub fn unshared_bytes(states: &[ObjectQueryState]) -> usize {
+    states.iter().map(ObjectQueryState::wire_bytes).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::AutomatonState;
+    use rfid_types::Epoch;
+
+    fn state(tag: TagId, since: u32, n: usize) -> ObjectQueryState {
+        ObjectQueryState {
+            query: "Q1".to_string(),
+            tag,
+            automaton: AutomatonState::Accumulating {
+                since: Epoch(since),
+                readings: (0..n).map(|i| (Epoch(since + i as u32 * 10), 21.0)).collect(),
+                fired: false,
+            },
+        }
+    }
+
+    #[test]
+    fn sharing_is_lossless() {
+        let states: Vec<ObjectQueryState> = (0..10)
+            .map(|i| state(TagId::item(i), 100 + (i as u32 % 3), 8))
+            .collect();
+        let bundle = share_states(&states).unwrap();
+        let expanded = bundle.expand_states().unwrap();
+        assert_eq!(expanded.len(), states.len());
+        for original in &states {
+            let recovered = expanded.iter().find(|s| s.tag == original.tag).unwrap();
+            assert_eq!(recovered, original);
+        }
+    }
+
+    #[test]
+    fn similar_states_compress_by_a_large_factor() {
+        // 20 objects of the same case with identical exposure runs.
+        let states: Vec<ObjectQueryState> = (0..20)
+            .map(|i| state(TagId::item(i), 100, 20))
+            .collect();
+        let bundle = share_states(&states).unwrap();
+        let shared = bundle.wire_bytes();
+        let unshared = unshared_bytes(&states);
+        assert!(
+            shared * 5 < unshared,
+            "sharing should give at least 5x reduction ({shared} vs {unshared})"
+        );
+    }
+
+    #[test]
+    fn dissimilar_states_still_round_trip_and_never_blow_up() {
+        let states = vec![
+            state(TagId::item(1), 0, 2),
+            state(TagId::item(2), 5000, 40),
+            ObjectQueryState {
+                query: "Q2".to_string(),
+                tag: TagId::item(3),
+                automaton: AutomatonState::Idle,
+            },
+        ];
+        let bundle = share_states(&states).unwrap();
+        let expanded = bundle.expand_states().unwrap();
+        for original in &states {
+            assert_eq!(expanded.iter().find(|s| s.tag == original.tag).unwrap(), original);
+        }
+        // the delta fallback caps the cost near the unshared size
+        assert!(bundle.wire_bytes() <= unshared_bytes(&states) + 64);
+    }
+
+    #[test]
+    fn empty_group_yields_none_and_single_state_has_no_deltas() {
+        assert!(share_states(&[]).is_none());
+        let one = [state(TagId::item(1), 0, 3)];
+        let bundle = share_states(&one).unwrap();
+        assert!(bundle.deltas.is_empty());
+        assert_eq!(bundle.centroid_tag, TagId::item(1));
+        assert_eq!(bundle.expand().len(), 1);
+    }
+
+    #[test]
+    fn distance_counts_differences_and_length_gap() {
+        assert_eq!(distance(b"abcd", b"abcd"), 0);
+        assert_eq!(distance(b"abcd", b"abxd"), 1);
+        assert_eq!(distance(b"abcd", b"ab"), 2);
+        assert_eq!(distance(b"ab", b"abcd"), 2);
+    }
+}

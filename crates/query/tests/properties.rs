@@ -1,0 +1,101 @@
+//! Property-based tests of the query layer: the pattern automaton, the
+//! query-state serialization and the centroid-based sharing scheme.
+
+use proptest::prelude::*;
+use rfid_query::{share_states, AutomatonState, ExposureAutomaton, ObjectQueryState};
+use rfid_types::{Epoch, TagId};
+
+fn arb_state() -> impl Strategy<Value = ObjectQueryState> {
+    let automaton = prop_oneof![
+        Just(AutomatonState::Idle),
+        (
+            0u32..10_000,
+            prop::collection::vec((0u32..10_000, -30.0f64..40.0), 0..30),
+            any::<bool>()
+        )
+            .prop_map(|(since, readings, fired)| AutomatonState::Accumulating {
+                since: Epoch(since),
+                readings: readings.into_iter().map(|(t, v)| (Epoch(t), v)).collect(),
+                fired,
+            }),
+    ];
+    (0u64..50, automaton, prop_oneof![Just("Q1"), Just("Q2")]).prop_map(|(tag, automaton, query)| {
+        ObjectQueryState {
+            query: query.to_string(),
+            tag: TagId::item(tag),
+            automaton,
+        }
+    })
+}
+
+proptest! {
+    /// Query state round-trips through its byte representation.
+    #[test]
+    fn query_state_roundtrip(state in arb_state()) {
+        let bytes = state.to_bytes();
+        prop_assert_eq!(bytes.len(), state.wire_bytes());
+        let back = ObjectQueryState::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, state);
+    }
+
+    /// Centroid-based sharing is lossless for any group of states with
+    /// distinct tags, and its size never exceeds the unshared total by more
+    /// than a constant per-object overhead.
+    #[test]
+    fn sharing_is_lossless_and_bounded(
+        states in prop::collection::btree_map(0u64..40, arb_state(), 1..15)
+    ) {
+        // make the tags distinct (keys of the map) so reconstruction is keyed
+        let states: Vec<ObjectQueryState> = states
+            .into_iter()
+            .map(|(serial, mut s)| { s.tag = TagId::item(serial); s })
+            .collect();
+        let bundle = share_states(&states).unwrap();
+        let expanded = bundle.expand_states().unwrap();
+        prop_assert_eq!(expanded.len(), states.len());
+        for original in &states {
+            let recovered = expanded.iter().find(|s| s.tag == original.tag).unwrap();
+            prop_assert_eq!(recovered, original);
+        }
+        let unshared: usize = states.iter().map(ObjectQueryState::wire_bytes).sum();
+        prop_assert!(bundle.wire_bytes() <= unshared + 32 * states.len());
+    }
+
+    /// The exposure automaton fires at most once per uninterrupted run, never
+    /// fires before the duration threshold, and a non-qualifying event always
+    /// resets it to Idle.
+    #[test]
+    fn automaton_duration_and_reset_invariants(
+        duration in 1u32..500,
+        events in prop::collection::vec((1u32..50, any::<bool>(), -30.0f64..40.0), 1..200),
+    ) {
+        let mut automaton = ExposureAutomaton::new(duration);
+        let mut now = 0u32;
+        let mut run_start: Option<u32> = None;
+        let mut fired_this_run = false;
+        for (gap, qualifies, value) in events {
+            now += gap;
+            let matched = automaton.feed(Epoch(now), qualifies, value);
+            if !qualifies {
+                prop_assert!(matched.is_none());
+                prop_assert_eq!(automaton.state(), &AutomatonState::Idle);
+                run_start = None;
+                fired_this_run = false;
+                continue;
+            }
+            if run_start.is_none() {
+                run_start = Some(now);
+            }
+            if let Some(m) = matched {
+                prop_assert!(!fired_this_run, "a run fires at most once");
+                prop_assert_eq!(m.since, Epoch(run_start.unwrap()));
+                prop_assert!(m.at.since(m.since) > duration, "fires only after the threshold");
+                prop_assert!(!m.readings.is_empty());
+                fired_this_run = true;
+            } else if !fired_this_run {
+                prop_assert!(now - run_start.unwrap() <= duration || fired_this_run,
+                    "must fire as soon as the duration is exceeded");
+            }
+        }
+    }
+}

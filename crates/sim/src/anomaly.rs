@@ -1,0 +1,171 @@
+//! Injection of containment anomalies.
+//!
+//! To generate "events of interest" (Section 5.1), the simulator can inject
+//! anomalies that randomly choose an item and move it to a different case in
+//! the warehouse, with a configurable interval FA between anomalies. The
+//! resulting true containment history is recorded in a
+//! [`ContainmentTimeline`] so that change-point detection can be scored
+//! against ground truth.
+
+use crate::layout::WarehouseLayout;
+use crate::movement::CaseJourney;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rfid_types::{ContainmentChange, ContainmentMap, ContainmentTimeline, Epoch, TagId};
+
+/// Build the initial containment map implied by how cases were packed.
+pub fn initial_containment(journeys: &[CaseJourney]) -> ContainmentMap {
+    let mut map = ContainmentMap::new();
+    for j in journeys {
+        for item in &j.items {
+            map.set(*item, j.case);
+        }
+    }
+    map
+}
+
+/// Inject anomalies into the containment relation every `interval` seconds:
+/// at each anomaly epoch a random item whose case is currently stored on a
+/// shelf is moved to a *different* case that is also on a shelf at that time.
+///
+/// Returns the containment timeline (initial packing plus all injected
+/// changes). If at some anomaly epoch fewer than two cases are on shelves,
+/// that anomaly is skipped — exactly what a physical "misplacement" would
+/// require.
+pub fn inject_anomalies<R: Rng>(
+    journeys: &[CaseJourney],
+    layout: &WarehouseLayout,
+    interval: Option<u32>,
+    horizon: Epoch,
+    rng: &mut R,
+) -> ContainmentTimeline {
+    let mut timeline = ContainmentTimeline::new(initial_containment(journeys));
+    let Some(interval) = interval else {
+        return timeline;
+    };
+    assert!(interval > 0, "anomaly interval must be positive");
+
+    let mut t = interval;
+    while t < horizon.0 {
+        let now = Epoch(t);
+        // Cases currently stored on a shelf.
+        let shelved: Vec<&CaseJourney> = journeys
+            .iter()
+            .filter(|j| j.location_at(now).map(|loc| layout.is_shelf(loc)).unwrap_or(false))
+            .collect();
+        if shelved.len() >= 2 {
+            // Pick a victim item from one shelved case (according to the
+            // *current* containment so repeated moves compose correctly).
+            let current = timeline.at(now);
+            let candidates: Vec<(TagId, TagId)> = shelved
+                .iter()
+                .flat_map(|j| {
+                    current
+                        .objects_in(j.case)
+                        .into_iter()
+                        .map(move |item| (item, j.case))
+                })
+                .collect();
+            if let Some(&(item, old_case)) = candidates.choose(rng) {
+                let targets: Vec<TagId> = shelved
+                    .iter()
+                    .map(|j| j.case)
+                    .filter(|c| *c != old_case)
+                    .collect();
+                if let Some(&new_case) = targets.choose(rng) {
+                    timeline.record(ContainmentChange {
+                        time: now,
+                        object: item,
+                        old_container: Some(old_case),
+                        new_container: Some(new_case),
+                    });
+                }
+            }
+        }
+        t += interval;
+    }
+    timeline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WarehouseConfig;
+    use crate::movement::{build_journeys, source_arrivals, TagSerials};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn journeys(len: u32) -> (WarehouseConfig, WarehouseLayout, Vec<CaseJourney>) {
+        let config = WarehouseConfig::default().with_length(len).with_seed(11);
+        let layout = WarehouseLayout::new(&config);
+        let mut serials = TagSerials::new();
+        let arrivals = source_arrivals(&config, &mut serials);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let j = build_journeys(&config, &layout, &arrivals, &mut rng);
+        (config, layout, j)
+    }
+
+    #[test]
+    fn initial_containment_packs_every_item() {
+        let (config, _, j) = journeys(600);
+        let map = initial_containment(&j);
+        let expected_items = j.len() * config.items_per_case as usize;
+        assert_eq!(map.len(), expected_items);
+        for journey in &j {
+            for item in &journey.items {
+                assert_eq!(map.container_of(*item), Some(journey.case));
+            }
+        }
+    }
+
+    #[test]
+    fn no_interval_means_stable_containment() {
+        let (_, layout, j) = journeys(600);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let tl = inject_anomalies(&j, &layout, None, Epoch(600), &mut rng);
+        assert!(tl.changes().is_empty());
+    }
+
+    #[test]
+    fn anomalies_move_items_between_distinct_shelved_cases() {
+        let (_, layout, j) = journeys(1800);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let tl = inject_anomalies(&j, &layout, Some(60), Epoch(1800), &mut rng);
+        assert!(!tl.changes().is_empty(), "long trace should see anomalies");
+        for change in tl.changes() {
+            assert!(change.object.is_object());
+            let old = change.old_container.expect("moved items had a container");
+            let new = change.new_container.expect("anomalies move, not remove");
+            assert_ne!(old, new, "item must move to a *different* case");
+            // both cases are on shelves at the time of the change
+            for case in [old, new] {
+                let journey = j.iter().find(|x| x.case == case).unwrap();
+                let loc = journey.location_at(change.time).unwrap();
+                assert!(layout.is_shelf(loc));
+            }
+        }
+        // changes are time-ordered and respect the interval grid
+        for w in tl.changes().windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        assert!(tl.changes().iter().all(|c| c.time.0 % 60 == 0));
+    }
+
+    #[test]
+    fn repeated_moves_compose() {
+        let (_, layout, j) = journeys(3000);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let tl = inject_anomalies(&j, &layout, Some(30), Epoch(3000), &mut rng);
+        // The old_container recorded for each change must equal the
+        // container in force immediately before the change.
+        for (idx, change) in tl.changes().iter().enumerate() {
+            let before = change.time.minus(1);
+            // replay only earlier changes
+            let mut replay = ContainmentTimeline::new(tl.initial().clone());
+            for earlier in tl.changes().iter().take(idx) {
+                replay.record(*earlier);
+            }
+            assert_eq!(replay.container_at(change.object, before), change.old_container);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # rfid-types
+//!
+//! Shared data model for the reproduction of *"Distributed Inference and
+//! Query Processing for RFID Tracking and Monitoring"* (Cao, Sutton, Diao,
+//! Shenoy; PVLDB 4(5), 2011).
+//!
+//! The paper works with two schemas:
+//!
+//! * **raw RFID readings** `(time, tag id, reader id)` produced by readers —
+//!   see [`RawReading`];
+//! * **enriched object events** `(time, tag id, location, container)`
+//!   produced by the inference module and consumed by the stream query
+//!   processor — see [`ObjectEvent`].
+//!
+//! This crate defines those schemas plus everything both the simulator and
+//! the inference engine need to agree on: tag/reader/location/site
+//! identifiers, discrete [`Epoch`]s, containment relations, ground truth for
+//! evaluation, and the read-rate table `pi(r, r̄)` of the paper's graphical
+//! model (Section 3.1).
+
+#![warn(missing_docs)]
+
+pub mod containment;
+pub mod event;
+pub mod ids;
+pub mod readrate;
+pub mod reading;
+pub mod trace;
+
+pub use containment::{ContainmentChange, ContainmentMap, ContainmentTimeline};
+pub use event::{ObjectEvent, SensorReading};
+pub use ids::{Epoch, LocationId, ReaderId, SiteId, TagId, TagKind};
+pub use readrate::ReadRateTable;
+pub use reading::{RawReading, ReadingBatch};
+pub use trace::{GroundTruth, Trace, TraceMetadata};

@@ -1,0 +1,73 @@
+//! Distributed supply-chain tracking: multiple warehouses, per-site
+//! inference, and state migration — the scenario of Sections 4 and 5.3.
+//!
+//! Pallets move through a three-warehouse supply chain. Each warehouse runs
+//! its own inference engine; when objects are dispatched to the next
+//! warehouse their collapsed inference state (one co-location weight per
+//! candidate container) travels with them. The example compares the
+//! communication cost and containment accuracy of that strategy against the
+//! "ship nothing" and "ship every raw reading to a central server" extremes.
+//!
+//! ```text
+//! cargo run --release --example distributed_chain
+//! ```
+
+use rfid::core::InferenceConfig;
+use rfid::dist::{DistributedConfig, DistributedDriver, MigrationStrategy};
+use rfid::sim::{ChainConfig, SupplyChainSimulator, WarehouseConfig};
+use rfid::types::Epoch;
+
+fn main() {
+    // 1. Simulate a 3-warehouse chain for 40 minutes with occasional
+    //    misplaced items.
+    let chain_config = ChainConfig {
+        warehouse: WarehouseConfig::default()
+            .with_length(2400)
+            .with_read_rate(0.8)
+            .with_items_per_case(6)
+            .with_anomaly_interval(120)
+            .with_seed(3),
+        num_warehouses: 3,
+        transit_secs: 120,
+        fanout: 2,
+    };
+    let chain = SupplyChainSimulator::new(chain_config).generate();
+    println!(
+        "simulated {} sites, {} readings, {} objects, {} inter-site transfers",
+        chain.sites.len(),
+        chain.total_readings(),
+        chain.objects().len(),
+        chain.transfers.len()
+    );
+
+    // 2. Run the same trace under three strategies.
+    let end = Epoch(chain.sites[0].meta.length);
+    for strategy in [
+        MigrationStrategy::None,
+        MigrationStrategy::CollapsedWeights,
+        MigrationStrategy::Centralized,
+    ] {
+        let outcome = DistributedDriver::new(DistributedConfig {
+            strategy,
+            inference: InferenceConfig::default(),
+            ..Default::default()
+        })
+        .run(&chain);
+
+        let objects = chain.objects();
+        let correct = objects
+            .iter()
+            .filter(|&&o| outcome.container_of(o) == chain.containment.container_at(o, end))
+            .count();
+        println!(
+            "{:<24} containment accuracy {:>5.1}%   bytes transferred {:>12}",
+            format!("{strategy:?}"),
+            100.0 * correct as f64 / objects.len() as f64,
+            outcome.comm.total_bytes()
+        );
+    }
+    println!(
+        "\nCollapsed-weight migration approaches the centralized accuracy while \
+         moving orders of magnitude fewer bytes — the paper's headline distributed result."
+    );
+}

@@ -1,0 +1,35 @@
+//! # rfid
+//!
+//! Umbrella crate for the reproduction of *"Distributed Inference and Query
+//! Processing for RFID Tracking and Monitoring"* (Cao, Sutton, Diao, Shenoy;
+//! PVLDB 4(5), 2011).
+//!
+//! It re-exports the individual crates of the workspace under one roof so
+//! that the examples and integration tests can exercise the whole pipeline —
+//! simulate a supply chain, infer locations and containment with RFINFER,
+//! answer monitoring queries, and run everything distributed across sites:
+//!
+//! * [`types`] — the shared data model (tags, readings, events, containment,
+//!   read-rate tables);
+//! * [`sim`] — supply-chain and lab-deployment simulators;
+//! * [`core`] — the RFINFER inference engine (EM, change-point detection,
+//!   history truncation, migration state);
+//! * [`smurf`] — the SMURF* baseline;
+//! * [`query`] — CQL-style stream query processing (pattern matching,
+//!   hybrid queries, query-state sharing);
+//! * [`dist`] — distributed inference and query processing with state
+//!   migration and communication accounting;
+//! * [`eval`] — evaluation metrics and table formatting.
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
+//! the harness that regenerates every table and figure of the paper.
+
+#![warn(missing_docs)]
+
+pub use rfid_core as core;
+pub use rfid_dist as dist;
+pub use rfid_eval as eval;
+pub use rfid_query as query;
+pub use rfid_sim as sim;
+pub use rfid_smurf as smurf;
+pub use rfid_types as types;
