@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rfid_core::{
-    change_statistic, container_posterior, critical_region, LikelihoodModel, Observations,
-    RfInfer, RfInferConfig,
+    change_statistic, container_posterior, critical_region, LikelihoodModel, Observations, RfInfer,
+    RfInferConfig,
 };
 use rfid_sim::{WarehouseConfig, WarehouseSimulator};
 use rfid_types::{LocationId, Trace};

@@ -45,7 +45,9 @@ fn bench_streaming_engine(c: &mut Criterion) {
     group.bench_function("replay_900s_with_periodic_inference", |b| {
         b.iter(|| {
             let mut engine = InferenceEngine::new(
-                InferenceConfig::default().with_period(300).without_change_detection(),
+                InferenceConfig::default()
+                    .with_period(300)
+                    .without_change_detection(),
                 trace.read_rates.clone(),
             );
             let mut readings = trace.readings.clone();

@@ -15,8 +15,20 @@ use rfid_eval::Series;
 use std::time::Instant;
 
 const ALL: &[&str] = &[
-    "fig4", "fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig6a", "fig6b", "table3",
-    "table4", "table5", "table_query", "scalability",
+    "fig4",
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "fig5d",
+    "fig5e",
+    "fig5f",
+    "fig6a",
+    "fig6b",
+    "table3",
+    "table4",
+    "table5",
+    "table_query",
+    "scalability",
 ];
 
 fn print_series(title: &str, series: &[Series]) {
@@ -73,7 +85,10 @@ fn run(name: &str, scale: Scale) {
             std::process::exit(2);
         }
     }
-    eprintln!("[{name} finished in {:.1}s]\n", started.elapsed().as_secs_f64());
+    eprintln!(
+        "[{name} finished in {:.1}s]\n",
+        started.elapsed().as_secs_f64()
+    );
 }
 
 fn main() {

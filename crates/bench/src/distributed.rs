@@ -103,7 +103,13 @@ pub fn fig5f(scale: Scale) -> Vec<Series> {
 pub fn table5(scale: Scale) -> Table {
     let mut table = Table::new(
         "Table 5: communication cost (bytes)",
-        &["read rate", "Centralized", "None", "CR (collapsed)", "CR (readings)"],
+        &[
+            "read rate",
+            "Centralized",
+            "None",
+            "CR (collapsed)",
+            "CR (readings)",
+        ],
     );
     let rates: &[f64] = match scale {
         Scale::Smoke => &[0.8],
@@ -111,12 +117,14 @@ pub fn table5(scale: Scale) -> Table {
     };
     for &rr in rates {
         let chain = SupplyChainSimulator::new(chain_config(scale, rr, None)).generate();
-        let central = DistributedDriver::new(dist_config(MigrationStrategy::Centralized)).run(&chain);
+        let central =
+            DistributedDriver::new(dist_config(MigrationStrategy::Centralized)).run(&chain);
         let none = DistributedDriver::new(dist_config(MigrationStrategy::None)).run(&chain);
         let collapsed =
             DistributedDriver::new(dist_config(MigrationStrategy::CollapsedWeights)).run(&chain);
         let readings =
-            DistributedDriver::new(dist_config(MigrationStrategy::CriticalRegionReadings)).run(&chain);
+            DistributedDriver::new(dist_config(MigrationStrategy::CriticalRegionReadings))
+                .run(&chain);
         table.push_row(&[
             format!("{rr:.1}"),
             central.comm.total_bytes().to_string(),
@@ -203,7 +211,13 @@ pub fn alert_f_measure(truth: &[Alert], inferred: &[Alert]) -> f64 {
 pub fn table_query(scale: Scale) -> Table {
     let mut table = Table::new(
         "Section 5.4: query accuracy and state size",
-        &["query", "read rate", "F-measure (%)", "state w/o share (bytes)", "state w/ share (bytes)"],
+        &[
+            "query",
+            "read rate",
+            "F-measure (%)",
+            "state w/o share (bytes)",
+            "state w/ share (bytes)",
+        ],
     );
     let rates: &[f64] = match scale {
         Scale::Smoke => &[0.8],
@@ -235,8 +249,7 @@ pub fn table_query(scale: Scale) -> Table {
                 ..ExposureQuery::q2()
             },
         ];
-        let truth_alerts =
-            ground_truth_alerts(&chain, &queries, &temperature, &properties, 10);
+        let truth_alerts = ground_truth_alerts(&chain, &queries, &temperature, &properties, 10);
 
         let mut config = dist_config(MigrationStrategy::CollapsedWeights);
         config.queries = queries.clone();
@@ -245,8 +258,17 @@ pub fn table_query(scale: Scale) -> Table {
         let outcome = DistributedDriver::new(config).run(&chain);
 
         for query in ["Q1", "Q2"] {
-            let truth: Vec<Alert> = truth_alerts.iter().filter(|a| a.query == query).cloned().collect();
-            let inferred: Vec<Alert> = outcome.alerts.iter().filter(|a| a.query == query).cloned().collect();
+            let truth: Vec<Alert> = truth_alerts
+                .iter()
+                .filter(|a| a.query == query)
+                .cloned()
+                .collect();
+            let inferred: Vec<Alert> = outcome
+                .alerts
+                .iter()
+                .filter(|a| a.query == query)
+                .cloned()
+                .collect();
             table.push_row(&[
                 query.to_string(),
                 format!("{rr:.1}"),
@@ -264,7 +286,12 @@ pub fn table_query(scale: Scale) -> Table {
 pub fn scalability(scale: Scale) -> Table {
     let mut table = Table::new(
         "Section 5.3: scalability (distributed inference wall-clock)",
-        &["items per warehouse", "shelf readers", "total items", "inference time (s)"],
+        &[
+            "items per warehouse",
+            "shelf readers",
+            "total items",
+            "inference time (s)",
+        ],
     );
     let multipliers: &[u32] = match scale {
         Scale::Smoke => &[1, 2],
@@ -283,12 +310,17 @@ pub fn scalability(scale: Scale) -> Table {
             let chain = SupplyChainSimulator::new(config.clone()).generate();
             let total_items = chain.objects().len();
             let started = Instant::now();
-            let _ = DistributedDriver::new(dist_config(MigrationStrategy::CollapsedWeights)).run(&chain);
+            let _ = DistributedDriver::new(dist_config(MigrationStrategy::CollapsedWeights))
+                .run(&chain);
             let elapsed = started.elapsed();
             let per_site = total_items / config.num_warehouses.max(1) as usize;
             table.push_row(&[
                 per_site.to_string(),
-                if mobile { "mobile".to_string() } else { "static".to_string() },
+                if mobile {
+                    "mobile".to_string()
+                } else {
+                    "static".to_string()
+                },
                 total_items.to_string(),
                 format!("{:.2}", elapsed.as_secs_f64()),
             ]);
@@ -307,9 +339,16 @@ mod tests {
         let none = &series[0];
         let cr = &series[1];
         let central = &series[2];
-        let mean = |s: &Series| s.points.iter().map(|(_, y)| y).sum::<f64>() / s.points.len() as f64;
-        assert!(mean(cr) <= mean(none) + 5.0, "CR should not be much worse than None");
-        assert!(mean(cr) <= mean(central) + 10.0, "CR should approximate centralized");
+        let mean =
+            |s: &Series| s.points.iter().map(|(_, y)| y).sum::<f64>() / s.points.len() as f64;
+        assert!(
+            mean(cr) <= mean(none) + 5.0,
+            "CR should not be much worse than None"
+        );
+        assert!(
+            mean(cr) <= mean(central) + 10.0,
+            "CR should approximate centralized"
+        );
         assert!(!central.points.is_empty());
     }
 
@@ -341,9 +380,18 @@ mod tests {
             at: Epoch(10),
             readings: vec![],
         };
-        assert_eq!(alert_f_measure(&[alert.clone()], &[]), 0.0);
-        assert_eq!(alert_f_measure(&[alert.clone()], &[alert.clone()]), 100.0);
-        let other = Alert { tag: TagId::item(2), ..alert.clone() };
-        assert!((alert_f_measure(&[alert.clone()], &[alert, other]) - 66.66).abs() < 1.0);
+        assert_eq!(alert_f_measure(std::slice::from_ref(&alert), &[]), 0.0);
+        assert_eq!(
+            alert_f_measure(std::slice::from_ref(&alert), std::slice::from_ref(&alert)),
+            100.0
+        );
+        let other = Alert {
+            tag: TagId::item(2),
+            ..alert.clone()
+        };
+        assert!(
+            (alert_f_measure(std::slice::from_ref(&alert), &[alert.clone(), other]) - 66.66).abs()
+                < 1.0
+        );
     }
 }

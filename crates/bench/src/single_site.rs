@@ -95,12 +95,8 @@ pub fn evaluate_rfinfer(trace: &Trace, config: InferenceConfig) -> SingleSiteEva
     // Containment error at the end of the trace.
     let objects = trace.objects();
     let end = Epoch(horizon);
-    let containment_error = rfid_eval::containment_error(
-        &trace.truth,
-        |o| engine.container_of(o),
-        &objects,
-        end,
-    );
+    let containment_error =
+        rfid_eval::containment_error(&trace.truth, |o| engine.container_of(o), &objects, end);
 
     // Location error over the sampled (tag, epoch) pairs.
     let evaluated = location_samples.len().max(1);
@@ -143,12 +139,8 @@ pub fn evaluate_smurf_star(trace: &Trace) -> SingleSiteEval {
 
     let objects = trace.objects();
     let end = Epoch(trace.meta.length);
-    let containment_error = rfid_eval::containment_error(
-        &trace.truth,
-        |o| outcome.container_of(o),
-        &objects,
-        end,
-    );
+    let containment_error =
+        rfid_eval::containment_error(&trace.truth, |o| outcome.container_of(o), &objects, end);
 
     // Evaluate SMURF*'s location estimates at the same kind of epochs as
     // RFINFER's: the epochs at which each tag was actually observed.
@@ -218,7 +210,12 @@ pub fn fig4(_scale: Scale) -> Vec<Series> {
     let mut series = Vec::new();
     for (label, container) in [("R", tags.real), ("NRC", tags.nrc), ("NRNC", tags.nrnc)] {
         let mut point = Series::new(format!("point-evidence {label}"));
-        for &(t, e) in evidence.point_evidence.get(&container).into_iter().flatten() {
+        for &(t, e) in evidence
+            .point_evidence
+            .get(&container)
+            .into_iter()
+            .flatten()
+        {
             point.push(t.0 as f64, e);
         }
         let mut cumulative = Series::new(format!("cumulative-evidence {label}"));
@@ -263,9 +260,24 @@ pub fn fig5b(scale: Scale) -> Vec<Series> {
     };
     for &len in lengths {
         let trace = WarehouseSimulator::new(base_config(scale, 0.8, len)).generate();
-        all.push(len as f64, evaluate_rfinfer(&trace, full_config()).inference_time.as_secs_f64());
-        window.push(len as f64, evaluate_rfinfer(&trace, window_config(1200)).inference_time.as_secs_f64());
-        cr.push(len as f64, evaluate_rfinfer(&trace, cr_config()).inference_time.as_secs_f64());
+        all.push(
+            len as f64,
+            evaluate_rfinfer(&trace, full_config())
+                .inference_time
+                .as_secs_f64(),
+        );
+        window.push(
+            len as f64,
+            evaluate_rfinfer(&trace, window_config(1200))
+                .inference_time
+                .as_secs_f64(),
+        );
+        cr.push(
+            len as f64,
+            evaluate_rfinfer(&trace, cr_config())
+                .inference_time
+                .as_secs_f64(),
+        );
     }
     vec![all, window, cr]
 }
@@ -285,10 +297,8 @@ pub fn fig5c(scale: Scale) -> Vec<Series> {
             let mut config = base_config(scale, rr, scale.change_trace_secs());
             config.anomaly_interval = Some(interval);
             let trace = WarehouseSimulator::new(config).generate();
-            let ours_eval = evaluate_rfinfer(
-                &trace,
-                InferenceConfig::default().with_recent_history(500),
-            );
+            let ours_eval =
+                evaluate_rfinfer(&trace, InferenceConfig::default().with_recent_history(500));
             ours.push(interval as f64, ours_eval.f_measure);
             smurf.push(interval as f64, evaluate_smurf_star(&trace).f_measure);
         }
@@ -303,13 +313,21 @@ pub fn fig5c(scale: Scale) -> Vec<Series> {
 pub fn fig5d(_scale: Scale) -> Table {
     let mut table = Table::new(
         "Figure 5(d): lab traces — error rates (%)",
-        &["trace", "RFINFER cont.", "RFINFER loc.", "SMURF* cont.", "SMURF* loc."],
+        &[
+            "trace",
+            "RFINFER cont.",
+            "RFINFER loc.",
+            "SMURF* cont.",
+            "SMURF* loc.",
+        ],
     );
     for trace_id in LabTraceId::ALL {
         let trace = LabConfig::published(trace_id).generate();
         let ours = evaluate_rfinfer(
             &trace,
-            InferenceConfig::default().with_period(300).with_recent_history(600),
+            InferenceConfig::default()
+                .with_period(300)
+                .with_recent_history(600),
         );
         let smurf = evaluate_smurf_star(&trace);
         table.push_row(&[
@@ -349,9 +367,18 @@ pub fn fig6b(scale: Scale) -> Vec<Series> {
     };
     for &len in lengths {
         let trace = WarehouseSimulator::new(base_config(scale, 0.8, len)).generate();
-        all.push(len as f64, evaluate_rfinfer(&trace, full_config()).containment_error);
-        window.push(len as f64, evaluate_rfinfer(&trace, window_config(1200)).containment_error);
-        cr.push(len as f64, evaluate_rfinfer(&trace, cr_config()).containment_error);
+        all.push(
+            len as f64,
+            evaluate_rfinfer(&trace, full_config()).containment_error,
+        );
+        window.push(
+            len as f64,
+            evaluate_rfinfer(&trace, window_config(1200)).containment_error,
+        );
+        cr.push(
+            len as f64,
+            evaluate_rfinfer(&trace, cr_config()).containment_error,
+        );
     }
     vec![all, window, cr]
 }
@@ -364,7 +391,10 @@ pub fn table3(scale: Scale) -> Table {
     headers.extend(deltas.iter().map(|d| format!("δ={d}")));
     headers.push("calibrated".to_string());
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut table = Table::new("Table 3: change-detection F-measure (%) vs threshold δ", &headers_ref);
+    let mut table = Table::new(
+        "Table 3: change-detection F-measure (%) vs threshold δ",
+        &headers_ref,
+    );
 
     let rates: &[f64] = match scale {
         Scale::Smoke => &[0.7],
@@ -409,10 +439,7 @@ pub fn table4(scale: Scale) -> Table {
         config.anomaly_interval = Some(60);
         let trace = WarehouseSimulator::new(config).generate();
         for &h in histories {
-            let eval = evaluate_rfinfer(
-                &trace,
-                InferenceConfig::default().with_recent_history(h),
-            );
+            let eval = evaluate_rfinfer(&trace, InferenceConfig::default().with_recent_history(h));
             table.push_row(&[
                 format!("{rr:.1}"),
                 h.to_string(),
@@ -434,7 +461,11 @@ mod tests {
         let ours = evaluate_rfinfer(&trace, cr_config());
         let smurf = evaluate_smurf_star(&trace);
         assert!(ours.containment_error <= smurf.containment_error + 1e-9);
-        assert!(ours.containment_error < 15.0, "got {}", ours.containment_error);
+        assert!(
+            ours.containment_error < 15.0,
+            "got {}",
+            ours.containment_error
+        );
         assert!(ours.location_error < 10.0, "got {}", ours.location_error);
     }
 
@@ -442,8 +473,14 @@ mod tests {
     fn fig4_evidence_separates_the_real_container_in_the_belt_region() {
         let series = fig4(Scale::Smoke);
         assert_eq!(series.len(), 6);
-        let cum_r = series.iter().find(|s| s.name == "cumulative-evidence R").unwrap();
-        let cum_nrnc = series.iter().find(|s| s.name == "cumulative-evidence NRNC").unwrap();
+        let cum_r = series
+            .iter()
+            .find(|s| s.name == "cumulative-evidence R")
+            .unwrap();
+        let cum_nrnc = series
+            .iter()
+            .find(|s| s.name == "cumulative-evidence NRNC")
+            .unwrap();
         let final_r = cum_r.points.last().unwrap().1;
         let final_nrnc = cum_nrnc.points.last().unwrap().1;
         assert!(
@@ -458,7 +495,10 @@ mod tests {
         let containment = &series[0];
         let at_low = containment.y_at(0.6).unwrap();
         let at_high = containment.y_at(1.0).unwrap();
-        assert!(at_high <= at_low + 1e-9, "error should not grow with read rate");
+        assert!(
+            at_high <= at_low + 1e-9,
+            "error should not grow with read rate"
+        );
         // at perfect read rate containment inference is essentially perfect
         assert!(at_high < 5.0);
         let location = &series[1];

@@ -1,0 +1,189 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the `criterion_group!` / `criterion_main!` macros and the
+//! `Criterion` / `BenchmarkGroup` / `Bencher` / `BenchmarkId` API surface the
+//! workspace's benches use. Measurement is deliberately simple — a short
+//! warm-up followed by a fixed number of timed samples whose median is
+//! printed — but the timings are real, so `cargo bench` produces usable
+//! relative numbers and `cargo bench --no-run` type-checks the benches.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark (overridable per group).
+const DEFAULT_SAMPLES: usize = 10;
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named after a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+
+    /// A benchmark with a function name and parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    /// The display name of the benchmark.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time the routine: one warm-up call, then the configured number of
+    /// samples; the median is reported.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine());
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.median = Some(times[times.len() / 2]);
+    }
+}
+
+fn run_bench(full_name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        median: None,
+    };
+    f(&mut bencher);
+    match bencher.median {
+        Some(t) => println!("bench: {full_name:<60} median {t:>12.2?} ({samples} samples)"),
+        None => println!("bench: {full_name:<60} (no measurement)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        let full = format!("{}/{}", self.name, id.into_name());
+        run_bench(&full, self.samples, |b| f(b));
+        self
+    }
+
+    /// Run one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut f = f;
+        let full = format!("{}/{}", self.name, id.name);
+        run_bench(&full, self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (a no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Apply command-line configuration (accepted and ignored).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        run_bench(name, DEFAULT_SAMPLES, |b| f(b));
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+            _criterion: self,
+        }
+    }
+}
+
+/// Prevent the compiler from optimising a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

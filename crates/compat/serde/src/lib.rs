@@ -1,0 +1,774 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal, self-contained replacement for the subset of serde it uses:
+//! `#[derive(Serialize, Deserialize)]` on structs and enums, plus JSON
+//! round-tripping through `serde_json`. Instead of serde's visitor
+//! architecture, serialization goes through a self-describing [`Value`] tree
+//! (the same data model `serde_json::Value` exposes), which is all the
+//! workspace needs: wire-size accounting, state migration payloads and
+//! round-trip tests.
+//!
+//! The derive macros are re-exported from the companion `serde_derive`
+//! proc-macro crate, so `use serde::{Serialize, Deserialize};` imports both
+//! the traits and the derives exactly like the real crate does.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A JSON-style number: unsigned, signed or floating.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// The number as an `f64` (lossy for very large integers).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U(u) => u as f64,
+            Number::I(i) => i as f64,
+            Number::F(f) => f,
+        }
+    }
+
+    /// The number as a `u64` if it is a non-negative integer.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::U(u) => Some(u),
+            Number::I(i) if i >= 0 => Some(i as u64),
+            Number::F(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            _ => None,
+        }
+    }
+
+    /// The number as an `i64` if it is an integer in range.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::U(u) => i64::try_from(u).ok(),
+            Number::I(i) => Some(i),
+            Number::F(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => Some(f as i64),
+            _ => None,
+        }
+    }
+}
+
+/// The self-describing data model every `Serialize` impl produces and every
+/// `Deserialize` impl consumes. Mirrors the JSON data model.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Num(Number),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Arr(Vec<Value>),
+    /// An ordered map with string keys (struct fields, map entries,
+    /// externally-tagged enum variants).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// View as an object (list of `(key, value)` entries).
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// View as an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// View as a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Render as compact JSON text.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(n) => write_number(*n, out),
+            Value::Str(s) => write_escaped(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse JSON text into a value.
+    pub fn from_json(text: &str) -> Result<Value, Error> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error::msg("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+}
+
+fn write_number(n: Number, out: &mut String) {
+    use fmt::Write;
+    match n {
+        Number::U(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Number::I(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Number::F(f) => {
+            if f.is_finite() {
+                // Rust's shortest round-trip float formatting.
+                let _ = write!(out, "{f}");
+            } else {
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::msg(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(Error::msg(format!("unexpected byte at {}", self.pos))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(Error::msg("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(entries));
+                }
+                _ => return Err(Error::msg("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error::msg("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::msg("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&hi) {
+                                // surrogate pair
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::msg("invalid \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(Error::msg("invalid escape")),
+                    }
+                }
+                _ => {
+                    // collect the full UTF-8 sequence starting at pos-1
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    self.pos = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or_else(|| Error::msg("truncated UTF-8"))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk).map_err(|_| Error::msg("invalid UTF-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+        self.pos += 4;
+        let s = std::str::from_utf8(chunk).map_err(|_| Error::msg("invalid \\u escape"))?;
+        u32::from_str_radix(s, 16).map_err(|_| Error::msg("invalid \\u escape"))
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid number"))?;
+        let n = if float {
+            Number::F(
+                text.parse::<f64>()
+                    .map_err(|_| Error::msg("invalid number"))?,
+            )
+        } else if text.starts_with('-') {
+            Number::I(
+                text.parse::<i64>()
+                    .map_err(|_| Error::msg("invalid number"))?,
+            )
+        } else {
+            Number::U(
+                text.parse::<u64>()
+                    .map_err(|_| Error::msg("invalid number"))?,
+            )
+        };
+        Ok(Value::Num(n))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Serialization / deserialization error.
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Create an error with a message.
+    pub fn msg(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({})", self.msg)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into the [`Value`] data model.
+pub trait Serialize {
+    /// Serialize `self` into a value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// A type that can reconstruct itself from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Deserialize from a value tree.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------- primitives
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Num(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Num(n) => n
+                        .as_u64()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| Error::msg(concat!("expected ", stringify!($t)))),
+                    _ => Err(Error::msg(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Num(Number::U(v as u64))
+                } else {
+                    Value::Num(Number::I(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Num(n) => n
+                        .as_i64()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| Error::msg(concat!("expected ", stringify!($t)))),
+                    _ => Err(Error::msg(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Num(Number::F(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Num(n) => Ok(n.as_f64() as $t),
+                    Value::Null => Ok(<$t>::NAN), // non-finite floats render as null
+                    _ => Err(Error::msg(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::msg("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::msg("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::msg("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_arr()
+            .ok_or_else(|| Error::msg("expected array"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::deserialize(value)?;
+        items
+            .try_into()
+            .map_err(|_| Error::msg(format!("expected array of length {N}")))
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_arr()
+            .ok_or_else(|| Error::msg("expected array"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+/// Render a serialized map key as a JSON object key string. String keys are
+/// used verbatim (like serde_json); anything else keys on its compact JSON
+/// rendering (serde_json does the same for integer keys).
+fn key_to_string(v: Value) -> String {
+    match v {
+        Value::Str(s) => s,
+        other => other.to_json(),
+    }
+}
+
+/// Reconstruct a map key of type `K` from an object key string: first try the
+/// key as a plain string, then as a parsed JSON scalar (integer keys).
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    if let Ok(k) = K::deserialize(&Value::Str(key.to_string())) {
+        return Ok(k);
+    }
+    let parsed = Value::from_json(key)?;
+    K::deserialize(&parsed)
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k.serialize()), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_obj()
+            .ok_or_else(|| Error::msg("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let arr = value.as_arr().ok_or_else(|| Error::msg("expected tuple array"))?;
+                let mut it = arr.iter();
+                Ok(($(
+                    $name::deserialize(it.next().ok_or_else(|| Error::msg("tuple too short"))?)?,
+                )+))
+            }
+        }
+    )+};
+}
+impl_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+// --------------------------------------------------------- derive plumbing
+
+/// Look up a struct field in a serialized object; missing fields deserialize
+/// from `Null` (so `Option` fields tolerate omission).
+pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::deserialize(v).map_err(|e| Error::msg(format!("field '{name}': {e}"))),
+        None => {
+            T::deserialize(&Value::Null).map_err(|_| Error::msg(format!("missing field '{name}'")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_text_round_trips() {
+        let v = Value::Obj(vec![
+            ("a".to_string(), Value::Num(Number::U(3))),
+            (
+                "b".to_string(),
+                Value::Arr(vec![Value::Null, Value::Bool(true)]),
+            ),
+            ("c".to_string(), Value::Str("he\"llo\n".to_string())),
+            ("d".to_string(), Value::Num(Number::F(-2.5))),
+        ]);
+        let text = v.to_json();
+        let back = Value::from_json(&text).unwrap();
+        assert_eq!(text, back.to_json());
+    }
+
+    #[test]
+    fn numbers_preserve_integer_precision() {
+        let big = (1u64 << 62) - 1;
+        let text = Value::Num(Number::U(big)).to_json();
+        let back = Value::from_json(&text).unwrap();
+        match back {
+            Value::Num(n) => assert_eq!(n.as_u64(), Some(big)),
+            _ => panic!("expected number"),
+        }
+    }
+
+    #[test]
+    fn map_with_integer_keys_round_trips() {
+        let mut m: BTreeMap<u64, String> = BTreeMap::new();
+        m.insert(7, "seven".to_string());
+        m.insert(1 << 40, "big".to_string());
+        let text = m.serialize().to_json();
+        let back: BTreeMap<u64, String> =
+            Deserialize::deserialize(&Value::from_json(&text).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+}

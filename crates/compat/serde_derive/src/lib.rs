@@ -1,0 +1,445 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! crates.io is unreachable in this build environment, so there is no
+//! `syn`/`quote`; the input item is parsed directly from the
+//! `proc_macro::TokenStream`. Only the shapes this workspace actually uses
+//! are supported: non-generic structs (named, tuple, unit) and enums whose
+//! variants are unit, newtype, tuple or struct variants. Encoding follows
+//! serde's defaults: structs become objects, newtype structs are transparent,
+//! unit variants become strings, and data variants are externally tagged
+//! (`{"Variant": ...}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    /// Tuple fields; the arity.
+    Tuple(usize),
+    /// Named field identifiers.
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    Struct { fields: Fields },
+    Enum { variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    /// Simple type-parameter names (`T`, `U`); bounds and lifetimes are not
+    /// supported by the stand-in.
+    generics: Vec<String>,
+    kind: ItemKind,
+}
+
+impl Item {
+    /// `impl<T: serde::Trait, ...> serde::Trait for Name<T, ...>` header
+    /// pieces: the impl generics and the type path.
+    fn impl_header(&self, bound: &str) -> (String, String) {
+        if self.generics.is_empty() {
+            (String::new(), self.name.clone())
+        } else {
+            let params: Vec<String> = self
+                .generics
+                .iter()
+                .map(|g| format!("{g}: serde::{bound}"))
+                .collect();
+            (
+                format!("<{}>", params.join(", ")),
+                format!("{}<{}>", self.name, self.generics.join(", ")),
+            )
+        }
+    }
+}
+
+/// Skip `#[...]` attributes (including doc comments) at the cursor.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) at the cursor.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Count top-level comma-separated entries in a token list, treating `<...>`
+/// as nesting (parentheses/brackets/braces arrive pre-grouped).
+fn count_top_level_entries(tokens: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut entries = 0usize;
+    let mut saw_token = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                saw_token = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                saw_token = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                entries += 1;
+                saw_token = false;
+            }
+            _ => saw_token = true,
+        }
+    }
+    if saw_token {
+        entries += 1;
+    }
+    entries
+}
+
+/// Extract the field names from a named-field body (the inside of `{ ... }`).
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(tokens, i);
+        i = skip_vis(tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        names.push(name.to_string());
+        i += 1;
+        // expect ':', then skip the type until a top-level ','
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+fn parse_enum_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Fields::Tuple(count_top_level_entries(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Fields::Named(parse_named_fields(&inner))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // skip an optional discriminant and the trailing comma
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1i32;
+            while depth > 0 {
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                    Some(TokenTree::Ident(id)) if depth == 1 => generics.push(id.to_string()),
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                    Some(other) => panic!(
+                        "serde_derive stand-in supports only plain type parameters ({name}: {other:?})"
+                    ),
+                    None => panic!("serde_derive: unterminated generics on {name}"),
+                }
+                i += 1;
+            }
+        }
+    }
+    let kind = match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Named(parse_named_fields(&inner))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(count_top_level_entries(&inner))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unsupported struct body {other:?}"),
+            };
+            ItemKind::Struct { fields }
+        }
+        "enum" => {
+            let variants = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    parse_enum_variants(&inner)
+                }
+                other => panic!("serde_derive: unsupported enum body {other:?}"),
+            };
+            ItemKind::Enum { variants }
+        }
+        other => panic!("serde_derive: cannot derive for '{other}'"),
+    };
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+fn ser_named_fields(prefix: &str, names: &[String]) -> String {
+    let mut out = String::from("serde::Value::Obj(vec![");
+    for n in names {
+        out.push_str(&format!(
+            "(\"{n}\".to_string(), serde::Serialize::serialize(&{prefix}{n})),"
+        ));
+    }
+    out.push_str("])");
+    out
+}
+
+fn de_named_fields(path: &str, names: &[String], obj_expr: &str) -> String {
+    let mut out = format!("Ok({path} {{");
+    for n in names {
+        out.push_str(&format!("{n}: serde::field({obj_expr}, \"{n}\")?,"));
+    }
+    out.push_str("})");
+    out
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let (impl_generics, ty) = item.impl_header("Serialize");
+    let code = match &item.kind {
+        ItemKind::Struct { fields } => {
+            let body = match fields {
+                Fields::Unit => "serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "serde::Serialize::serialize(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Serialize::serialize(&self.{i})"))
+                        .collect();
+                    format!("serde::Value::Arr(vec![{}])", items.join(","))
+                }
+                Fields::Named(names) => ser_named_fields("self.", names),
+            };
+            format!(
+                "impl{impl_generics} serde::Serialize for {ty} {{\n\
+                     fn serialize(&self) -> serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        ItemKind::Enum { variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::Value::Str(\"{vname}\".to_string()),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("serde::Value::Arr(vec![{}])", items.join(","))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => serde::Value::Obj(vec![(\"{vname}\".to_string(), {inner})]),",
+                            binds.join(",")
+                        ));
+                    }
+                    Fields::Named(field_names) => {
+                        let inner = ser_named_fields("", field_names);
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => serde::Value::Obj(vec![(\"{vname}\".to_string(), {inner})]),",
+                            field_names.join(",")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl{impl_generics} serde::Serialize for {ty} {{\n\
+                     fn serialize(&self) -> serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let (impl_generics, ty) = item.impl_header("Deserialize");
+    let code = match &item.kind {
+        ItemKind::Struct { fields } => {
+            let body = match fields {
+                Fields::Unit => format!("Ok({name})"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::deserialize(__v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let mut out = format!(
+                        "let __arr = __v.as_arr().ok_or_else(|| serde::Error::msg(\"expected array for {name}\"))?;\n\
+                         if __arr.len() != {n} {{ return Err(serde::Error::msg(\"wrong tuple arity for {name}\")); }}\n\
+                         Ok({name}("
+                    );
+                    for i in 0..*n {
+                        out.push_str(&format!("serde::Deserialize::deserialize(&__arr[{i}])?,"));
+                    }
+                    out.push_str("))");
+                    out
+                }
+                Fields::Named(names) => {
+                    format!(
+                        "let __obj = __v.as_obj().ok_or_else(|| serde::Error::msg(\"expected object for {name}\"))?;\n{}",
+                        de_named_fields(name, names, "__obj")
+                    )
+                }
+            };
+            format!(
+                "impl{impl_generics} serde::Deserialize for {ty} {{\n\
+                     fn deserialize(__v: &serde::Value) -> Result<Self, serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        ItemKind::Enum { variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}),"
+                    )),
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(serde::Deserialize::deserialize(__inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let mut arm = format!(
+                            "\"{vname}\" => {{\n\
+                                 let __arr = __inner.as_arr().ok_or_else(|| serde::Error::msg(\"expected array for {name}::{vname}\"))?;\n\
+                                 if __arr.len() != {n} {{ return Err(serde::Error::msg(\"wrong arity for {name}::{vname}\")); }}\n\
+                                 Ok({name}::{vname}("
+                        );
+                        for i in 0..*n {
+                            arm.push_str(&format!("serde::Deserialize::deserialize(&__arr[{i}])?,"));
+                        }
+                        arm.push_str("))},");
+                        data_arms.push_str(&arm);
+                    }
+                    Fields::Named(field_names) => {
+                        let build = de_named_fields(&format!("{name}::{vname}"), field_names, "__obj");
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let __obj = __inner.as_obj().ok_or_else(|| serde::Error::msg(\"expected object for {name}::{vname}\"))?;\n\
+                                 {build}\n\
+                             }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl{impl_generics} serde::Deserialize for {ty} {{\n\
+                     fn deserialize(__v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         match __v {{\n\
+                             serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => Err(serde::Error::msg(format!(\"unknown variant '{{__other}}' of {name}\"))),\n\
+                             }},\n\
+                             serde::Value::Obj(__entries) if __entries.len() == 1 => {{\n\
+                                 let (__tag, __inner) = &__entries[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {data_arms}\n\
+                                     __other => Err(serde::Error::msg(format!(\"unknown variant '{{__other}}' of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(serde::Error::msg(\"expected enum representation for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}

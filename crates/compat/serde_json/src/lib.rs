@@ -1,0 +1,28 @@
+//! Offline stand-in for `serde_json`: JSON text round-tripping for the
+//! companion `serde` stand-in's [`Value`](serde::Value) data model.
+
+pub use serde::Error;
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+
+/// Serialize a value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize().to_json())
+}
+
+/// Serialize a value to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    Ok(value.serialize().to_json().into_bytes())
+}
+
+/// Deserialize a value from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    T::deserialize(&Value::from_json(text)?)
+}
+
+/// Deserialize a value from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|_| Error::msg("invalid UTF-8"))?;
+    from_str(text)
+}

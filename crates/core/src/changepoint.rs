@@ -315,7 +315,11 @@ mod tests {
         let m = model(2);
         let outcome = RfInfer::new(&m, &obs_with_change()).run();
         let stat = change_statistic(&outcome.objects[&TagId::item(1)]).unwrap();
-        assert!(stat.delta > 10.0, "clear change should score high, got {}", stat.delta);
+        assert!(
+            stat.delta > 10.0,
+            "clear change should score high, got {}",
+            stat.delta
+        );
         assert_eq!(stat.prefix_container, Some(TagId::case(1)));
         assert_eq!(stat.suffix_container, Some(TagId::case(2)));
         assert_eq!(stat.split_at, Epoch(10));
@@ -326,7 +330,11 @@ mod tests {
         let m = model(2);
         let outcome = RfInfer::new(&m, &obs_without_change()).run();
         let stat = change_statistic(&outcome.objects[&TagId::item(1)]).unwrap();
-        assert!(stat.delta.abs() < 1.0, "no change: statistic stays near zero, got {}", stat.delta);
+        assert!(
+            stat.delta.abs() < 1.0,
+            "no change: statistic stays near zero, got {}",
+            stat.delta
+        );
     }
 
     #[test]
@@ -385,10 +393,8 @@ mod tests {
     #[test]
     fn calibration_is_deterministic_given_the_rng_seed() {
         let m = model(3);
-        let a = ThresholdCalibrator::default()
-            .calibrate(&m, &mut ChaCha8Rng::seed_from_u64(9));
-        let b = ThresholdCalibrator::default()
-            .calibrate(&m, &mut ChaCha8Rng::seed_from_u64(9));
+        let a = ThresholdCalibrator::default().calibrate(&m, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = ThresholdCalibrator::default().calibrate(&m, &mut ChaCha8Rng::seed_from_u64(9));
         assert_eq!(a, b);
     }
 }

@@ -112,7 +112,10 @@ mod tests {
         assert_eq!(c.period_secs, 300);
         assert_eq!(c.recent_history_secs, 600);
         assert!(c.change_detection.is_some());
-        assert!(matches!(c.truncation, TruncationPolicy::CriticalRegion { .. }));
+        assert!(matches!(
+            c.truncation,
+            TruncationPolicy::CriticalRegion { .. }
+        ));
     }
 
     #[test]

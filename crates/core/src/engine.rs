@@ -108,8 +108,18 @@ impl InferenceEngine {
             .with_config(self.config.rfinfer.clone())
             .run();
 
-        // Containment estimates: the M-step assignment...
-        self.containment = outcome.containment.clone();
+        // Containment estimates: the M-step assignment for every object this
+        // run examined. Objects the run did not see (e.g. an estimate
+        // imported from another site for an object with no local readings
+        // yet) keep their previous containment rather than being wiped.
+        for (&object, evidence) in &outcome.objects {
+            match evidence.assigned {
+                Some(container) => self.containment.set(object, container),
+                None => {
+                    self.containment.remove(object);
+                }
+            }
+        }
 
         // ...refined by change-point detection (Section 3.3 / Appendix A.2).
         let mut changes = Vec::new();
@@ -260,10 +270,7 @@ impl InferenceEngine {
             .and_then(|o| o.objects.get(&object))
             .map(|e| e.weights.clone())
             .unwrap_or_default();
-        let max = weights
-            .values()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max = weights.values().copied().fold(f64::NEG_INFINITY, f64::max);
         if max.is_finite() {
             for w in weights.values_mut() {
                 *w -= max;
@@ -343,13 +350,19 @@ mod tests {
         for t in from..to {
             engine.observe(RawReading::new(Epoch(t), TagId::item(1), ReaderId(loc)));
             engine.observe(RawReading::new(Epoch(t), TagId::case(1), ReaderId(loc)));
-            engine.observe(RawReading::new(Epoch(t), TagId::case(2), ReaderId((loc + 1) % 3)));
+            engine.observe(RawReading::new(
+                Epoch(t),
+                TagId::case(2),
+                ReaderId((loc + 1) % 3),
+            ));
         }
     }
 
     #[test]
     fn engine_runs_when_due_and_reports_containment() {
-        let config = InferenceConfig::default().with_period(10).without_change_detection();
+        let config = InferenceConfig::default()
+            .with_period(10)
+            .without_change_detection();
         let mut engine = InferenceEngine::new(config, rates());
         assert!(!engine.due(Epoch(0)), "no data yet");
         feed_co_travel(&mut engine, 0, 10, 0);
@@ -358,9 +371,15 @@ mod tests {
         assert_eq!(engine.container_of(TagId::item(1)), Some(TagId::case(1)));
         assert_eq!(report.at, Epoch(10));
         assert!(report.duration.as_nanos() > 0);
-        assert!(!engine.due(Epoch(15)), "not due again until the period elapses");
+        assert!(
+            !engine.due(Epoch(15)),
+            "not due again until the period elapses"
+        );
         assert!(engine.due(Epoch(20)));
-        assert_eq!(engine.location_of(TagId::item(1), Epoch(5)), Some(LocationId(0)));
+        assert_eq!(
+            engine.location_of(TagId::item(1), Epoch(5)),
+            Some(LocationId(0))
+        );
         assert_eq!(engine.events_at(Epoch(5)).len(), 1);
     }
 
@@ -383,7 +402,8 @@ mod tests {
         }
         let report = engine.run_inference(Epoch(40));
         assert!(
-            !report.changes.is_empty() || engine.container_of(TagId::item(1)) == Some(TagId::case(2)),
+            !report.changes.is_empty()
+                || engine.container_of(TagId::item(1)) == Some(TagId::case(2)),
             "the engine should recognise the containment change"
         );
         assert_eq!(engine.container_of(TagId::item(1)), Some(TagId::case(2)));
@@ -419,7 +439,9 @@ mod tests {
 
     #[test]
     fn export_import_collapsed_state_transfers_belief() {
-        let config = InferenceConfig::default().with_period(10).without_change_detection();
+        let config = InferenceConfig::default()
+            .with_period(10)
+            .without_change_detection();
         let mut site_a = InferenceEngine::new(config.clone(), rates());
         // At site A the item travels with case 1; case 2 is briefly
         // co-located at the start (so it becomes a candidate) and then
@@ -428,7 +450,11 @@ mod tests {
             site_a.observe(RawReading::new(Epoch(t), TagId::item(1), ReaderId(0)));
             site_a.observe(RawReading::new(Epoch(t), TagId::case(1), ReaderId(0)));
             let decoy_reader = if t < 3 { 0 } else { 1 };
-            site_a.observe(RawReading::new(Epoch(t), TagId::case(2), ReaderId(decoy_reader)));
+            site_a.observe(RawReading::new(
+                Epoch(t),
+                TagId::case(2),
+                ReaderId(decoy_reader),
+            ));
         }
         site_a.run_inference(Epoch(30));
         let state = site_a.export_collapsed(TagId::item(1));
@@ -472,12 +498,18 @@ mod tests {
         feed_co_travel(&mut site_a, 0, 30, 0);
         site_a.run_inference(Epoch(30));
         let state = site_a.export_readings(TagId::item(1));
-        assert!(state.readings.len() > 30, "object + candidate container readings");
+        assert!(
+            state.readings.len() > 30,
+            "object + candidate container readings"
+        );
 
         let mut site_b = InferenceEngine::new(config, rates());
         site_b.import_state(MigrationState::Readings(state));
         let report = site_b.run_inference(Epoch(31));
-        assert_eq!(report.outcome.container_of(TagId::item(1)), Some(TagId::case(1)));
+        assert_eq!(
+            report.outcome.container_of(TagId::item(1)),
+            Some(TagId::case(1))
+        );
     }
 
     #[test]

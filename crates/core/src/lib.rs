@@ -68,4 +68,6 @@ pub use observations::{ObsAt, Observations};
 pub use posterior::{container_posterior, Posterior};
 pub use rfinfer::{InferenceOutcome, ObjectEvidence, PriorWeights, RfInfer, RfInferConfig};
 pub use state::{CollapsedState, MigrationState, ReadingsState};
-pub use truncate::{critical_region, retention_plan, CriticalRegion, RetentionPlan, TruncationPolicy};
+pub use truncate::{
+    critical_region, retention_plan, CriticalRegion, RetentionPlan, TruncationPolicy,
+};

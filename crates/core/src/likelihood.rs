@@ -28,10 +28,7 @@ pub struct LikelihoodModel {
 impl LikelihoodModel {
     /// Build the model from a read-rate table.
     pub fn new(rates: ReadRateTable) -> LikelihoodModel {
-        let log_all_miss = rates
-            .locations()
-            .map(|a| rates.log_all_miss(a))
-            .collect();
+        let log_all_miss = rates.locations().map(|a| rates.log_all_miss(a)).collect();
         LikelihoodModel {
             rates,
             log_all_miss,

@@ -191,7 +191,11 @@ impl Observations {
     /// truncation.
     pub fn retain_ranges_for(&mut self, tag: TagId, ranges: &[(Epoch, Epoch)]) {
         if let Some(list) = self.per_tag.get_mut(&tag) {
-            list.retain(|o| ranges.iter().any(|&(lo, hi)| o.epoch >= lo && o.epoch <= hi));
+            list.retain(|o| {
+                ranges
+                    .iter()
+                    .any(|&(lo, hi)| o.epoch >= lo && o.epoch <= hi)
+            });
             if list.is_empty() {
                 self.per_tag.remove(&tag);
             }

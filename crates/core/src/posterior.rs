@@ -26,7 +26,10 @@ impl Posterior {
     /// not underflow.
     pub fn from_log_weights(log_weights: Vec<f64>) -> Posterior {
         assert!(!log_weights.is_empty(), "need at least one location");
-        let max = log_weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let max = log_weights
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         let mut probs: Vec<f64> = log_weights.iter().map(|lw| (lw - max).exp()).collect();
         let sum: f64 = probs.iter().sum();
         if sum > 0.0 {

@@ -58,7 +58,10 @@ impl PriorWeights {
 
     /// Set the prior weight of `(object, container)`.
     pub fn set(&mut self, object: TagId, container: TagId, weight: f64) {
-        self.map.entry(object).or_default().insert(container, weight);
+        self.map
+            .entry(object)
+            .or_default()
+            .insert(container, weight);
     }
 
     /// Add to the prior weight of `(object, container)`.
@@ -292,7 +295,8 @@ impl<'a> RfInfer<'a> {
         let mut candidates: BTreeMap<TagId, Vec<TagId>> = BTreeMap::new();
         for &o in &objects {
             let mut cands = if self.config.candidate_pruning {
-                self.obs.candidate_containers(o, self.config.candidate_limit)
+                self.obs
+                    .candidate_containers(o, self.config.candidate_limit)
             } else {
                 all_containers.clone()
             };
@@ -336,7 +340,10 @@ impl<'a> RfInfer<'a> {
         for (&o, cands) in &candidates {
             let epochs: Vec<Epoch> = self.obs.obs_for(o).iter().map(|x| x.epoch).collect();
             for &c in cands {
-                needed_epochs.entry(c).or_default().extend(epochs.iter().copied());
+                needed_epochs
+                    .entry(c)
+                    .or_default()
+                    .extend(epochs.iter().copied());
             }
         }
 
@@ -561,9 +568,18 @@ mod tests {
         let w2 = outcome.weight(TagId::item(1), TagId::case(2)).unwrap();
         assert!(w1 > w2);
         // locations follow the path
-        assert_eq!(outcome.location_of(TagId::case(1), Epoch(0)), Some(LocationId(0)));
-        assert_eq!(outcome.location_of(TagId::case(1), Epoch(4)), Some(LocationId(1)));
-        assert_eq!(outcome.location_of(TagId::item(1), Epoch(6)), Some(LocationId(2)));
+        assert_eq!(
+            outcome.location_of(TagId::case(1), Epoch(0)),
+            Some(LocationId(0))
+        );
+        assert_eq!(
+            outcome.location_of(TagId::case(1), Epoch(4)),
+            Some(LocationId(1))
+        );
+        assert_eq!(
+            outcome.location_of(TagId::item(1), Epoch(6)),
+            Some(LocationId(2))
+        );
         assert!(outcome.iterations >= 1);
         assert_eq!(outcome.num_locations, 3);
     }
@@ -585,8 +601,14 @@ mod tests {
         let model = model(2);
         let outcome = RfInfer::new(&model, &obs).run();
         assert_eq!(outcome.container_of(TagId::item(1)), Some(TagId::case(1)));
-        assert_eq!(outcome.location_of(TagId::case(1), Epoch(6)), Some(LocationId(1)));
-        assert_eq!(outcome.location_of(TagId::item(1), Epoch(6)), Some(LocationId(1)));
+        assert_eq!(
+            outcome.location_of(TagId::case(1), Epoch(6)),
+            Some(LocationId(1))
+        );
+        assert_eq!(
+            outcome.location_of(TagId::item(1), Epoch(6)),
+            Some(LocationId(1))
+        );
     }
 
     #[test]
@@ -609,12 +631,18 @@ mod tests {
         let mut prior = PriorWeights::empty();
         prior.set(TagId::item(1), TagId::case(1), 1000.0);
         let with_prior = RfInfer::with_prior(&model, &obs, &prior).run();
-        assert_eq!(with_prior.container_of(TagId::item(1)), Some(TagId::case(1)));
+        assert_eq!(
+            with_prior.container_of(TagId::item(1)),
+            Some(TagId::case(1))
+        );
         // but with only a tiny prior the local evidence wins
         let mut weak = PriorWeights::empty();
         weak.set(TagId::item(1), TagId::case(1), 0.1);
         let weak_outcome = RfInfer::with_prior(&model, &obs, &weak).run();
-        assert_eq!(weak_outcome.container_of(TagId::item(1)), Some(TagId::case(2)));
+        assert_eq!(
+            weak_outcome.container_of(TagId::item(1)),
+            Some(TagId::case(2))
+        );
     }
 
     #[test]
@@ -670,7 +698,10 @@ mod tests {
         let model = model(2);
         let outcome = RfInfer::new(&model, &obs).run();
         assert_eq!(outcome.container_of(TagId::item(7)), None);
-        assert_eq!(outcome.location_of(TagId::item(7), Epoch(1)), Some(LocationId(1)));
+        assert_eq!(
+            outcome.location_of(TagId::item(7), Epoch(1)),
+            Some(LocationId(1))
+        );
         let events = outcome.events_at(Epoch(1));
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].container, None);

@@ -154,7 +154,10 @@ pub fn retention_plan(
             per_tag: BTreeMap::new(),
             recent_from: now.minus(window_secs),
         },
-        TruncationPolicy::CriticalRegion { window_secs, margin } => {
+        TruncationPolicy::CriticalRegion {
+            window_secs,
+            margin,
+        } => {
             let mut per_tag: BTreeMap<TagId, Vec<(Epoch, Epoch)>> = BTreeMap::new();
             for (&object, evidence) in &outcome.objects {
                 if let Some(cr) = critical_region(evidence, window_secs, margin) {
@@ -200,7 +203,11 @@ mod tests {
         let mut decoy_points = Vec::new();
         for t in (0..200u32).step_by(5) {
             let e_real = -1.0;
-            let e_decoy = if (100..=110).contains(&t) { -12.0 } else { -1.2 };
+            let e_decoy = if (100..=110).contains(&t) {
+                -12.0
+            } else {
+                -1.2
+            };
             real_points.push((Epoch(t), e_real));
             decoy_points.push((Epoch(t), e_decoy));
         }
@@ -258,7 +265,10 @@ mod tests {
             assigned: Some(real),
         };
         let cr = critical_region(&evidence, 20, 5.0).unwrap();
-        assert!(cr.end >= Epoch(200), "the most recent region should win: {cr:?}");
+        assert!(
+            cr.end >= Epoch(200),
+            "the most recent region should win: {cr:?}"
+        );
     }
 
     #[test]
@@ -274,9 +284,17 @@ mod tests {
 
         let full = retention_plan(TruncationPolicy::Full, &outcome, now, 600);
         assert_eq!(full.recent_from, Epoch::ZERO);
-        assert_eq!(full.ranges_for(TagId::item(0), now), vec![(Epoch::ZERO, now)]);
+        assert_eq!(
+            full.ranges_for(TagId::item(0), now),
+            vec![(Epoch::ZERO, now)]
+        );
 
-        let window = retention_plan(TruncationPolicy::Window { window_secs: 50 }, &outcome, now, 600);
+        let window = retention_plan(
+            TruncationPolicy::Window { window_secs: 50 },
+            &outcome,
+            now,
+            600,
+        );
         assert_eq!(window.recent_from, Epoch(150));
         assert!(window.per_tag.is_empty());
 
@@ -284,7 +302,9 @@ mod tests {
         assert_eq!(cr.recent_from, Epoch(170));
         let ranges = cr.ranges_for(TagId::item(0), now);
         assert!(ranges.len() >= 2, "critical region plus recent history");
-        assert!(ranges.iter().any(|&(lo, hi)| lo <= Epoch(110) && hi >= Epoch(100)));
+        assert!(ranges
+            .iter()
+            .any(|&(lo, hi)| lo <= Epoch(110) && hi >= Epoch(100)));
         // candidate containers keep the same region
         assert!(cr.per_tag.contains_key(&TagId::case(0)));
         assert!(cr.per_tag.contains_key(&TagId::case(1)));
@@ -314,6 +334,10 @@ mod tests {
         };
         let plan = retention_plan(TruncationPolicy::default(), &outcome, Epoch(250), 10);
         let case_ranges = &plan.per_tag[&TagId::case(0)];
-        assert_eq!(case_ranges.len(), 1, "overlapping regions merge: {case_ranges:?}");
+        assert_eq!(
+            case_ranges.len(),
+            1,
+            "overlapping regions merge: {case_ranges:?}"
+        );
     }
 }

@@ -1,0 +1,135 @@
+//! Communication-cost accounting (Table 5 and Section 5.3).
+//!
+//! Every byte that crosses a site boundary is charged to one of a small set
+//! of [`MessageKind`]s, so experiments can report both the total
+//! communication cost of a migration strategy and its breakdown (raw
+//! readings vs collapsed inference state vs query state vs ONS updates).
+
+use serde::{Deserialize, Serialize};
+
+/// The kinds of inter-site messages the distributed system exchanges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MessageKind {
+    /// Raw readings shipped to a central server (the Centralized baseline)
+    /// or inside critical-region migration state.
+    RawReadings,
+    /// Collapsed or critical-region inference state moving with an object.
+    InferenceState,
+    /// Migrated per-object query state (possibly centroid-compressed).
+    QueryState,
+    /// Object-name-service custody updates (which site holds which tag).
+    OnsUpdate,
+}
+
+impl MessageKind {
+    /// All message kinds, in a fixed order.
+    pub const ALL: [MessageKind; 4] = [
+        MessageKind::RawReadings,
+        MessageKind::InferenceState,
+        MessageKind::QueryState,
+        MessageKind::OnsUpdate,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            MessageKind::RawReadings => 0,
+            MessageKind::InferenceState => 1,
+            MessageKind::QueryState => 2,
+            MessageKind::OnsUpdate => 3,
+        }
+    }
+}
+
+/// Byte tallies per [`MessageKind`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommCost {
+    bytes: [usize; 4],
+    messages: [usize; 4],
+}
+
+impl CommCost {
+    /// An empty tally.
+    pub fn new() -> CommCost {
+        CommCost::default()
+    }
+
+    /// Charge one message of `kind` costing `bytes` bytes.
+    pub fn record(&mut self, kind: MessageKind, bytes: usize) {
+        self.bytes[kind.index()] += bytes;
+        self.messages[kind.index()] += 1;
+    }
+
+    /// Total bytes transferred across all message kinds.
+    pub fn total_bytes(&self) -> usize {
+        self.bytes.iter().sum()
+    }
+
+    /// Bytes transferred by one message kind.
+    pub fn bytes_of_kind(&self, kind: MessageKind) -> usize {
+        self.bytes[kind.index()]
+    }
+
+    /// Number of messages of one kind.
+    pub fn messages_of_kind(&self, kind: MessageKind) -> usize {
+        self.messages[kind.index()]
+    }
+
+    /// Total number of messages across all kinds.
+    pub fn total_messages(&self) -> usize {
+        self.messages.iter().sum()
+    }
+
+    /// Merge another tally into this one.
+    pub fn merge(&mut self, other: &CommCost) {
+        for i in 0..self.bytes.len() {
+            self.bytes[i] += other.bytes[i];
+            self.messages[i] += other.messages[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_kind_tallies_sum_to_the_total() {
+        let mut cost = CommCost::new();
+        cost.record(MessageKind::RawReadings, 140);
+        cost.record(MessageKind::InferenceState, 33);
+        cost.record(MessageKind::InferenceState, 17);
+        cost.record(MessageKind::QueryState, 256);
+        cost.record(MessageKind::OnsUpdate, 10);
+        let by_kind: usize = MessageKind::ALL
+            .iter()
+            .map(|&k| cost.bytes_of_kind(k))
+            .sum();
+        assert_eq!(by_kind, cost.total_bytes());
+        assert_eq!(cost.total_bytes(), 456);
+        assert_eq!(cost.messages_of_kind(MessageKind::InferenceState), 2);
+        assert_eq!(cost.total_messages(), 5);
+    }
+
+    #[test]
+    fn merge_adds_up() {
+        let mut a = CommCost::new();
+        a.record(MessageKind::QueryState, 5);
+        let mut b = CommCost::new();
+        b.record(MessageKind::QueryState, 7);
+        b.record(MessageKind::OnsUpdate, 10);
+        a.merge(&b);
+        assert_eq!(a.bytes_of_kind(MessageKind::QueryState), 12);
+        assert_eq!(a.total_bytes(), 22);
+        assert_eq!(a.total_messages(), 3);
+    }
+
+    #[test]
+    fn empty_cost_is_zero() {
+        let cost = CommCost::new();
+        assert_eq!(cost.total_bytes(), 0);
+        assert_eq!(cost.total_messages(), 0);
+        for k in MessageKind::ALL {
+            assert_eq!(cost.bytes_of_kind(k), 0);
+        }
+    }
+}

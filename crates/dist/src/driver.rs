@@ -1,0 +1,494 @@
+//! The distributed driver: replays a multi-site [`ChainTrace`] against
+//! per-site inference engines and query processors, migrating per-object
+//! state between sites according to the configured
+//! [`MigrationStrategy`](crate::MigrationStrategy) and accounting every
+//! byte that crosses a site boundary (Sections 4, 5.3 and 5.4).
+//!
+//! Two execution modes cover the paper's spectrum:
+//!
+//! * **federated** (`None` / `CriticalRegionReadings` / `CollapsedWeights`) —
+//!   every site runs its own [`InferenceEngine`] and [`QueryProcessor`];
+//!   when a pallet is dispatched, the departing objects' inference state
+//!   (nothing, the critical-region readings, or one collapsed weight per
+//!   candidate container) and their query state (centroid-compressed) travel
+//!   with the shipment, and the ONS custody map is updated;
+//! * **centralized** — every raw reading of every site is shipped to one
+//!   central engine whose location space is the disjoint union of the
+//!   per-site location spaces: the accuracy upper bound and the
+//!   communication worst case.
+
+use crate::comm::{CommCost, MessageKind};
+use crate::config::{DistributedConfig, MigrationStrategy};
+use crate::ons::{Ons, ONS_UPDATE_BYTES};
+use rfid_core::{InferenceEngine, MigrationState};
+use rfid_query::sharing::unshared_bytes;
+use rfid_query::{share_states, Alert, ObjectQueryState, QueryProcessor};
+use rfid_sim::ChainTrace;
+use rfid_types::{
+    ContainmentMap, Epoch, LocationId, ObjectEvent, RawReading, ReadRateTable, ReaderId,
+    SensorReading, SiteId, TagId,
+};
+use std::collections::BTreeMap;
+
+/// Minimum seconds between two departure-forced inference runs at one site;
+/// a dispatch within this window reuses the (slightly stale) last outcome.
+const FORCED_RUN_SPACING_SECS: u32 = 150;
+
+/// Everything a distributed run produces: the merged containment estimate,
+/// alerts, custody registry and the communication bill.
+#[derive(Debug, Clone)]
+pub struct DistributedOutcome {
+    /// Final containment estimate, each object reported by the site that
+    /// owns it according to the ONS.
+    pub containment: ContainmentMap,
+    /// Bytes and message counts per [`MessageKind`].
+    pub comm: CommCost,
+    /// All alerts raised by the (per-site or central) query processors, in
+    /// firing order.
+    pub alerts: Vec<Alert>,
+    /// Total migrated query-state bytes with centroid-based sharing — what
+    /// the system actually transferred.
+    pub query_state_shared_bytes: usize,
+    /// What the same migrations would have cost without sharing (the
+    /// Section 5.4 baseline).
+    pub query_state_unshared_bytes: usize,
+    /// The object-name-service custody registry after the run.
+    pub ons: Ons,
+    /// Number of inference runs executed across all engines.
+    pub inference_runs: usize,
+}
+
+impl DistributedOutcome {
+    /// The inferred container of an object (from the site owning it).
+    pub fn container_of(&self, object: TagId) -> Option<TagId> {
+        self.containment.container_of(object)
+    }
+}
+
+/// State migrating with one shipment, waiting for its arrival epoch.
+struct Shipment {
+    to: SiteId,
+    inference: MigrationState,
+    query: Vec<ObjectQueryState>,
+}
+
+/// Drives a [`ChainTrace`] through the distributed pipeline.
+#[derive(Debug, Clone)]
+pub struct DistributedDriver {
+    config: DistributedConfig,
+}
+
+impl DistributedDriver {
+    /// Create a driver with the given configuration.
+    pub fn new(config: DistributedConfig) -> DistributedDriver {
+        DistributedDriver { config }
+    }
+
+    /// The driver's configuration.
+    pub fn config(&self) -> &DistributedConfig {
+        &self.config
+    }
+
+    /// Replay the chain and return the outcome.
+    pub fn run(&self, chain: &ChainTrace) -> DistributedOutcome {
+        match self.config.strategy {
+            MigrationStrategy::Centralized => self.run_centralized(chain),
+            _ => self.run_federated(chain),
+        }
+    }
+
+    fn make_processor(&self) -> QueryProcessor {
+        let mut processor = QueryProcessor::new();
+        for query in &self.config.queries {
+            processor.register(query.clone());
+        }
+        processor
+    }
+
+    /// Annotate an inferred event with the product property used by `IsA`
+    /// predicates and feed it to a processor.
+    fn feed_event(&self, processor: &mut QueryProcessor, mut event: ObjectEvent) {
+        if let Some(property) = self.config.product_properties.get(&event.tag) {
+            event.property = Some(property.clone());
+        }
+        processor.on_event(&event);
+    }
+
+    fn run_federated(&self, chain: &ChainTrace) -> DistributedOutcome {
+        let num_sites = chain.sites.len();
+        let horizon = chain.sites.first().map(|s| s.meta.length).unwrap_or(0);
+        let strategy = self.config.strategy;
+        let migrates_state = strategy != MigrationStrategy::None;
+        let with_queries = !self.config.queries.is_empty();
+        let stride = self.config.event_stride_secs.max(1);
+
+        let mut engines: Vec<InferenceEngine> = chain
+            .sites
+            .iter()
+            .map(|site| {
+                InferenceEngine::new(self.config.inference.clone(), site.read_rates.clone())
+            })
+            .collect();
+        let mut processors: Vec<QueryProcessor> =
+            (0..num_sites).map(|_| self.make_processor()).collect();
+
+        // Per-site time-ordered replay cursors.
+        let site_readings: Vec<Vec<RawReading>> = chain
+            .sites
+            .iter()
+            .map(|site| {
+                let mut batch = site.readings.clone();
+                batch.readings().to_vec()
+            })
+            .collect();
+        let mut reading_cursor = vec![0usize; num_sites];
+        let site_sensors: Vec<Vec<SensorReading>> = match &self.config.temperature {
+            Some(model) if with_queries => chain
+                .sites
+                .iter()
+                .map(|site| model.generate(site.meta.num_locations, Epoch(horizon)))
+                .collect(),
+            _ => vec![Vec::new(); num_sites],
+        };
+        let mut sensor_cursor = vec![0usize; num_sites];
+
+        let mut transfer_cursor = 0usize;
+        let mut in_transit: BTreeMap<Epoch, Vec<Shipment>> = BTreeMap::new();
+        let mut last_run: Vec<Option<Epoch>> = vec![None; num_sites];
+
+        let mut comm = CommCost::new();
+        let mut ons = Ons::new();
+        let mut shared_bytes = 0usize;
+        let mut unshared = 0usize;
+        let mut inference_runs = 0usize;
+
+        for t in 0..=horizon {
+            let now = Epoch(t);
+
+            // 1. Local streams: sensor readings, then raw RFID readings.
+            for s in 0..num_sites {
+                let sensors = &site_sensors[s];
+                while sensor_cursor[s] < sensors.len() && sensors[sensor_cursor[s]].time <= now {
+                    processors[s].on_sensor(sensors[sensor_cursor[s]]);
+                    sensor_cursor[s] += 1;
+                }
+                let readings = &site_readings[s];
+                while reading_cursor[s] < readings.len() && readings[reading_cursor[s]].time <= now
+                {
+                    engines[s].observe(readings[reading_cursor[s]]);
+                    reading_cursor[s] += 1;
+                }
+            }
+
+            // 2. Shipments arriving now: import migrated state.
+            if let Some(batch) = in_transit.remove(&now) {
+                for shipment in batch {
+                    let dest = shipment.to.0 as usize;
+                    engines[dest].import_state(shipment.inference);
+                    if !shipment.query.is_empty() {
+                        processors[dest].import_state(shipment.query);
+                    }
+                }
+            }
+
+            // 3. Dispatches departing now: snapshot, export, forget.
+            let mut departing = Vec::new();
+            while transfer_cursor < chain.transfers.len()
+                && chain.transfers[transfer_cursor].depart == now
+            {
+                departing.push(chain.transfers[transfer_cursor]);
+                transfer_cursor += 1;
+            }
+            if !departing.is_empty() {
+                // Refresh the departure sites' outcomes so exported state
+                // reflects the readings collected since the last run.
+                if migrates_state {
+                    let mut sites: Vec<u16> = departing.iter().map(|tr| tr.from_site.0).collect();
+                    sites.sort_unstable();
+                    sites.dedup();
+                    for s in sites {
+                        let due = match last_run[s as usize] {
+                            None => true,
+                            Some(last) => now.since(last) >= FORCED_RUN_SPACING_SECS,
+                        };
+                        if due {
+                            engines[s as usize].run_inference(now);
+                            last_run[s as usize] = Some(now);
+                            inference_runs += 1;
+                        }
+                    }
+                }
+                // Group the dispatch by route so query state is shared per
+                // shipment (the objects of one container travel together).
+                let mut by_route: BTreeMap<(SiteId, SiteId), Vec<TagId>> = BTreeMap::new();
+                for tr in &departing {
+                    ons.register(tr.tag, tr.to_site);
+                    if migrates_state {
+                        comm.record(MessageKind::OnsUpdate, ONS_UPDATE_BYTES);
+                    }
+                    by_route
+                        .entry((tr.from_site, tr.to_site))
+                        .or_default()
+                        .push(tr.tag);
+                }
+                for ((from, to), tags) in by_route {
+                    let src = from.0 as usize;
+                    let arrive = departing
+                        .iter()
+                        .find(|tr| tr.from_site == from && tr.to_site == to)
+                        .map(|tr| tr.arrive)
+                        .unwrap_or(now);
+                    // Inference state: objects carry state, containers are
+                    // re-localized from their own readings at the next site.
+                    let mut shipment_states: Vec<ObjectQueryState> = Vec::new();
+                    for &tag in &tags {
+                        let state = if !tag.is_object() {
+                            MigrationState::None
+                        } else {
+                            match strategy {
+                                MigrationStrategy::None => MigrationState::None,
+                                MigrationStrategy::CollapsedWeights => {
+                                    MigrationState::Collapsed(engines[src].export_collapsed(tag))
+                                }
+                                MigrationStrategy::CriticalRegionReadings => {
+                                    MigrationState::Readings(engines[src].export_readings(tag))
+                                }
+                                MigrationStrategy::Centralized => unreachable!(),
+                            }
+                        };
+                        let bytes = state.wire_bytes();
+                        if bytes > 0 {
+                            comm.record(MessageKind::InferenceState, bytes);
+                        }
+                        // Query state travels per object so the automaton
+                        // run continues seamlessly at the next site. Under
+                        // `None` nothing at all crosses the boundary, so the
+                        // automaton restarts cold — that is the baseline.
+                        let query = if with_queries && migrates_state && tag.is_object() {
+                            processors[src].export_state(tag)
+                        } else {
+                            Vec::new()
+                        };
+                        shipment_states.extend(query.iter().cloned());
+                        in_transit.entry(arrive).or_default().push(Shipment {
+                            to,
+                            inference: state,
+                            query,
+                        });
+                    }
+                    // Centroid-based sharing: compress the query states of
+                    // this shipment's objects (Section 4.2) and charge the
+                    // compressed size.
+                    if let Some(bundle) = share_states(&shipment_states) {
+                        let shared = bundle.wire_bytes();
+                        shared_bytes += shared;
+                        unshared += unshared_bytes(&shipment_states);
+                        comm.record(MessageKind::QueryState, shared);
+                    }
+                    // The state has left the building.
+                    for &tag in &tags {
+                        engines[src].forget(tag);
+                        processors[src].forget(tag);
+                    }
+                }
+                // Zero-transit shipments (arrive == depart) were keyed on an
+                // epoch whose arrival pass already ran; deliver them now.
+                if let Some(batch) = in_transit.remove(&now) {
+                    for shipment in batch {
+                        let dest = shipment.to.0 as usize;
+                        engines[dest].import_state(shipment.inference);
+                        if !shipment.query.is_empty() {
+                            processors[dest].import_state(shipment.query);
+                        }
+                    }
+                }
+            }
+
+            // 4. Periodic inference and event-stream push.
+            for s in 0..num_sites {
+                if engines[s].step(now).is_some() {
+                    last_run[s] = Some(now);
+                    inference_runs += 1;
+                }
+            }
+            if with_queries && t % stride == 0 {
+                for s in 0..num_sites {
+                    for event in engines[s].events_at(now) {
+                        // only the custody site feeds events for an object,
+                        // so a departed object's stale estimates do not keep
+                        // an abandoned automaton alive
+                        if ons.site_of(event.tag, SiteId(0)).0 as usize != s {
+                            continue;
+                        }
+                        self.feed_event(&mut processors[s], event);
+                    }
+                }
+            }
+        }
+
+        // Final refresh so the reported containment reflects every reading
+        // (skipped where the periodic step already ran at the horizon).
+        for (s, engine) in engines.iter_mut().enumerate() {
+            if last_run[s] != Some(Epoch(horizon)) {
+                engine.run_inference(Epoch(horizon));
+                inference_runs += 1;
+            }
+        }
+
+        let mut containment = ContainmentMap::new();
+        for object in chain.objects() {
+            let site = ons.site_of(object, SiteId(0)).0 as usize;
+            if let Some(container) = engines.get(site).and_then(|e| e.container_of(object)) {
+                containment.set(object, container);
+            }
+        }
+
+        let mut alerts: Vec<Alert> = processors
+            .iter()
+            .flat_map(|p| p.alerts().iter().cloned())
+            .collect();
+        alerts.sort_by(|a, b| (a.at, &a.query, a.tag).cmp(&(b.at, &b.query, b.tag)));
+
+        DistributedOutcome {
+            containment,
+            comm,
+            alerts,
+            query_state_shared_bytes: shared_bytes,
+            query_state_unshared_bytes: unshared,
+            ons,
+            inference_runs,
+        }
+    }
+
+    /// The Centralized baseline: one engine over the disjoint union of the
+    /// per-site location spaces, with every raw reading shipped to it.
+    fn run_centralized(&self, chain: &ChainTrace) -> DistributedOutcome {
+        let num_sites = chain.sites.len();
+        let horizon = chain.sites.first().map(|s| s.meta.length).unwrap_or(0);
+        let with_queries = !self.config.queries.is_empty();
+        let stride = self.config.event_stride_secs.max(1);
+        let site_locs = chain
+            .sites
+            .first()
+            .map(|s| s.meta.num_locations)
+            .unwrap_or(0);
+        let total_locs = num_sites * site_locs;
+        assert!(
+            total_locs <= u16::MAX as usize,
+            "global location space exceeds u16"
+        );
+
+        // Block-diagonal global read-rate table: within a site the measured
+        // per-site table applies; across sites only stray background reads.
+        let background = (0..site_locs)
+            .flat_map(|r| {
+                let table = &chain.sites[0].read_rates;
+                (0..site_locs).map(move |a| table.rate(LocationId(r as u16), LocationId(a as u16)))
+            })
+            .fold(f64::INFINITY, f64::min)
+            .min(1e-4);
+        let mut global = ReadRateTable::uniform(total_locs, background);
+        for (s, site) in chain.sites.iter().enumerate() {
+            let offset = (s * site_locs) as u16;
+            for r in 0..site_locs as u16 {
+                for a in 0..site_locs as u16 {
+                    global.set(
+                        LocationId(offset + r),
+                        LocationId(offset + a),
+                        site.read_rates.rate(LocationId(r), LocationId(a)),
+                    );
+                }
+            }
+        }
+
+        let mut engine = InferenceEngine::new(self.config.inference.clone(), global);
+        let mut processor = self.make_processor();
+        let mut comm = CommCost::new();
+        let mut inference_runs = 0usize;
+
+        // Every reading of every site crosses the network, remapped into the
+        // global location space.
+        let mut readings: Vec<RawReading> = Vec::new();
+        for (s, site) in chain.sites.iter().enumerate() {
+            let offset = (s * site_locs) as u16;
+            for r in site.readings.readings_unordered() {
+                readings.push(RawReading::new(
+                    r.time,
+                    r.tag,
+                    ReaderId(offset + r.reader.0),
+                ));
+            }
+        }
+        readings.sort_unstable();
+        readings.dedup();
+
+        let mut sensors: Vec<SensorReading> = Vec::new();
+        if with_queries {
+            if let Some(model) = &self.config.temperature {
+                for s in 0..num_sites {
+                    let offset = (s * site_locs) as u16;
+                    for reading in model.generate(site_locs, Epoch(horizon)) {
+                        sensors.push(SensorReading::new(
+                            reading.time,
+                            LocationId(offset + reading.location.0),
+                            reading.value,
+                        ));
+                    }
+                }
+                sensors.sort_by_key(|r| (r.time, r.location));
+            }
+        }
+
+        let mut reading_cursor = 0usize;
+        let mut sensor_cursor = 0usize;
+        let mut ran_at_horizon = false;
+        for t in 0..=horizon {
+            let now = Epoch(t);
+            while sensor_cursor < sensors.len() && sensors[sensor_cursor].time <= now {
+                processor.on_sensor(sensors[sensor_cursor]);
+                sensor_cursor += 1;
+            }
+            while reading_cursor < readings.len() && readings[reading_cursor].time <= now {
+                comm.record(MessageKind::RawReadings, RawReading::WIRE_BYTES);
+                engine.observe(readings[reading_cursor]);
+                reading_cursor += 1;
+            }
+            if engine.step(now).is_some() {
+                inference_runs += 1;
+                ran_at_horizon = t == horizon;
+            }
+            if with_queries && t % stride == 0 {
+                for event in engine.events_at(now) {
+                    self.feed_event(&mut processor, event);
+                }
+            }
+        }
+        if !ran_at_horizon {
+            engine.run_inference(Epoch(horizon));
+            inference_runs += 1;
+        }
+
+        // Custody bookkeeping (no messages: the server knows everything).
+        let mut ons = Ons::new();
+        for tr in &chain.transfers {
+            ons.register(tr.tag, tr.to_site);
+        }
+
+        let mut containment = ContainmentMap::new();
+        for object in chain.objects() {
+            if let Some(container) = engine.container_of(object) {
+                containment.set(object, container);
+            }
+        }
+
+        DistributedOutcome {
+            containment,
+            comm,
+            alerts: processor.alerts().to_vec(),
+            query_state_shared_bytes: 0,
+            query_state_unshared_bytes: 0,
+            ons,
+            inference_runs,
+        }
+    }
+}

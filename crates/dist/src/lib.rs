@@ -1,0 +1,60 @@
+//! # rfid-dist
+//!
+//! Distributed inference and query processing — the Section 4 contribution of
+//! *"Distributed Inference and Query Processing for RFID Tracking and
+//! Monitoring"* (Cao, Sutton, Diao, Shenoy; PVLDB 4(5), 2011).
+//!
+//! A supply chain spans many sites; each runs its own inference engine and
+//! query processor over its own readers. When objects are dispatched to the
+//! next site, the interesting question is what state should travel with them:
+//!
+//! | [`MigrationStrategy`] | what moves | paper |
+//! |---|---|---|
+//! | `None` | nothing — every site starts cold | Table 5 baseline |
+//! | `CriticalRegionReadings` | the retained critical-region readings | §4.1, *Truncating History* |
+//! | `CollapsedWeights` | one co-location weight per candidate container | §4.1, *Collapsing Inference State* |
+//! | `Centralized` | every raw reading, to one central engine | accuracy upper bound |
+//!
+//! Query state (the per-object pattern-automaton state of Section 4.2) also
+//! migrates, compressed with centroid-based sharing, and an EPCglobal-style
+//! [`Ons`] records which site owns which tag. Every byte that crosses a site
+//! boundary is charged to a [`MessageKind`] in a [`CommCost`], which is how
+//! the Table 5 communication-cost comparison is produced.
+//!
+//! ## Example
+//!
+//! ```
+//! use rfid_dist::{DistributedConfig, DistributedDriver, MigrationStrategy};
+//! use rfid_core::InferenceConfig;
+//! use rfid_sim::{ChainConfig, SupplyChainSimulator, WarehouseConfig};
+//!
+//! let chain = SupplyChainSimulator::new(ChainConfig {
+//!     warehouse: WarehouseConfig::default()
+//!         .with_length(900)
+//!         .with_items_per_case(2)
+//!         .with_cases_per_pallet(2),
+//!     num_warehouses: 2,
+//!     transit_secs: 60,
+//!     fanout: 1,
+//! })
+//! .generate();
+//! let outcome = DistributedDriver::new(DistributedConfig {
+//!     strategy: MigrationStrategy::CollapsedWeights,
+//!     inference: InferenceConfig::default().without_change_detection(),
+//!     ..Default::default()
+//! })
+//! .run(&chain);
+//! assert!(outcome.comm.total_bytes() > 0 || chain.transfers.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod config;
+pub mod driver;
+pub mod ons;
+
+pub use comm::{CommCost, MessageKind};
+pub use config::{DistributedConfig, MigrationStrategy};
+pub use driver::{DistributedDriver, DistributedOutcome};
+pub use ons::{Ons, ONS_UPDATE_BYTES};

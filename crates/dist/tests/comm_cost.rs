@@ -1,0 +1,241 @@
+//! Communication-cost accounting invariants of the distributed driver:
+//! per-kind byte tallies always sum to the total, and the migration
+//! strategies order exactly as Table 5 of the paper predicts
+//! (None < CollapsedWeights < CriticalRegionReadings < Centralized).
+
+use rfid_core::InferenceConfig;
+use rfid_dist::{
+    DistributedConfig, DistributedDriver, DistributedOutcome, MessageKind, MigrationStrategy,
+};
+use rfid_query::ExposureQuery;
+use rfid_sim::{ChainConfig, ChainTrace, SupplyChainSimulator, TemperatureModel, WarehouseConfig};
+use std::collections::BTreeMap;
+
+fn chain() -> ChainTrace {
+    SupplyChainSimulator::new(ChainConfig {
+        warehouse: WarehouseConfig::default()
+            .with_length(1800)
+            .with_items_per_case(4)
+            .with_cases_per_pallet(2)
+            .with_seed(11),
+        num_warehouses: 2,
+        transit_secs: 90,
+        fanout: 1,
+    })
+    .generate()
+}
+
+fn run(chain: &ChainTrace, strategy: MigrationStrategy) -> DistributedOutcome {
+    DistributedDriver::new(DistributedConfig {
+        strategy,
+        inference: InferenceConfig::default().without_change_detection(),
+        ..Default::default()
+    })
+    .run(chain)
+}
+
+fn kind_sum(outcome: &DistributedOutcome) -> usize {
+    MessageKind::ALL
+        .iter()
+        .map(|&k| outcome.comm.bytes_of_kind(k))
+        .sum()
+}
+
+#[test]
+fn per_kind_tallies_sum_to_total_bytes_for_every_strategy() {
+    let chain = chain();
+    assert!(!chain.transfers.is_empty(), "the chain must see migrations");
+    for strategy in [
+        MigrationStrategy::None,
+        MigrationStrategy::CollapsedWeights,
+        MigrationStrategy::CriticalRegionReadings,
+        MigrationStrategy::Centralized,
+    ] {
+        let outcome = run(&chain, strategy);
+        assert_eq!(
+            kind_sum(&outcome),
+            outcome.comm.total_bytes(),
+            "per-kind tallies must sum to the total under {strategy:?}"
+        );
+    }
+}
+
+#[test]
+fn collapsed_weights_transfer_strictly_fewer_bytes_than_readings() {
+    let chain = chain();
+    let collapsed = run(&chain, MigrationStrategy::CollapsedWeights);
+    let readings = run(&chain, MigrationStrategy::CriticalRegionReadings);
+    let collapsed_state = collapsed.comm.bytes_of_kind(MessageKind::InferenceState);
+    let readings_state = readings.comm.bytes_of_kind(MessageKind::InferenceState);
+    assert!(collapsed_state > 0, "collapsed migration must ship state");
+    assert!(
+        collapsed_state < readings_state,
+        "collapsing must shrink migrated inference state \
+         ({collapsed_state} vs {readings_state} bytes)"
+    );
+    assert!(
+        collapsed.comm.total_bytes() < readings.comm.total_bytes(),
+        "collapsed total must undercut critical-region readings"
+    );
+    // both migrate the same objects, so custody traffic is identical
+    assert_eq!(
+        collapsed.comm.bytes_of_kind(MessageKind::OnsUpdate),
+        readings.comm.bytes_of_kind(MessageKind::OnsUpdate)
+    );
+}
+
+#[test]
+fn none_sends_nothing_and_centralized_ships_every_reading() {
+    let chain = chain();
+    let none = run(&chain, MigrationStrategy::None);
+    assert_eq!(none.comm.total_bytes(), 0, "the None baseline is silent");
+    assert_eq!(none.comm.total_messages(), 0);
+
+    let central = run(&chain, MigrationStrategy::Centralized);
+    assert_eq!(
+        central.comm.bytes_of_kind(MessageKind::RawReadings),
+        chain.total_readings() * rfid_types::RawReading::WIRE_BYTES,
+        "centralized cost is exactly the raw-reading volume"
+    );
+    assert_eq!(
+        central.comm.total_bytes(),
+        central.comm.bytes_of_kind(MessageKind::RawReadings),
+        "centralized sends nothing else"
+    );
+}
+
+#[test]
+fn query_state_bytes_appear_only_when_queries_are_registered() {
+    let chain = chain();
+    let without = run(&chain, MigrationStrategy::CollapsedWeights);
+    assert_eq!(without.comm.bytes_of_kind(MessageKind::QueryState), 0);
+    assert_eq!(without.query_state_shared_bytes, 0);
+
+    let mut properties = BTreeMap::new();
+    for object in chain.objects() {
+        properties.insert(object, "temperature-sensitive".to_string());
+    }
+    let with = DistributedDriver::new(DistributedConfig {
+        strategy: MigrationStrategy::CollapsedWeights,
+        inference: InferenceConfig::default().without_change_detection(),
+        queries: vec![ExposureQuery {
+            duration_secs: 600,
+            ..ExposureQuery::q1([])
+        }],
+        product_properties: properties,
+        temperature: Some(TemperatureModel::new([])),
+        ..Default::default()
+    })
+    .run(&chain);
+    assert!(with.comm.bytes_of_kind(MessageKind::QueryState) > 0);
+    assert_eq!(
+        with.query_state_shared_bytes,
+        with.comm.bytes_of_kind(MessageKind::QueryState),
+        "charged query-state bytes are the shared (compressed) bytes"
+    );
+    assert!(with.query_state_shared_bytes <= with.query_state_unshared_bytes);
+    assert_eq!(kind_sum(&with), with.comm.total_bytes());
+}
+
+#[test]
+fn custody_follows_the_last_transfer() {
+    let chain = chain();
+    let outcome = run(&chain, MigrationStrategy::CollapsedWeights);
+    for tr in &chain.transfers {
+        let site = outcome
+            .ons
+            .lookup(tr.tag)
+            .expect("every transferred tag is registered");
+        let last = chain.transfers.iter().rfind(|t| t.tag == tr.tag).unwrap();
+        assert_eq!(site, last.to_site);
+    }
+}
+
+/// A hand-built two-site chain with zero transit time and an object the
+/// destination site never reads: the shipment departs and arrives in the
+/// same epoch, and only the imported collapsed state can tell site 1 what
+/// contains the item. Regression test for (a) same-epoch shipment delivery
+/// and (b) imported containment surviving later inference runs.
+#[test]
+fn zero_transit_shipments_deliver_state_the_destination_cannot_relearn() {
+    use rfid_sim::ObjectTransfer;
+    use rfid_types::{
+        ContainmentMap, ContainmentTimeline, Epoch, GroundTruth, LocationId, RawReading,
+        ReadRateTable, ReaderId, ReadingBatch, SiteId, TagId, Trace, TraceMetadata,
+    };
+
+    let item = TagId::item(1);
+    let case = TagId::case(1);
+    let map: ContainmentMap = [(item, case)].into_iter().collect();
+    let timeline = ContainmentTimeline::new(map);
+    let rates = || ReadRateTable::diagonal(2, 0.8, 1e-4);
+
+    // Site 0: item and case co-travel at location 0 until the dispatch.
+    let mut readings0 = Vec::new();
+    for t in 0..50u32 {
+        readings0.push(RawReading::new(Epoch(t), item, ReaderId(0)));
+        readings0.push(RawReading::new(Epoch(t), case, ReaderId(0)));
+    }
+    let mut truth0 = GroundTruth::new(timeline.clone());
+    truth0.record_location(item, Epoch(0), LocationId(0));
+    truth0.record_location(case, Epoch(0), LocationId(0));
+    let site0 = Trace {
+        readings: ReadingBatch::from_readings(readings0),
+        truth: truth0,
+        read_rates: rates(),
+        meta: TraceMetadata::stable("site0", 0.8, 0.0, 100, 2),
+    };
+
+    // Site 1: only the case is ever read; the item is missed entirely.
+    let mut readings1 = Vec::new();
+    for t in 60..100u32 {
+        readings1.push(RawReading::new(Epoch(t), case, ReaderId(1)));
+    }
+    let mut truth1 = GroundTruth::new(timeline.clone());
+    truth1.record_location(case, Epoch(60), LocationId(1));
+    truth1.record_location(item, Epoch(60), LocationId(1));
+    let site1 = Trace {
+        readings: ReadingBatch::from_readings(readings1),
+        truth: truth1,
+        read_rates: rates(),
+        meta: TraceMetadata::stable("site1", 0.8, 0.0, 100, 2),
+    };
+
+    let chain = ChainTrace {
+        sites: vec![site0, site1],
+        transfers: vec![
+            ObjectTransfer {
+                tag: case,
+                from_site: SiteId(0),
+                to_site: SiteId(1),
+                depart: Epoch(60),
+                arrive: Epoch(60),
+            },
+            ObjectTransfer {
+                tag: item,
+                from_site: SiteId(0),
+                to_site: SiteId(1),
+                depart: Epoch(60),
+                arrive: Epoch(60),
+            },
+        ],
+        containment: timeline,
+    };
+
+    let outcome = DistributedDriver::new(DistributedConfig {
+        strategy: MigrationStrategy::CollapsedWeights,
+        inference: InferenceConfig::default()
+            .with_period(20)
+            .without_change_detection(),
+        ..Default::default()
+    })
+    .run(&chain);
+
+    assert_eq!(outcome.ons.lookup(item), Some(SiteId(1)));
+    assert_eq!(
+        outcome.container_of(item),
+        Some(case),
+        "the zero-transit shipment must deliver the collapsed state, and the \
+         destination must keep it even though it never reads the item"
+    );
+}

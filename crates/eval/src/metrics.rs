@@ -120,7 +120,10 @@ pub fn changes_f_measure(
         let hit = true_changes.iter().enumerate().find(|(idx, truth)| {
             !matched_truth[*idx]
                 && truth.object == report.object
-                && truth.time.since(report.change_at).max(report.change_at.since(truth.time))
+                && truth
+                    .time
+                    .since(report.change_at)
+                    .max(report.change_at.since(truth.time))
                     <= config.time_tolerance
                 && (!config.require_correct_container
                     || truth.new_container == report.new_container)
@@ -168,7 +171,13 @@ mod tests {
             new_container: Some(TagId::case(2)),
         });
         let mut truth = GroundTruth::new(timeline);
-        for tag in [TagId::item(1), TagId::item(2), TagId::item(3), TagId::case(1), TagId::case(2)] {
+        for tag in [
+            TagId::item(1),
+            TagId::item(2),
+            TagId::item(3),
+            TagId::case(1),
+            TagId::case(2),
+        ] {
             truth.record_location(tag, Epoch(0), LocationId(0));
             truth.record_location(tag, Epoch(50), LocationId(1));
         }
@@ -202,14 +211,23 @@ mod tests {
         let none = |_tag: TagId, _t: Epoch| None;
         assert!((location_error(&truth, none, &tags, &epochs) - 100.0).abs() < 1e-9);
         // no evaluable pairs -> zero error
-        assert_eq!(location_error(&truth, none, &[TagId::item(99)], &epochs), 0.0);
+        assert_eq!(
+            location_error(&truth, none, &[TagId::item(99)], &epochs),
+            0.0
+        );
     }
 
     #[test]
     fn f_measure_combines_precision_and_recall() {
-        let pr = PrecisionRecall { precision: 1.0, recall: 0.5 };
+        let pr = PrecisionRecall {
+            precision: 1.0,
+            recall: 0.5,
+        };
         assert!((pr.f_measure() - 2.0 / 3.0 * 100.0).abs() < 1e-9);
-        let zero = PrecisionRecall { precision: 0.0, recall: 0.0 };
+        let zero = PrecisionRecall {
+            precision: 0.0,
+            recall: 0.0,
+        };
         assert_eq!(zero.f_measure(), 0.0);
     }
 
@@ -271,7 +289,11 @@ mod tests {
         assert_eq!(pr.precision, 1.0);
         assert_eq!(pr.recall, 1.0);
         let truth = truth();
-        let pr = changes_f_measure(truth.containment.changes(), &[], ChangeMatchConfig::default());
+        let pr = changes_f_measure(
+            truth.containment.changes(),
+            &[],
+            ChangeMatchConfig::default(),
+        );
         assert_eq!(pr.precision, 0.0);
         assert_eq!(pr.recall, 0.0);
     }

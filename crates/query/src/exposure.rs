@@ -98,7 +98,9 @@ impl ExposureQuery {
         } else {
             true
         };
-        let temp_ok = temperature.map(|t| t > self.temp_threshold).unwrap_or(false);
+        let temp_ok = temperature
+            .map(|t| t > self.temp_threshold)
+            .unwrap_or(false);
         container_ok && temp_ok
     }
 }
@@ -144,8 +146,14 @@ mod tests {
         let inside = event(Some(freezer), "temperature-sensitive");
         let loose = event(None, "temperature-sensitive");
         assert!(q1.qualifies(&outside, Some(21.0)));
-        assert!(q1.qualifies(&loose, Some(21.0)), "container = NULL qualifies");
-        assert!(!q1.qualifies(&inside, Some(21.0)), "inside a freezer never qualifies");
+        assert!(
+            q1.qualifies(&loose, Some(21.0)),
+            "container = NULL qualifies"
+        );
+        assert!(
+            !q1.qualifies(&inside, Some(21.0)),
+            "inside a freezer never qualifies"
+        );
         assert!(!q1.qualifies(&outside, Some(-5.0)), "cold enough is fine");
         assert!(!q1.qualifies(&outside, None), "no temperature reading yet");
     }

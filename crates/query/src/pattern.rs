@@ -126,7 +126,11 @@ mod tests {
         let mut a = ExposureAutomaton::new(100);
         assert_eq!(a.feed(Epoch(0), true, 21.0), None);
         assert_eq!(a.feed(Epoch(50), true, 22.0), None);
-        assert_eq!(a.feed(Epoch(100), true, 23.0), None, "not strictly greater yet");
+        assert_eq!(
+            a.feed(Epoch(100), true, 23.0),
+            None,
+            "not strictly greater yet"
+        );
         let m = a.feed(Epoch(101), true, 24.0).expect("match");
         assert_eq!(m.since, Epoch(0));
         assert_eq!(m.at, Epoch(101));
@@ -160,7 +164,9 @@ mod tests {
         // same run (this is what state migration does between sites)
         let mut b = ExposureAutomaton::new(1000);
         b.restore(exported);
-        let m = b.feed(Epoch(1011), true, 21.0).expect("run continues across migration");
+        let m = b
+            .feed(Epoch(1011), true, 21.0)
+            .expect("run continues across migration");
         assert_eq!(m.since, Epoch(10));
         assert_eq!(m.readings.len(), 3);
     }

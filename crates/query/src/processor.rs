@@ -101,7 +101,10 @@ impl QueryProcessor {
 
     /// Total serialized size of one object's query state, in bytes.
     pub fn state_bytes(&self, tag: TagId) -> usize {
-        self.export_state(tag).iter().map(ObjectQueryState::wire_bytes).sum()
+        self.export_state(tag)
+            .iter()
+            .map(ObjectQueryState::wire_bytes)
+            .sum()
     }
 
     /// Import query state for an object arriving from another site.
@@ -233,12 +236,12 @@ mod tests {
         let mut alerts = Vec::new();
         site_b.import_state(state);
         for t in (70..=120).step_by(10) {
-            alerts.extend(site_b.on_event(&ObjectEvent::new(
-                Epoch(t),
-                TagId::item(1),
-                LocationId(3),
-                None,
-            ).with_property("temperature-sensitive")));
+            alerts.extend(
+                site_b.on_event(
+                    &ObjectEvent::new(Epoch(t), TagId::item(1), LocationId(3), None)
+                        .with_property("temperature-sensitive"),
+                ),
+            );
         }
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].since, Epoch(0), "exposure started at site A");

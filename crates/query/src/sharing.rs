@@ -61,7 +61,11 @@ impl SharedStateBundle {
     /// Total size of the bundle in bytes — what migration actually transfers.
     pub fn wire_bytes(&self) -> usize {
         8 + self.centroid_bytes.len()
-            + self.deltas.iter().map(StateDelta::wire_bytes).sum::<usize>()
+            + self
+                .deltas
+                .iter()
+                .map(StateDelta::wire_bytes)
+                .sum::<usize>()
     }
 
     /// Reconstruct every `(tag, payload)` in the bundle (centroid first).
@@ -161,10 +165,8 @@ pub fn share_states(states: &[ObjectQueryState]) -> Option<SharedStateBundle> {
     if states.is_empty() {
         return None;
     }
-    let serialized: Vec<(TagId, Vec<u8>)> = states
-        .iter()
-        .map(|s| (s.tag, state_payload(s)))
-        .collect();
+    let serialized: Vec<(TagId, Vec<u8>)> =
+        states.iter().map(|s| (s.tag, state_payload(s))).collect();
     // Pick the centroid: the payload minimising the total distance to all
     // others (O(n^2), acceptable for the 20-50 objects of one case).
     let (centroid_idx, _) = serialized
@@ -210,7 +212,9 @@ mod tests {
             tag,
             automaton: AutomatonState::Accumulating {
                 since: Epoch(since),
-                readings: (0..n).map(|i| (Epoch(since + i as u32 * 10), 21.0)).collect(),
+                readings: (0..n)
+                    .map(|i| (Epoch(since + i as u32 * 10), 21.0))
+                    .collect(),
                 fired: false,
             },
         }
@@ -233,9 +237,8 @@ mod tests {
     #[test]
     fn similar_states_compress_by_a_large_factor() {
         // 20 objects of the same case with identical exposure runs.
-        let states: Vec<ObjectQueryState> = (0..20)
-            .map(|i| state(TagId::item(i), 100, 20))
-            .collect();
+        let states: Vec<ObjectQueryState> =
+            (0..20).map(|i| state(TagId::item(i), 100, 20)).collect();
         let bundle = share_states(&states).unwrap();
         let shared = bundle.wire_bytes();
         let unshared = unshared_bytes(&states);
@@ -259,7 +262,10 @@ mod tests {
         let bundle = share_states(&states).unwrap();
         let expanded = bundle.expand_states().unwrap();
         for original in &states {
-            assert_eq!(expanded.iter().find(|s| s.tag == original.tag).unwrap(), original);
+            assert_eq!(
+                expanded.iter().find(|s| s.tag == original.tag).unwrap(),
+                original
+            );
         }
         // the delta fallback caps the cost near the unshared size
         assert!(bundle.wire_bytes() <= unshared_bytes(&states) + 64);

@@ -52,7 +52,9 @@ mod tests {
             tag,
             automaton: AutomatonState::Accumulating {
                 since: Epoch(100),
-                readings: (0..n).map(|i| (Epoch(100 + i as u32 * 10), 21.0 + i as f64 * 0.1)).collect(),
+                readings: (0..n)
+                    .map(|i| (Epoch(100 + i as u32 * 10), 21.0 + i as f64 * 0.1))
+                    .collect(),
                 fired: false,
             },
         }
@@ -76,7 +78,10 @@ mod tests {
         };
         let long = accumulating(TagId::item(1), 50);
         assert!(idle.wire_bytes() < long.wire_bytes());
-        assert!(long.wire_bytes() > 500, "collected readings dominate the state size");
+        assert!(
+            long.wire_bytes() > 500,
+            "collected readings dominate the state size"
+        );
     }
 
     #[test]

@@ -19,13 +19,13 @@ fn arb_state() -> impl Strategy<Value = ObjectQueryState> {
                 fired,
             }),
     ];
-    (0u64..50, automaton, prop_oneof![Just("Q1"), Just("Q2")]).prop_map(|(tag, automaton, query)| {
-        ObjectQueryState {
+    (0u64..50, automaton, prop_oneof![Just("Q1"), Just("Q2")]).prop_map(
+        |(tag, automaton, query)| ObjectQueryState {
             query: query.to_string(),
             tag: TagId::item(tag),
             automaton,
-        }
-    })
+        },
+    )
 }
 
 proptest! {

@@ -51,7 +51,11 @@ pub fn inject_anomalies<R: Rng>(
         // Cases currently stored on a shelf.
         let shelved: Vec<&CaseJourney> = journeys
             .iter()
-            .filter(|j| j.location_at(now).map(|loc| layout.is_shelf(loc)).unwrap_or(false))
+            .filter(|j| {
+                j.location_at(now)
+                    .map(|loc| layout.is_shelf(loc))
+                    .unwrap_or(false)
+            })
             .collect();
         if shelved.len() >= 2 {
             // Pick a victim item from one shelved case (according to the
@@ -165,7 +169,10 @@ mod tests {
             for earlier in tl.changes().iter().take(idx) {
                 replay.record(*earlier);
             }
-            assert_eq!(replay.container_at(change.object, before), change.old_container);
+            assert_eq!(
+                replay.container_at(change.object, before),
+                change.old_container
+            );
         }
     }
 }

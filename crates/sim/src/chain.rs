@@ -20,8 +20,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rfid_types::{
-    ContainmentChange, ContainmentTimeline, Epoch, GroundTruth, SiteId, TagId, Trace,
-    TraceMetadata,
+    ContainmentChange, ContainmentTimeline, Epoch, GroundTruth, SiteId, TagId, Trace, TraceMetadata,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -61,11 +60,7 @@ impl ChainTrace {
 
     /// All distinct objects (items) in the chain.
     pub fn objects(&self) -> Vec<TagId> {
-        let mut objects: Vec<TagId> = self
-            .sites
-            .iter()
-            .flat_map(|t| t.objects())
-            .collect();
+        let mut objects: Vec<TagId> = self.sites.iter().flat_map(|t| t.objects()).collect();
         objects.sort_unstable();
         objects.dedup();
         objects
@@ -133,7 +128,10 @@ impl SupplyChainSimulator {
             }
             let successors = self.config.successors(w as u32);
             for (pallet, cases) in &per_pallet {
-                let departure = cases.iter().map(|j| j.departure).collect::<Option<Vec<_>>>();
+                let departure = cases
+                    .iter()
+                    .map(|j| j.departure)
+                    .collect::<Option<Vec<_>>>();
                 let Some(departure) = departure else { continue };
                 let depart = departure.into_iter().max().unwrap();
                 if successors.is_empty() {
@@ -263,7 +261,11 @@ impl SupplyChainSimulator {
                 timeline
                     .changes()
                     .iter()
-                    .filter(|c| c.new_container.map(|nc| by_case.contains_key(&nc)).unwrap_or(false))
+                    .filter(|c| {
+                        c.new_container
+                            .map(|nc| by_case.contains_key(&nc))
+                            .unwrap_or(false)
+                    })
                     .map(|c| c.object),
             );
             items.sort_unstable();
@@ -324,7 +326,7 @@ mod tests {
     fn chain_produces_one_trace_per_site() {
         let chain = SupplyChainSimulator::new(small_chain(1800, 3)).generate();
         assert_eq!(chain.sites.len(), 3);
-        assert!(chain.sites[0].readings.len() > 0);
+        assert!(!chain.sites[0].readings.is_empty());
         assert!(chain.total_readings() >= chain.sites[0].readings.len());
         assert!(!chain.objects().is_empty());
     }
@@ -333,7 +335,10 @@ mod tests {
     fn transfers_reference_valid_sites_and_follow_transit_delay() {
         let config = small_chain(3000, 3);
         let chain = SupplyChainSimulator::new(config.clone()).generate();
-        assert!(!chain.transfers.is_empty(), "long trace should see transfers");
+        assert!(
+            !chain.transfers.is_empty(),
+            "long trace should see transfers"
+        );
         for tr in &chain.transfers {
             assert!((tr.to_site.0 as u32) < config.num_warehouses);
             assert!((tr.from_site.0 as u32) < config.num_warehouses);
@@ -341,7 +346,10 @@ mod tests {
             assert_eq!(tr.arrive.since(tr.depart), config.transit_secs);
         }
         // transfers are sorted by departure time
-        assert!(chain.transfers.windows(2).all(|w| w[0].depart <= w[1].depart));
+        assert!(chain
+            .transfers
+            .windows(2)
+            .all(|w| w[0].depart <= w[1].depart));
     }
 
     #[test]

@@ -161,7 +161,10 @@ impl WarehouseConfig {
     /// violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         if !(0.0..=1.0).contains(&self.read_rate) {
-            return Err(format!("read_rate must be in [0,1], got {}", self.read_rate));
+            return Err(format!(
+                "read_rate must be in [0,1], got {}",
+                self.read_rate
+            ));
         }
         if !(0.0..=1.0).contains(&self.overlap_rate) {
             return Err(format!(
@@ -277,10 +280,30 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(WarehouseConfig { read_rate: 1.5, ..Default::default() }.validate().is_err());
-        assert!(WarehouseConfig { overlap_rate: -0.1, ..Default::default() }.validate().is_err());
-        assert!(WarehouseConfig { items_per_case: 0, ..Default::default() }.validate().is_err());
-        assert!(WarehouseConfig { num_shelves: 0, ..Default::default() }.validate().is_err());
+        assert!(WarehouseConfig {
+            read_rate: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(WarehouseConfig {
+            overlap_rate: -0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(WarehouseConfig {
+            items_per_case: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(WarehouseConfig {
+            num_shelves: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(WarehouseConfig {
             shelf_dwell_min: 100,
             shelf_dwell_max: 50,
@@ -288,8 +311,18 @@ mod tests {
         }
         .validate()
         .is_err());
-        assert!(ChainConfig { num_warehouses: 0, ..Default::default() }.validate().is_err());
-        assert!(ChainConfig { fanout: 0, ..Default::default() }.validate().is_err());
+        assert!(ChainConfig {
+            num_warehouses: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ChainConfig {
+            fanout: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -304,7 +337,7 @@ mod tests {
         assert_eq!(chain.successors(2), vec![5, 6]);
         assert!(chain.successors(3).is_empty());
         // every non-source warehouse is reachable exactly once (tree)
-        let mut reached = vec![0u32; 7];
+        let mut reached = [0u32; 7];
         for w in 0..7 {
             for s in chain.successors(w) {
                 reached[s as usize] += 1;

@@ -101,7 +101,10 @@ pub fn item_trajectory(
                         .location_at(step_start)
                         .map(|l| l == loc)
                         .unwrap_or(false)
-                        && segments.last().map(|&(s, _)| s > step_start).unwrap_or(true)
+                        && segments
+                            .last()
+                            .map(|&(s, _)| s > step_start)
+                            .unwrap_or(true)
                     {
                         segments.push((step_start, loc));
                     }
@@ -224,7 +227,10 @@ mod tests {
         let (old_shelf_start, _) = old.shelf_interval(&layout).unwrap();
         let (new_shelf_start, new_shelf_end) = new.shelf_interval(&layout).unwrap();
         let change_time = old_shelf_start.max(new_shelf_start).plus(5);
-        assert!(change_time < new_shelf_end, "test setup: both cases shelved");
+        assert!(
+            change_time < new_shelf_end,
+            "test setup: both cases shelved"
+        );
         let item = old.items[0];
         let mut timeline = ContainmentTimeline::new(initial_containment(&journeys));
         timeline.record(ContainmentChange {
@@ -248,7 +254,13 @@ mod tests {
     #[test]
     fn readings_respect_presence_and_read_rate() {
         let (config, layout, journeys) = setup(900);
-        let timeline = inject_anomalies(&journeys, &layout, None, Epoch(900), &mut ChaCha8Rng::seed_from_u64(1));
+        let timeline = inject_anomalies(
+            &journeys,
+            &layout,
+            None,
+            Epoch(900),
+            &mut ChaCha8Rng::seed_from_u64(1),
+        );
         let by_case: BTreeMap<TagId, &CaseJourney> = journeys.iter().map(|j| (j.case, j)).collect();
         let mut trajectories: Vec<TagTrajectory> = journeys.iter().map(case_trajectory).collect();
         for j in &journeys {
@@ -265,7 +277,9 @@ mod tests {
         let traj_by_tag: BTreeMap<TagId, &TagTrajectory> =
             trajectories.iter().map(|t| (t.tag, t)).collect();
         for r in batch.readings_unordered() {
-            let loc = traj_by_tag[&r.tag].location_at(r.time).expect("tag present");
+            let loc = traj_by_tag[&r.tag]
+                .location_at(r.time)
+                .expect("tag present");
             let p = rates.rate(r.reader.location(), loc);
             assert!(p > 1e-3, "reading generated with negligible probability");
         }
@@ -287,7 +301,9 @@ mod tests {
             total += batch
                 .readings_unordered()
                 .iter()
-                .filter(|r| r.reader.location() == layout.entry() && r.time < Epoch(config.entry_dwell))
+                .filter(|r| {
+                    r.reader.location() == layout.entry() && r.time < Epoch(config.entry_dwell)
+                })
                 .count();
         }
         let mean = total as f64 / runs as f64;

@@ -244,7 +244,11 @@ impl LabConfig {
                 read_rate,
                 overlap_rate,
                 length: horizon.0,
-                anomaly_interval: if self.trace.has_changes() { Some(0) } else { None },
+                anomaly_interval: if self.trace.has_changes() {
+                    Some(0)
+                } else {
+                    None
+                },
                 num_locations: layout.num_locations(),
             },
         }
@@ -285,7 +289,10 @@ mod tests {
         let t5 = LabConfig::published(LabTraceId::T5).generate();
         let changes = t5.truth.containment.changes();
         assert_eq!(changes.len(), 4, "3 moves + 1 removal");
-        assert_eq!(changes.iter().filter(|c| c.new_container.is_none()).count(), 1);
+        assert_eq!(
+            changes.iter().filter(|c| c.new_container.is_none()).count(),
+            1
+        );
         // moves are between distinct cases
         for c in changes.iter().filter(|c| c.new_container.is_some()) {
             assert_ne!(c.old_container, c.new_container);
@@ -310,9 +317,15 @@ mod tests {
             .copied()
             .find(|c| c.new_container.is_none())
             .unwrap();
-        let shelf_loc = trace.truth.location_at(removal.object, removal.time).unwrap();
+        let shelf_loc = trace
+            .truth
+            .location_at(removal.object, removal.time)
+            .unwrap();
         let end = Epoch(trace.meta.length - 1);
-        assert_eq!(trace.truth.location_at(removal.object, end), Some(shelf_loc));
+        assert_eq!(
+            trace.truth.location_at(removal.object, end),
+            Some(shelf_loc)
+        );
         // ... while its former case has moved on to the exit by the end.
         let case = removal.old_container.unwrap();
         assert_ne!(trace.truth.location_at(case, end), Some(shelf_loc));

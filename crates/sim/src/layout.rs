@@ -112,9 +112,9 @@ impl WarehouseLayout {
     /// front of it during its round-robin sweep of the aisle.
     pub fn interrogates(&self, loc: LocationId, t: Epoch) -> bool {
         match self.shelf_index(loc) {
-            None => t.0 % self.non_shelf_period == 0,
+            None => t.0.is_multiple_of(self.non_shelf_period),
             Some(i) => match self.shelf_scan {
-                ShelfScanMode::Static { period_secs } => t.0 % period_secs == 0,
+                ShelfScanMode::Static { period_secs } => t.0.is_multiple_of(period_secs),
                 ShelfScanMode::Mobile {
                     dwell_secs,
                     shelves_per_aisle,
@@ -238,7 +238,9 @@ mod tests {
         assert!(l.interrogates(l.shelf(0), Epoch(42)));
         // every shelf gets some coverage over a full cycle
         for i in 0..4 {
-            assert!(!l.interrogation_epochs(l.shelf(i), Epoch(0), Epoch(39)).is_empty());
+            assert!(!l
+                .interrogation_epochs(l.shelf(i), Epoch(0), Epoch(39))
+                .is_empty());
         }
     }
 

@@ -116,7 +116,8 @@ pub fn build_journeys<R: Rng>(
 
             // Cases are unpacked after the entry dwell and scanned on the
             // belt one at a time, in case order.
-            let belt_start = arrival.plus(config.entry_dwell + case_index as u32 * config.belt_dwell);
+            let belt_start =
+                arrival.plus(config.entry_dwell + case_index as u32 * config.belt_dwell);
             let belt_end = belt_start.plus(config.belt_dwell);
             if belt_start < horizon {
                 segments.push((belt_start, layout.belt()));
@@ -142,7 +143,11 @@ pub fn build_journeys<R: Rng>(
             if exit_start < horizon {
                 segments.push((exit_start, layout.exit()));
             }
-            let departure = if exit_end < horizon { Some(exit_end) } else { None };
+            let departure = if exit_end < horizon {
+                Some(exit_end)
+            } else {
+                None
+            };
 
             journeys.push(CaseJourney {
                 case: *case,
@@ -170,7 +175,9 @@ pub fn source_arrivals(config: &WarehouseConfig, serials: &mut TagSerials) -> Ve
         let cases = (0..config.cases_per_pallet)
             .map(|_| {
                 let case = serials.next_case();
-                let items = (0..config.items_per_case).map(|_| serials.next_item()).collect();
+                let items = (0..config.items_per_case)
+                    .map(|_| serials.next_item())
+                    .collect();
                 (case, items)
             })
             .collect();
@@ -253,7 +260,10 @@ mod tests {
         assert_eq!(arrivals[0].cases.len(), config.cases_per_pallet as usize);
         assert_eq!(arrivals[0].cases[0].1.len(), config.items_per_case as usize);
         // no tag reuse across pallets
-        let all_cases: Vec<TagId> = arrivals.iter().flat_map(|p| p.cases.iter().map(|c| c.0)).collect();
+        let all_cases: Vec<TagId> = arrivals
+            .iter()
+            .flat_map(|p| p.cases.iter().map(|c| c.0))
+            .collect();
         let mut deduped = all_cases.clone();
         deduped.sort_unstable();
         deduped.dedup();
@@ -316,7 +326,11 @@ mod tests {
         let (config, layout, journeys) = setup();
         let shelves: Vec<LocationId> = journeys.iter().filter_map(|j| j.shelf(&layout)).collect();
         // the first `num_shelves` cases land on distinct shelves
-        let first: Vec<LocationId> = shelves.iter().take(config.num_shelves as usize).copied().collect();
+        let first: Vec<LocationId> = shelves
+            .iter()
+            .take(config.num_shelves as usize)
+            .copied()
+            .collect();
         let mut deduped = first.clone();
         deduped.sort_unstable();
         deduped.dedup();

@@ -175,7 +175,10 @@ mod tests {
         let (trace, tags) = EvidenceScenario::default().generate();
         let observed = trace.readings.tags();
         for t in [tags.object, tags.real, tags.nrc, tags.nrnc] {
-            assert!(observed.contains(&t), "tag {t} should be read at least once");
+            assert!(
+                observed.contains(&t),
+                "tag {t} should be read at least once"
+            );
         }
     }
 

@@ -9,8 +9,8 @@
 //! temperature) plus small periodic and random fluctuations.
 
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use rfid_types::{Epoch, LocationId, SensorReading};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -72,7 +72,11 @@ impl TemperatureModel {
             for l in 0..num_locations {
                 let loc = LocationId(l as u16);
                 let noise = rng.gen_range(-self.jitter..=self.jitter);
-                readings.push(SensorReading::new(Epoch(t), loc, self.mean_temp(loc) + noise));
+                readings.push(SensorReading::new(
+                    Epoch(t),
+                    loc,
+                    self.mean_temp(loc) + noise,
+                ));
             }
             t += period;
         }
@@ -115,7 +119,10 @@ mod tests {
         let a = model.generate(2, Epoch(100));
         let b = model.generate(2, Epoch(100));
         assert_eq!(a.len(), b.len());
-        assert!(a.iter().zip(&b).all(|(x, y)| (x.value - y.value).abs() < 1e-12));
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| (x.value - y.value).abs() < 1e-12));
     }
 
     #[test]

@@ -64,11 +64,7 @@ impl WarehouseSimulator {
     /// Generate a trace given an explicit pallet arrival schedule. Used by
     /// the multi-warehouse simulator, which routes pallets between sites;
     /// `seed_offset` decorrelates the noise of different sites.
-    pub fn generate_from_arrivals(
-        &self,
-        arrivals: &[PalletArrival],
-        seed_offset: u64,
-    ) -> Trace {
+    pub fn generate_from_arrivals(&self, arrivals: &[PalletArrival], seed_offset: u64) -> Trace {
         let layout = self.layout();
         let horizon = Epoch(self.config.length_secs);
         let mut movement_rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x9e37 ^ seed_offset);
@@ -162,24 +158,38 @@ mod tests {
         let config = WarehouseConfig::default().with_length(600).with_seed(77);
         let a = WarehouseSimulator::new(config.clone()).generate();
         let b = WarehouseSimulator::new(config).generate();
-        assert_eq!(a.readings.readings_unordered(), b.readings.readings_unordered());
+        assert_eq!(
+            a.readings.readings_unordered(),
+            b.readings.readings_unordered()
+        );
     }
 
     #[test]
     fn different_seeds_give_different_noise() {
-        let a = WarehouseSimulator::new(WarehouseConfig::default().with_length(600).with_seed(1)).generate();
-        let b = WarehouseSimulator::new(WarehouseConfig::default().with_length(600).with_seed(2)).generate();
-        assert_ne!(a.readings.readings_unordered(), b.readings.readings_unordered());
+        let a = WarehouseSimulator::new(WarehouseConfig::default().with_length(600).with_seed(1))
+            .generate();
+        let b = WarehouseSimulator::new(WarehouseConfig::default().with_length(600).with_seed(2))
+            .generate();
+        assert_ne!(
+            a.readings.readings_unordered(),
+            b.readings.readings_unordered()
+        );
     }
 
     #[test]
     fn higher_read_rate_produces_more_readings() {
         let lo = WarehouseSimulator::new(
-            WarehouseConfig::default().with_length(600).with_read_rate(0.6).with_seed(3),
+            WarehouseConfig::default()
+                .with_length(600)
+                .with_read_rate(0.6)
+                .with_seed(3),
         )
         .generate();
         let hi = WarehouseSimulator::new(
-            WarehouseConfig::default().with_length(600).with_read_rate(0.95).with_seed(3),
+            WarehouseConfig::default()
+                .with_length(600)
+                .with_read_rate(0.95)
+                .with_seed(3),
         )
         .generate();
         assert!(hi.readings.len() > lo.readings.len());

@@ -70,7 +70,10 @@ impl SmurfStarOutcome {
         }
         if tag.is_object() {
             if let Some(container) = self.containment.container_of(tag) {
-                return self.locations.get(&container).and_then(|s| s.location_at(t));
+                return self
+                    .locations
+                    .get(&container)
+                    .and_then(|s| s.location_at(t));
             }
         }
         None
@@ -112,8 +115,16 @@ impl SmurfStar {
         let locations = smoother.smooth_all(&per_tag);
 
         // 2. Per-item co-location counting over sampled epochs.
-        let items: Vec<TagId> = locations.keys().copied().filter(|t| t.is_object()).collect();
-        let cases: Vec<TagId> = locations.keys().copied().filter(|t| t.is_container()).collect();
+        let items: Vec<TagId> = locations
+            .keys()
+            .copied()
+            .filter(|t| t.is_object())
+            .collect();
+        let cases: Vec<TagId> = locations
+            .keys()
+            .copied()
+            .filter(|t| t.is_container())
+            .collect();
         let mut containment = ContainmentMap::new();
         let mut changes = Vec::new();
 
@@ -250,8 +261,14 @@ mod tests {
         let outcome = SmurfStar::default().run(&stable_batch());
         assert_eq!(outcome.container_of(TagId::item(1)), Some(TagId::case(1)));
         assert!(outcome.changes.is_empty());
-        assert_eq!(outcome.location_of(TagId::item(1), Epoch(5)), Some(LocationId(0)));
-        assert_eq!(outcome.location_of(TagId::item(1), Epoch(35)), Some(LocationId(1)));
+        assert_eq!(
+            outcome.location_of(TagId::item(1), Epoch(5)),
+            Some(LocationId(0))
+        );
+        assert_eq!(
+            outcome.location_of(TagId::item(1), Epoch(35)),
+            Some(LocationId(1))
+        );
     }
 
     #[test]
@@ -284,7 +301,10 @@ mod tests {
         let outcome = SmurfStar::default().run(&batch(readings));
         assert_eq!(outcome.container_of(TagId::item(5)), None);
         // the item still has smoothed locations of its own
-        assert_eq!(outcome.location_of(TagId::item(5), Epoch(3)), Some(LocationId(0)));
+        assert_eq!(
+            outcome.location_of(TagId::item(5), Epoch(3)),
+            Some(LocationId(0))
+        );
     }
 
     #[test]

@@ -65,7 +65,11 @@ impl SmoothedTag {
             return None;
         }
         let idx = self.locations.partition_point(|&(e, _)| e <= t);
-        let chosen = if idx == 0 { &self.locations[0] } else { &self.locations[idx - 1] };
+        let chosen = if idx == 0 {
+            &self.locations[0]
+        } else {
+            &self.locations[idx - 1]
+        };
         Some(chosen.1)
     }
 }
@@ -193,6 +197,9 @@ mod tests {
         map.insert(TagId::case(1), obs_from(&[(0, 1)]));
         let all = SmurfSmoother::default().smooth_all(&map);
         assert_eq!(all.len(), 2);
-        assert_eq!(all[&TagId::case(1)].location_at(Epoch(0)), Some(LocationId(1)));
+        assert_eq!(
+            all[&TagId::case(1)].location_at(Epoch(0)),
+            Some(LocationId(1))
+        );
     }
 }

@@ -238,8 +238,12 @@ mod tests {
 
     #[test]
     fn agreement_counts_union_of_objects() {
-        let a: ContainmentMap = [(item(1), case(1)), (item(2), case(1))].into_iter().collect();
-        let b: ContainmentMap = [(item(1), case(1)), (item(3), case(2))].into_iter().collect();
+        let a: ContainmentMap = [(item(1), case(1)), (item(2), case(1))]
+            .into_iter()
+            .collect();
+        let b: ContainmentMap = [(item(1), case(1)), (item(3), case(2))]
+            .into_iter()
+            .collect();
         // union = {1,2,3}; agreement only on item 1.
         assert!((a.agreement(&b) - 1.0 / 3.0).abs() < 1e-12);
         assert!((a.agreement(&a) - 1.0).abs() < 1e-12);
@@ -248,7 +252,9 @@ mod tests {
 
     #[test]
     fn timeline_applies_changes_in_order() {
-        let initial: ContainmentMap = [(item(1), case(1)), (item(2), case(1))].into_iter().collect();
+        let initial: ContainmentMap = [(item(1), case(1)), (item(2), case(1))]
+            .into_iter()
+            .collect();
         let mut tl = ContainmentTimeline::new(initial);
         tl.record(ContainmentChange {
             time: Epoch(10),

@@ -88,8 +88,13 @@ mod tests {
 
     #[test]
     fn object_event_property_builder_and_is_a() {
-        let e = ObjectEvent::new(Epoch(1), TagId::item(1), LocationId(0), Some(TagId::case(1)))
-            .with_property("frozen-food");
+        let e = ObjectEvent::new(
+            Epoch(1),
+            TagId::item(1),
+            LocationId(0),
+            Some(TagId::case(1)),
+        )
+        .with_property("frozen-food");
         assert!(e.is_a("frozen-food"));
         assert!(!e.is_a("freezer"));
         let bare = ObjectEvent::new(Epoch(1), TagId::item(1), LocationId(0), None);
@@ -107,8 +112,13 @@ mod tests {
 
     #[test]
     fn object_event_serde_roundtrip() {
-        let e = ObjectEvent::new(Epoch(5), TagId::item(9), LocationId(2), Some(TagId::case(4)))
-            .with_property("flammable");
+        let e = ObjectEvent::new(
+            Epoch(5),
+            TagId::item(9),
+            LocationId(2),
+            Some(TagId::case(4)),
+        )
+        .with_property("flammable");
         let json = serde_json::to_string(&e).unwrap();
         let back: ObjectEvent = serde_json::from_str(&json).unwrap();
         assert_eq!(back, e);

@@ -23,13 +23,13 @@
 pub mod containment;
 pub mod event;
 pub mod ids;
-pub mod readrate;
 pub mod reading;
+pub mod readrate;
 pub mod trace;
 
 pub use containment::{ContainmentChange, ContainmentMap, ContainmentTimeline};
 pub use event::{ObjectEvent, SensorReading};
 pub use ids::{Epoch, LocationId, ReaderId, SiteId, TagId, TagKind};
-pub use readrate::ReadRateTable;
 pub use reading::{RawReading, ReadingBatch};
+pub use readrate::ReadRateTable;
 pub use trace::{GroundTruth, Trace, TraceMetadata};

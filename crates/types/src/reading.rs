@@ -238,9 +238,15 @@ mod tests {
     fn retain_ranges_keeps_only_requested_windows() {
         let mut batch: ReadingBatch = (0..20).map(|t| r(t, TagId::item(1), 0)).collect();
         batch.retain_ranges(&[(Epoch(2), Epoch(4)), (Epoch(15), Epoch(16))]);
-        let epochs: Vec<u32> = batch.readings_unordered().iter().map(|r| r.time.0).collect();
+        let epochs: Vec<u32> = batch
+            .readings_unordered()
+            .iter()
+            .map(|r| r.time.0)
+            .collect();
         assert_eq!(epochs.len(), 5);
-        assert!(epochs.iter().all(|&t| (2..=4).contains(&t) || (15..=16).contains(&t)));
+        assert!(epochs
+            .iter()
+            .all(|&t| (2..=4).contains(&t) || (15..=16).contains(&t)));
     }
 
     #[test]

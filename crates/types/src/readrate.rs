@@ -104,7 +104,11 @@ impl ReadRateTable {
     pub fn perturbed(&self, error: f64) -> ReadRateTable {
         ReadRateTable {
             num_locations: self.num_locations,
-            rates: self.rates.iter().map(|p| clamp(p * (1.0 + error))).collect(),
+            rates: self
+                .rates
+                .iter()
+                .map(|p| clamp(p * (1.0 + error)))
+                .collect(),
         }
     }
 

@@ -4,8 +4,8 @@
 
 use crate::containment::ContainmentTimeline;
 use crate::ids::{Epoch, LocationId, TagId};
-use crate::readrate::ReadRateTable;
 use crate::reading::ReadingBatch;
+use crate::readrate::ReadRateTable;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -172,10 +172,22 @@ mod tests {
     #[test]
     fn ground_truth_location_segments() {
         let truth = truth_with_one_item();
-        assert_eq!(truth.location_at(TagId::item(1), Epoch(0)), Some(LocationId(0)));
-        assert_eq!(truth.location_at(TagId::item(1), Epoch(9)), Some(LocationId(0)));
-        assert_eq!(truth.location_at(TagId::item(1), Epoch(10)), Some(LocationId(1)));
-        assert_eq!(truth.location_at(TagId::item(1), Epoch(500)), Some(LocationId(1)));
+        assert_eq!(
+            truth.location_at(TagId::item(1), Epoch(0)),
+            Some(LocationId(0))
+        );
+        assert_eq!(
+            truth.location_at(TagId::item(1), Epoch(9)),
+            Some(LocationId(0))
+        );
+        assert_eq!(
+            truth.location_at(TagId::item(1), Epoch(10)),
+            Some(LocationId(1))
+        );
+        assert_eq!(
+            truth.location_at(TagId::item(1), Epoch(500)),
+            Some(LocationId(1))
+        );
         assert_eq!(truth.location_at(TagId::item(9), Epoch(5)), None);
         assert_eq!(truth.num_tags(), 2);
     }
@@ -185,13 +197,19 @@ mod tests {
         let mut truth = truth_with_one_item();
         truth.record_location(TagId::item(1), Epoch(20), LocationId(1));
         // still only two distinct segments for the item
-        assert_eq!(truth.location_at(TagId::item(1), Epoch(25)), Some(LocationId(1)));
+        assert_eq!(
+            truth.location_at(TagId::item(1), Epoch(25)),
+            Some(LocationId(1))
+        );
     }
 
     #[test]
     fn ground_truth_container_lookup() {
         let truth = truth_with_one_item();
-        assert_eq!(truth.container_at(TagId::item(1), Epoch(5)), Some(TagId::case(1)));
+        assert_eq!(
+            truth.container_at(TagId::item(1), Epoch(5)),
+            Some(TagId::case(1))
+        );
         assert_eq!(truth.container_at(TagId::item(2), Epoch(5)), None);
     }
 
