@@ -8,8 +8,8 @@
 //! plain-text tables / series; `EXPERIMENTS.md` records one full run.
 
 use rfid_bench::{
-    fig4, fig5a, fig5b, fig5c, fig5d, fig5e, fig5f, fig6a, fig6b, scalability, table3, table4,
-    table5, table_query, Scale,
+    fig4, fig5a, fig5b, fig5c, fig5d, fig5e, fig5f, fig6a, fig6b, parallel_scaling, scalability,
+    table3, table4, table5, table_query, Scale,
 };
 use rfid_eval::Series;
 use std::time::Instant;
@@ -29,6 +29,7 @@ const ALL: &[&str] = &[
     "table5",
     "table_query",
     "scalability",
+    "parallel_scaling",
 ];
 
 fn print_series(title: &str, series: &[Series]) {
@@ -80,6 +81,7 @@ fn run(name: &str, scale: Scale) {
         "table5" => println!("{}", table5(scale)),
         "table_query" => println!("{}", table_query(scale)),
         "scalability" => println!("{}", scalability(scale)),
+        "parallel_scaling" => println!("{}", parallel_scaling(scale)),
         other => {
             eprintln!("unknown experiment '{other}'. known: {}", ALL.join(", "));
             std::process::exit(2);

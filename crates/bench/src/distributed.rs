@@ -281,6 +281,82 @@ pub fn table_query(scale: Scale) -> Table {
     table
 }
 
+/// Parallel scale-out: sequential vs sharded thread-per-site wall-clock of
+/// the federated driver on a wide chain — 8–16 sites with short shelf dwells
+/// and a fast injection cadence, so pallets reach the deep sites of the DAG
+/// within the horizon and every site stays busy.
+///
+/// Both runs produce bit-identical outcomes (asserted here on containment
+/// and communication totals; the full field-by-field guarantee is pinned by
+/// `crates/dist/tests/parallel_determinism.rs`), so the table isolates pure
+/// execution-model cost: coordination overhead on one core, scale-out on
+/// many.
+pub fn parallel_scaling(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Parallel scale-out: sequential vs thread-per-site federated driver",
+        &[
+            "sites",
+            "readings",
+            "transfers",
+            "sequential (s)",
+            "parallel (s)",
+            "speedup",
+        ],
+    );
+    let site_counts: &[u32] = match scale {
+        Scale::Smoke => &[8],
+        _ => &[8, 12, 16],
+    };
+    for &sites in site_counts {
+        let mut warehouse = WarehouseConfig::default()
+            .with_length(match scale {
+                Scale::Smoke => 1500,
+                _ => 2400,
+            })
+            .with_items_per_case(scale.items_per_case() * 2)
+            .with_cases_per_pallet(scale.cases_per_pallet())
+            .with_seed(97);
+        // Short dwells: cases clear their shelves quickly, so objects hop
+        // sites often and migration work dominates.
+        warehouse.shelf_dwell_min = 60;
+        warehouse.shelf_dwell_max = 180;
+        warehouse.pallet_injection_interval = 120;
+        let chain = SupplyChainSimulator::new(ChainConfig {
+            warehouse,
+            num_warehouses: sites,
+            transit_secs: 60,
+            fanout: 2,
+        })
+        .generate();
+        let config = |workers: usize| DistributedConfig {
+            strategy: MigrationStrategy::CollapsedWeights,
+            inference: InferenceConfig::default().without_change_detection(),
+            num_workers: workers,
+            ..Default::default()
+        };
+        let started = Instant::now();
+        let sequential = DistributedDriver::new(config(1)).run(&chain);
+        let seq_secs = started.elapsed().as_secs_f64();
+        let started = Instant::now();
+        let parallel = DistributedDriver::new(config(sites as usize)).run(&chain);
+        let par_secs = started.elapsed().as_secs_f64();
+        assert_eq!(
+            sequential.containment, parallel.containment,
+            "parallel execution must not change the outcome"
+        );
+        assert_eq!(sequential.comm, parallel.comm);
+        table.push_row(&[
+            sites.to_string(),
+            chain.total_readings().to_string(),
+            chain.transfers.len().to_string(),
+            format!("{seq_secs:.2}"),
+            format!("{par_secs:.2}"),
+            format!("{:.2}x", seq_secs / par_secs.max(1e-9)),
+        ]);
+    }
+    table
+}
+
 /// Section 5.3 scalability: wall-clock time of distributed inference as the
 /// number of items per warehouse grows, with static and mobile shelf readers.
 pub fn scalability(scale: Scale) -> Table {
@@ -368,6 +444,23 @@ mod tests {
                 "centralized ({central}) should dwarf collapsed-weight migration ({collapsed})"
             );
         }
+    }
+
+    #[test]
+    fn parallel_scaling_reports_identical_outcomes_per_row() {
+        // the function itself asserts sequential == parallel on every row
+        let table = parallel_scaling(Scale::Smoke);
+        assert_eq!(table.headers.len(), 6);
+        assert_eq!(table.rows.len(), 1);
+        let row = &table.rows[0];
+        assert_eq!(row[0], "8");
+        assert!(row[1].parse::<usize>().unwrap() > 0, "sites must read tags");
+        assert!(
+            row[2].parse::<usize>().unwrap() > 0,
+            "short dwells must produce transfers"
+        );
+        assert!(row[3].parse::<f64>().unwrap() > 0.0);
+        assert!(row[4].parse::<f64>().unwrap() > 0.0);
     }
 
     #[test]

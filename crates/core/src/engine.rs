@@ -227,6 +227,13 @@ impl InferenceEngine {
         self.last_outcome.as_ref()
     }
 
+    /// The epoch of the most recent inference run, if one has happened — the
+    /// scheduling anchor the distributed driver's per-site workers use to
+    /// space out departure-forced runs and to skip a redundant final refresh.
+    pub fn last_inference_at(&self) -> Option<Epoch> {
+        self.last_inference_at
+    }
+
     /// Number of (tag, epoch) observations currently stored.
     pub fn stored_observations(&self) -> usize {
         self.store.len()
@@ -336,6 +343,15 @@ impl InferenceEngine {
     }
 }
 
+// The distributed layer runs one engine per site on worker threads; keep the
+// engine (and everything it owns) `Send` by construction so a dependency
+// change that silently introduces a non-`Send` member fails to compile here
+// rather than deep inside the thread spawn.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<InferenceEngine>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,9 +381,11 @@ mod tests {
             .without_change_detection();
         let mut engine = InferenceEngine::new(config, rates());
         assert!(!engine.due(Epoch(0)), "no data yet");
+        assert_eq!(engine.last_inference_at(), None);
         feed_co_travel(&mut engine, 0, 10, 0);
         assert!(engine.due(Epoch(10)));
         let report = engine.step(Epoch(10)).expect("inference due");
+        assert_eq!(engine.last_inference_at(), Some(Epoch(10)));
         assert_eq!(engine.container_of(TagId::item(1)), Some(TagId::case(1)));
         assert_eq!(report.at, Epoch(10));
         assert!(report.duration.as_nanos() > 0);

@@ -86,6 +86,17 @@ impl CommCost {
             self.messages[i] += other.messages[i];
         }
     }
+
+    /// Merge many tallies — one per site worker, typically — into one.
+    /// Addition is commutative, so the result is independent of the order in
+    /// which workers finished.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a CommCost>) -> CommCost {
+        let mut total = CommCost::new();
+        for part in parts {
+            total.merge(part);
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +132,25 @@ mod tests {
         assert_eq!(a.bytes_of_kind(MessageKind::QueryState), 12);
         assert_eq!(a.total_bytes(), 22);
         assert_eq!(a.total_messages(), 3);
+    }
+
+    #[test]
+    fn merged_aggregates_per_worker_tallies() {
+        let mut a = CommCost::new();
+        a.record(MessageKind::InferenceState, 100);
+        let mut b = CommCost::new();
+        b.record(MessageKind::InferenceState, 25);
+        b.record(MessageKind::RawReadings, 14);
+        let c = CommCost::new();
+        let forward = CommCost::merged([&a, &b, &c]);
+        let backward = CommCost::merged([&c, &b, &a]);
+        assert_eq!(forward, backward);
+        assert_eq!(forward.total_bytes(), 139);
+        assert_eq!(forward.messages_of_kind(MessageKind::InferenceState), 2);
+        assert_eq!(
+            CommCost::merged(std::iter::empty::<&CommCost>()).total_bytes(),
+            0
+        );
     }
 
     #[test]

@@ -51,6 +51,14 @@ pub struct DistributedConfig {
     /// Seconds between two pushes of enriched events into the query
     /// processors.
     pub event_stride_secs: u32,
+    /// Number of worker threads the federated driver shards sites across.
+    /// `1` (the default) replays every site sequentially on the calling
+    /// thread; any larger value distributes sites round-robin over up to
+    /// `num_workers` OS threads (capped at the site count), exchanging
+    /// shipments over channels with an epoch barrier. Results are
+    /// bit-identical to the sequential replay. Ignored by
+    /// [`MigrationStrategy::Centralized`], which has a single engine.
+    pub num_workers: usize,
 }
 
 impl Default for DistributedConfig {
@@ -62,7 +70,16 @@ impl Default for DistributedConfig {
             product_properties: BTreeMap::new(),
             temperature: None,
             event_stride_secs: 10,
+            num_workers: 1,
         }
+    }
+}
+
+impl DistributedConfig {
+    /// Builder-style setter for the number of site-worker threads.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.num_workers = workers;
+        self
     }
 }
 
@@ -77,6 +94,8 @@ mod tests {
         assert!(config.queries.is_empty());
         assert!(config.temperature.is_none());
         assert_eq!(config.event_stride_secs, 10);
+        assert_eq!(config.num_workers, 1, "sequential by default");
+        assert_eq!(DistributedConfig::default().with_workers(8).num_workers, 8);
     }
 
     #[test]

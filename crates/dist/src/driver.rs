@@ -16,6 +16,12 @@
 //!   central engine whose location space is the disjoint union of the
 //!   per-site location spaces: the accuracy upper bound and the
 //!   communication worst case.
+//!
+//! The federated mode is built from per-site [`SiteState`] machines whose
+//! only cross-site interaction is the [`ShipmentMsg`] exchange. The
+//! sequential replay drives every machine on one thread; the `parallel`
+//! module shards the same machines across worker threads with bit-identical
+//! results (set [`DistributedConfig::num_workers`]).
 
 use crate::comm::{CommCost, MessageKind};
 use crate::config::{DistributedConfig, MigrationStrategy};
@@ -23,12 +29,13 @@ use crate::ons::{Ons, ONS_UPDATE_BYTES};
 use rfid_core::{InferenceEngine, MigrationState};
 use rfid_query::sharing::unshared_bytes;
 use rfid_query::{share_states, Alert, ObjectQueryState, QueryProcessor};
-use rfid_sim::ChainTrace;
+use rfid_sim::{ChainTrace, ObjectTransfer};
 use rfid_types::{
     ContainmentMap, Epoch, LocationId, ObjectEvent, RawReading, ReadRateTable, ReaderId,
     SensorReading, SiteId, TagId,
 };
-use std::collections::BTreeMap;
+use std::borrow::Cow;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Minimum seconds between two departure-forced inference runs at one site;
 /// a dispatch within this window reuses the (slightly stale) last outcome.
@@ -65,11 +72,435 @@ impl DistributedOutcome {
     }
 }
 
-/// State migrating with one shipment, waiting for its arrival epoch.
-struct Shipment {
-    to: SiteId,
+/// One object's migrating state, en route between two sites.
+///
+/// This is the message the per-site workers exchange: the sequential driver
+/// routes it through in-process inboxes, the parallel driver through
+/// `std::sync::mpsc` channels. [`Self::order_key`] reproduces the order in
+/// which a strictly sequential replay would have generated the message, so a
+/// receiving site imports a batch identically no matter which worker thread
+/// delivered which part of it first.
+pub(crate) struct ShipmentMsg {
+    /// Epoch the shipment left its origin.
+    pub(crate) depart: Epoch,
+    /// Origin site.
+    pub(crate) from: SiteId,
+    /// Destination site.
+    pub(crate) to: SiteId,
+    /// The migrating tag.
+    pub(crate) tag: TagId,
+    /// Epoch the shipment reaches `to` and its state is imported.
+    pub(crate) arrive: Epoch,
+    /// Migrating inference state (see [`MigrationStrategy`]).
     inference: MigrationState,
+    /// Migrating per-object query state.
     query: Vec<ObjectQueryState>,
+}
+
+impl ShipmentMsg {
+    /// Sequential generation order: epochs ascending, then origin site, then
+    /// route, then tag — the exact order the one-thread replay emits.
+    fn order_key(&self) -> (Epoch, SiteId, SiteId, TagId) {
+        (self.depart, self.from, self.to, self.tag)
+    }
+}
+
+/// Immutable context shared by every site worker of one federated run.
+pub(crate) struct FederatedCtx<'a> {
+    driver: &'a DistributedDriver,
+    /// Last epoch of the replay.
+    pub(crate) horizon: u32,
+    strategy: MigrationStrategy,
+    migrates_state: bool,
+    with_queries: bool,
+    stride: u32,
+}
+
+impl<'a> FederatedCtx<'a> {
+    pub(crate) fn new(driver: &'a DistributedDriver, chain: &ChainTrace) -> FederatedCtx<'a> {
+        let strategy = driver.config.strategy;
+        FederatedCtx {
+            driver,
+            horizon: chain.sites.first().map(|s| s.meta.length).unwrap_or(0),
+            strategy,
+            migrates_state: strategy != MigrationStrategy::None,
+            with_queries: !driver.config.queries.is_empty(),
+            stride: driver.config.event_stride_secs.max(1),
+        }
+    }
+}
+
+/// Replica of the object name service driven from the static transfer
+/// schedule.
+///
+/// Custody registrations depend only on the transfer list — never on
+/// inference results — so every worker advances its own replica locally
+/// instead of synchronising on a shared registry: by construction all
+/// replicas agree at every epoch boundary.
+pub(crate) struct OnsTracker {
+    ons: Ons,
+    cursor: usize,
+}
+
+impl OnsTracker {
+    pub(crate) fn new() -> OnsTracker {
+        OnsTracker {
+            ons: Ons::new(),
+            cursor: 0,
+        }
+    }
+
+    /// Register every transfer departing at or before `now`.
+    pub(crate) fn advance(&mut self, transfers: &[ObjectTransfer], now: Epoch) {
+        while self.cursor < transfers.len() && transfers[self.cursor].depart <= now {
+            self.ons
+                .register(transfers[self.cursor].tag, transfers[self.cursor].to_site);
+            self.cursor += 1;
+        }
+    }
+
+    pub(crate) fn get(&self) -> &Ons {
+        &self.ons
+    }
+
+    pub(crate) fn into_ons(self) -> Ons {
+        self.ons
+    }
+}
+
+/// What one site contributes to the merged [`DistributedOutcome`].
+pub(crate) struct SiteOutcome {
+    site: usize,
+    comm: CommCost,
+    shared_bytes: usize,
+    unshared_bytes: usize,
+    inference_runs: usize,
+    alerts: Vec<Alert>,
+    containment: Vec<(TagId, TagId)>,
+}
+
+/// The per-site state machine: one site's engine, query processor, replay
+/// cursors and communication tally.
+///
+/// Both execution modes drive the *same* methods in the *same* per-epoch
+/// order — ingest, deliver, depart, (route shipments), deliver, step — which
+/// is what makes the parallel driver bit-identical to the sequential one: the
+/// only cross-site interaction is the [`ShipmentMsg`] exchange, and imports
+/// are replayed in [`ShipmentMsg::order_key`] order at the arrival epoch.
+pub(crate) struct SiteState<'a> {
+    site: usize,
+    engine: InferenceEngine,
+    processor: QueryProcessor,
+    /// Time-ordered replay source; borrowed straight from the trace when the
+    /// batch is already sorted, so large traces are not copied per run.
+    readings: Cow<'a, [RawReading]>,
+    reading_cursor: usize,
+    sensors: Vec<SensorReading>,
+    sensor_cursor: usize,
+    /// Transfers departing from this site, in global (depart, tag) order.
+    departures: Vec<ObjectTransfer>,
+    departure_cursor: usize,
+    /// Shipments awaiting their arrival epoch, keyed by it.
+    inbox: BTreeMap<Epoch, Vec<ShipmentMsg>>,
+    comm: CommCost,
+    shared_bytes: usize,
+    unshared_bytes: usize,
+    inference_runs: usize,
+}
+
+impl<'a> SiteState<'a> {
+    pub(crate) fn new(ctx: &FederatedCtx<'_>, chain: &'a ChainTrace, site: usize) -> SiteState<'a> {
+        let trace = &chain.sites[site];
+        let config = &ctx.driver.config;
+        let readings = match trace.readings.sorted_readings() {
+            Some(slice) => Cow::Borrowed(slice),
+            None => {
+                let mut copy = trace.readings.readings_unordered().to_vec();
+                copy.sort_unstable();
+                copy.dedup();
+                Cow::Owned(copy)
+            }
+        };
+        let sensors = match &config.temperature {
+            Some(model) if ctx.with_queries => {
+                model.generate(trace.meta.num_locations, Epoch(ctx.horizon))
+            }
+            _ => Vec::new(),
+        };
+        SiteState {
+            site,
+            engine: InferenceEngine::new(config.inference.clone(), trace.read_rates.clone()),
+            processor: ctx.driver.make_processor(),
+            readings,
+            reading_cursor: 0,
+            sensors,
+            sensor_cursor: 0,
+            departures: chain
+                .transfers
+                .iter()
+                .filter(|tr| tr.from_site.0 as usize == site)
+                .copied()
+                .collect(),
+            departure_cursor: 0,
+            inbox: BTreeMap::new(),
+            comm: CommCost::new(),
+            shared_bytes: 0,
+            unshared_bytes: 0,
+            inference_runs: 0,
+        }
+    }
+
+    /// Feed this epoch's local sensor and RFID streams into the site.
+    pub(crate) fn ingest(&mut self, now: Epoch) {
+        while self.sensor_cursor < self.sensors.len()
+            && self.sensors[self.sensor_cursor].time <= now
+        {
+            self.processor.on_sensor(self.sensors[self.sensor_cursor]);
+            self.sensor_cursor += 1;
+        }
+        while self.reading_cursor < self.readings.len()
+            && self.readings[self.reading_cursor].time <= now
+        {
+            self.engine.observe(self.readings[self.reading_cursor]);
+            self.reading_cursor += 1;
+        }
+    }
+
+    /// Buffer an inbound shipment until its arrival epoch.
+    pub(crate) fn receive(&mut self, msg: ShipmentMsg) {
+        self.inbox.entry(msg.arrive).or_default().push(msg);
+    }
+
+    /// Import every shipment that arrived at `now` from an *earlier* epoch's
+    /// departures, in sequential replay order.
+    ///
+    /// Shipments with `depart == now` (zero transit) are held back: the
+    /// sequential replay delivers them only after this epoch's departure
+    /// pass, and under the parallel driver a racing worker may have pushed
+    /// one into the inbox a drain early — [`Self::deliver_zero_transit`]
+    /// imports them at the correct point either way.
+    pub(crate) fn deliver(&mut self, now: Epoch) {
+        if let Some(batch) = self.inbox.remove(&now) {
+            let (ready, hold): (Vec<ShipmentMsg>, Vec<ShipmentMsg>) =
+                batch.into_iter().partition(|msg| msg.depart < now);
+            if !hold.is_empty() {
+                self.inbox.insert(now, hold);
+            }
+            self.import(ready);
+        }
+    }
+
+    /// Import this epoch's zero-transit shipments (`depart == arrive ==
+    /// now`), which the departure pass just produced.
+    pub(crate) fn deliver_zero_transit(&mut self, now: Epoch) {
+        if let Some(batch) = self.inbox.remove(&now) {
+            self.import(batch);
+        }
+    }
+
+    fn import(&mut self, mut batch: Vec<ShipmentMsg>) {
+        batch.sort_by_key(ShipmentMsg::order_key);
+        for msg in batch {
+            self.engine.import_state(msg.inference);
+            if !msg.query.is_empty() {
+                self.processor.import_state(msg.query);
+            }
+        }
+    }
+
+    /// Process the dispatches leaving this site at `now`: refresh the local
+    /// outcome, snapshot the departing objects' inference and query state,
+    /// charge every byte, forget the objects, and emit one [`ShipmentMsg`]
+    /// per object into `out`.
+    pub(crate) fn depart(
+        &mut self,
+        ctx: &FederatedCtx<'_>,
+        now: Epoch,
+        out: &mut Vec<ShipmentMsg>,
+    ) {
+        let mut departing = Vec::new();
+        while self.departure_cursor < self.departures.len()
+            && self.departures[self.departure_cursor].depart == now
+        {
+            departing.push(self.departures[self.departure_cursor]);
+            self.departure_cursor += 1;
+        }
+        if departing.is_empty() {
+            return;
+        }
+        // Refresh this site's outcome so exported state reflects the readings
+        // collected since the last run.
+        if ctx.migrates_state {
+            let due = match self.engine.last_inference_at() {
+                None => true,
+                Some(last) => now.since(last) >= FORCED_RUN_SPACING_SECS,
+            };
+            if due {
+                self.engine.run_inference(now);
+                self.inference_runs += 1;
+            }
+        }
+        // Group the dispatch by route *and arrival epoch*, so that staggered
+        // arrivals on one route import state at their own epochs and query
+        // state is shared per physical shipment (the objects that actually
+        // travel together).
+        let from = SiteId(self.site as u16);
+        let mut by_shipment: BTreeMap<(SiteId, Epoch), Vec<TagId>> = BTreeMap::new();
+        for tr in &departing {
+            if ctx.migrates_state {
+                self.comm.record(MessageKind::OnsUpdate, ONS_UPDATE_BYTES);
+            }
+            by_shipment
+                .entry((tr.to_site, tr.arrive))
+                .or_default()
+                .push(tr.tag);
+        }
+        for ((to, arrive), tags) in by_shipment {
+            let mut shipment_states: Vec<ObjectQueryState> = Vec::new();
+            // Readings already on this shipment: a migrating object re-ships
+            // its candidate containers' critical-region readings, and objects
+            // of one case share those candidates, so without per-shipment
+            // dedup the same container readings travel once per object.
+            let mut shipped_readings: BTreeSet<RawReading> = BTreeSet::new();
+            for &tag in &tags {
+                // Inference state: objects carry state, containers are
+                // re-localized from their own readings at the next site.
+                let state = if !tag.is_object() {
+                    MigrationState::None
+                } else {
+                    match ctx.strategy {
+                        MigrationStrategy::None => MigrationState::None,
+                        MigrationStrategy::CollapsedWeights => {
+                            MigrationState::Collapsed(self.engine.export_collapsed(tag))
+                        }
+                        MigrationStrategy::CriticalRegionReadings => {
+                            let mut readings = self.engine.export_readings(tag);
+                            readings.readings.retain(|r| shipped_readings.insert(*r));
+                            MigrationState::Readings(readings)
+                        }
+                        MigrationStrategy::Centralized => unreachable!(),
+                    }
+                };
+                let bytes = state.wire_bytes();
+                if bytes > 0 {
+                    self.comm.record(MessageKind::InferenceState, bytes);
+                }
+                // Query state travels per object so the automaton run
+                // continues seamlessly at the next site. Under `None` nothing
+                // at all crosses the boundary, so the automaton restarts cold
+                // — that is the baseline.
+                let query = if ctx.with_queries && ctx.migrates_state && tag.is_object() {
+                    self.processor.export_state(tag)
+                } else {
+                    Vec::new()
+                };
+                shipment_states.extend(query.iter().cloned());
+                out.push(ShipmentMsg {
+                    depart: now,
+                    from,
+                    to,
+                    tag,
+                    arrive,
+                    inference: state,
+                    query,
+                });
+            }
+            // Centroid-based sharing: compress the query states of this
+            // shipment's objects (Section 4.2) and charge the compressed
+            // size.
+            if let Some(bundle) = share_states(&shipment_states) {
+                let shared = bundle.wire_bytes();
+                self.shared_bytes += shared;
+                self.unshared_bytes += unshared_bytes(&shipment_states);
+                self.comm.record(MessageKind::QueryState, shared);
+            }
+            // The state has left the building.
+            for &tag in &tags {
+                self.engine.forget(tag);
+                self.processor.forget(tag);
+            }
+        }
+    }
+
+    /// Run the periodic inference step and push enriched events into the
+    /// query processor. `ons` must already reflect every transfer departing
+    /// at or before `now`.
+    pub(crate) fn step_and_feed(&mut self, ctx: &FederatedCtx<'_>, now: Epoch, ons: &Ons) {
+        if self.engine.step(now).is_some() {
+            self.inference_runs += 1;
+        }
+        if ctx.with_queries && now.0.is_multiple_of(ctx.stride) {
+            for event in self.engine.events_at(now) {
+                // only the custody site feeds events for an object, so a
+                // departed object's stale estimates do not keep an abandoned
+                // automaton alive
+                if ons.site_of(event.tag, SiteId(0)).0 as usize != self.site {
+                    continue;
+                }
+                ctx.driver.feed_event(&mut self.processor, event);
+            }
+        }
+    }
+
+    /// Final refresh so the reported containment reflects every reading
+    /// (skipped where the periodic step already ran at the horizon).
+    pub(crate) fn finalize(&mut self, horizon: Epoch) {
+        if self.engine.last_inference_at() != Some(horizon) {
+            self.engine.run_inference(horizon);
+            self.inference_runs += 1;
+        }
+    }
+
+    /// Consume the site, reporting the containment of the objects this site
+    /// owns (per the final ONS), its alerts and its communication tally.
+    pub(crate) fn into_outcome(self, objects: &[TagId], ons: &Ons) -> SiteOutcome {
+        let mut containment = Vec::new();
+        for &object in objects {
+            if ons.site_of(object, SiteId(0)).0 as usize != self.site {
+                continue;
+            }
+            if let Some(container) = self.engine.container_of(object) {
+                containment.push((object, container));
+            }
+        }
+        SiteOutcome {
+            site: self.site,
+            comm: self.comm,
+            shared_bytes: self.shared_bytes,
+            unshared_bytes: self.unshared_bytes,
+            inference_runs: self.inference_runs,
+            alerts: self.processor.alerts().to_vec(),
+            containment,
+        }
+    }
+}
+
+/// Merge per-site contributions into one [`DistributedOutcome`], replaying
+/// the order a sequential run reports in (sites ascending, alerts sorted by
+/// firing order).
+pub(crate) fn merge_outcomes(mut outcomes: Vec<SiteOutcome>, ons: Ons) -> DistributedOutcome {
+    outcomes.sort_by_key(|o| o.site);
+    let comm = CommCost::merged(outcomes.iter().map(|o| &o.comm));
+    let mut alerts: Vec<Alert> = outcomes
+        .iter()
+        .flat_map(|o| o.alerts.iter().cloned())
+        .collect();
+    alerts.sort_by(|a, b| (a.at, &a.query, a.tag).cmp(&(b.at, &b.query, b.tag)));
+    let mut containment = ContainmentMap::new();
+    for outcome in &outcomes {
+        for &(object, container) in &outcome.containment {
+            containment.set(object, container);
+        }
+    }
+    DistributedOutcome {
+        containment,
+        comm,
+        alerts,
+        query_state_shared_bytes: outcomes.iter().map(|o| o.shared_bytes).sum(),
+        query_state_unshared_bytes: outcomes.iter().map(|o| o.unshared_bytes).sum(),
+        ons,
+        inference_runs: outcomes.iter().map(|o| o.inference_runs).sum(),
+    }
 }
 
 /// Drives a [`ChainTrace`] through the distributed pipeline.
@@ -90,9 +521,16 @@ impl DistributedDriver {
     }
 
     /// Replay the chain and return the outcome.
+    ///
+    /// Federated strategies run sequentially by default; set
+    /// [`DistributedConfig::num_workers`] above `1` to shard sites across
+    /// worker threads (the `parallel` module) with bit-identical results.
     pub fn run(&self, chain: &ChainTrace) -> DistributedOutcome {
         match self.config.strategy {
             MigrationStrategy::Centralized => self.run_centralized(chain),
+            _ if self.config.num_workers > 1 && chain.sites.len() > 1 => {
+                crate::parallel::run_parallel(self, chain)
+            }
             _ => self.run_federated(chain),
         }
     }
@@ -114,250 +552,57 @@ impl DistributedDriver {
         processor.on_event(&event);
     }
 
-    fn run_federated(&self, chain: &ChainTrace) -> DistributedOutcome {
-        let num_sites = chain.sites.len();
-        let horizon = chain.sites.first().map(|s| s.meta.length).unwrap_or(0);
-        let strategy = self.config.strategy;
-        let migrates_state = strategy != MigrationStrategy::None;
-        let with_queries = !self.config.queries.is_empty();
-        let stride = self.config.event_stride_secs.max(1);
-
-        let mut engines: Vec<InferenceEngine> = chain
-            .sites
-            .iter()
-            .map(|site| {
-                InferenceEngine::new(self.config.inference.clone(), site.read_rates.clone())
-            })
+    /// Sequential federated replay: every site's [`SiteState`] is driven by
+    /// the calling thread, with shipments routed through in-process inboxes.
+    /// This is the reference execution the parallel driver is bit-identical
+    /// to.
+    pub(crate) fn run_federated(&self, chain: &ChainTrace) -> DistributedOutcome {
+        let ctx = FederatedCtx::new(self, chain);
+        let mut sites: Vec<SiteState> = (0..chain.sites.len())
+            .map(|site| SiteState::new(&ctx, chain, site))
             .collect();
-        let mut processors: Vec<QueryProcessor> =
-            (0..num_sites).map(|_| self.make_processor()).collect();
+        let mut ons = OnsTracker::new();
+        let mut outbound: Vec<ShipmentMsg> = Vec::new();
 
-        // Per-site time-ordered replay cursors.
-        let site_readings: Vec<Vec<RawReading>> = chain
-            .sites
-            .iter()
-            .map(|site| {
-                let mut batch = site.readings.clone();
-                batch.readings().to_vec()
-            })
-            .collect();
-        let mut reading_cursor = vec![0usize; num_sites];
-        let site_sensors: Vec<Vec<SensorReading>> = match &self.config.temperature {
-            Some(model) if with_queries => chain
-                .sites
-                .iter()
-                .map(|site| model.generate(site.meta.num_locations, Epoch(horizon)))
-                .collect(),
-            _ => vec![Vec::new(); num_sites],
-        };
-        let mut sensor_cursor = vec![0usize; num_sites];
-
-        let mut transfer_cursor = 0usize;
-        let mut in_transit: BTreeMap<Epoch, Vec<Shipment>> = BTreeMap::new();
-        let mut last_run: Vec<Option<Epoch>> = vec![None; num_sites];
-
-        let mut comm = CommCost::new();
-        let mut ons = Ons::new();
-        let mut shared_bytes = 0usize;
-        let mut unshared = 0usize;
-        let mut inference_runs = 0usize;
-
-        for t in 0..=horizon {
+        for t in 0..=ctx.horizon {
             let now = Epoch(t);
-
-            // 1. Local streams: sensor readings, then raw RFID readings.
-            for s in 0..num_sites {
-                let sensors = &site_sensors[s];
-                while sensor_cursor[s] < sensors.len() && sensors[sensor_cursor[s]].time <= now {
-                    processors[s].on_sensor(sensors[sensor_cursor[s]]);
-                    sensor_cursor[s] += 1;
+            // 1+2. Local streams, then shipments arriving now.
+            for site in sites.iter_mut() {
+                site.ingest(now);
+                site.deliver(now);
+            }
+            // 3. Dispatches departing now: snapshot, export, forget…
+            for site in sites.iter_mut() {
+                site.depart(&ctx, now, &mut outbound);
+            }
+            // …then route the shipments and deliver the zero-transit ones
+            // (arrive == depart), whose arrival pass already ran.
+            if !outbound.is_empty() {
+                for msg in outbound.drain(..) {
+                    let dest = msg.to.0 as usize;
+                    sites[dest].receive(msg);
                 }
-                let readings = &site_readings[s];
-                while reading_cursor[s] < readings.len() && readings[reading_cursor[s]].time <= now
-                {
-                    engines[s].observe(readings[reading_cursor[s]]);
-                    reading_cursor[s] += 1;
+                for site in sites.iter_mut() {
+                    site.deliver_zero_transit(now);
                 }
             }
-
-            // 2. Shipments arriving now: import migrated state.
-            if let Some(batch) = in_transit.remove(&now) {
-                for shipment in batch {
-                    let dest = shipment.to.0 as usize;
-                    engines[dest].import_state(shipment.inference);
-                    if !shipment.query.is_empty() {
-                        processors[dest].import_state(shipment.query);
-                    }
-                }
-            }
-
-            // 3. Dispatches departing now: snapshot, export, forget.
-            let mut departing = Vec::new();
-            while transfer_cursor < chain.transfers.len()
-                && chain.transfers[transfer_cursor].depart == now
-            {
-                departing.push(chain.transfers[transfer_cursor]);
-                transfer_cursor += 1;
-            }
-            if !departing.is_empty() {
-                // Refresh the departure sites' outcomes so exported state
-                // reflects the readings collected since the last run.
-                if migrates_state {
-                    let mut sites: Vec<u16> = departing.iter().map(|tr| tr.from_site.0).collect();
-                    sites.sort_unstable();
-                    sites.dedup();
-                    for s in sites {
-                        let due = match last_run[s as usize] {
-                            None => true,
-                            Some(last) => now.since(last) >= FORCED_RUN_SPACING_SECS,
-                        };
-                        if due {
-                            engines[s as usize].run_inference(now);
-                            last_run[s as usize] = Some(now);
-                            inference_runs += 1;
-                        }
-                    }
-                }
-                // Group the dispatch by route so query state is shared per
-                // shipment (the objects of one container travel together).
-                let mut by_route: BTreeMap<(SiteId, SiteId), Vec<TagId>> = BTreeMap::new();
-                for tr in &departing {
-                    ons.register(tr.tag, tr.to_site);
-                    if migrates_state {
-                        comm.record(MessageKind::OnsUpdate, ONS_UPDATE_BYTES);
-                    }
-                    by_route
-                        .entry((tr.from_site, tr.to_site))
-                        .or_default()
-                        .push(tr.tag);
-                }
-                for ((from, to), tags) in by_route {
-                    let src = from.0 as usize;
-                    let arrive = departing
-                        .iter()
-                        .find(|tr| tr.from_site == from && tr.to_site == to)
-                        .map(|tr| tr.arrive)
-                        .unwrap_or(now);
-                    // Inference state: objects carry state, containers are
-                    // re-localized from their own readings at the next site.
-                    let mut shipment_states: Vec<ObjectQueryState> = Vec::new();
-                    for &tag in &tags {
-                        let state = if !tag.is_object() {
-                            MigrationState::None
-                        } else {
-                            match strategy {
-                                MigrationStrategy::None => MigrationState::None,
-                                MigrationStrategy::CollapsedWeights => {
-                                    MigrationState::Collapsed(engines[src].export_collapsed(tag))
-                                }
-                                MigrationStrategy::CriticalRegionReadings => {
-                                    MigrationState::Readings(engines[src].export_readings(tag))
-                                }
-                                MigrationStrategy::Centralized => unreachable!(),
-                            }
-                        };
-                        let bytes = state.wire_bytes();
-                        if bytes > 0 {
-                            comm.record(MessageKind::InferenceState, bytes);
-                        }
-                        // Query state travels per object so the automaton
-                        // run continues seamlessly at the next site. Under
-                        // `None` nothing at all crosses the boundary, so the
-                        // automaton restarts cold — that is the baseline.
-                        let query = if with_queries && migrates_state && tag.is_object() {
-                            processors[src].export_state(tag)
-                        } else {
-                            Vec::new()
-                        };
-                        shipment_states.extend(query.iter().cloned());
-                        in_transit.entry(arrive).or_default().push(Shipment {
-                            to,
-                            inference: state,
-                            query,
-                        });
-                    }
-                    // Centroid-based sharing: compress the query states of
-                    // this shipment's objects (Section 4.2) and charge the
-                    // compressed size.
-                    if let Some(bundle) = share_states(&shipment_states) {
-                        let shared = bundle.wire_bytes();
-                        shared_bytes += shared;
-                        unshared += unshared_bytes(&shipment_states);
-                        comm.record(MessageKind::QueryState, shared);
-                    }
-                    // The state has left the building.
-                    for &tag in &tags {
-                        engines[src].forget(tag);
-                        processors[src].forget(tag);
-                    }
-                }
-                // Zero-transit shipments (arrive == depart) were keyed on an
-                // epoch whose arrival pass already ran; deliver them now.
-                if let Some(batch) = in_transit.remove(&now) {
-                    for shipment in batch {
-                        let dest = shipment.to.0 as usize;
-                        engines[dest].import_state(shipment.inference);
-                        if !shipment.query.is_empty() {
-                            processors[dest].import_state(shipment.query);
-                        }
-                    }
-                }
-            }
-
-            // 4. Periodic inference and event-stream push.
-            for s in 0..num_sites {
-                if engines[s].step(now).is_some() {
-                    last_run[s] = Some(now);
-                    inference_runs += 1;
-                }
-            }
-            if with_queries && t % stride == 0 {
-                for s in 0..num_sites {
-                    for event in engines[s].events_at(now) {
-                        // only the custody site feeds events for an object,
-                        // so a departed object's stale estimates do not keep
-                        // an abandoned automaton alive
-                        if ons.site_of(event.tag, SiteId(0)).0 as usize != s {
-                            continue;
-                        }
-                        self.feed_event(&mut processors[s], event);
-                    }
-                }
+            // 4. Periodic inference and event-stream push, against the
+            // custody map as of this epoch's dispatches.
+            ons.advance(&chain.transfers, now);
+            for site in sites.iter_mut() {
+                site.step_and_feed(&ctx, now, ons.get());
             }
         }
 
-        // Final refresh so the reported containment reflects every reading
-        // (skipped where the periodic step already ran at the horizon).
-        for (s, engine) in engines.iter_mut().enumerate() {
-            if last_run[s] != Some(Epoch(horizon)) {
-                engine.run_inference(Epoch(horizon));
-                inference_runs += 1;
-            }
+        for site in sites.iter_mut() {
+            site.finalize(Epoch(ctx.horizon));
         }
-
-        let mut containment = ContainmentMap::new();
-        for object in chain.objects() {
-            let site = ons.site_of(object, SiteId(0)).0 as usize;
-            if let Some(container) = engines.get(site).and_then(|e| e.container_of(object)) {
-                containment.set(object, container);
-            }
-        }
-
-        let mut alerts: Vec<Alert> = processors
-            .iter()
-            .flat_map(|p| p.alerts().iter().cloned())
+        let objects = chain.objects();
+        let outcomes = sites
+            .into_iter()
+            .map(|site| site.into_outcome(&objects, ons.get()))
             .collect();
-        alerts.sort_by(|a, b| (a.at, &a.query, a.tag).cmp(&(b.at, &b.query, b.tag)));
-
-        DistributedOutcome {
-            containment,
-            comm,
-            alerts,
-            query_state_shared_bytes: shared_bytes,
-            query_state_unshared_bytes: unshared,
-            ons,
-            inference_runs,
-        }
+        merge_outcomes(outcomes, ons.into_ons())
     }
 
     /// The Centralized baseline: one engine over the disjoint union of the

@@ -53,6 +53,7 @@ pub mod comm;
 pub mod config;
 pub mod driver;
 pub mod ons;
+mod parallel;
 
 pub use comm::{CommCost, MessageKind};
 pub use config::{DistributedConfig, MigrationStrategy};

@@ -82,6 +82,17 @@ fn collapsed_weights_transfer_strictly_fewer_bytes_than_readings() {
         collapsed.comm.bytes_of_kind(MessageKind::OnsUpdate),
         readings.comm.bytes_of_kind(MessageKind::OnsUpdate)
     );
+    // With per-shipment dedup of candidate-container readings, migrating the
+    // critical regions must stay below shipping every raw reading: the
+    // objects of one case no longer each re-ship their shared candidates.
+    let central = run(&chain, MigrationStrategy::Centralized);
+    assert!(
+        readings.comm.total_bytes() < central.comm.total_bytes(),
+        "deduplicated CR migration ({} bytes) must undercut centralized \
+         raw-reading shipping ({} bytes)",
+        readings.comm.total_bytes(),
+        central.comm.total_bytes()
+    );
 }
 
 #[test]
@@ -222,20 +233,131 @@ fn zero_transit_shipments_deliver_state_the_destination_cannot_relearn() {
         containment: timeline,
     };
 
-    let outcome = DistributedDriver::new(DistributedConfig {
-        strategy: MigrationStrategy::CollapsedWeights,
-        inference: InferenceConfig::default()
-            .with_period(20)
-            .without_change_detection(),
-        ..Default::default()
-    })
-    .run(&chain);
+    // Both execution modes must deliver the zero-transit shipment in the
+    // post-departure pass of its epoch.
+    for workers in [1usize, 2] {
+        let outcome = DistributedDriver::new(DistributedConfig {
+            strategy: MigrationStrategy::CollapsedWeights,
+            inference: InferenceConfig::default()
+                .with_period(20)
+                .without_change_detection(),
+            num_workers: workers,
+            ..Default::default()
+        })
+        .run(&chain);
 
-    assert_eq!(outcome.ons.lookup(item), Some(SiteId(1)));
-    assert_eq!(
-        outcome.container_of(item),
-        Some(case),
-        "the zero-transit shipment must deliver the collapsed state, and the \
-         destination must keep it even though it never reads the item"
-    );
+        assert_eq!(outcome.ons.lookup(item), Some(SiteId(1)));
+        assert_eq!(
+            outcome.container_of(item),
+            Some(case),
+            "workers={workers}: the zero-transit shipment must deliver the \
+             collapsed state, and the destination must keep it even though \
+             it never reads the item"
+        );
+    }
+}
+
+/// Regression test: two dispatches leave one site for the same destination in
+/// the same epoch but with *different* arrival epochs. The driver used to key
+/// the whole route group on the first matching transfer's arrival, so the
+/// late shipment's state was imported too early. Here the late shipment
+/// arrives only after the horizon: its state must still be in transit at the
+/// end of the run — the destination cannot report a containment estimate it
+/// has not received. The parallel driver must agree epoch for epoch.
+#[test]
+fn same_route_staggered_arrivals_import_at_their_own_epochs() {
+    use rfid_sim::ObjectTransfer;
+    use rfid_types::{
+        ContainmentMap, ContainmentTimeline, Epoch, GroundTruth, LocationId, RawReading,
+        ReadRateTable, ReaderId, ReadingBatch, SiteId, TagId, Trace, TraceMetadata,
+    };
+
+    let item_early = TagId::item(1);
+    let item_late = TagId::item(2);
+    let case = TagId::case(1);
+    let map: ContainmentMap = [(item_early, case), (item_late, case)]
+        .into_iter()
+        .collect();
+    let timeline = ContainmentTimeline::new(map);
+    let rates = || ReadRateTable::diagonal(2, 0.8, 1e-4);
+
+    // Site 0: both items co-travel with the case at location 0 until the
+    // dispatch at epoch 60.
+    let mut readings0 = Vec::new();
+    for t in 0..50u32 {
+        readings0.push(RawReading::new(Epoch(t), item_early, ReaderId(0)));
+        readings0.push(RawReading::new(Epoch(t), item_late, ReaderId(0)));
+        readings0.push(RawReading::new(Epoch(t), case, ReaderId(0)));
+    }
+    let mut truth0 = GroundTruth::new(timeline.clone());
+    truth0.record_location(item_early, Epoch(0), LocationId(0));
+    truth0.record_location(item_late, Epoch(0), LocationId(0));
+    truth0.record_location(case, Epoch(0), LocationId(0));
+    let site0 = Trace {
+        readings: ReadingBatch::from_readings(readings0),
+        truth: truth0,
+        read_rates: rates(),
+        meta: TraceMetadata::stable("site0", 0.8, 0.0, 100, 2),
+    };
+
+    // Site 1: only the case is ever read; the items are missed entirely, so
+    // only imported state can tell this site what contains them.
+    let mut readings1 = Vec::new();
+    for t in 70..100u32 {
+        readings1.push(RawReading::new(Epoch(t), case, ReaderId(1)));
+    }
+    let mut truth1 = GroundTruth::new(timeline.clone());
+    truth1.record_location(case, Epoch(70), LocationId(1));
+    let site1 = Trace {
+        readings: ReadingBatch::from_readings(readings1),
+        truth: truth1,
+        read_rates: rates(),
+        meta: TraceMetadata::stable("site1", 0.8, 0.0, 100, 2),
+    };
+
+    // Same route (0 → 1), same departure epoch, staggered arrivals: the case
+    // and the first item arrive at 70; the second item arrives at 150 — far
+    // beyond the 100-epoch horizon.
+    let transfer = |tag, arrive| ObjectTransfer {
+        tag,
+        from_site: SiteId(0),
+        to_site: SiteId(1),
+        depart: Epoch(60),
+        arrive: Epoch(arrive),
+    };
+    let chain = ChainTrace {
+        sites: vec![site0, site1],
+        transfers: vec![
+            transfer(case, 70),
+            transfer(item_early, 70),
+            transfer(item_late, 150),
+        ],
+        containment: timeline,
+    };
+
+    for workers in [1usize, 2] {
+        let outcome = DistributedDriver::new(DistributedConfig {
+            strategy: MigrationStrategy::CollapsedWeights,
+            inference: InferenceConfig::default()
+                .with_period(20)
+                .without_change_detection(),
+            num_workers: workers,
+            ..Default::default()
+        })
+        .run(&chain);
+
+        assert_eq!(
+            outcome.container_of(item_early),
+            Some(case),
+            "workers={workers}: the epoch-70 shipment must deliver its state"
+        );
+        assert_eq!(outcome.ons.lookup(item_late), Some(SiteId(1)));
+        assert_eq!(
+            outcome.container_of(item_late),
+            None,
+            "workers={workers}: the epoch-150 shipment is still in transit at \
+             the horizon — importing it at the route's first arrival epoch is \
+             the bug this test pins"
+        );
+    }
 }

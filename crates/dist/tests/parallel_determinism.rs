@@ -1,0 +1,113 @@
+//! The parallel (sharded, thread-per-site) federated driver must be
+//! *bit-identical* to the sequential reference: same containment, same
+//! per-kind communication bytes and message counts, same alerts, same
+//! query-state sizes, same ONS — across every migration strategy and every
+//! worker count.
+
+use rfid_core::InferenceConfig;
+use rfid_dist::{
+    DistributedConfig, DistributedDriver, DistributedOutcome, MessageKind, MigrationStrategy,
+};
+use rfid_query::ExposureQuery;
+use rfid_sim::{ChainConfig, ChainTrace, SupplyChainSimulator, TemperatureModel, WarehouseConfig};
+use std::collections::BTreeMap;
+
+fn smoke_chain() -> ChainTrace {
+    SupplyChainSimulator::new(ChainConfig {
+        warehouse: WarehouseConfig::default()
+            .with_length(1800)
+            .with_items_per_case(4)
+            .with_cases_per_pallet(2)
+            .with_seed(55),
+        num_warehouses: 3,
+        transit_secs: 90,
+        fanout: 2,
+    })
+    .generate()
+}
+
+fn config(chain: &ChainTrace, strategy: MigrationStrategy, workers: usize) -> DistributedConfig {
+    let mut properties = BTreeMap::new();
+    for object in chain.objects() {
+        properties.insert(object, "temperature-sensitive".to_string());
+    }
+    DistributedConfig {
+        strategy,
+        inference: InferenceConfig::default().without_change_detection(),
+        queries: vec![ExposureQuery {
+            duration_secs: 600,
+            ..ExposureQuery::q1([])
+        }],
+        product_properties: properties,
+        temperature: Some(TemperatureModel::new([])),
+        ..Default::default()
+    }
+    .with_workers(workers)
+}
+
+/// Field-by-field equality of two outcomes (DistributedOutcome itself holds
+/// f64-carrying alerts, so spell the comparison out for a useful message).
+fn assert_identical(seq: &DistributedOutcome, par: &DistributedOutcome, label: &str) {
+    assert_eq!(
+        seq.containment, par.containment,
+        "{label}: containment diverged"
+    );
+    for kind in MessageKind::ALL {
+        assert_eq!(
+            seq.comm.bytes_of_kind(kind),
+            par.comm.bytes_of_kind(kind),
+            "{label}: bytes of {kind:?} diverged"
+        );
+        assert_eq!(
+            seq.comm.messages_of_kind(kind),
+            par.comm.messages_of_kind(kind),
+            "{label}: message count of {kind:?} diverged"
+        );
+    }
+    assert_eq!(seq.alerts, par.alerts, "{label}: alerts diverged");
+    assert_eq!(
+        seq.query_state_shared_bytes, par.query_state_shared_bytes,
+        "{label}: shared query-state bytes diverged"
+    );
+    assert_eq!(
+        seq.query_state_unshared_bytes, par.query_state_unshared_bytes,
+        "{label}: unshared query-state bytes diverged"
+    );
+    assert_eq!(seq.ons, par.ons, "{label}: ONS custody diverged");
+    assert_eq!(
+        seq.inference_runs, par.inference_runs,
+        "{label}: inference-run count diverged"
+    );
+}
+
+#[test]
+fn parallel_outcome_is_bit_identical_for_every_strategy() {
+    let chain = smoke_chain();
+    assert!(!chain.transfers.is_empty(), "the chain must see migrations");
+    for strategy in [
+        MigrationStrategy::None,
+        MigrationStrategy::CriticalRegionReadings,
+        MigrationStrategy::CollapsedWeights,
+        MigrationStrategy::Centralized,
+    ] {
+        let sequential = DistributedDriver::new(config(&chain, strategy, 1)).run(&chain);
+        let parallel =
+            DistributedDriver::new(config(&chain, strategy, chain.sites.len())).run(&chain);
+        assert_identical(&sequential, &parallel, &format!("{strategy:?}"));
+    }
+}
+
+#[test]
+fn uneven_shards_and_oversized_worker_counts_change_nothing() {
+    let chain = smoke_chain();
+    let sequential =
+        DistributedDriver::new(config(&chain, MigrationStrategy::CollapsedWeights, 1)).run(&chain);
+    // 2 workers over 3 sites: worker 0 owns sites {0, 2}, worker 1 owns {1}.
+    let uneven =
+        DistributedDriver::new(config(&chain, MigrationStrategy::CollapsedWeights, 2)).run(&chain);
+    assert_identical(&sequential, &uneven, "2 workers / 3 sites");
+    // More workers than sites: capped at the site count.
+    let oversized =
+        DistributedDriver::new(config(&chain, MigrationStrategy::CollapsedWeights, 64)).run(&chain);
+    assert_identical(&sequential, &oversized, "64 workers / 3 sites");
+}

@@ -96,6 +96,19 @@ impl ReadingBatch {
         &self.readings
     }
 
+    /// The readings in `(time, tag, reader)` order *without copying*, if the
+    /// batch is already sorted and de-duplicated (which every batch built via
+    /// [`Self::from_readings`] is). Returns `None` when a sort would be
+    /// required first — callers that cannot mutate the batch should fall back
+    /// to sorting their own copy of [`Self::readings_unordered`].
+    pub fn sorted_readings(&self) -> Option<&[RawReading]> {
+        if self.sorted || self.readings.is_empty() {
+            Some(&self.readings)
+        } else {
+            None
+        }
+    }
+
     /// Number of readings in the batch.
     pub fn len(&self) -> usize {
         self.readings.len()
@@ -259,6 +272,22 @@ mod tests {
         let subset = batch.filter_tags(&BTreeSet::from([item]));
         assert_eq!(subset.len(), 2);
         assert!(subset.readings_unordered().iter().all(|x| x.tag == item));
+    }
+
+    #[test]
+    fn sorted_readings_borrows_only_when_already_ordered() {
+        let sorted: ReadingBatch = vec![r(1, TagId::item(1), 0), r(2, TagId::item(1), 0)]
+            .into_iter()
+            .collect();
+        assert_eq!(sorted.sorted_readings().unwrap().len(), 2);
+
+        let mut unsorted = ReadingBatch::new();
+        assert!(unsorted.sorted_readings().is_some(), "empty is sorted");
+        unsorted.push(r(5, TagId::item(1), 0));
+        unsorted.push(r(1, TagId::item(1), 0));
+        assert!(unsorted.sorted_readings().is_none());
+        unsorted.ensure_sorted();
+        assert_eq!(unsorted.sorted_readings().unwrap().len(), 2);
     }
 
     #[test]

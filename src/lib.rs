@@ -18,7 +18,9 @@
 //! * [`query`] — CQL-style stream query processing (pattern matching,
 //!   hybrid queries, query-state sharing);
 //! * [`dist`] — distributed inference and query processing with state
-//!   migration and communication accounting;
+//!   migration and communication accounting; sites run sequentially or
+//!   sharded across worker threads (`DistributedConfig::num_workers`) with
+//!   bit-identical results;
 //! * [`eval`] — evaluation metrics and table formatting.
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
