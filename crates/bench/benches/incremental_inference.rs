@@ -1,0 +1,68 @@
+//! Criterion micro-benchmark of the streaming engine's incremental mode:
+//! replay one warehouse trace through periodic inference runs with the
+//! cross-run evidence cache on and off. Outcomes are bit-identical (pinned
+//! by `crates/core` proptests and `crates/dist/tests/parallel_determinism`);
+//! the benchmark isolates the wall-clock effect of dirty-set scheduling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfid_core::{InferenceConfig, InferenceEngine};
+use rfid_sim::{WarehouseConfig, WarehouseSimulator};
+use rfid_types::{Epoch, RawReading, Trace};
+
+fn trace(length: u32) -> Trace {
+    WarehouseSimulator::new(
+        WarehouseConfig::default()
+            .with_length(length)
+            .with_read_rate(0.8)
+            .with_items_per_case(5)
+            .with_cases_per_pallet(2)
+            .with_seed(5),
+    )
+    .generate()
+}
+
+/// Replay the trace through one engine, running inference every period.
+fn replay(trace: &Trace, readings: &[RawReading], incremental: bool) -> usize {
+    let mut engine = InferenceEngine::new(
+        InferenceConfig::default()
+            .without_change_detection()
+            .with_incremental(incremental),
+        trace.read_rates.clone(),
+    );
+    let mut cursor = 0usize;
+    let mut runs = 0usize;
+    for t in 0..=trace.meta.length {
+        let now = Epoch(t);
+        while cursor < readings.len() && readings[cursor].time <= now {
+            engine.observe(readings[cursor]);
+            cursor += 1;
+        }
+        if engine.step(now).is_some() {
+            runs += 1;
+        }
+    }
+    runs
+}
+
+fn bench_streaming_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_engine");
+    group.sample_size(10);
+    for length in [900u32, 1800] {
+        let trace = trace(length);
+        let mut readings = trace.readings.readings_unordered().to_vec();
+        readings.sort_unstable();
+        readings.dedup();
+        group.bench_with_input(
+            BenchmarkId::new("full_recompute", length),
+            &length,
+            |b, _| b.iter(|| replay(&trace, &readings, false)),
+        );
+        group.bench_with_input(BenchmarkId::new("incremental", length), &length, |b, _| {
+            b.iter(|| replay(&trace, &readings, true))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming_engine);
+criterion_main!(benches);

@@ -8,8 +8,8 @@
 //! plain-text tables / series; `EXPERIMENTS.md` records one full run.
 
 use rfid_bench::{
-    fig4, fig5a, fig5b, fig5c, fig5d, fig5e, fig5f, fig6a, fig6b, parallel_scaling, scalability,
-    table3, table4, table5, table_query, Scale,
+    fig4, fig5a, fig5b, fig5c, fig5d, fig5e, fig5f, fig6a, fig6b, incremental_inference,
+    parallel_scaling, scalability, table3, table4, table5, table_query, Scale,
 };
 use rfid_eval::Series;
 use std::time::Instant;
@@ -30,6 +30,7 @@ const ALL: &[&str] = &[
     "table_query",
     "scalability",
     "parallel_scaling",
+    "incremental_inference",
 ];
 
 fn print_series(title: &str, series: &[Series]) {
@@ -82,6 +83,7 @@ fn run(name: &str, scale: Scale) {
         "table_query" => println!("{}", table_query(scale)),
         "scalability" => println!("{}", scalability(scale)),
         "parallel_scaling" => println!("{}", parallel_scaling(scale)),
+        "incremental_inference" => println!("{}", incremental_inference(scale)),
         other => {
             eprintln!("unknown experiment '{other}'. known: {}", ALL.join(", "));
             std::process::exit(2);

@@ -281,6 +281,36 @@ pub fn table_query(scale: Scale) -> Table {
     table
 }
 
+/// The wide short-dwell chain of the `parallel_scaling` and
+/// `incremental_inference` experiments: `sites` warehouses with short shelf
+/// dwells (60–180 s) and a fast injection cadence (120 s), so pallets reach
+/// the deep sites of the DAG within the horizon and every site stays busy.
+/// At `Scale::Default` with 8 sites this is the CHANGES.md reference scale:
+/// 2400 s, 20 items/case, 3 cases/pallet, seed 97 — 286,534 readings,
+/// 2,394 transfers, 1,200 objects.
+fn short_dwell_chain(scale: Scale, sites: u32) -> ChainTrace {
+    let mut warehouse = WarehouseConfig::default()
+        .with_length(match scale {
+            Scale::Smoke => 1500,
+            _ => 2400,
+        })
+        .with_items_per_case(scale.items_per_case() * 2)
+        .with_cases_per_pallet(scale.cases_per_pallet())
+        .with_seed(97);
+    // Short dwells: cases clear their shelves quickly, so objects hop
+    // sites often and migration work dominates.
+    warehouse.shelf_dwell_min = 60;
+    warehouse.shelf_dwell_max = 180;
+    warehouse.pallet_injection_interval = 120;
+    SupplyChainSimulator::new(ChainConfig {
+        warehouse,
+        num_warehouses: sites,
+        transit_secs: 60,
+        fanout: 2,
+    })
+    .generate()
+}
+
 /// Parallel scale-out: sequential vs sharded thread-per-site wall-clock of
 /// the federated driver on a wide chain — 8–16 sites with short shelf dwells
 /// and a fast injection cadence, so pallets reach the deep sites of the DAG
@@ -308,26 +338,7 @@ pub fn parallel_scaling(scale: Scale) -> Table {
         _ => &[8, 12, 16],
     };
     for &sites in site_counts {
-        let mut warehouse = WarehouseConfig::default()
-            .with_length(match scale {
-                Scale::Smoke => 1500,
-                _ => 2400,
-            })
-            .with_items_per_case(scale.items_per_case() * 2)
-            .with_cases_per_pallet(scale.cases_per_pallet())
-            .with_seed(97);
-        // Short dwells: cases clear their shelves quickly, so objects hop
-        // sites often and migration work dominates.
-        warehouse.shelf_dwell_min = 60;
-        warehouse.shelf_dwell_max = 180;
-        warehouse.pallet_injection_interval = 120;
-        let chain = SupplyChainSimulator::new(ChainConfig {
-            warehouse,
-            num_warehouses: sites,
-            transit_secs: 60,
-            fanout: 2,
-        })
-        .generate();
+        let chain = short_dwell_chain(scale, sites);
         let config = |workers: usize| DistributedConfig {
             strategy: MigrationStrategy::CollapsedWeights,
             inference: InferenceConfig::default().without_change_detection(),
@@ -354,6 +365,85 @@ pub fn parallel_scaling(scale: Scale) -> Table {
             format!("{:.2}x", seq_secs / par_secs.max(1e-9)),
         ]);
     }
+    table
+}
+
+/// Incremental inference: per-site inference wall-clock of full per-run
+/// RFINFER recomputes versus dirty-set scheduled incremental runs, at the
+/// 8-site short-dwell scale, for every migration strategy.
+///
+/// Both modes produce bit-identical outcomes (asserted here on containment
+/// and communication; `crates/dist/tests/parallel_determinism.rs` and the
+/// `crates/core` proptests pin the full guarantee) — the table isolates the
+/// pure cost of re-deriving evidence the dirty journal proves unchanged.
+/// "posterior reuse" / "evidence reuse" are the fractions of E-step
+/// posterior and point-evidence evaluations served from the cross-run cache.
+pub fn incremental_inference(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Incremental inference: per-site inference wall-clock, full recompute vs dirty-set cached",
+        &[
+            "strategy",
+            "runs",
+            "full (s)",
+            "incremental (s)",
+            "speedup",
+            "posterior reuse",
+            "evidence reuse",
+        ],
+    );
+    let chain = short_dwell_chain(scale, 8);
+    let mut total_full = 0.0;
+    let mut total_incremental = 0.0;
+    for (name, strategy) in [
+        ("None", MigrationStrategy::None),
+        ("CR-readings", MigrationStrategy::CriticalRegionReadings),
+        ("CollapsedWeights", MigrationStrategy::CollapsedWeights),
+        ("Centralized", MigrationStrategy::Centralized),
+    ] {
+        let config = |incremental: bool| DistributedConfig {
+            strategy,
+            inference: InferenceConfig::default()
+                .without_change_detection()
+                .with_incremental(incremental),
+            ..Default::default()
+        };
+        let full = DistributedDriver::new(config(false)).run(&chain);
+        let incremental = DistributedDriver::new(config(true)).run(&chain);
+        assert_eq!(
+            full.containment, incremental.containment,
+            "incremental inference must not change the outcome"
+        );
+        assert_eq!(full.comm, incremental.comm);
+        assert_eq!(full.inference_runs, incremental.inference_runs);
+        let full_secs = full.inference_wall.as_secs_f64();
+        let incr_secs = incremental.inference_wall.as_secs_f64();
+        total_full += full_secs;
+        total_incremental += incr_secs;
+        table.push_row(&[
+            name.to_string(),
+            full.inference_runs.to_string(),
+            format!("{full_secs:.2}"),
+            format!("{incr_secs:.2}"),
+            format!("{:.2}x", full_secs / incr_secs.max(1e-9)),
+            format!(
+                "{:.0}%",
+                100.0 * incremental.inference_stats.posterior_reuse_fraction()
+            ),
+            format!(
+                "{:.0}%",
+                100.0 * incremental.inference_stats.evidence_reuse_fraction()
+            ),
+        ]);
+    }
+    table.push_row(&[
+        "TOTAL".to_string(),
+        String::new(),
+        format!("{total_full:.2}"),
+        format!("{total_incremental:.2}"),
+        format!("{:.2}x", total_full / total_incremental.max(1e-9)),
+        String::new(),
+        String::new(),
+    ]);
     table
 }
 
@@ -461,6 +551,26 @@ mod tests {
         );
         assert!(row[3].parse::<f64>().unwrap() > 0.0);
         assert!(row[4].parse::<f64>().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn incremental_inference_reuses_work_without_changing_outcomes() {
+        // the function itself asserts full == incremental on every row
+        let table = incremental_inference(Scale::Smoke);
+        assert_eq!(table.headers.len(), 7);
+        assert_eq!(table.rows.len(), 5, "four strategies plus the total row");
+        for row in &table.rows[..4] {
+            assert!(row[1].parse::<usize>().unwrap() > 0, "engines must run");
+            // wall-clock cells are 2-decimal formatted and may round to 0.00
+            // on fast hardware — only require them to be well-formed
+            assert!(row[3].parse::<f64>().unwrap() >= 0.0);
+            let reuse: f64 = row[5].trim_end_matches('%').parse().unwrap();
+            assert!(
+                reuse > 0.0,
+                "incremental mode must reuse cached posteriors ({row:?})"
+            );
+        }
+        assert_eq!(table.rows[4][0], "TOTAL");
     }
 
     #[test]

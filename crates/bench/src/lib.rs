@@ -15,7 +15,9 @@
 pub mod distributed;
 pub mod single_site;
 
-pub use distributed::{fig5e, fig5f, parallel_scaling, scalability, table5, table_query};
+pub use distributed::{
+    fig5e, fig5f, incremental_inference, parallel_scaling, scalability, table5, table_query,
+};
 pub use single_site::{
     evaluate_rfinfer, evaluate_smurf_star, fig4, fig5a, fig5b, fig5c, fig5d, fig6a, fig6b, table3,
     table4, SingleSiteEval,

@@ -1,5 +1,5 @@
 //! Offline stand-in for `serde_json`: JSON text round-tripping for the
-//! companion `serde` stand-in's [`Value`](serde::Value) data model.
+//! companion `serde` stand-in's [`serde::Value`] data model.
 
 pub use serde::Error;
 pub use serde::Value;

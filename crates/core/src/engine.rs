@@ -12,7 +12,9 @@ use crate::changepoint::{detect_changes, DetectedChange, ThresholdCalibrator};
 use crate::config::{InferenceConfig, ThresholdPolicy};
 use crate::likelihood::LikelihoodModel;
 use crate::observations::Observations;
-use crate::rfinfer::{InferenceOutcome, PriorWeights, RfInfer};
+use crate::rfinfer::{
+    DirtySet, EvidenceCache, InferenceOutcome, InferenceStats, PriorWeights, RfInfer,
+};
 use crate::state::{CollapsedState, MigrationState, ReadingsState};
 use crate::truncate::retention_plan;
 use rand::SeedableRng;
@@ -20,6 +22,7 @@ use rand_chacha::ChaCha8Rng;
 use rfid_types::{
     ContainmentMap, Epoch, LocationId, ObjectEvent, RawReading, ReadRateTable, ReadingBatch, TagId,
 };
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The report produced by one inference run.
@@ -27,17 +30,45 @@ use std::time::{Duration, Instant};
 pub struct InferenceReport {
     /// The epoch at which inference ran.
     pub at: Epoch,
-    /// The RFINFER outcome (containment, locations, evidence).
-    pub outcome: InferenceOutcome,
+    /// The RFINFER outcome (containment, locations, evidence), shared with
+    /// the engine's own retained copy — cloning the report never deep-copies
+    /// the outcome.
+    pub outcome: Arc<InferenceOutcome>,
     /// Containment changes detected during this run.
     pub changes: Vec<DetectedChange>,
     /// Number of (tag, epoch) observations retained after truncation.
     pub retained_observations: usize,
     /// Wall-clock time spent in this run.
     pub duration: Duration,
+    /// Dirty-set size and cache-reuse counters of this run.
+    pub stats: InferenceStats,
 }
 
 /// Streaming inference engine for one site.
+///
+/// # Example
+///
+/// Feed co-located readings, run inference, read off containment:
+///
+/// ```
+/// use rfid_core::{InferenceConfig, InferenceEngine};
+/// use rfid_types::{Epoch, RawReading, ReadRateTable, ReaderId, TagId};
+///
+/// let mut engine = InferenceEngine::new(
+///     InferenceConfig::default().with_period(10).without_change_detection(),
+///     ReadRateTable::diagonal(2, 0.8, 1e-4),
+/// );
+/// for t in 0..10 {
+///     engine.observe(RawReading::new(Epoch(t), TagId::item(1), ReaderId(0)));
+///     engine.observe(RawReading::new(Epoch(t), TagId::case(1), ReaderId(0)));
+/// }
+/// engine.run_inference(Epoch(10));
+/// assert_eq!(engine.container_of(TagId::item(1)), Some(TagId::case(1)));
+/// // The default configuration runs incrementally: a second run with no new
+/// // readings reuses every cached posterior.
+/// let report = engine.run_inference(Epoch(20));
+/// assert_eq!(report.stats.posteriors_computed, 0);
+/// ```
 pub struct InferenceEngine {
     config: InferenceConfig,
     model: LikelihoodModel,
@@ -45,9 +76,13 @@ pub struct InferenceEngine {
     prior: PriorWeights,
     containment: ContainmentMap,
     detected: Vec<DetectedChange>,
-    last_outcome: Option<InferenceOutcome>,
+    last_outcome: Option<Arc<InferenceOutcome>>,
     last_inference_at: Option<Epoch>,
     threshold: Option<f64>,
+    /// Journal of (tag, epoch) store changes since the last run.
+    dirty: DirtySet,
+    /// Cross-run posterior/evidence cache for incremental runs.
+    cache: EvidenceCache,
 }
 
 impl InferenceEngine {
@@ -64,6 +99,8 @@ impl InferenceEngine {
             last_outcome: None,
             last_inference_at: None,
             threshold: None,
+            dirty: DirtySet::new(),
+            cache: EvidenceCache::new(),
         }
     }
 
@@ -74,13 +111,15 @@ impl InferenceEngine {
 
     /// Feed one raw reading into the engine.
     pub fn observe(&mut self, reading: RawReading) {
-        self.store.insert(reading);
+        if self.store.insert(reading) {
+            self.dirty.record(reading.tag, reading.time);
+        }
     }
 
     /// Feed a batch of raw readings into the engine.
     pub fn observe_batch(&mut self, batch: &ReadingBatch) {
         for r in batch.readings_unordered() {
-            self.store.insert(*r);
+            self.observe(*r);
         }
     }
 
@@ -102,11 +141,37 @@ impl InferenceEngine {
     }
 
     /// Run RFINFER (plus change-point detection and history truncation) now.
+    ///
+    /// With [`InferenceConfig::incremental`] set (the default) the run reuses
+    /// the cross-run evidence cache for every tag the dirty journal proves
+    /// unchanged; otherwise it recomputes from scratch. The two modes produce
+    /// bit-identical reports (up to wall-clock and reuse counters).
     pub fn run_inference(&mut self, now: Epoch) -> InferenceReport {
         let started = Instant::now();
-        let mut outcome = RfInfer::with_prior(&self.model, &self.store, &self.prior)
-            .with_config(self.config.rfinfer.clone())
-            .run();
+        // Calibrate the change threshold up front (it is lazy and needs
+        // `&mut self`; everything after this runs on disjoint borrows).
+        let threshold = if self.config.change_detection.is_some() {
+            self.calibrate_threshold()
+        } else {
+            f64::INFINITY
+        };
+        let rfinfer = self.config.rfinfer.clone();
+        let (mut outcome, stats) = if self.config.incremental {
+            let dirty = std::mem::take(&mut self.dirty);
+            RfInfer::with_prior(&self.model, &self.store, &self.prior)
+                .with_config(rfinfer)
+                .run_incremental(&mut self.cache, &dirty)
+        } else {
+            // Keep the journal and cache empty so a later switch to
+            // incremental mode starts from a clean slate instead of a stale
+            // one.
+            self.dirty.clear();
+            self.cache.clear();
+            let outcome = RfInfer::with_prior(&self.model, &self.store, &self.prior)
+                .with_config(rfinfer)
+                .run();
+            (outcome, InferenceStats::default())
+        };
 
         // Containment estimates: the M-step assignment for every object this
         // run examined. Objects the run did not see (e.g. an estimate
@@ -124,7 +189,6 @@ impl InferenceEngine {
         // ...refined by change-point detection (Section 3.3 / Appendix A.2).
         let mut changes = Vec::new();
         if self.config.change_detection.is_some() {
-            let threshold = self.threshold_value();
             changes = detect_changes(&outcome.objects, threshold);
             for change in &changes {
                 if let Some(new_container) = change.new_container {
@@ -147,13 +211,17 @@ impl InferenceEngine {
                     }
                     evidence.assigned = change.new_container;
                 }
-                self.store
+                let removed = self
+                    .store
                     .retain_ranges_for(change.object, &[(change.change_at, now)]);
+                self.dirty.record_all(change.object, removed);
             }
             self.detected.extend(changes.iter().cloned());
         }
 
-        // History truncation for the next run.
+        // History truncation for the next run. Removed epochs go into the
+        // dirty journal so the next incremental run invalidates exactly the
+        // cache entries whose inputs they were.
         let plan = retention_plan(
             self.config.truncation,
             &outcome,
@@ -163,10 +231,14 @@ impl InferenceEngine {
         let tags: Vec<TagId> = self.store.tags().collect();
         for tag in tags {
             let ranges = plan.ranges_for(tag, now);
-            self.store.retain_ranges_for(tag, &ranges);
+            let removed = self.store.retain_ranges_for(tag, &ranges);
+            self.dirty.record_all(tag, removed);
         }
 
-        self.last_outcome = Some(outcome.clone());
+        // Share the outcome instead of cloning it: the engine and the report
+        // hold the same Arc.
+        let outcome = Arc::new(outcome);
+        self.last_outcome = Some(Arc::clone(&outcome));
         self.last_inference_at = Some(now);
         InferenceReport {
             at: now,
@@ -174,6 +246,7 @@ impl InferenceEngine {
             changes,
             retained_observations: self.store.len(),
             duration: started.elapsed(),
+            stats,
         }
     }
 
@@ -224,7 +297,12 @@ impl InferenceEngine {
 
     /// The outcome of the most recent inference run.
     pub fn last_outcome(&self) -> Option<&InferenceOutcome> {
-        self.last_outcome.as_ref()
+        self.last_outcome.as_deref()
+    }
+
+    /// A shared handle to the most recent outcome (no deep copy).
+    pub fn last_outcome_shared(&self) -> Option<Arc<InferenceOutcome>> {
+        self.last_outcome.clone()
     }
 
     /// The epoch of the most recent inference run, if one has happened — the
@@ -239,9 +317,17 @@ impl InferenceEngine {
         self.store.len()
     }
 
-    /// The change-point threshold in force (calibrating it lazily if the
-    /// policy asks for calibration).
-    pub fn threshold_value(&mut self) -> f64 {
+    /// The change-point threshold in force, if it has been computed — a pure
+    /// read. `None` means the lazy calibration has not happened yet; call
+    /// [`Self::calibrate_threshold`] to force it.
+    pub fn threshold(&self) -> Option<f64> {
+        self.threshold
+    }
+
+    /// Compute (once) and cache the change-point threshold, calibrating it
+    /// offline if the policy asks for calibration, and return it. Subsequent
+    /// calls — and [`Self::threshold`] reads — return the cached value.
+    pub fn calibrate_threshold(&mut self) -> f64 {
         if let Some(existing) = self.threshold {
             return existing;
         }
@@ -315,7 +401,8 @@ impl InferenceEngine {
         }
     }
 
-    /// Import migration state for an object arriving from another site.
+    /// Import migration state for an object arriving from another site,
+    /// marking the affected tags dirty for the next incremental run.
     pub fn import_state(&mut self, state: MigrationState) {
         match state {
             MigrationState::None => {}
@@ -324,13 +411,18 @@ impl InferenceEngine {
                     self.containment.set(collapsed.object, container);
                 }
                 self.prior.merge(&collapsed.to_prior());
+                // Priors are re-applied from scratch every run, so no cached
+                // per-epoch value needs invalidation — but the object counts
+                // as dirty.
+                self.dirty.mark(collapsed.object);
             }
             MigrationState::Readings(readings) => {
                 if let Some(container) = readings.container {
                     self.containment.set(readings.object, container);
                 }
+                self.dirty.mark(readings.object);
                 for r in readings.readings {
-                    self.store.insert(r);
+                    self.observe(r);
                 }
             }
         }
@@ -339,7 +431,8 @@ impl InferenceEngine {
     /// Forget everything about a tag (used when an object permanently leaves
     /// a site and its state has been shipped elsewhere).
     pub fn forget(&mut self, tag: TagId) {
-        self.store.retain_ranges_for(tag, &[]);
+        let removed = self.store.retain_ranges_for(tag, &[]);
+        self.dirty.record_all(tag, removed);
     }
 }
 
@@ -546,16 +639,19 @@ mod tests {
             InferenceConfig::default().with_fixed_threshold(42.0),
             rates(),
         );
-        assert_eq!(fixed.threshold_value(), 42.0);
+        assert_eq!(fixed.threshold(), None, "calibration is lazy");
+        assert_eq!(fixed.calibrate_threshold(), 42.0);
+        assert_eq!(fixed.threshold(), Some(42.0), "read-only getter sees it");
         let mut off = InferenceEngine::new(
             InferenceConfig::default().without_change_detection(),
             rates(),
         );
-        assert_eq!(off.threshold_value(), f64::INFINITY);
+        assert_eq!(off.calibrate_threshold(), f64::INFINITY);
         let mut calibrated = InferenceEngine::new(InferenceConfig::default(), rates());
-        let t = calibrated.threshold_value();
+        let t = calibrated.calibrate_threshold();
         assert!(t.is_finite() && t > 0.0);
         // cached on the second call
-        assert_eq!(calibrated.threshold_value(), t);
+        assert_eq!(calibrated.calibrate_threshold(), t);
+        assert_eq!(calibrated.threshold(), Some(t));
     }
 }

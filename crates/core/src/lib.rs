@@ -66,7 +66,10 @@ pub use engine::{InferenceEngine, InferenceReport};
 pub use likelihood::LikelihoodModel;
 pub use observations::{ObsAt, Observations};
 pub use posterior::{container_posterior, Posterior};
-pub use rfinfer::{InferenceOutcome, ObjectEvidence, PriorWeights, RfInfer, RfInferConfig};
+pub use rfinfer::{
+    DirtySet, EvidenceCache, InferenceOutcome, InferenceStats, ObjectEvidence, PriorWeights,
+    RfInfer, RfInferConfig,
+};
 pub use state::{CollapsedState, MigrationState, ReadingsState};
 pub use truncate::{
     critical_region, retention_plan, CriticalRegion, RetentionPlan, TruncationPolicy,

@@ -40,17 +40,21 @@ impl Observations {
         obs
     }
 
-    /// Insert a single reading.
-    pub fn insert(&mut self, reading: RawReading) {
+    /// Insert a single reading. Returns whether the index changed (a reading
+    /// already present is a no-op) — the signal incremental inference uses to
+    /// journal dirty `(tag, epoch)` pairs.
+    pub fn insert(&mut self, reading: RawReading) -> bool {
         let entry = self.per_tag.entry(reading.tag).or_default();
         let loc = reading.reader.location();
         // Readings arrive roughly in time order; search from the back.
         match entry.iter_mut().rev().find(|o| o.epoch == reading.time) {
-            Some(o) => {
-                if let Err(pos) = o.readers.binary_search(&loc) {
+            Some(o) => match o.readers.binary_search(&loc) {
+                Ok(_) => false,
+                Err(pos) => {
                     o.readers.insert(pos, loc);
+                    true
                 }
-            }
+            },
             None => {
                 let obs = ObsAt {
                     epoch: reading.time,
@@ -58,7 +62,10 @@ impl Observations {
                 };
                 match entry.binary_search_by_key(&reading.time, |o| o.epoch) {
                     Ok(_) => unreachable!("epoch found but not matched above"),
-                    Err(pos) => entry.insert(pos, obs),
+                    Err(pos) => {
+                        entry.insert(pos, obs);
+                        true
+                    }
                 }
             }
         }
@@ -188,18 +195,26 @@ impl Observations {
 
     /// Drop, for the given tag, every observation outside the union of the
     /// provided inclusive epoch ranges. Used by per-object history
-    /// truncation.
-    pub fn retain_ranges_for(&mut self, tag: TagId, ranges: &[(Epoch, Epoch)]) {
+    /// truncation. Returns the epochs whose observations were removed, so
+    /// incremental inference can invalidate exactly the affected cache
+    /// entries.
+    pub fn retain_ranges_for(&mut self, tag: TagId, ranges: &[(Epoch, Epoch)]) -> Vec<Epoch> {
+        let mut removed = Vec::new();
         if let Some(list) = self.per_tag.get_mut(&tag) {
             list.retain(|o| {
-                ranges
+                let keep = ranges
                     .iter()
-                    .any(|&(lo, hi)| o.epoch >= lo && o.epoch <= hi)
+                    .any(|&(lo, hi)| o.epoch >= lo && o.epoch <= hi);
+                if !keep {
+                    removed.push(o.epoch);
+                }
+                keep
             });
             if list.is_empty() {
                 self.per_tag.remove(&tag);
             }
         }
+        removed
     }
 
     /// Drop every observation (for all tags) strictly older than `cutoff`.
@@ -262,9 +277,11 @@ mod tests {
     fn duplicate_insert_is_idempotent() {
         let mut obs = sample();
         let before = obs.len();
-        obs.insert(read(3, TagId::item(1), 1));
+        assert!(!obs.insert(read(3, TagId::item(1), 1)), "duplicate reading");
         assert_eq!(obs.len(), before);
         assert_eq!(obs.readers_at(TagId::item(1), Epoch(3)).unwrap().len(), 2);
+        assert!(obs.insert(read(9, TagId::item(1), 1)), "new epoch");
+        assert!(obs.insert(read(9, TagId::item(1), 2)), "new reader");
     }
 
     #[test]
@@ -302,12 +319,17 @@ mod tests {
     #[test]
     fn retain_ranges_for_prunes_one_tag_only() {
         let mut obs = sample();
-        obs.retain_ranges_for(TagId::item(1), &[(Epoch(3), Epoch(3))]);
+        let removed = obs.retain_ranges_for(TagId::item(1), &[(Epoch(3), Epoch(3))]);
+        assert_eq!(removed, vec![Epoch(1), Epoch(2)]);
         assert_eq!(obs.obs_for(TagId::item(1)).len(), 1);
         assert_eq!(obs.obs_for(TagId::case(1)).len(), 2, "other tags untouched");
-        obs.retain_ranges_for(TagId::item(1), &[(Epoch(9), Epoch(9))]);
+        let removed = obs.retain_ranges_for(TagId::item(1), &[(Epoch(9), Epoch(9))]);
+        assert_eq!(removed, vec![Epoch(3)]);
         assert!(obs.obs_for(TagId::item(1)).is_empty());
         assert!(!obs.objects().contains(&TagId::item(1)));
+        assert!(obs
+            .retain_ranges_for(TagId::item(1), &[(Epoch(0), Epoch(9))])
+            .is_empty());
     }
 
     #[test]

@@ -3,6 +3,19 @@
 //! Appendix A.3 (candidate pruning, memoization, sparse likelihood
 //! evaluation) and support for prior co-location weights imported from a
 //! previous site (the collapsed inference state of Section 4.1).
+//!
+//! ## Incremental re-runs
+//!
+//! Periodic inference (Section 3) re-solves the EM over the retained history
+//! every run, yet between two runs most of that history is untouched: new
+//! readings only arrive for epochs after the previous run, and truncation
+//! only removes old epochs. [`RfInfer::run_incremental`] exploits this with
+//! a cross-run [`EvidenceCache`]: the EM control flow is replayed in full
+//! (so the result is **bit-identical** to [`RfInfer::run`] by construction),
+//! but its two expensive leaves — the E-step container posterior at one
+//! epoch, and the per-epoch point evidence of one (object, candidate) pair —
+//! are memoized and skipped whenever a [`DirtySet`] journal proves their
+//! exact inputs unchanged since the previous run.
 
 use crate::likelihood::LikelihoodModel;
 use crate::observations::Observations;
@@ -112,7 +125,7 @@ impl PriorWeights {
 }
 
 /// Everything the M-step learned about one object.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ObjectEvidence {
     /// Candidate containers considered for this object (pruned set).
     pub candidates: Vec<TagId>,
@@ -160,7 +173,7 @@ impl ObjectEvidence {
 }
 
 /// The result of one RFINFER run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InferenceOutcome {
     /// Inferred containment: each object mapped to its most likely container.
     pub containment: ContainmentMap,
@@ -243,6 +256,254 @@ impl InferenceOutcome {
     }
 }
 
+/// Journal of per-tag store changes since the previous inference run: the
+/// dirty set driving incremental RFINFER.
+///
+/// Every mutation of the observation store — a new reading, a reading
+/// imported with critical-region migration state, a truncation or a
+/// `forget` — records the affected `(tag, epoch)` pairs here. A tag can also
+/// be marked dirty without epochs (e.g. when collapsed weights were imported
+/// for it), which counts it in the dirty statistics without invalidating any
+/// cached per-epoch computation (priors are re-applied from scratch every
+/// run).
+#[derive(Debug, Clone, Default)]
+pub struct DirtySet {
+    changed: BTreeMap<TagId, BTreeSet<Epoch>>,
+}
+
+impl DirtySet {
+    /// An empty journal.
+    pub fn new() -> DirtySet {
+        DirtySet::default()
+    }
+
+    /// Record that `tag`'s observations changed at `epoch` (inserted or
+    /// removed).
+    pub fn record(&mut self, tag: TagId, epoch: Epoch) {
+        self.changed.entry(tag).or_default().insert(epoch);
+    }
+
+    /// Record a batch of changed epochs for one tag. A no-op when `epochs`
+    /// is empty, so callers can pass the removal list of
+    /// [`Observations::retain_ranges_for`] unconditionally.
+    pub fn record_all<I: IntoIterator<Item = Epoch>>(&mut self, tag: TagId, epochs: I) {
+        let mut iter = epochs.into_iter().peekable();
+        if iter.peek().is_some() {
+            self.changed.entry(tag).or_default().extend(iter);
+        }
+    }
+
+    /// Mark a tag dirty without naming epochs (state other than observations
+    /// changed, e.g. imported prior weights).
+    pub fn mark(&mut self, tag: TagId) {
+        self.changed.entry(tag).or_default();
+    }
+
+    /// The changed epochs of one tag, if it is dirty.
+    pub fn epochs_of(&self, tag: TagId) -> Option<&BTreeSet<Epoch>> {
+        self.changed.get(&tag)
+    }
+
+    /// Number of dirty tags.
+    pub fn num_tags(&self) -> usize {
+        self.changed.len()
+    }
+
+    /// Whether nothing changed since the journal was last cleared.
+    pub fn is_empty(&self) -> bool {
+        self.changed.is_empty()
+    }
+
+    /// Union of the changed epochs of all the given tags — the epochs at
+    /// which a cached posterior over exactly these tags is invalid.
+    pub fn union_for<I: IntoIterator<Item = TagId>>(&self, tags: I) -> BTreeSet<Epoch> {
+        self.union_for_until(tags, None)
+    }
+
+    /// Like [`Self::union_for`], but ignoring changes after `cutoff`. Used
+    /// when the consumer's cache holds nothing newer than `cutoff` anyway —
+    /// in the streaming steady state almost every change is a new reading
+    /// past the previous run's horizon, so the clamp keeps the union tiny.
+    pub fn union_for_until<I: IntoIterator<Item = TagId>>(
+        &self,
+        tags: I,
+        cutoff: Option<Epoch>,
+    ) -> BTreeSet<Epoch> {
+        let mut union = BTreeSet::new();
+        for tag in tags {
+            if let Some(epochs) = self.changed.get(&tag) {
+                match cutoff {
+                    Some(cutoff) => union.extend(epochs.range(..=cutoff).copied()),
+                    None => union.extend(epochs.iter().copied()),
+                }
+            }
+        }
+        union
+    }
+
+    /// Forget all recorded changes.
+    pub fn clear(&mut self) {
+        self.changed.clear();
+    }
+}
+
+/// Cached variants kept per container across runs. The EM typically visits
+/// two member sets per container and run (the initial assignment's and the
+/// converged one), and both tend to recur on the next run.
+const MAX_CACHED_VARIANTS: usize = 4;
+
+/// One E-step *variant* of a container: the per-epoch posteriors computed
+/// over one member set, plus the point-evidence series each object computed
+/// against those posteriors.
+#[derive(Debug, Clone)]
+struct CachedVariant {
+    members: Vec<TagId>,
+    per_epoch: BTreeMap<Epoch, Posterior>,
+    evidence: BTreeMap<TagId, Vec<(Epoch, f64)>>,
+}
+
+/// Working state of one container during an EM run.
+struct Variant {
+    /// The member set the posteriors smooth over.
+    members: Vec<TagId>,
+    /// The EM iteration that (re)computed this variant — objects whose
+    /// candidates were all left untouched by an iteration's E-step skip its
+    /// M-step wholesale (their weights could not have changed).
+    updated_iter: usize,
+    /// Per-epoch posteriors of this variant.
+    per_epoch: BTreeMap<Epoch, Posterior>,
+    /// Epochs whose posterior was moved bitwise out of the previous run's
+    /// matching variant (sorted ascending) — the precondition for cross-run
+    /// evidence reuse.
+    reused: Vec<Epoch>,
+    /// Whether *every* needed posterior came out of the previous run's
+    /// matching variant — the whole-series evidence fast path.
+    fully_reused: bool,
+    /// The matching previous-run variant's evidence series.
+    prev_evidence: BTreeMap<TagId, Vec<(Epoch, f64)>>,
+    /// Evidence series computed this run against `per_epoch` (incremental
+    /// mode only) — reused across EM iterations and by the outcome builder.
+    evidence: BTreeMap<TagId, Vec<(Epoch, f64)>>,
+}
+
+impl Variant {
+    fn into_cached(self) -> CachedVariant {
+        CachedVariant {
+            members: self.members,
+            per_epoch: self.per_epoch,
+            evidence: self.evidence,
+        }
+    }
+}
+
+/// Cross-run evidence cache consumed and refilled by
+/// [`RfInfer::run_incremental`].
+///
+/// Holds, per container, the posterior variants of the previous run — the
+/// per-epoch E-step posteriors keyed by the member set they smoothed over —
+/// together with the per-object point-evidence series computed against each
+/// variant.
+#[derive(Debug, Clone, Default)]
+pub struct EvidenceCache {
+    containers: BTreeMap<TagId, Vec<CachedVariant>>,
+}
+
+impl EvidenceCache {
+    /// An empty cache (the first incremental run computes everything).
+    pub fn new() -> EvidenceCache {
+        EvidenceCache::default()
+    }
+
+    /// Number of cached per-epoch posteriors, across all variants of all
+    /// containers.
+    pub fn cached_posteriors(&self) -> usize {
+        self.containers
+            .values()
+            .flat_map(|variants| variants.iter())
+            .map(|v| v.per_epoch.len())
+            .sum()
+    }
+
+    /// Drop everything (e.g. when switching an engine to full recompute).
+    pub fn clear(&mut self) {
+        self.containers.clear();
+    }
+}
+
+/// Work accounting of one inference run: how much of the E-step and M-step
+/// was reused from the cross-run cache versus computed fresh.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InferenceStats {
+    /// Tags whose observations or imported state changed since the previous
+    /// run (zero for a full recompute, which tracks no dirtiness).
+    pub dirty_tags: usize,
+    /// E-step per-epoch container posteriors reused from the cache.
+    pub posteriors_reused: usize,
+    /// E-step per-epoch container posteriors computed fresh.
+    pub posteriors_computed: usize,
+    /// Per-epoch point-evidence values reused from the previous outcome.
+    pub evidence_reused: usize,
+    /// Per-epoch point-evidence values computed fresh.
+    pub evidence_computed: usize,
+}
+
+impl InferenceStats {
+    /// Add another run's counters into this one (per-site aggregation).
+    pub fn absorb(&mut self, other: &InferenceStats) {
+        self.dirty_tags += other.dirty_tags;
+        self.posteriors_reused += other.posteriors_reused;
+        self.posteriors_computed += other.posteriors_computed;
+        self.evidence_reused += other.evidence_reused;
+        self.evidence_computed += other.evidence_computed;
+    }
+
+    /// Fraction of E-step posterior evaluations served from the cache.
+    pub fn posterior_reuse_fraction(&self) -> f64 {
+        let total = self.posteriors_reused + self.posteriors_computed;
+        if total == 0 {
+            0.0
+        } else {
+            self.posteriors_reused as f64 / total as f64
+        }
+    }
+
+    /// Fraction of point-evidence evaluations served from the cache.
+    pub fn evidence_reuse_fraction(&self) -> f64 {
+        let total = self.evidence_reused + self.evidence_computed;
+        if total == 0 {
+            0.0
+        } else {
+            self.evidence_reused as f64 / total as f64
+        }
+    }
+}
+
+/// Forward-only cursor over a previous run's point-evidence series, looked
+/// up in step with an object's (epoch-sorted) observations.
+struct PrevSeries<'a> {
+    series: &'a [(Epoch, f64)],
+    cursor: usize,
+}
+
+impl<'a> PrevSeries<'a> {
+    fn new(series: Option<&'a Vec<(Epoch, f64)>>) -> PrevSeries<'a> {
+        PrevSeries {
+            series: series.map(|v| v.as_slice()).unwrap_or(&[]),
+            cursor: 0,
+        }
+    }
+
+    fn lookup(&mut self, t: Epoch) -> Option<f64> {
+        while self.cursor < self.series.len() && self.series[self.cursor].0 < t {
+            self.cursor += 1;
+        }
+        match self.series.get(self.cursor) {
+            Some(&(epoch, value)) if epoch == t => Some(value),
+            _ => None,
+        }
+    }
+}
+
 /// The RFINFER algorithm bound to a likelihood model, an observation index
 /// and optional prior weights.
 pub struct RfInfer<'a> {
@@ -285,8 +546,48 @@ impl<'a> RfInfer<'a> {
     }
 
     /// Run EM to convergence and return the inferred containment, locations
-    /// and evidence.
+    /// and evidence (a full recompute over the observation index).
     pub fn run(&self) -> InferenceOutcome {
+        self.run_impl(None).0
+    }
+
+    /// Run EM incrementally against a cross-run [`EvidenceCache`].
+    ///
+    /// The EM control flow is identical to [`RfInfer::run`] — same candidate
+    /// pruning, same initial assignment, same iteration trajectory — but the
+    /// per-epoch container posteriors and point-evidence values are reused
+    /// from `cache` wherever `dirty` proves their exact inputs (the relevant
+    /// tags' observations at that epoch, and the container's member set)
+    /// unchanged since the previous run. Because only bit-identical
+    /// intermediate values are ever substituted, the returned outcome is
+    /// **bit-identical** to what a full recompute over the same observation
+    /// index would produce.
+    ///
+    /// On return the cache holds this run's posterior variants and evidence
+    /// series, ready for the next run.
+    pub fn run_incremental(
+        &self,
+        cache: &mut EvidenceCache,
+        dirty: &DirtySet,
+    ) -> (InferenceOutcome, InferenceStats) {
+        self.run_impl(Some((cache, dirty)))
+    }
+
+    fn run_impl(
+        &self,
+        mut incr: Option<(&mut EvidenceCache, &DirtySet)>,
+    ) -> (InferenceOutcome, InferenceStats) {
+        let mut stats = InferenceStats::default();
+        // Take the previous run's cache contents; the map is refilled with
+        // this run's variants before returning.
+        let mut prev_containers: BTreeMap<TagId, Vec<CachedVariant>> = BTreeMap::new();
+        let mut dirty: Option<&DirtySet> = None;
+        if let Some((cache, d)) = incr.as_mut() {
+            prev_containers = std::mem::take(&mut cache.containers);
+            dirty = Some(*d);
+            stats.dirty_tags = d.num_tags();
+        }
+
         let objects = self.obs.objects();
         let all_containers = self.obs.containers();
 
@@ -332,9 +633,9 @@ impl<'a> RfInfer<'a> {
             .flat_map(|cs| cs.iter().copied())
             .chain(all_containers.iter().copied())
             .collect();
-        let mut needed_epochs: BTreeMap<TagId, BTreeSet<Epoch>> = BTreeMap::new();
+        let mut needed_epochs: BTreeMap<TagId, Vec<Epoch>> = BTreeMap::new();
         for &c in &relevant_containers {
-            let own: BTreeSet<Epoch> = self.obs.obs_for(c).iter().map(|o| o.epoch).collect();
+            let own: Vec<Epoch> = self.obs.obs_for(c).iter().map(|o| o.epoch).collect();
             needed_epochs.insert(c, own);
         }
         for (&o, cands) in &candidates {
@@ -346,10 +647,19 @@ impl<'a> RfInfer<'a> {
                     .extend(epochs.iter().copied());
             }
         }
+        // Sorted + deduplicated: the same ascending epoch walk a set gives,
+        // built with vector constants.
+        for list in needed_epochs.values_mut() {
+            list.sort_unstable();
+            list.dedup();
+        }
 
-        // EM loop.
-        let mut posteriors: BTreeMap<TagId, BTreeMap<Epoch, Posterior>> = BTreeMap::new();
-        let mut members_prev: BTreeMap<TagId, Vec<TagId>> = BTreeMap::new();
+        // EM loop. `current` holds, per container, the variant in force —
+        // the posteriors of the member set of the latest E-step that touched
+        // it, plus the evidence series computed against them.
+        let incremental = dirty.is_some();
+        let mut current: BTreeMap<TagId, Variant> = BTreeMap::new();
+        let mut retired: BTreeMap<TagId, Vec<CachedVariant>> = BTreeMap::new();
         let mut weights: BTreeMap<TagId, BTreeMap<TagId, f64>> = BTreeMap::new();
         let mut iterations = 0;
         for iter in 0..self.config.max_iterations.max(1) {
@@ -363,34 +673,241 @@ impl<'a> RfInfer<'a> {
                     .filter(|(_, cc)| **cc == c)
                     .map(|(o, _)| *o)
                     .collect();
-                let unchanged = members_prev.get(&c).map(|m| *m == members).unwrap_or(false);
-                if self.config.memoization && unchanged && posteriors.contains_key(&c) {
+                if let Some(variant) = current.get(&c) {
+                    if self.config.memoization && variant.members == members {
+                        continue;
+                    }
+                }
+                // A superseded variant is retired, not dropped: a later
+                // iteration may flip the assignment back, and the next run's
+                // early iterations often revisit the same member sets.
+                if let Some(old) = current.remove(&c) {
+                    retired.entry(c).or_default().push(old.into_cached());
+                }
+                // Cross-run reuse: a cached posterior is valid at an epoch
+                // when it was computed over the same member set and neither
+                // the container's nor any member's observations changed at
+                // that epoch — identical inputs, identical bits.
+                let matched = prev_containers.get_mut(&c).and_then(|variants| {
+                    variants
+                        .iter()
+                        .position(|v| v.members == members)
+                        .map(|i| variants.swap_remove(i))
+                });
+                let (prev_per_epoch, prev_evidence) = match matched {
+                    Some(v) => (v.per_epoch, v.evidence),
+                    None => (BTreeMap::new(), BTreeMap::new()),
+                };
+                // Changes after the cached horizon cannot invalidate
+                // anything (the cache has no entries there), so clamp the
+                // union to it.
+                let invalid: BTreeSet<Epoch> = match dirty {
+                    Some(d) if !prev_per_epoch.is_empty() => d.union_for_until(
+                        std::iter::once(c).chain(members.iter().copied()),
+                        prev_per_epoch.keys().next_back().copied(),
+                    ),
+                    _ => BTreeSet::new(),
+                };
+                let needed = needed_epochs.get(&c);
+                // Whole-variant fast path: the previous run's variant covers
+                // exactly the needed epochs and none of them is dirty — take
+                // its posterior map wholesale instead of moving entries one
+                // by one.
+                let fully_reused = !prev_per_epoch.is_empty()
+                    && needed.is_some_and(|s| {
+                        prev_per_epoch.len() == s.len() && prev_per_epoch.keys().eq(s.iter())
+                    })
+                    && invalid.iter().all(|t| !prev_per_epoch.contains_key(t));
+                if fully_reused {
+                    stats.posteriors_reused += prev_per_epoch.len();
+                    let reused_epochs: Vec<Epoch> = prev_per_epoch.keys().copied().collect();
+                    current.insert(
+                        c,
+                        Variant {
+                            members,
+                            updated_iter: iter,
+                            per_epoch: prev_per_epoch,
+                            reused: reused_epochs,
+                            fully_reused: true,
+                            prev_evidence,
+                            evidence: BTreeMap::new(),
+                        },
+                    );
                     continue;
                 }
-                let mut per_epoch = BTreeMap::new();
-                for &t in needed_epochs.get(&c).into_iter().flatten() {
-                    let container_readers = self.obs.readers_at(c, t);
-                    let member_readers: Vec<Option<&[LocationId]>> =
-                        members.iter().map(|&m| self.obs.readers_at(m, t)).collect();
-                    per_epoch.insert(
-                        t,
-                        container_posterior(self.model, container_readers, &member_readers),
-                    );
+                // Per-epoch path: walk the (sorted) needed epochs in
+                // lockstep with the previous variant's entries and the
+                // invalid set; both output collections are bulk-built from
+                // already-sorted entries.
+                let mut entries: Vec<(Epoch, Posterior)> = Vec::new();
+                let mut reused_vec: Vec<Epoch> = Vec::new();
+                let mut prev_iter = prev_per_epoch.into_iter().peekable();
+                let mut invalid_iter = invalid.iter().peekable();
+                let mut member_readers: Vec<Option<&[LocationId]>> = Vec::new();
+                for &t in needed.into_iter().flatten() {
+                    while prev_iter.peek().is_some_and(|(pt, _)| *pt < t) {
+                        prev_iter.next();
+                    }
+                    while invalid_iter.peek().is_some_and(|it| **it < t) {
+                        invalid_iter.next();
+                    }
+                    let hit = if invalid_iter.peek().is_some_and(|it| **it == t) {
+                        None
+                    } else if prev_iter.peek().is_some_and(|(pt, _)| *pt == t) {
+                        prev_iter.next().map(|(_, q)| q)
+                    } else {
+                        None
+                    };
+                    let q = match hit {
+                        Some(q) => {
+                            stats.posteriors_reused += 1;
+                            reused_vec.push(t);
+                            q
+                        }
+                        None => {
+                            stats.posteriors_computed += 1;
+                            let container_readers = self.obs.readers_at(c, t);
+                            member_readers.clear();
+                            member_readers
+                                .extend(members.iter().map(|&m| self.obs.readers_at(m, t)));
+                            container_posterior(self.model, container_readers, &member_readers)
+                        }
+                    };
+                    entries.push((t, q));
                 }
-                posteriors.insert(c, per_epoch);
-                members_prev.insert(c, members);
+                let per_epoch: BTreeMap<Epoch, Posterior> = entries.into_iter().collect();
+                let reused_epochs = reused_vec;
+                current.insert(
+                    c,
+                    Variant {
+                        members,
+                        updated_iter: iter,
+                        per_epoch,
+                        reused: reused_epochs,
+                        fully_reused: false,
+                        prev_evidence,
+                        evidence: BTreeMap::new(),
+                    },
+                );
             }
 
             // M-step (Eq. 5): co-location weights and the new assignment.
+            // In incremental mode each variant remembers the evidence series
+            // computed against its posteriors, so an EM iteration that left a
+            // container's variant untouched re-sums the series instead of
+            // re-deriving every expectation, and a variant matched across
+            // runs reuses the previous run's values wherever the posterior
+            // was reused and the object's observations are clean.
             let mut new_assignment: BTreeMap<TagId, TagId> = BTreeMap::new();
             for (&o, cands) in &candidates {
+                // Stable-object fast path: if this iteration's E-step left
+                // every candidate's variant untouched, the weights computed
+                // last iteration are bit-identical — re-derive only the
+                // argmax.
+                if incremental && iter > 0 {
+                    let untouched = cands
+                        .iter()
+                        .all(|c| current.get(c).is_none_or(|v| v.updated_iter < iter));
+                    if untouched {
+                        if let Some(per_container) = weights.get(&o) {
+                            if let Some((&best, _)) = per_container
+                                .iter()
+                                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                            {
+                                new_assignment.insert(o, best);
+                            }
+                            continue;
+                        }
+                    }
+                }
+                let o_dirty = dirty.and_then(|d| d.epochs_of(o));
                 let mut per_container = BTreeMap::new();
                 for &c in cands {
                     let mut w = self.prior.get(o, c);
-                    if let Some(posterior_map) = posteriors.get(&c) {
-                        for obs_at in self.obs.obs_for(o) {
-                            if let Some(q) = posterior_map.get(&obs_at.epoch) {
-                                w += q.expect(|a| self.model.tag_loglik(&obs_at.readers, a));
+                    if let Some(variant) = current.get_mut(&c) {
+                        if let Some(series) = variant.evidence.get(&o) {
+                            // Same variant as an earlier iteration: identical
+                            // inputs, identical series. Summation order is
+                            // unchanged, so the weight is bit-identical too.
+                            stats.evidence_reused += series.len();
+                            for &(_, e) in series {
+                                w += e;
+                            }
+                        } else if incremental {
+                            // Whole-series fast path: every posterior of this
+                            // variant came out of the cache and the object's
+                            // observations are untouched, so the previous
+                            // run's series transfers wholesale. (A tag marked
+                            // dirty without epochs — an imported prior — is
+                            // still clean here: priors enter `w` fresh above,
+                            // never through the series.)
+                            let o_clean = o_dirty.is_none_or(|s| s.is_empty());
+                            let moved = (variant.fully_reused && o_clean)
+                                .then(|| variant.prev_evidence.remove(&o))
+                                .flatten();
+                            if let Some(series) = moved {
+                                stats.evidence_reused += series.len();
+                                for &(_, e) in &series {
+                                    w += e;
+                                }
+                                variant.evidence.insert(o, series);
+                            } else {
+                                // Per-epoch path: walk the object's (sorted)
+                                // observations in lockstep with the variant's
+                                // sorted posterior map, reuse set and dirty
+                                // set, so no per-epoch tree lookups remain.
+                                let mut prev = PrevSeries::new(variant.prev_evidence.get(&o));
+                                let obs = self.obs.obs_for(o);
+                                let mut series = Vec::with_capacity(obs.len());
+                                let mut q_iter = variant.per_epoch.iter().peekable();
+                                let mut reused_iter = variant.reused.iter().peekable();
+                                let mut dirty_iter = o_dirty.map(|s| s.iter().peekable());
+                                for obs_at in obs {
+                                    let t = obs_at.epoch;
+                                    while q_iter.peek().is_some_and(|(qt, _)| **qt < t) {
+                                        q_iter.next();
+                                    }
+                                    let Some(&(&qt, q)) = q_iter.peek() else {
+                                        break;
+                                    };
+                                    if qt != t {
+                                        continue;
+                                    }
+                                    while reused_iter.peek().is_some_and(|rt| **rt < t) {
+                                        reused_iter.next();
+                                    }
+                                    let posterior_reused =
+                                        reused_iter.peek().is_some_and(|rt| **rt == t);
+                                    let o_dirty_here = dirty_iter.as_mut().is_some_and(|it| {
+                                        while it.peek().is_some_and(|dt| **dt < t) {
+                                            it.next();
+                                        }
+                                        it.peek().is_some_and(|dt| **dt == t)
+                                    });
+                                    let reusable = posterior_reused && !o_dirty_here;
+                                    let e = match reusable.then(|| prev.lookup(t)).flatten() {
+                                        Some(e) => {
+                                            stats.evidence_reused += 1;
+                                            e
+                                        }
+                                        None => {
+                                            stats.evidence_computed += 1;
+                                            q.expect(|a| self.model.tag_loglik(&obs_at.readers, a))
+                                        }
+                                    };
+                                    series.push((t, e));
+                                    w += e;
+                                }
+                                variant.evidence.insert(o, series);
+                            }
+                        } else {
+                            // Full recompute: the reference path, kept free
+                            // of cache bookkeeping.
+                            for obs_at in self.obs.obs_for(o) {
+                                if let Some(q) = variant.per_epoch.get(&obs_at.epoch) {
+                                    stats.evidence_computed += 1;
+                                    w += q.expect(|a| self.model.tag_loglik(&obs_at.readers, a));
+                                }
                             }
                         }
                     }
@@ -412,28 +929,73 @@ impl<'a> RfInfer<'a> {
             }
         }
 
-        self.build_outcome(candidates, assignment, weights, posteriors, iterations)
+        let outcome = self.build_outcome(
+            &candidates,
+            &assignment,
+            &weights,
+            &current,
+            iterations,
+            incremental,
+            &mut stats,
+        );
+
+        // Refill the cache for the next run: the final variant of every
+        // container first, then recently retired ones (most recent first),
+        // deduplicated by member set and capped.
+        if let Some((cache, _)) = incr {
+            let mut containers = BTreeMap::new();
+            for (c, variant) in current {
+                let mut variants = vec![variant.into_cached()];
+                for candidate in retired.remove(&c).into_iter().flatten().rev() {
+                    if variants.len() >= MAX_CACHED_VARIANTS {
+                        break;
+                    }
+                    if variants.iter().all(|v| v.members != candidate.members) {
+                        variants.push(candidate);
+                    }
+                }
+                containers.insert(c, variants);
+            }
+            cache.containers = containers;
+        }
+        (outcome, stats)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build_outcome(
         &self,
-        candidates: BTreeMap<TagId, Vec<TagId>>,
-        assignment: BTreeMap<TagId, TagId>,
-        weights: BTreeMap<TagId, BTreeMap<TagId, f64>>,
-        posteriors: BTreeMap<TagId, BTreeMap<Epoch, Posterior>>,
+        candidates: &BTreeMap<TagId, Vec<TagId>>,
+        assignment: &BTreeMap<TagId, TagId>,
+        weights: &BTreeMap<TagId, BTreeMap<TagId, f64>>,
+        current: &BTreeMap<TagId, Variant>,
         iterations: usize,
+        incremental: bool,
+        stats: &mut InferenceStats,
     ) -> InferenceOutcome {
         // Point evidence per (object, candidate) from the final posteriors.
+        // In incremental mode the final M-step iteration already computed
+        // (and stored) every series against exactly these posteriors, so the
+        // builder clones them instead of re-deriving each expectation.
         let mut objects = BTreeMap::new();
-        for (&o, cands) in &candidates {
+        for (&o, cands) in candidates {
             let mut point_evidence = BTreeMap::new();
             for &c in cands {
                 let mut points = Vec::new();
-                if let Some(posterior_map) = posteriors.get(&c) {
-                    for obs_at in self.obs.obs_for(o) {
-                        if let Some(q) = posterior_map.get(&obs_at.epoch) {
-                            let e = q.expect(|a| self.model.tag_loglik(&obs_at.readers, a));
-                            points.push((obs_at.epoch, e));
+                if let Some(variant) = current.get(&c) {
+                    match variant.evidence.get(&o) {
+                        Some(series) if incremental => {
+                            stats.evidence_reused += series.len();
+                            points = series.clone();
+                        }
+                        _ => {
+                            for obs_at in self.obs.obs_for(o) {
+                                let t = obs_at.epoch;
+                                if let Some(q) = variant.per_epoch.get(&t) {
+                                    stats.evidence_computed += 1;
+                                    let e = q.expect(|a| self.model.tag_loglik(&obs_at.readers, a));
+                                    points.push((t, e));
+                                }
+                            }
                         }
                     }
                 }
@@ -458,7 +1020,7 @@ impl<'a> RfInfer<'a> {
         // pollute the estimates. Objects with no assigned container fall
         // back to their own readings.
         let mut tag_locations: BTreeMap<TagId, Vec<(Epoch, LocationId)>> = BTreeMap::new();
-        for (c, per_epoch) in &posteriors {
+        for (c, variant) in current {
             let members: Vec<TagId> = assignment
                 .iter()
                 .filter(|(_, cc)| **cc == *c)
@@ -468,7 +1030,8 @@ impl<'a> RfInfer<'a> {
                 self.obs.readers_at(*c, t).is_some()
                     || members.iter().any(|m| self.obs.readers_at(*m, t).is_some())
             };
-            let locs: Vec<(Epoch, LocationId)> = per_epoch
+            let locs: Vec<(Epoch, LocationId)> = variant
+                .per_epoch
                 .iter()
                 .filter(|(t, _)| informative(**t))
                 .map(|(t, q)| (*t, q.map_location()))
@@ -496,7 +1059,7 @@ impl<'a> RfInfer<'a> {
         }
 
         let mut containment = ContainmentMap::new();
-        for (o, c) in &assignment {
+        for (o, c) in assignment {
             containment.set(*o, *c);
         }
 
@@ -718,6 +1281,76 @@ mod tests {
         assert_eq!(events[0].tag, TagId::item(1));
         assert_eq!(events[0].container, Some(TagId::case(1)));
         assert_eq!(events[0].location, LocationId(2));
+    }
+
+    #[test]
+    fn incremental_run_is_bit_identical_and_reuses_the_cache() {
+        let model = model(3);
+        let mut dirty = DirtySet::new();
+        let mut obs = Observations::new();
+        let feed = |obs: &mut Observations, dirty: &mut DirtySet, t: u32, loc: u16| {
+            for tag in [TagId::item(1), TagId::case(1)] {
+                let reading = RawReading::new(Epoch(t), tag, ReaderId(loc));
+                if obs.insert(reading) {
+                    dirty.record(tag, Epoch(t));
+                }
+            }
+        };
+        for t in 0..6u32 {
+            feed(&mut obs, &mut dirty, t, 0);
+        }
+        let mut cache = EvidenceCache::new();
+        let first = std::mem::take(&mut dirty);
+        let (out1, stats1) = RfInfer::new(&model, &obs).run_incremental(&mut cache, &first);
+        assert_eq!(out1, RfInfer::new(&model, &obs).run(), "first run == full");
+        assert_eq!(
+            stats1.posteriors_reused, 0,
+            "cold cache has nothing to reuse"
+        );
+        assert!(cache.cached_posteriors() > 0);
+
+        // New readings arrive; only they should be recomputed.
+        for t in 6..9u32 {
+            feed(&mut obs, &mut dirty, t, 1);
+        }
+        let second = std::mem::take(&mut dirty);
+        let (out2, stats2) = RfInfer::new(&model, &obs).run_incremental(&mut cache, &second);
+        assert_eq!(out2, RfInfer::new(&model, &obs).run(), "second run == full");
+        assert!(
+            stats2.posteriors_reused > 0,
+            "old epochs come from the cache"
+        );
+        assert!(stats2.evidence_reused > 0);
+        assert!(stats2.posteriors_computed > 0, "new epochs are computed");
+
+        // A third run with nothing new reuses everything.
+        let (out3, stats3) =
+            RfInfer::new(&model, &obs).run_incremental(&mut cache, &DirtySet::new());
+        assert_eq!(out3, out2);
+        assert_eq!(stats3.posteriors_computed, 0);
+        assert_eq!(stats3.evidence_computed, 0);
+    }
+
+    #[test]
+    fn dirty_set_records_marks_and_unions() {
+        let mut d = DirtySet::new();
+        assert!(d.is_empty());
+        d.record(TagId::item(1), Epoch(3));
+        d.record_all(TagId::item(1), [Epoch(5), Epoch(7)]);
+        d.record_all(TagId::item(2), Vec::<Epoch>::new());
+        d.mark(TagId::case(9));
+        assert_eq!(d.num_tags(), 2, "empty batches create no entry; marks do");
+        assert_eq!(d.epochs_of(TagId::item(1)).unwrap().len(), 3);
+        assert!(d.epochs_of(TagId::case(9)).unwrap().is_empty());
+        assert!(d.epochs_of(TagId::item(2)).is_none());
+        let union = d.union_for([TagId::item(1), TagId::case(9), TagId::item(5)]);
+        assert_eq!(union.len(), 3);
+        let clamped = d.union_for_until([TagId::item(1)], Some(Epoch(5)));
+        assert_eq!(clamped.len(), 2, "changes past the cutoff are ignored");
+        d.clear();
+        assert!(d.is_empty());
+        let empty = EvidenceCache::new();
+        assert_eq!(empty.cached_posteriors(), 0);
     }
 
     #[test]

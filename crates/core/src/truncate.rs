@@ -90,17 +90,25 @@ pub fn critical_region(
     }
     let candidates: Vec<&Vec<(Epoch, f64)>> = evidence.point_evidence.values().collect();
 
+    // Slide the window with two monotone cursors per candidate instead of
+    // rescanning each full series per end epoch. The summed elements and
+    // their order are exactly those of the naive filter, so the sums (and
+    // hence the selected region) are bit-identical.
+    let mut cursors: Vec<(usize, usize)> = vec![(0, 0); candidates.len()];
+    let mut sums: Vec<f64> = Vec::with_capacity(candidates.len());
     let mut best: Option<CriticalRegion> = None;
     for &end in &epochs {
         let start = end.minus(window_secs);
         // Sum each candidate's point evidence inside [start, end].
-        let mut sums: Vec<f64> = Vec::with_capacity(candidates.len());
-        for series in &candidates {
-            let sum = series
-                .iter()
-                .filter(|&&(t, _)| t >= start && t <= end)
-                .map(|&(_, e)| e)
-                .sum();
+        sums.clear();
+        for (series, (lo, hi)) in candidates.iter().zip(cursors.iter_mut()) {
+            while *hi < series.len() && series[*hi].0 <= end {
+                *hi += 1;
+            }
+            while *lo < series.len() && series[*lo].0 < start {
+                *lo += 1;
+            }
+            let sum: f64 = series[*lo..*hi].iter().map(|&(_, e)| e).sum();
             sums.push(sum);
         }
         sums.sort_by(|a, b| b.partial_cmp(a).unwrap());

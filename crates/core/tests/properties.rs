@@ -5,10 +5,12 @@
 
 use proptest::prelude::*;
 use rfid_core::{
-    change_statistic, container_posterior, LikelihoodModel, Observations, Posterior, RfInfer,
+    change_statistic, container_posterior, CollapsedState, InferenceConfig, InferenceEngine,
+    LikelihoodModel, MigrationState, Observations, Posterior, ReadingsState, RfInfer,
     RfInferConfig,
 };
 use rfid_types::{Epoch, LocationId, RawReading, ReadRateTable, ReaderId, ReadingBatch, TagId};
+use std::collections::BTreeMap;
 
 fn naive_loglik(rates: &ReadRateTable, readers: &[LocationId], at: LocationId) -> f64 {
     rates
@@ -117,5 +119,117 @@ proptest! {
             prop_assert!(evidence.weights.values().all(|w| w.is_finite()));
         }
         prop_assert!(outcome.iterations >= 1);
+    }
+
+    /// Incremental RFINFER is bit-identical to a from-scratch full recompute
+    /// under arbitrary interleavings of observations, collapsed-state and
+    /// critical-region-readings imports, forgets and inference runs — with
+    /// change-point detection (and its history truncation) active, so
+    /// change-point truncations feed the dirty journal too.
+    #[test]
+    fn incremental_engine_matches_full_recompute(
+        ops in prop::collection::vec(
+            (0u8..8, 1u32..5, 0u64..4, 0u64..3, 0u16..3),
+            30..120,
+        ),
+    ) {
+        let config = InferenceConfig::default()
+            .with_period(10)
+            .with_recent_history(25)
+            .with_fixed_threshold(5.0);
+        let rates = ReadRateTable::diagonal(3, 0.8, 1e-4);
+        let mut full = InferenceEngine::new(config.clone().with_incremental(false), rates.clone());
+        let mut incremental = InferenceEngine::new(config, rates);
+        let mut now = Epoch(0);
+
+        for (i, &(kind, dt, obj, cont, reader)) in ops.iter().enumerate() {
+            now = now.plus(dt);
+            let object = TagId::item(obj);
+            let container = TagId::case(cont);
+            match kind {
+                // co-located readings: object travels with a container
+                0 | 1 => {
+                    for engine in [&mut full, &mut incremental] {
+                        engine.observe(RawReading::new(now, object, ReaderId(reader)));
+                        engine.observe(RawReading::new(now, container, ReaderId(reader)));
+                    }
+                }
+                // stray reading of the object alone
+                2 => {
+                    for engine in [&mut full, &mut incremental] {
+                        engine.observe(RawReading::new(now, object, ReaderId(reader)));
+                    }
+                }
+                // collapsed-weights import from a previous site
+                3 => {
+                    let state = CollapsedState {
+                        object,
+                        weights: BTreeMap::from([
+                            (container, 0.0),
+                            (TagId::case((cont + 1) % 3), -(dt as f64) * 3.0),
+                        ]),
+                        container: Some(container),
+                    };
+                    for engine in [&mut full, &mut incremental] {
+                        engine.import_state(MigrationState::Collapsed(state.clone()));
+                    }
+                }
+                // critical-region readings import (historical epochs)
+                4 => {
+                    let from = now.minus(8);
+                    let readings: Vec<RawReading> = (0..4u32)
+                        .map(|k| RawReading::new(from.plus(k), object, ReaderId(reader)))
+                        .chain((0..4u32).map(|k| {
+                            RawReading::new(from.plus(k), container, ReaderId(reader))
+                        }))
+                        .collect();
+                    let state = ReadingsState {
+                        object,
+                        readings,
+                        container: Some(container),
+                    };
+                    for engine in [&mut full, &mut incremental] {
+                        engine.import_state(MigrationState::Readings(state.clone()));
+                    }
+                }
+                // the object's state was shipped elsewhere
+                5 => {
+                    for engine in [&mut full, &mut incremental] {
+                        engine.forget(object);
+                    }
+                }
+                // explicit inference run at the current epoch
+                _ => {
+                    if full.stored_observations() == 0 {
+                        continue;
+                    }
+                    let report_full = full.run_inference(now);
+                    let report_incr = incremental.run_inference(now);
+                    prop_assert_eq!(&report_full.outcome, &report_incr.outcome,
+                        "outcomes diverged at op {} (epoch {:?})", i, now);
+                    prop_assert_eq!(&report_full.changes, &report_incr.changes);
+                    prop_assert_eq!(
+                        report_full.retained_observations,
+                        report_incr.retained_observations
+                    );
+                    prop_assert_eq!(full.containment(), incremental.containment());
+                    prop_assert_eq!(
+                        full.export_collapsed(object),
+                        incremental.export_collapsed(object)
+                    );
+                    prop_assert_eq!(
+                        full.export_readings(object),
+                        incremental.export_readings(object)
+                    );
+                }
+            }
+        }
+        // final run: both engines must agree after the whole interleaving
+        if full.stored_observations() > 0 {
+            let report_full = full.run_inference(now.plus(1));
+            let report_incr = incremental.run_inference(now.plus(1));
+            prop_assert_eq!(&report_full.outcome, &report_incr.outcome);
+            prop_assert_eq!(full.containment(), incremental.containment());
+        }
     }
 }

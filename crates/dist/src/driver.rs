@@ -1,7 +1,7 @@
 //! The distributed driver: replays a multi-site [`ChainTrace`] against
 //! per-site inference engines and query processors, migrating per-object
 //! state between sites according to the configured
-//! [`MigrationStrategy`](crate::MigrationStrategy) and accounting every
+//! [`MigrationStrategy`] and accounting every
 //! byte that crosses a site boundary (Sections 4, 5.3 and 5.4).
 //!
 //! Two execution modes cover the paper's spectrum:
@@ -17,16 +17,16 @@
 //!   per-site location spaces: the accuracy upper bound and the
 //!   communication worst case.
 //!
-//! The federated mode is built from per-site [`SiteState`] machines whose
-//! only cross-site interaction is the [`ShipmentMsg`] exchange. The
-//! sequential replay drives every machine on one thread; the `parallel`
-//! module shards the same machines across worker threads with bit-identical
-//! results (set [`DistributedConfig::num_workers`]).
+//! The federated mode is built from per-site `SiteState` machines whose
+//! only cross-site interaction is the `ShipmentMsg` exchange (both private
+//! to this crate). The sequential replay drives every machine on one thread;
+//! the `parallel` module shards the same machines across worker threads with
+//! bit-identical results (set [`DistributedConfig::num_workers`]).
 
 use crate::comm::{CommCost, MessageKind};
 use crate::config::{DistributedConfig, MigrationStrategy};
 use crate::ons::{Ons, ONS_UPDATE_BYTES};
-use rfid_core::{InferenceEngine, MigrationState};
+use rfid_core::{InferenceEngine, InferenceReport, InferenceStats, MigrationState};
 use rfid_query::sharing::unshared_bytes;
 use rfid_query::{share_states, Alert, ObjectQueryState, QueryProcessor};
 use rfid_sim::{ChainTrace, ObjectTransfer};
@@ -36,6 +36,7 @@ use rfid_types::{
 };
 use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
 
 /// Minimum seconds between two departure-forced inference runs at one site;
 /// a dispatch within this window reuses the (slightly stale) last outcome.
@@ -63,6 +64,12 @@ pub struct DistributedOutcome {
     pub ons: Ons,
     /// Number of inference runs executed across all engines.
     pub inference_runs: usize,
+    /// Wall-clock time spent inside inference runs, summed across all
+    /// engines — the quantity incremental inference attacks.
+    pub inference_wall: Duration,
+    /// Dirty-set sizes and cache-reuse counters, summed across all runs of
+    /// all engines.
+    pub inference_stats: InferenceStats,
 }
 
 impl DistributedOutcome {
@@ -175,6 +182,8 @@ pub(crate) struct SiteOutcome {
     shared_bytes: usize,
     unshared_bytes: usize,
     inference_runs: usize,
+    inference_wall: Duration,
+    inference_stats: InferenceStats,
     alerts: Vec<Alert>,
     containment: Vec<(TagId, TagId)>,
 }
@@ -206,6 +215,8 @@ pub(crate) struct SiteState<'a> {
     shared_bytes: usize,
     unshared_bytes: usize,
     inference_runs: usize,
+    inference_wall: Duration,
+    inference_stats: InferenceStats,
 }
 
 impl<'a> SiteState<'a> {
@@ -247,7 +258,16 @@ impl<'a> SiteState<'a> {
             shared_bytes: 0,
             unshared_bytes: 0,
             inference_runs: 0,
+            inference_wall: Duration::ZERO,
+            inference_stats: InferenceStats::default(),
         }
+    }
+
+    /// Account one engine run into the site's inference totals.
+    fn note_report(&mut self, report: &InferenceReport) {
+        self.inference_runs += 1;
+        self.inference_wall += report.duration;
+        self.inference_stats.absorb(&report.stats);
     }
 
     /// Feed this epoch's local sensor and RFID streams into the site.
@@ -336,8 +356,8 @@ impl<'a> SiteState<'a> {
                 Some(last) => now.since(last) >= FORCED_RUN_SPACING_SECS,
             };
             if due {
-                self.engine.run_inference(now);
-                self.inference_runs += 1;
+                let report = self.engine.run_inference(now);
+                self.note_report(&report);
             }
         }
         // Group the dispatch by route *and arrival epoch*, so that staggered
@@ -426,8 +446,8 @@ impl<'a> SiteState<'a> {
     /// query processor. `ons` must already reflect every transfer departing
     /// at or before `now`.
     pub(crate) fn step_and_feed(&mut self, ctx: &FederatedCtx<'_>, now: Epoch, ons: &Ons) {
-        if self.engine.step(now).is_some() {
-            self.inference_runs += 1;
+        if let Some(report) = self.engine.step(now) {
+            self.note_report(&report);
         }
         if ctx.with_queries && now.0.is_multiple_of(ctx.stride) {
             for event in self.engine.events_at(now) {
@@ -446,8 +466,8 @@ impl<'a> SiteState<'a> {
     /// (skipped where the periodic step already ran at the horizon).
     pub(crate) fn finalize(&mut self, horizon: Epoch) {
         if self.engine.last_inference_at() != Some(horizon) {
-            self.engine.run_inference(horizon);
-            self.inference_runs += 1;
+            let report = self.engine.run_inference(horizon);
+            self.note_report(&report);
         }
     }
 
@@ -469,6 +489,8 @@ impl<'a> SiteState<'a> {
             shared_bytes: self.shared_bytes,
             unshared_bytes: self.unshared_bytes,
             inference_runs: self.inference_runs,
+            inference_wall: self.inference_wall,
+            inference_stats: self.inference_stats,
             alerts: self.processor.alerts().to_vec(),
             containment,
         }
@@ -492,6 +514,10 @@ pub(crate) fn merge_outcomes(mut outcomes: Vec<SiteOutcome>, ons: Ons) -> Distri
             containment.set(object, container);
         }
     }
+    let mut inference_stats = InferenceStats::default();
+    for outcome in &outcomes {
+        inference_stats.absorb(&outcome.inference_stats);
+    }
     DistributedOutcome {
         containment,
         comm,
@@ -500,10 +526,43 @@ pub(crate) fn merge_outcomes(mut outcomes: Vec<SiteOutcome>, ons: Ons) -> Distri
         query_state_unshared_bytes: outcomes.iter().map(|o| o.unshared_bytes).sum(),
         ons,
         inference_runs: outcomes.iter().map(|o| o.inference_runs).sum(),
+        inference_wall: outcomes.iter().map(|o| o.inference_wall).sum(),
+        inference_stats,
     }
 }
 
 /// Drives a [`ChainTrace`] through the distributed pipeline.
+///
+/// # Example
+///
+/// Replay a two-warehouse chain under collapsed-weight migration and read
+/// off the accuracy/communication trade-off:
+///
+/// ```
+/// use rfid_core::InferenceConfig;
+/// use rfid_dist::{DistributedConfig, DistributedDriver, MigrationStrategy};
+/// use rfid_sim::{ChainConfig, SupplyChainSimulator, WarehouseConfig};
+///
+/// let chain = SupplyChainSimulator::new(ChainConfig {
+///     warehouse: WarehouseConfig::default()
+///         .with_length(600)
+///         .with_items_per_case(2)
+///         .with_cases_per_pallet(1),
+///     num_warehouses: 2,
+///     transit_secs: 60,
+///     fanout: 1,
+/// })
+/// .generate();
+/// let outcome = DistributedDriver::new(DistributedConfig {
+///     strategy: MigrationStrategy::CollapsedWeights,
+///     inference: InferenceConfig::default().without_change_detection(),
+///     ..Default::default()
+/// })
+/// .run(&chain);
+/// assert!(outcome.inference_runs > 0);
+/// // Every byte that crossed a site boundary is accounted for:
+/// assert_eq!(outcome.comm.total_bytes() > 0, !chain.transfers.is_empty());
+/// ```
 #[derive(Debug, Clone)]
 pub struct DistributedDriver {
     config: DistributedConfig,
@@ -650,6 +709,8 @@ impl DistributedDriver {
         let mut processor = self.make_processor();
         let mut comm = CommCost::new();
         let mut inference_runs = 0usize;
+        let mut inference_wall = Duration::ZERO;
+        let mut inference_stats = InferenceStats::default();
 
         // Every reading of every site crosses the network, remapped into the
         // global location space.
@@ -698,8 +759,10 @@ impl DistributedDriver {
                 engine.observe(readings[reading_cursor]);
                 reading_cursor += 1;
             }
-            if engine.step(now).is_some() {
+            if let Some(report) = engine.step(now) {
                 inference_runs += 1;
+                inference_wall += report.duration;
+                inference_stats.absorb(&report.stats);
                 ran_at_horizon = t == horizon;
             }
             if with_queries && t % stride == 0 {
@@ -709,8 +772,10 @@ impl DistributedDriver {
             }
         }
         if !ran_at_horizon {
-            engine.run_inference(Epoch(horizon));
+            let report = engine.run_inference(Epoch(horizon));
             inference_runs += 1;
+            inference_wall += report.duration;
+            inference_stats.absorb(&report.stats);
         }
 
         // Custody bookkeeping (no messages: the server knows everything).
@@ -734,6 +799,8 @@ impl DistributedDriver {
             query_state_unshared_bytes: 0,
             ons,
             inference_runs,
+            inference_wall,
+            inference_stats,
         }
     }
 }

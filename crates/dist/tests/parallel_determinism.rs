@@ -2,7 +2,9 @@
 //! *bit-identical* to the sequential reference: same containment, same
 //! per-kind communication bytes and message counts, same alerts, same
 //! query-state sizes, same ONS — across every migration strategy and every
-//! worker count.
+//! worker count. Likewise, incremental (cached-evidence) inference — the
+//! default — must be bit-identical to a full per-run recompute, in both
+//! execution modes.
 
 use rfid_core::InferenceConfig;
 use rfid_dist::{
@@ -78,6 +80,46 @@ fn assert_identical(seq: &DistributedOutcome, par: &DistributedOutcome, label: &
         seq.inference_runs, par.inference_runs,
         "{label}: inference-run count diverged"
     );
+}
+
+#[test]
+fn incremental_inference_is_bit_identical_to_full_recompute() {
+    let chain = smoke_chain();
+    assert!(!chain.transfers.is_empty(), "the chain must see migrations");
+    for strategy in [
+        MigrationStrategy::None,
+        MigrationStrategy::CriticalRegionReadings,
+        MigrationStrategy::CollapsedWeights,
+        MigrationStrategy::Centralized,
+    ] {
+        let mut full_config = config(&chain, strategy, 1);
+        full_config.inference.incremental = false;
+        let full = DistributedDriver::new(full_config).run(&chain);
+        assert_eq!(
+            full.inference_stats,
+            Default::default(),
+            "{strategy:?}: full recompute must not touch the cache"
+        );
+        // Incremental, sequential (the default configuration).
+        let incremental = DistributedDriver::new(config(&chain, strategy, 1)).run(&chain);
+        assert_identical(&full, &incremental, &format!("{strategy:?} incremental"));
+        assert!(
+            incremental.inference_stats.posteriors_reused > 0,
+            "{strategy:?}: incremental mode must actually reuse cached posteriors"
+        );
+        // Incremental under the parallel driver.
+        let parallel =
+            DistributedDriver::new(config(&chain, strategy, chain.sites.len())).run(&chain);
+        assert_identical(
+            &full,
+            &parallel,
+            &format!("{strategy:?} incremental/parallel"),
+        );
+        assert_eq!(
+            incremental.inference_stats, parallel.inference_stats,
+            "{strategy:?}: reuse accounting must be deterministic across execution modes"
+        );
+    }
 }
 
 #[test]

@@ -16,6 +16,29 @@ use rfid_types::{ObjectEvent, SensorReading, TagId};
 use std::collections::BTreeMap;
 
 /// Per-site continuous query processor.
+///
+/// # Example
+///
+/// A minute of continuous warm exposure trips a (shortened) Q1:
+///
+/// ```
+/// use rfid_query::{ExposureQuery, QueryProcessor};
+/// use rfid_types::{Epoch, LocationId, ObjectEvent, SensorReading, TagId};
+///
+/// let mut processor = QueryProcessor::new();
+/// processor.register(ExposureQuery { duration_secs: 60, ..ExposureQuery::q1([]) });
+///
+/// // The shelf at location 1 sits at 4 °C; the object stays there past the
+/// // required minute of exposure.
+/// processor.on_sensor(SensorReading::new(Epoch(0), LocationId(1), 4.0));
+/// for t in (0..=70u32).step_by(10) {
+///     let mut event = ObjectEvent::new(Epoch(t), TagId::item(1), LocationId(1), None);
+///     event.property = Some("temperature-sensitive".to_string());
+///     processor.on_event(&event);
+/// }
+/// assert_eq!(processor.alerts().len(), 1);
+/// assert_eq!(processor.alerts()[0].query, "Q1");
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct QueryProcessor {
     queries: Vec<ExposureQuery>,

@@ -5,8 +5,7 @@
 //! to the tag's memory). The state of one object for one query consists of
 //! (i) the automaton state, (ii) the minimum values needed for future
 //! evaluation and (iii) the values the query returns — all captured by the
-//! [`AutomatonState`](crate::pattern::AutomatonState) inside
-//! [`ObjectQueryState`].
+//! [`AutomatonState`] inside [`ObjectQueryState`].
 
 use crate::pattern::AutomatonState;
 use rfid_types::TagId;
