@@ -6,10 +6,16 @@
 //!
 //! With no experiment names, every experiment is run. Results are printed as
 //! plain-text tables / series; `EXPERIMENTS.md` records one full run.
+//!
+//! The `wire` experiment additionally writes its measurements as
+//! machine-readable JSON to `BENCH_wire.json` (override the path with the
+//! `BENCH_WIRE_OUT` environment variable), so the communication-cost
+//! trajectory is tracked across PRs.
 
 use rfid_bench::{
     fig4, fig5a, fig5b, fig5c, fig5d, fig5e, fig5f, fig6a, fig6b, incremental_inference,
-    parallel_scaling, scalability, table3, table4, table5, table_query, Scale,
+    parallel_scaling, scalability, table3, table4, table5, table_query, wire_formats_json,
+    wire_formats_table, wire_measurements, Scale,
 };
 use rfid_eval::Series;
 use std::time::Instant;
@@ -31,6 +37,7 @@ const ALL: &[&str] = &[
     "scalability",
     "parallel_scaling",
     "incremental_inference",
+    "wire",
 ];
 
 fn print_series(title: &str, series: &[Series]) {
@@ -84,6 +91,16 @@ fn run(name: &str, scale: Scale) {
         "scalability" => println!("{}", scalability(scale)),
         "parallel_scaling" => println!("{}", parallel_scaling(scale)),
         "incremental_inference" => println!("{}", incremental_inference(scale)),
+        "wire" => {
+            let measurements = wire_measurements(scale);
+            println!("{}", wire_formats_table(&measurements));
+            let path =
+                std::env::var("BENCH_WIRE_OUT").unwrap_or_else(|_| "BENCH_wire.json".to_string());
+            match std::fs::write(&path, wire_formats_json(scale, &measurements)) {
+                Ok(()) => eprintln!("[wire measurements written to {path}]"),
+                Err(err) => eprintln!("[failed to write {path}: {err}]"),
+            }
+        }
         other => {
             eprintln!("unknown experiment '{other}'. known: {}", ALL.join(", "));
             std::process::exit(2);

@@ -3,7 +3,10 @@
 
 use crate::Scale;
 use rfid_core::InferenceConfig;
-use rfid_dist::{DistributedConfig, DistributedDriver, DistributedOutcome, MigrationStrategy};
+use rfid_dist::{
+    DistributedConfig, DistributedDriver, DistributedOutcome, MessageKind, MigrationStrategy,
+    WireFormat,
+};
 use rfid_eval::{Series, Table};
 use rfid_query::{Alert, ExposureQuery, QueryProcessor};
 use rfid_sim::{ChainConfig, ChainTrace, SupplyChainSimulator, TemperatureModel, WarehouseConfig};
@@ -447,6 +450,150 @@ pub fn incremental_inference(scale: Scale) -> Table {
     table
 }
 
+/// One `(strategy, format)` measurement of the wire-format comparison.
+#[derive(Debug, Clone)]
+pub struct WireMeasurement {
+    /// Migration strategy name.
+    pub strategy: &'static str,
+    /// Wire format the run used.
+    pub format: WireFormat,
+    /// Total bytes across all message kinds.
+    pub total_bytes: usize,
+    /// Bytes of migrated inference state.
+    pub inference_bytes: usize,
+    /// Bytes of forwarded raw readings (Centralized only).
+    pub raw_bytes: usize,
+    /// Bytes of migrated query state.
+    pub query_bytes: usize,
+    /// Total inter-site messages.
+    pub messages: usize,
+    /// Whole-run wall-clock, seconds.
+    pub wall_secs: f64,
+    /// Containment accuracy (%) against ground truth.
+    pub accuracy: f64,
+}
+
+/// Wire-format comparison at the 8-site short-dwell reference scale: for
+/// every migration strategy, the full communication bill and whole-run
+/// wall-clock under `Json` versus `Binary` framing.
+///
+/// Both formats are asserted to produce identical containment, custody and
+/// message counts (the codec is pure representation; the full guarantee is
+/// pinned by `crates/dist/tests/wire_equivalence.rs`), so the table isolates
+/// the bytes-on-the-wire effect of the codec.
+pub fn wire_measurements(scale: Scale) -> Vec<WireMeasurement> {
+    let chain = short_dwell_chain(scale, 8);
+    let mut rows = Vec::new();
+    for (name, strategy) in [
+        ("None", MigrationStrategy::None),
+        ("CR-readings", MigrationStrategy::CriticalRegionReadings),
+        ("CollapsedWeights", MigrationStrategy::CollapsedWeights),
+        ("Centralized", MigrationStrategy::Centralized),
+    ] {
+        let mut per_format: Vec<(WireFormat, DistributedOutcome)> = Vec::new();
+        for format in [WireFormat::Json, WireFormat::Binary] {
+            let config = DistributedConfig {
+                strategy,
+                inference: InferenceConfig::default().without_change_detection(),
+                wire_format: format,
+                ..Default::default()
+            };
+            let started = Instant::now();
+            let outcome = DistributedDriver::new(config).run(&chain);
+            let wall_secs = started.elapsed().as_secs_f64();
+            rows.push(WireMeasurement {
+                strategy: name,
+                format,
+                total_bytes: outcome.comm.total_bytes(),
+                inference_bytes: outcome.comm.bytes_of_kind(MessageKind::InferenceState),
+                raw_bytes: outcome.comm.bytes_of_kind(MessageKind::RawReadings),
+                query_bytes: outcome.comm.bytes_of_kind(MessageKind::QueryState),
+                messages: outcome.comm.total_messages(),
+                wall_secs,
+                accuracy: 100.0 - chain_containment_error(&chain, &outcome),
+            });
+            per_format.push((format, outcome));
+        }
+        let (_, json) = &per_format[0];
+        let (_, binary) = &per_format[1];
+        assert_eq!(
+            json.containment, binary.containment,
+            "{name}: the wire format must not change the outcome"
+        );
+        assert_eq!(json.comm.total_messages(), binary.comm.total_messages());
+        assert_eq!(json.ons, binary.ons);
+    }
+    rows
+}
+
+/// The human-readable table of [`wire_measurements`].
+pub fn wire_formats(scale: Scale) -> Table {
+    wire_formats_table(&wire_measurements(scale))
+}
+
+/// Render pre-computed measurements as the comparison table (so one
+/// measurement pass can feed both the table and `BENCH_wire.json`).
+pub fn wire_formats_table(measurements: &[WireMeasurement]) -> Table {
+    let mut table = Table::new(
+        "Wire-format comparison: Json vs Binary framing of all cross-site traffic",
+        &[
+            "strategy",
+            "format",
+            "accuracy (%)",
+            "total bytes",
+            "inference",
+            "raw readings",
+            "query state",
+            "messages",
+            "run wall (s)",
+        ],
+    );
+    for m in measurements {
+        table.push_row(&[
+            m.strategy.to_string(),
+            m.format.to_string(),
+            format!("{:.1}", m.accuracy),
+            m.total_bytes.to_string(),
+            m.inference_bytes.to_string(),
+            m.raw_bytes.to_string(),
+            m.query_bytes.to_string(),
+            m.messages.to_string(),
+            format!("{:.2}", m.wall_secs),
+        ]);
+    }
+    table
+}
+
+/// The machine-readable companion of [`wire_formats`] — the contents of
+/// `BENCH_wire.json`, tracked across PRs so the perf trajectory stays
+/// visible. Hand-rendered JSON (stable key order, one row object per
+/// strategy/format pair).
+pub fn wire_formats_json(scale: Scale, measurements: &[WireMeasurement]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str("  \"reference\": \"8-site short-dwell chain, seed 97, 2400 s\",\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"strategy\": \"{}\", \"format\": \"{}\", \"accuracy_pct\": {:.2}, \
+             \"total_bytes\": {}, \"inference_bytes\": {}, \"raw_bytes\": {}, \
+             \"query_bytes\": {}, \"messages\": {}, \"wall_secs\": {:.3}}}{}\n",
+            m.strategy,
+            m.format,
+            m.accuracy,
+            m.total_bytes,
+            m.inference_bytes,
+            m.raw_bytes,
+            m.query_bytes,
+            m.messages,
+            m.wall_secs,
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Section 5.3 scalability: wall-clock time of distributed inference as the
 /// number of items per warehouse grows, with static and mobile shelf readers.
 pub fn scalability(scale: Scale) -> Table {
@@ -571,6 +718,42 @@ mod tests {
             );
         }
         assert_eq!(table.rows[4][0], "TOTAL");
+    }
+
+    #[test]
+    fn wire_formats_binary_beats_json_for_every_shipping_strategy() {
+        let rows = wire_measurements(Scale::Smoke);
+        assert_eq!(rows.len(), 8, "four strategies x two formats");
+        for pair in rows.chunks(2) {
+            let (json, binary) = (&pair[0], &pair[1]);
+            assert_eq!(json.strategy, binary.strategy);
+            assert_eq!(json.format, WireFormat::Json);
+            assert_eq!(binary.format, WireFormat::Binary);
+            assert_eq!(
+                json.accuracy, binary.accuracy,
+                "{}: format must not move accuracy",
+                json.strategy
+            );
+            assert_eq!(json.messages, binary.messages);
+            if json.strategy == "None" {
+                assert_eq!(json.total_bytes, 0);
+                assert_eq!(binary.total_bytes, 0);
+            } else {
+                assert!(
+                    binary.total_bytes * 2 <= json.total_bytes,
+                    "{}: binary ({} B) must at least halve JSON ({} B)",
+                    json.strategy,
+                    binary.total_bytes,
+                    json.total_bytes
+                );
+            }
+        }
+        let table = wire_formats_table(&rows);
+        assert_eq!(table.rows.len(), 8);
+        let json_doc = wire_formats_json(Scale::Smoke, &rows);
+        assert!(json_doc.contains("\"rows\": ["));
+        assert!(json_doc.contains("\"strategy\": \"Centralized\""));
+        assert!(json_doc.trim_end().ends_with('}'));
     }
 
     #[test]

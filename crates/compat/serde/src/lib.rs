@@ -170,8 +170,15 @@ fn write_number(n: Number, out: &mut String) {
         }
         Number::F(f) => {
             if f.is_finite() {
-                // Rust's shortest round-trip float formatting.
+                // Rust's shortest round-trip float formatting, kept
+                // float-typed in the text (serde_json prints `1.0`, not `1`)
+                // so parsing re-enters the float path — otherwise `-0.0`
+                // would come back as the integer `-0`, dropping the sign bit.
+                let start = out.len();
                 let _ = write!(out, "{f}");
+                if !out[start..].contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
             } else {
                 out.push_str("null");
             }
@@ -621,6 +628,12 @@ impl<T: Deserialize> Deserialize for Vec<T> {
             .iter()
             .map(T::deserialize)
             .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::serialize).collect())
     }
 }
 

@@ -72,11 +72,24 @@ impl Observations {
     }
 
     /// Merge every reading of another index into this one.
+    ///
+    /// Equivalent to replaying `other` reading by reading through
+    /// [`Self::insert`] — the resulting index is identical, so callers that
+    /// journal dirtiness can treat every `(tag, epoch)` of `other` as
+    /// potentially changed — but runs in `O(n + m)` per tag instead of
+    /// `O(m · n)`: a tag absent from this index is adopted wholesale, a
+    /// batch of strictly newer epochs (the append-only case of streaming
+    /// ingestion) is appended in one `extend`, and interleaved ranges fall
+    /// back to a single sorted two-list merge with no per-entry `Vec::insert`
+    /// shifting.
     pub fn merge(&mut self, other: &Observations) {
         for (tag, list) in &other.per_tag {
-            for obs in list {
-                for reader in &obs.readers {
-                    self.insert(RawReading::new(obs.epoch, *tag, reader.reader()));
+            match self.per_tag.entry(*tag) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(list.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    merge_obs_lists(slot.get_mut(), list);
                 }
             }
         }
@@ -146,13 +159,26 @@ impl Observations {
 
     /// Count, for each container, the number of epochs at which it was read
     /// by the *same reader in the same epoch* as `object` — the co-location
-    /// signal that seeds containment inference and candidate pruning.
-    pub fn colocation_counts(&self, object: TagId) -> BTreeMap<TagId, usize> {
-        let mut counts: BTreeMap<TagId, usize> = BTreeMap::new();
+    /// signal that seeds containment inference and candidate pruning. The
+    /// result is sorted by tag, ascending, and omits zero counts.
+    pub fn colocation_counts(&self, object: TagId) -> Vec<(TagId, usize)> {
+        let mut counts = Vec::new();
+        self.colocation_counts_into(object, &mut counts);
+        counts
+    }
+
+    /// [`Self::colocation_counts`] into a reusable buffer: `counts` is
+    /// cleared and refilled, so a caller ranking candidates for thousands of
+    /// objects per inference run pays for one allocation, not one tree
+    /// rebuild per object.
+    pub fn colocation_counts_into(&self, object: TagId, counts: &mut Vec<(TagId, usize)>) {
+        counts.clear();
         let object_obs = self.obs_for(object);
         if object_obs.is_empty() {
-            return counts;
+            return;
         }
+        // `per_tag` iterates in ascending tag order, so pushing keeps
+        // `counts` sorted by tag with no post-pass.
         for (tag, obs_list) in &self.per_tag {
             if !tag.is_container() || *tag == object {
                 continue;
@@ -178,19 +204,29 @@ impl Observations {
                 }
             }
             if count > 0 {
-                counts.insert(*tag, count);
+                counts.push((*tag, count));
             }
         }
-        counts
     }
 
     /// The `limit` containers most frequently co-located with `object`
     /// (candidate pruning, Appendix A.3), most frequent first.
     pub fn candidate_containers(&self, object: TagId, limit: usize) -> Vec<TagId> {
-        let counts = self.colocation_counts(object);
-        let mut ranked: Vec<(TagId, usize)> = counts.into_iter().collect();
-        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        ranked.into_iter().take(limit).map(|(c, _)| c).collect()
+        let mut scratch = Vec::new();
+        self.candidate_containers_with(object, limit, &mut scratch)
+    }
+
+    /// [`Self::candidate_containers`] with a caller-owned scratch buffer for
+    /// the intermediate counts, reusable across objects of one inference run.
+    pub fn candidate_containers_with(
+        &self,
+        object: TagId,
+        limit: usize,
+        scratch: &mut Vec<(TagId, usize)>,
+    ) -> Vec<TagId> {
+        self.colocation_counts_into(object, scratch);
+        scratch.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        scratch.iter().take(limit).map(|&(c, _)| c).collect()
     }
 
     /// Drop, for the given tag, every observation outside the union of the
@@ -234,6 +270,92 @@ impl Observations {
             }
         }
         set
+    }
+}
+
+/// Merge one tag's sorted observation list into another, preserving the
+/// per-epoch sorted, de-duplicated reader lists. `dst` and `src` are both in
+/// strictly ascending epoch order (the invariant [`Observations::insert`]
+/// maintains).
+fn merge_obs_lists(dst: &mut Vec<ObsAt>, src: &[ObsAt]) {
+    if src.is_empty() {
+        return;
+    }
+    // Append-only fast path: every incoming epoch is newer than everything
+    // stored — the common case when batches arrive in time order.
+    match dst.last() {
+        None => {
+            dst.extend(src.iter().cloned());
+            return;
+        }
+        Some(last) if src[0].epoch > last.epoch => {
+            dst.extend(src.iter().cloned());
+            return;
+        }
+        _ => {}
+    }
+    let old = std::mem::take(dst);
+    dst.reserve(old.len() + src.len());
+    let mut a = old.into_iter().peekable();
+    let mut b = src.iter().peekable();
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => match x.epoch.cmp(&y.epoch) {
+                std::cmp::Ordering::Less => dst.push(a.next().expect("peeked")),
+                std::cmp::Ordering::Greater => dst.push(b.next().expect("peeked").clone()),
+                std::cmp::Ordering::Equal => {
+                    let mut obs = a.next().expect("peeked");
+                    merge_sorted_readers(&mut obs.readers, &b.next().expect("peeked").readers);
+                    dst.push(obs);
+                }
+            },
+            (Some(_), None) => {
+                dst.extend(a);
+                return;
+            }
+            (None, Some(_)) => {
+                dst.extend(b.cloned());
+                return;
+            }
+            (None, None) => return,
+        }
+    }
+}
+
+/// Union two sorted, de-duplicated reader lists into the first.
+fn merge_sorted_readers(dst: &mut Vec<LocationId>, src: &[LocationId]) {
+    if src.is_empty() {
+        return;
+    }
+    // Disjoint-suffix fast path.
+    if dst.last().is_none_or(|last| src[0] > *last) {
+        dst.extend_from_slice(src);
+        return;
+    }
+    let old = std::mem::take(dst);
+    dst.reserve(old.len() + src.len());
+    let mut a = old.into_iter().peekable();
+    let mut b = src.iter().peekable();
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => match x.cmp(y) {
+                std::cmp::Ordering::Less => dst.push(a.next().expect("peeked")),
+                std::cmp::Ordering::Greater => dst.push(*b.next().expect("peeked")),
+                std::cmp::Ordering::Equal => {
+                    dst.push(a.next().expect("peeked"));
+                    b.next();
+                }
+            },
+            (Some(_), None) => {
+                dst.extend(a);
+                return;
+            }
+            (None, Some(_)) => {
+                dst.extend(b.copied());
+                return;
+            }
+            (None, None) => return,
+        }
     }
 }
 
@@ -305,15 +427,26 @@ mod tests {
     fn colocation_counts_require_same_epoch_and_reader() {
         let obs = sample();
         let counts = obs.colocation_counts(TagId::item(1));
-        // case1 co-located with item1 at epochs 1 and 2 (reader 0)
-        assert_eq!(counts.get(&TagId::case(1)), Some(&2));
-        // case2 co-located only at epoch 3 (reader 1); at epoch 2 they were
-        // read by different readers.
-        assert_eq!(counts.get(&TagId::case(2)), Some(&1));
+        // case1 co-located with item1 at epochs 1 and 2 (reader 0); case2
+        // co-located only at epoch 3 (reader 1) — at epoch 2 they were read
+        // by different readers. Sorted by tag, ascending.
+        assert_eq!(counts, vec![(TagId::case(1), 2), (TagId::case(2), 1)]);
         let cands = obs.candidate_containers(TagId::item(1), 1);
         assert_eq!(cands, vec![TagId::case(1)]);
         let cands2 = obs.candidate_containers(TagId::item(1), 5);
         assert_eq!(cands2.len(), 2);
+        // The reusable-buffer variant agrees and refills the scratch.
+        let mut scratch = vec![(TagId::item(9), 99)];
+        assert_eq!(
+            obs.candidate_containers_with(TagId::item(1), 5, &mut scratch),
+            cands2
+        );
+        assert_eq!(scratch.len(), 2);
+        obs.colocation_counts_into(TagId::item(1), &mut scratch);
+        assert_eq!(scratch, counts);
+        // An unobserved object yields no candidates and an emptied buffer.
+        obs.colocation_counts_into(TagId::item(42), &mut scratch);
+        assert!(scratch.is_empty());
     }
 
     #[test]
@@ -350,6 +483,78 @@ mod tests {
         b.insert(read(1, TagId::item(1), 0)); // overlap
         a.merge(&b);
         assert_eq!(a.obs_for(TagId::item(1)).len(), 2);
+    }
+
+    /// The batch merge (vacant-tag adoption, append-only extension, and the
+    /// general interleaved two-list merge) must produce exactly the index
+    /// that reading-by-reading insertion produces.
+    #[test]
+    fn merge_matches_insert_by_insert_reference() {
+        // A deterministic little generator is enough to hit every path:
+        // disjoint tags, strictly newer epochs, interleaved epochs, equal
+        // epochs with disjoint readers, and exact duplicates.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..50 {
+            let mut base = Observations::new();
+            let mut incoming = Observations::new();
+            let mut reference = Observations::new();
+            for _ in 0..60 {
+                let r = read(
+                    (next() % 20) as u32,
+                    if next() % 2 == 0 {
+                        TagId::item(next() % 3)
+                    } else {
+                        TagId::case(next() % 3)
+                    },
+                    (next() % 4) as u16,
+                );
+                if next() % 2 == 0 {
+                    base.insert(r);
+                    reference.insert(r);
+                } else {
+                    incoming.insert(r);
+                }
+            }
+            // the reference replays `incoming` through insert()
+            for (tag, list) in &incoming.per_tag {
+                for obs in list {
+                    for reader in &obs.readers {
+                        reference.insert(RawReading::new(obs.epoch, *tag, reader.reader()));
+                    }
+                }
+            }
+            base.merge(&incoming);
+            assert_eq!(base.per_tag, reference.per_tag);
+        }
+    }
+
+    #[test]
+    fn merge_append_only_and_vacant_fast_paths() {
+        let mut a = Observations::new();
+        a.insert(read(1, TagId::item(1), 0));
+        a.insert(read(2, TagId::item(1), 1));
+        let mut b = Observations::new();
+        // strictly newer epochs for an existing tag → append path
+        b.insert(read(5, TagId::item(1), 0));
+        b.insert(read(6, TagId::item(1), 2));
+        // unseen tag → adoption path
+        b.insert(read(3, TagId::case(7), 1));
+        a.merge(&b);
+        assert_eq!(a.obs_for(TagId::item(1)).len(), 4);
+        assert_eq!(a.obs_for(TagId::case(7)).len(), 1);
+        // merging an empty index is a no-op; merging into empty adopts all
+        let before = a.len();
+        a.merge(&Observations::new());
+        assert_eq!(a.len(), before);
+        let mut fresh = Observations::new();
+        fresh.merge(&a);
+        assert_eq!(fresh.per_tag, a.per_tag);
     }
 
     #[test]

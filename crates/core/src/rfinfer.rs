@@ -593,11 +593,16 @@ impl<'a> RfInfer<'a> {
 
         // Candidate pruning: the containers most frequently co-located with
         // each object, plus any container we have prior information about.
+        // One scratch buffer serves the count ranking of every object.
+        let mut colocation_scratch: Vec<(TagId, usize)> = Vec::new();
         let mut candidates: BTreeMap<TagId, Vec<TagId>> = BTreeMap::new();
         for &o in &objects {
             let mut cands = if self.config.candidate_pruning {
-                self.obs
-                    .candidate_containers(o, self.config.candidate_limit)
+                self.obs.candidate_containers_with(
+                    o,
+                    self.config.candidate_limit,
+                    &mut colocation_scratch,
+                )
             } else {
                 all_containers.clone()
             };

@@ -5,6 +5,7 @@ use rfid_core::InferenceConfig;
 use rfid_query::ExposureQuery;
 use rfid_sim::TemperatureModel;
 use rfid_types::TagId;
+use rfid_wire::WireFormat;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -59,6 +60,13 @@ pub struct DistributedConfig {
     /// bit-identical to the sequential replay. Ignored by
     /// [`MigrationStrategy::Centralized`], which has a single engine.
     pub num_workers: usize,
+    /// Wire representation of every cross-site payload (inference state,
+    /// raw-reading forwarding, query-state bundles). The compact
+    /// [`WireFormat::Binary`] codec is the default; [`WireFormat::Json`] is
+    /// retained for debugging and back-compat tests. Both formats produce
+    /// bit-identical accuracy, alerts and custody — only the bytes charged to
+    /// [`CommCost`](crate::CommCost) (and the encode wall-clock) differ.
+    pub wire_format: WireFormat,
 }
 
 impl Default for DistributedConfig {
@@ -71,6 +79,7 @@ impl Default for DistributedConfig {
             temperature: None,
             event_stride_secs: 10,
             num_workers: 1,
+            wire_format: WireFormat::Binary,
         }
     }
 }
@@ -79,6 +88,12 @@ impl DistributedConfig {
     /// Builder-style setter for the number of site-worker threads.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.num_workers = workers;
+        self
+    }
+
+    /// Builder-style setter for the cross-site wire format.
+    pub fn with_wire_format(mut self, format: WireFormat) -> Self {
+        self.wire_format = format;
         self
     }
 }
@@ -96,6 +111,13 @@ mod tests {
         assert_eq!(config.event_stride_secs, 10);
         assert_eq!(config.num_workers, 1, "sequential by default");
         assert_eq!(DistributedConfig::default().with_workers(8).num_workers, 8);
+        assert_eq!(config.wire_format, WireFormat::Binary, "compact by default");
+        assert_eq!(
+            DistributedConfig::default()
+                .with_wire_format(WireFormat::Json)
+                .wire_format,
+            WireFormat::Json
+        );
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //! migrates, compressed with centroid-based sharing, and an EPCglobal-style
 //! [`Ons`] records which site owns which tag. Every byte that crosses a site
 //! boundary is charged to a [`MessageKind`] in a [`CommCost`], which is how
-//! the Table 5 communication-cost comparison is produced.
+//! the Table 5 communication-cost comparison is produced. Every payload is
+//! encoded with the [`WireFormat`] selected by
+//! [`DistributedConfig::wire_format`] — the compact binary codec of
+//! `rfid-wire` by default, JSON for debugging — and the charged bytes are
+//! the encoded lengths, not estimates.
 //!
 //! ## Example
 //!
@@ -59,3 +63,4 @@ pub use comm::{CommCost, MessageKind};
 pub use config::{DistributedConfig, MigrationStrategy};
 pub use driver::{DistributedDriver, DistributedOutcome};
 pub use ons::{Ons, ONS_UPDATE_BYTES};
+pub use rfid_wire::{WireCodec, WireFormat};

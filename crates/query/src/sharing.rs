@@ -88,22 +88,38 @@ impl SharedStateBundle {
         out
     }
 
-    /// Reconstruct the full [`ObjectQueryState`]s in the bundle.
+    /// Reconstruct the full [`ObjectQueryState`]s in the bundle, assuming
+    /// JSON payloads (see [`Self::expand_states_with`] for other codecs).
     pub fn expand_states(&self) -> Result<Vec<ObjectQueryState>, serde_json::Error> {
+        self.expand_states_with(state_from_json_payload)
+    }
+
+    /// Reconstruct the full [`ObjectQueryState`]s in the bundle using a
+    /// caller-provided payload decoder — the inverse of the encoder the
+    /// bundle was built with via [`share_states_with`].
+    pub fn expand_states_with<E, F>(&self, decode: F) -> Result<Vec<ObjectQueryState>, E>
+    where
+        F: Fn(TagId, &[u8]) -> Result<ObjectQueryState, E>,
+    {
         self.expand()
             .into_iter()
-            .map(|(tag, payload)| payload_to_state(tag, &payload))
+            .map(|(tag, payload)| decode(tag, &payload))
             .collect()
     }
 }
 
-/// The diffable payload of a query state: everything except the tag id.
-fn state_payload(state: &ObjectQueryState) -> Vec<u8> {
+/// The default diffable payload of a query state — everything except the tag
+/// id, serialized as JSON. Kept public so alternative wire codecs can fall
+/// back to (or test against) the debuggable representation.
+pub fn json_payload(state: &ObjectQueryState) -> Vec<u8> {
     serde_json::to_vec(&(&state.query, &state.automaton)).expect("payload serializes")
 }
 
-/// Rebuild an [`ObjectQueryState`] from its tag and payload.
-fn payload_to_state(tag: TagId, payload: &[u8]) -> Result<ObjectQueryState, serde_json::Error> {
+/// Rebuild an [`ObjectQueryState`] from its tag and a [`json_payload`].
+pub fn state_from_json_payload(
+    tag: TagId,
+    payload: &[u8],
+) -> Result<ObjectQueryState, serde_json::Error> {
     let (query, automaton) = serde_json::from_slice(payload)?;
     Ok(ObjectQueryState {
         query,
@@ -158,15 +174,28 @@ fn delta_against(centroid: &[u8], tag: TagId, payload: &[u8]) -> StateDelta {
 }
 
 /// Compress a group of per-object query states (typically the objects of one
-/// container) with centroid-based sharing.
+/// container) with centroid-based sharing over the default JSON payloads.
 ///
 /// Returns `None` when the group is empty.
 pub fn share_states(states: &[ObjectQueryState]) -> Option<SharedStateBundle> {
+    share_states_with(states, json_payload)
+}
+
+/// Compress a group of per-object query states with centroid-based sharing,
+/// serializing each state's diffable payload with a caller-provided encoder
+/// (the compact binary wire codec, for instance). The byte-level diffing is
+/// representation-agnostic: it only needs payloads that are deterministic per
+/// state.
+///
+/// Returns `None` when the group is empty.
+pub fn share_states_with<F>(states: &[ObjectQueryState], payload: F) -> Option<SharedStateBundle>
+where
+    F: Fn(&ObjectQueryState) -> Vec<u8>,
+{
     if states.is_empty() {
         return None;
     }
-    let serialized: Vec<(TagId, Vec<u8>)> =
-        states.iter().map(|s| (s.tag, state_payload(s))).collect();
+    let serialized: Vec<(TagId, Vec<u8>)> = states.iter().map(|s| (s.tag, payload(s))).collect();
     // Pick the centroid: the payload minimising the total distance to all
     // others (O(n^2), acceptable for the 20-50 objects of one case).
     let (centroid_idx, _) = serialized
@@ -195,9 +224,20 @@ pub fn share_states(states: &[ObjectQueryState]) -> Option<SharedStateBundle> {
 }
 
 /// The total size of a group of states *without* sharing — the baseline the
-/// paper's Section 5.4 table compares against.
+/// paper's Section 5.4 table compares against — under the default JSON
+/// representation.
 pub fn unshared_bytes(states: &[ObjectQueryState]) -> usize {
     states.iter().map(ObjectQueryState::wire_bytes).sum()
+}
+
+/// The unshared baseline under a caller-provided per-state size measure, so
+/// the with/without-sharing comparison stays apples-to-apples when migration
+/// uses a different wire codec.
+pub fn unshared_bytes_with<F>(states: &[ObjectQueryState], size: F) -> usize
+where
+    F: Fn(&ObjectQueryState) -> usize,
+{
+    states.iter().map(size).sum()
 }
 
 #[cfg(test)]

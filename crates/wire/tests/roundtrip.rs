@@ -1,0 +1,296 @@
+//! Property tests: `decode(encode(x)) == x` for every payload type, in both
+//! wire formats, over arbitrary inputs — including empty payloads,
+//! single-entry payloads, and epochs at the `u32` wraparound boundary.
+
+use proptest::prelude::*;
+use rfid_core::{CollapsedState, MigrationState, ReadingsState};
+use rfid_query::{AutomatonState, ObjectQueryState, SharedStateBundle, StateDelta};
+use rfid_types::{Epoch, RawReading, ReaderId, TagId};
+use rfid_wire::{WireCodec, WireFormat};
+use std::collections::BTreeMap;
+
+fn both() -> [WireCodec; 2] {
+    [
+        WireCodec::new(WireFormat::Binary),
+        WireCodec::new(WireFormat::Json),
+    ]
+}
+
+/// Any tag id: all three kinds, serials spanning the full 62-bit range.
+fn arb_tag() -> impl Strategy<Value = TagId> {
+    (0u64..3, prop_oneof![0u64..200, Just((1u64 << 62) - 1)]).prop_map(
+        |(kind, serial)| match kind {
+            0 => TagId::item(serial),
+            1 => TagId::case(serial),
+            _ => TagId::pallet(serial),
+        },
+    )
+}
+
+/// Any epoch, biased toward small values but covering the u32 wraparound
+/// boundary (`u32::MAX`), where delta encoding is most easily broken.
+fn arb_epoch() -> impl Strategy<Value = Epoch> {
+    prop_oneof![
+        (0u32..5000).prop_map(Epoch),
+        (u32::MAX - 10..u32::MAX).prop_map(Epoch),
+        Just(Epoch(u32::MAX)),
+        Just(Epoch(0)),
+    ]
+}
+
+/// Finite weights with exactly representable and irrational-looking values.
+fn arb_weight() -> impl Strategy<Value = f64> {
+    prop_oneof![-1e6f64..1e6, Just(0.0f64), Just(-0.0f64), Just(-1e-300f64),]
+}
+
+fn arb_reading() -> impl Strategy<Value = RawReading> {
+    (arb_epoch(), arb_tag(), 0u16..u16::MAX)
+        .prop_map(|(time, tag, reader)| RawReading::new(time, tag, ReaderId(reader)))
+}
+
+fn arb_readings() -> impl Strategy<Value = Vec<RawReading>> {
+    // Unsorted on purpose: the codec must preserve arbitrary order bitwise.
+    prop::collection::vec(arb_reading(), 0..60)
+}
+
+fn arb_collapsed() -> impl Strategy<Value = CollapsedState> {
+    (
+        arb_tag(),
+        prop::collection::btree_map(arb_tag(), arb_weight(), 0..12),
+        prop::option::of(arb_tag()),
+    )
+        .prop_map(|(object, weights, container)| CollapsedState {
+            object,
+            weights,
+            container,
+        })
+}
+
+fn arb_automaton() -> impl Strategy<Value = AutomatonState> {
+    prop_oneof![
+        Just(AutomatonState::Idle),
+        (
+            arb_epoch(),
+            prop::collection::vec((arb_epoch(), arb_weight()), 0..25),
+            any::<bool>(),
+        )
+            .prop_map(|(since, readings, fired)| AutomatonState::Accumulating {
+                since,
+                readings,
+                fired,
+            }),
+    ]
+}
+
+fn arb_query_state() -> impl Strategy<Value = ObjectQueryState> {
+    ((0u32..4), arb_tag(), arb_automaton()).prop_map(|(q, tag, automaton)| ObjectQueryState {
+        query: format!("Q{q}"),
+        tag,
+        automaton,
+    })
+}
+
+fn arb_delta() -> impl Strategy<Value = StateDelta> {
+    (
+        arb_tag(),
+        prop::collection::vec(((0u32..4096), any::<u8>()), 0..12),
+        prop::collection::vec(any::<u8>(), 0..16),
+        0u32..8192,
+        prop::option::of(prop::collection::vec(any::<u8>(), 0..32)),
+    )
+        .prop_map(|(tag, mut edits, suffix, len, full)| {
+            // Real deltas carry strictly ascending edit positions; mimic that
+            // (the codec tolerates any order, equality does not tolerate
+            // duplicates collapsing).
+            edits.sort_by_key(|&(pos, _)| pos);
+            edits.dedup_by_key(|&mut (pos, _)| pos);
+            let (edits, suffix) = if full.is_some() {
+                (Vec::new(), Vec::new())
+            } else {
+                (edits, suffix)
+            };
+            StateDelta {
+                tag,
+                edits,
+                suffix,
+                len,
+                full,
+            }
+        })
+}
+
+fn arb_bundle() -> impl Strategy<Value = SharedStateBundle> {
+    (
+        arb_tag(),
+        prop::collection::vec(any::<u8>(), 0..48),
+        prop::collection::vec(arb_delta(), 0..8),
+    )
+        .prop_map(|(centroid_tag, centroid_bytes, deltas)| SharedStateBundle {
+            centroid_tag,
+            centroid_bytes,
+            deltas,
+        })
+}
+
+/// Bit-exact equality for collapsed weights: `PartialEq` on `f64` already
+/// distinguishes everything we generate except the -0.0/0.0 pair, which the
+/// codec must also preserve.
+fn collapsed_bits_equal(a: &CollapsedState, b: &CollapsedState) -> bool {
+    a.object == b.object
+        && a.container == b.container
+        && a.weights.len() == b.weights.len()
+        && a.weights
+            .iter()
+            .zip(&b.weights)
+            .all(|((ta, wa), (tb, wb))| ta == tb && wa.to_bits() == wb.to_bits())
+}
+
+proptest! {
+    #[test]
+    fn readings_round_trip(readings in arb_readings()) {
+        for codec in both() {
+            let bytes = codec.encode_readings(&readings);
+            prop_assert_eq!(codec.decode_readings(&bytes).unwrap(), readings.clone());
+        }
+    }
+
+    #[test]
+    fn collapsed_round_trips_bitwise(state in arb_collapsed()) {
+        for codec in both() {
+            let bytes = codec.encode_collapsed(&state);
+            let back = codec.decode_collapsed(&bytes).unwrap();
+            prop_assert!(collapsed_bits_equal(&back, &state));
+        }
+    }
+
+    #[test]
+    fn migration_state_round_trips(state in arb_migration()) {
+        for codec in both() {
+            let bytes = codec.encode_migration(&state);
+            prop_assert_eq!(codec.decode_migration(&bytes).unwrap(), state.clone());
+        }
+    }
+
+    #[test]
+    fn query_state_round_trips(state in arb_query_state()) {
+        for codec in both() {
+            let bytes = codec.encode_query_state(&state);
+            prop_assert_eq!(codec.decode_query_state(&bytes).unwrap(), state.clone());
+            let payload = codec.state_payload(&state);
+            prop_assert_eq!(codec.state_from_payload(state.tag, &payload).unwrap(), state.clone());
+        }
+    }
+
+    #[test]
+    fn bundle_round_trips(bundle in arb_bundle()) {
+        for codec in both() {
+            let bytes = codec.encode_bundle(&bundle);
+            prop_assert_eq!(codec.decode_bundle(&bytes).unwrap(), bundle.clone());
+        }
+    }
+
+    #[test]
+    fn binary_never_loses_to_json_on_reading_batches(readings in arb_readings()) {
+        // Sorted batches are the wire case; binary must win whenever there is
+        // at least one reading (empty batches are a few header bytes).
+        let mut sorted = readings.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if !sorted.is_empty() {
+            let binary = WireCodec::new(WireFormat::Binary).encode_readings(&sorted);
+            let json = WireCodec::new(WireFormat::Json).encode_readings(&sorted);
+            prop_assert!(binary.len() < json.len());
+        }
+    }
+
+    #[test]
+    fn sharing_composes_with_binary_payloads(states in prop::collection::vec(arb_query_state(), 1..10)) {
+        // Centroid-based sharing over binary payloads must reconstruct every
+        // state exactly, whichever payload codec built the bundle. One state
+        // per (tag, query) key, as the processor exports them.
+        let mut states = states;
+        states.sort_by(|a, b| (a.tag, &a.query).cmp(&(b.tag, &b.query)));
+        states.dedup_by(|a, b| (a.tag, &a.query) == (b.tag, &b.query));
+        for codec in both() {
+            let bundle = rfid_query::share_states_with(&states, |s| codec.state_payload(s)).unwrap();
+            let encoded = codec.encode_bundle(&bundle);
+            let decoded = codec.decode_bundle(&encoded).unwrap();
+            let expanded = decoded
+                .expand_states_with(|tag, payload| codec.state_from_payload(tag, payload))
+                .unwrap();
+            prop_assert_eq!(expanded.len(), states.len());
+            for original in &states {
+                let recovered = expanded.iter().find(|s| s.tag == original.tag && s.query == original.query).unwrap();
+                prop_assert_eq!(recovered, original);
+            }
+        }
+    }
+}
+
+/// Arbitrary migration state across all three variants.
+fn arb_migration() -> impl Strategy<Value = MigrationState> {
+    prop_oneof![
+        Just(MigrationState::None),
+        arb_collapsed().prop_map(MigrationState::Collapsed),
+        (arb_tag(), arb_readings(), prop::option::of(arb_tag())).prop_map(
+            |(object, readings, container)| {
+                MigrationState::Readings(ReadingsState {
+                    object,
+                    readings,
+                    container,
+                })
+            }
+        ),
+    ]
+}
+
+#[test]
+fn single_entry_and_empty_edge_cases() {
+    for codec in both() {
+        // Single reading at the epoch wraparound boundary.
+        let one = vec![RawReading::new(
+            Epoch(u32::MAX),
+            TagId::item(1),
+            ReaderId(0),
+        )];
+        assert_eq!(
+            codec.decode_readings(&codec.encode_readings(&one)).unwrap(),
+            one
+        );
+        // Empty batch.
+        assert_eq!(
+            codec.decode_readings(&codec.encode_readings(&[])).unwrap(),
+            vec![]
+        );
+        // Collapsed state with a single candidate and no container.
+        let single = CollapsedState {
+            object: TagId::item(1),
+            weights: BTreeMap::from([(TagId::case(1), -1.0)]),
+            container: None,
+        };
+        assert_eq!(
+            codec
+                .decode_collapsed(&codec.encode_collapsed(&single))
+                .unwrap(),
+            single
+        );
+        // MigrationState::None is a couple of bytes, not a payload.
+        let none = codec.encode_migration(&MigrationState::None);
+        assert!(none.len() <= 8);
+        assert_eq!(codec.decode_migration(&none).unwrap(), MigrationState::None);
+    }
+}
+
+#[test]
+fn epoch_wraparound_deltas_survive_unsorted_sequences() {
+    // Maximal negative and positive deltas back to back.
+    let readings = vec![
+        RawReading::new(Epoch(u32::MAX), TagId::item(1), ReaderId(0)),
+        RawReading::new(Epoch(0), TagId::item(1), ReaderId(1)),
+        RawReading::new(Epoch(u32::MAX), TagId::case(1), ReaderId(u16::MAX)),
+    ];
+    for codec in both() {
+        let bytes = codec.encode_readings(&readings);
+        assert_eq!(codec.decode_readings(&bytes).unwrap(), readings);
+    }
+}

@@ -21,6 +21,9 @@
 //!   migration and communication accounting; sites run sequentially or
 //!   sharded across worker threads (`DistributedConfig::num_workers`) with
 //!   bit-identical results;
+//! * [`wire`] — the compact binary wire codec every cross-site payload is
+//!   routed through (`DistributedConfig::wire_format`), with JSON retained
+//!   for debugging;
 //! * [`eval`] — evaluation metrics and table formatting.
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
@@ -35,3 +38,4 @@ pub use rfid_query as query;
 pub use rfid_sim as sim;
 pub use rfid_smurf as smurf;
 pub use rfid_types as types;
+pub use rfid_wire as wire;
