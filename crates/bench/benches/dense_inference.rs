@@ -1,0 +1,70 @@
+//! Criterion micro-benchmark of the dense-interned columnar solver: replay
+//! one warehouse trace through periodic inference runs with the dense solver
+//! on (the default) and off (the `BTreeMap`-keyed tree reference). Outcomes
+//! are bit-identical (pinned by the `dense_solver_matches_tree_reference`
+//! proptest in `crates/core`); the benchmark isolates the wall-clock effect
+//! of tag interning, columnar EM state and reader-set loglik memoization.
+//! Both configurations run incrementally, so the measured gap is the dense
+//! gain *on top of* dirty-set scheduling — the `inference_dense` experiment
+//! reports the same comparison at the distributed reference scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfid_core::{InferenceConfig, InferenceEngine};
+use rfid_sim::{WarehouseConfig, WarehouseSimulator};
+use rfid_types::{Epoch, RawReading, Trace};
+
+fn trace(length: u32) -> Trace {
+    WarehouseSimulator::new(
+        WarehouseConfig::default()
+            .with_length(length)
+            .with_read_rate(0.8)
+            .with_items_per_case(5)
+            .with_cases_per_pallet(2)
+            .with_seed(5),
+    )
+    .generate()
+}
+
+/// Replay the trace through one engine, running inference every period.
+fn replay(trace: &Trace, readings: &[RawReading], dense: bool) -> usize {
+    let mut engine = InferenceEngine::new(
+        InferenceConfig::default()
+            .without_change_detection()
+            .with_dense(dense),
+        trace.read_rates.clone(),
+    );
+    let mut cursor = 0usize;
+    let mut runs = 0usize;
+    for t in 0..=trace.meta.length {
+        let now = Epoch(t);
+        while cursor < readings.len() && readings[cursor].time <= now {
+            engine.observe(readings[cursor]);
+            cursor += 1;
+        }
+        if engine.step(now).is_some() {
+            runs += 1;
+        }
+    }
+    runs
+}
+
+fn bench_dense_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_solver");
+    group.sample_size(10);
+    for length in [900u32, 1800] {
+        let trace = trace(length);
+        let mut readings = trace.readings.readings_unordered().to_vec();
+        readings.sort_unstable();
+        readings.dedup();
+        group.bench_with_input(BenchmarkId::new("tree", length), &length, |b, _| {
+            b.iter(|| replay(&trace, &readings, false))
+        });
+        group.bench_with_input(BenchmarkId::new("dense", length), &length, |b, _| {
+            b.iter(|| replay(&trace, &readings, true))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dense_solver);
+criterion_main!(benches);

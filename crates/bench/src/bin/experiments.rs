@@ -10,12 +10,15 @@
 //! The `wire` experiment additionally writes its measurements as
 //! machine-readable JSON to `BENCH_wire.json` (override the path with the
 //! `BENCH_WIRE_OUT` environment variable), so the communication-cost
-//! trajectory is tracked across PRs.
+//! trajectory is tracked across PRs; the `inference_dense` experiment does
+//! the same for solver wall-clock via `BENCH_infer.json` /
+//! `BENCH_INFER_OUT`.
 
 use rfid_bench::{
     fig4, fig5a, fig5b, fig5c, fig5d, fig5e, fig5f, fig6a, fig6b, incremental_inference,
-    parallel_scaling, scalability, table3, table4, table5, table_query, wire_formats_json,
-    wire_formats_table, wire_measurements, Scale,
+    infer_measurements, inference_dense_json, inference_dense_table, parallel_scaling, scalability,
+    table3, table4, table5, table_query, wire_formats_json, wire_formats_table, wire_measurements,
+    Scale,
 };
 use rfid_eval::Series;
 use std::time::Instant;
@@ -37,6 +40,7 @@ const ALL: &[&str] = &[
     "scalability",
     "parallel_scaling",
     "incremental_inference",
+    "inference_dense",
     "wire",
 ];
 
@@ -91,6 +95,16 @@ fn run(name: &str, scale: Scale) {
         "scalability" => println!("{}", scalability(scale)),
         "parallel_scaling" => println!("{}", parallel_scaling(scale)),
         "incremental_inference" => println!("{}", incremental_inference(scale)),
+        "inference_dense" => {
+            let measurements = infer_measurements(scale);
+            println!("{}", inference_dense_table(&measurements));
+            let path =
+                std::env::var("BENCH_INFER_OUT").unwrap_or_else(|_| "BENCH_infer.json".to_string());
+            match std::fs::write(&path, inference_dense_json(scale, &measurements)) {
+                Ok(()) => eprintln!("[inference measurements written to {path}]"),
+                Err(err) => eprintln!("[failed to write {path}: {err}]"),
+            }
+        }
         "wire" => {
             let measurements = wire_measurements(scale);
             println!("{}", wire_formats_table(&measurements));

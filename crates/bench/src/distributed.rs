@@ -450,6 +450,159 @@ pub fn incremental_inference(scale: Scale) -> Table {
     table
 }
 
+/// One per-strategy measurement of the tree-vs-dense solver comparison.
+#[derive(Debug, Clone)]
+pub struct InferMeasurement {
+    /// Migration strategy name.
+    pub strategy: &'static str,
+    /// Inference runs executed across all sites (identical for both solvers).
+    pub runs: usize,
+    /// Summed per-site inference wall-clock of the tree reference solver,
+    /// seconds (incremental mode, as in PR 3).
+    pub tree_secs: f64,
+    /// Summed per-site inference wall-clock of the dense-interned solver,
+    /// seconds (incremental mode, the default).
+    pub dense_secs: f64,
+    /// Fraction of E-step posteriors served from the cross-run cache
+    /// (identical for both solvers — they replay the same reuse decisions).
+    pub posterior_reuse: f64,
+    /// Fraction of point-evidence values served from the cache.
+    pub evidence_reuse: f64,
+}
+
+/// Dense-solver comparison at the 8-site short-dwell reference scale: for
+/// every migration strategy, the summed per-site inference wall-clock of the
+/// `BTreeMap`-keyed tree reference versus the dense-interned columnar solver,
+/// both running incrementally (so the dense gain compounds with — rather than
+/// replaces — the dirty-set cache).
+///
+/// Both solvers are asserted to produce identical containment, communication
+/// totals, run counts and reuse counters (the full bit-identity guarantee is
+/// pinned by the `dense_solver_matches_tree_reference` proptest and the dist
+/// determinism suite), so the table isolates pure solver cost.
+pub fn infer_measurements(scale: Scale) -> Vec<InferMeasurement> {
+    let chain = short_dwell_chain(scale, 8);
+    let mut rows = Vec::new();
+    for (name, strategy) in [
+        ("None", MigrationStrategy::None),
+        ("CR-readings", MigrationStrategy::CriticalRegionReadings),
+        ("CollapsedWeights", MigrationStrategy::CollapsedWeights),
+        ("Centralized", MigrationStrategy::Centralized),
+    ] {
+        let config = |dense: bool| DistributedConfig {
+            strategy,
+            inference: InferenceConfig::default()
+                .without_change_detection()
+                .with_dense(dense),
+            ..Default::default()
+        };
+        let tree = DistributedDriver::new(config(false)).run(&chain);
+        let dense = DistributedDriver::new(config(true)).run(&chain);
+        assert_eq!(
+            tree.containment, dense.containment,
+            "{name}: the dense solver must not change the outcome"
+        );
+        assert_eq!(tree.comm, dense.comm);
+        assert_eq!(tree.inference_runs, dense.inference_runs);
+        assert_eq!(
+            tree.inference_stats, dense.inference_stats,
+            "{name}: both solvers replay the same reuse decisions"
+        );
+        rows.push(InferMeasurement {
+            strategy: name,
+            runs: tree.inference_runs,
+            tree_secs: tree.inference_wall.as_secs_f64(),
+            dense_secs: dense.inference_wall.as_secs_f64(),
+            posterior_reuse: dense.inference_stats.posterior_reuse_fraction(),
+            evidence_reuse: dense.inference_stats.evidence_reuse_fraction(),
+        });
+    }
+    rows
+}
+
+/// The human-readable table of [`infer_measurements`].
+pub fn inference_dense(scale: Scale) -> Table {
+    inference_dense_table(&infer_measurements(scale))
+}
+
+/// Render pre-computed measurements as the comparison table (so one
+/// measurement pass can feed both the table and `BENCH_infer.json`).
+pub fn inference_dense_table(measurements: &[InferMeasurement]) -> Table {
+    let mut table = Table::new(
+        "Dense-interned solver: per-site inference wall-clock, tree reference vs dense (both incremental)",
+        &[
+            "strategy",
+            "runs",
+            "tree (s)",
+            "dense (s)",
+            "speedup",
+            "posterior reuse",
+            "evidence reuse",
+        ],
+    );
+    let mut total_tree = 0.0;
+    let mut total_dense = 0.0;
+    for m in measurements {
+        total_tree += m.tree_secs;
+        total_dense += m.dense_secs;
+        table.push_row(&[
+            m.strategy.to_string(),
+            m.runs.to_string(),
+            format!("{:.2}", m.tree_secs),
+            format!("{:.2}", m.dense_secs),
+            format!("{:.2}x", m.tree_secs / m.dense_secs.max(1e-9)),
+            format!("{:.0}%", 100.0 * m.posterior_reuse),
+            format!("{:.0}%", 100.0 * m.evidence_reuse),
+        ]);
+    }
+    table.push_row(&[
+        "TOTAL".to_string(),
+        String::new(),
+        format!("{total_tree:.2}"),
+        format!("{total_dense:.2}"),
+        format!("{:.2}x", total_tree / total_dense.max(1e-9)),
+        String::new(),
+        String::new(),
+    ]);
+    table
+}
+
+/// The machine-readable companion of [`inference_dense`] — the contents of
+/// `BENCH_infer.json`, tracked across PRs so the inference-perf trajectory
+/// stays visible alongside `BENCH_wire.json`. Hand-rendered JSON (stable key
+/// order, one row object per strategy).
+pub fn inference_dense_json(scale: Scale, measurements: &[InferMeasurement]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str("  \"reference\": \"8-site short-dwell chain, seed 97, 2400 s\",\n");
+    out.push_str("  \"metric\": \"summed per-site inference wall-clock (s), incremental runs\",\n");
+    let total_tree: f64 = measurements.iter().map(|m| m.tree_secs).sum();
+    let total_dense: f64 = measurements.iter().map(|m| m.dense_secs).sum();
+    out.push_str(&format!(
+        "  \"total_tree_secs\": {total_tree:.3}, \"total_dense_secs\": {total_dense:.3}, \
+         \"total_speedup\": {:.3},\n",
+        total_tree / total_dense.max(1e-9)
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"strategy\": \"{}\", \"runs\": {}, \"tree_secs\": {:.3}, \
+             \"dense_secs\": {:.3}, \"speedup\": {:.3}, \"posterior_reuse\": {:.3}, \
+             \"evidence_reuse\": {:.3}}}{}\n",
+            m.strategy,
+            m.runs,
+            m.tree_secs,
+            m.dense_secs,
+            m.tree_secs / m.dense_secs.max(1e-9),
+            m.posterior_reuse,
+            m.evidence_reuse,
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// One `(strategy, format)` measurement of the wire-format comparison.
 #[derive(Debug, Clone)]
 pub struct WireMeasurement {
@@ -718,6 +871,30 @@ mod tests {
             );
         }
         assert_eq!(table.rows[4][0], "TOTAL");
+    }
+
+    #[test]
+    fn inference_dense_is_outcome_identical_and_tracked() {
+        // the function itself asserts tree == dense on every row
+        let rows = infer_measurements(Scale::Smoke);
+        assert_eq!(rows.len(), 4, "one row per strategy");
+        for m in &rows {
+            assert!(m.runs > 0, "engines must run");
+            assert!(m.tree_secs >= 0.0 && m.dense_secs >= 0.0);
+            assert!(
+                m.posterior_reuse > 0.0,
+                "incremental runs must reuse cached posteriors ({m:?})"
+            );
+        }
+        let table = inference_dense_table(&rows);
+        assert_eq!(table.headers.len(), 7);
+        assert_eq!(table.rows.len(), 5, "four strategies plus the total row");
+        assert_eq!(table.rows[4][0], "TOTAL");
+        let json = inference_dense_json(Scale::Smoke, &rows);
+        assert!(json.contains("\"rows\": ["));
+        assert!(json.contains("\"strategy\": \"Centralized\""));
+        assert!(json.contains("\"total_speedup\""));
+        assert!(json.trim_end().ends_with('}'));
     }
 
     #[test]

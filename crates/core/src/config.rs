@@ -105,6 +105,15 @@ impl InferenceConfig {
         self
     }
 
+    /// Select the solver: dense-interned columnar EM (`true`, the default)
+    /// or the `BTreeMap`-keyed reference solver (`false`). Both are
+    /// bit-identical; the tree solver exists as the equivalence-testing and
+    /// benchmarking baseline.
+    pub fn with_dense(mut self, dense: bool) -> Self {
+        self.rfinfer.dense = dense;
+        self
+    }
+
     /// Use a fixed change-point threshold.
     pub fn with_fixed_threshold(mut self, delta: f64) -> Self {
         self.change_detection = Some(ChangeDetectionConfig {

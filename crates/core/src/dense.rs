@@ -1,0 +1,1034 @@
+//! Dense-interned columnar RFINFER — the default solver behind
+//! [`RfInfer::run`](crate::RfInfer::run).
+//!
+//! The reference solver (`RfInfer::run_tree`) keys every piece of EM state by
+//! sparse 64-bit [`TagId`]s in `BTreeMap`s: each E-step posterior, each
+//! point-evidence append and each M-step weight update pays a tree walk plus
+//! an allocation. This module removes all of that from the inner loops with
+//! one idea: **a per-run interning pass**. At the top of a run every live tag
+//! (objects, observed containers, prior-named candidate containers) is
+//! interned into a contiguous `u32` index, every distinct per-epoch reader
+//! set into a reader-set id, and from then on the EM runs entirely over flat
+//! `Vec`-indexed arenas:
+//!
+//! * candidate sets, co-location weight rows and prior weights live in flat
+//!   arenas aligned by candidate position (`cand_arena` / `weights`),
+//! * per-container needed-epoch lists and member lists live in shared arenas
+//!   sliced by a per-container `(start, len)`,
+//! * E-step posteriors are epoch-sorted slices walked with cursors — no
+//!   `BTreeMap<Epoch, Posterior>` anywhere,
+//! * every `(reader set, location)` log-likelihood is computed once per run
+//!   in a memoized [`ReaderSetTable`] row and reused by both the posterior
+//!   and the point-evidence evaluations,
+//! * all of it backed by [`DenseScratch`] buffers the engine keeps alive
+//!   across runs, so the streaming steady state allocates almost nothing.
+//!
+//! Interned indices are **run-scoped**: they are assigned fresh each run from
+//! the ascending tag order, and nothing outside the run ever sees one. Only
+//! the run boundary converts back to the `TagId`-keyed
+//! [`InferenceOutcome`] / [`EvidenceCache`] types, so the public API, the
+//! wire formats and the incremental dirty-set machinery are untouched.
+//!
+//! The solver replays the exact control flow of the reference EM — same
+//! candidate ranking, same initial assignment, same variant memoization and
+//! cross-run reuse decisions, same floating-point summation order — so its
+//! results are **bit-identical** to the tree solver's, pinned by the
+//! `dense_solver_matches_tree_reference` proptest and the distributed
+//! determinism suite.
+
+use crate::likelihood::ReaderSetTable;
+use crate::observations::{ObsAt, Observations};
+use crate::posterior::{container_posterior_rows, Posterior};
+use crate::rfinfer::{
+    CachedVariant, DirtySet, EvidenceCache, InferenceOutcome, InferenceStats, ObjectEvidence,
+    PrevSeries, RfInfer, MAX_CACHED_VARIANTS,
+};
+use rfid_types::{ContainmentMap, Epoch, LocationId, TagId};
+use std::collections::{BTreeMap, HashMap};
+
+/// Sentinel for "no index" in dense `u32` columns.
+const NONE_IDX: u32 = u32::MAX;
+
+/// One point-evidence series: `(epoch, e_co)` in epoch order.
+type Series = Vec<(Epoch, f64)>;
+
+/// Series keyed by interned object index, ascending; `Option` so the
+/// whole-series fast path can move one out without shifting the column.
+type TakableSeries = Vec<(u32, Option<Series>)>;
+
+/// Reusable flat buffers of the dense solver: the interning arena, the
+/// candidate/weight/epoch/member arenas and the reader-set log-likelihood
+/// table. Held by [`InferenceEngine`](crate::InferenceEngine) across runs
+/// (and by every EM iteration within a run), so the steady state reuses
+/// capacity instead of reallocating.
+///
+/// The buffers carry no meaning between runs — every run re-interns from
+/// scratch — which is exactly why holding them is safe: a `DenseScratch` can
+/// be shared across engines, runs and configurations freely.
+#[derive(Debug, Default)]
+pub struct DenseScratch {
+    /// Interned universe: dense index → tag, ascending by `TagId`.
+    tags: Vec<TagId>,
+    /// Prior-named tags missing from the observation index.
+    extras: Vec<TagId>,
+    /// Reader-set id of every observation, flattened per tag.
+    set_ids: Vec<u32>,
+    /// Per-tag offset into `set_ids` (length `tags.len() + 1`).
+    set_start: Vec<u32>,
+    /// Memoized `(reader set, location) → loglik` rows.
+    table: ReaderSetTable,
+    /// Dense indices of observed objects, ascending.
+    objects: Vec<u32>,
+    /// Dense indices of observed containers, ascending.
+    all_containers: Vec<u32>,
+    /// Dense indices of relevant containers (candidates ∪ observed),
+    /// ascending; the slot order of all per-container columns.
+    rel: Vec<u32>,
+    /// Dense tag index → relevant-container slot (or `NONE_IDX`).
+    slot_of: Vec<u32>,
+    /// Scratch bitmap over the tag universe.
+    mark: Vec<bool>,
+    /// Flat candidate container indices per object, in pruned order.
+    cand_arena: Vec<u32>,
+    /// Per-object offset into `cand_arena` (length `objects.len() + 1`).
+    cand_start: Vec<u32>,
+    /// Per-object candidate positions sorted by ascending container index —
+    /// the argmax iteration order of the `BTreeMap`-keyed reference.
+    cand_sorted: Vec<u32>,
+    /// Co-location counting scratch for candidate pruning.
+    colo_counts: Vec<(u32, usize)>,
+    /// Co-location weight rows, aligned with `cand_arena`.
+    weights: Vec<f64>,
+    /// Prior weights, aligned with `cand_arena` (resolved once per run).
+    prior_w: Vec<f64>,
+    /// Per-object assigned container index (or `NONE_IDX`).
+    assign: Vec<u32>,
+    /// The next iteration's assignment.
+    new_assign: Vec<u32>,
+    /// Needed-epoch arena, sliced per relevant-container slot.
+    epochs_arena: Vec<Epoch>,
+    /// Per-slot offset into `epochs_arena`.
+    epochs_start: Vec<u32>,
+    /// Per-slot deduplicated length within `epochs_arena`.
+    epochs_len: Vec<u32>,
+    /// Member arena (object tag indices), sliced per slot.
+    member_arena: Vec<u32>,
+    /// Per-slot offset into `member_arena` (length `rel.len() + 1`).
+    member_start: Vec<u32>,
+    /// Per-slot fill cursors for the counting sorts.
+    slot_fill: Vec<u32>,
+    /// Per-member observation cursors of the current container walk.
+    cursors: Vec<u32>,
+    /// Sorted invalid epochs of the current container (dirty union).
+    invalid: Vec<Epoch>,
+}
+
+/// A previous run's cached variant, re-interned into this run's indices.
+struct PrevVariant {
+    members: Vec<u32>,
+    per_epoch: Vec<(Epoch, Posterior)>,
+    evidence: TakableSeries,
+}
+
+/// Working state of one container during a dense EM run — the columnar
+/// mirror of the reference solver's `Variant`.
+struct DVariant {
+    members: Vec<u32>,
+    updated_iter: usize,
+    per_epoch: Vec<(Epoch, Posterior)>,
+    /// Epochs whose posterior was moved bitwise out of the previous run.
+    reused: Vec<Epoch>,
+    fully_reused: bool,
+    prev_evidence: TakableSeries,
+    /// This run's evidence series, pushed in ascending object order.
+    evidence: Vec<(u32, Series)>,
+}
+
+fn find_series(evidence: &[(u32, Series)], object: u32) -> Option<&Series> {
+    evidence
+        .binary_search_by_key(&object, |e| e.0)
+        .ok()
+        .map(|i| &evidence[i].1)
+}
+
+fn prev_series(evidence: &TakableSeries, object: u32) -> Option<&[(Epoch, f64)]> {
+    evidence
+        .binary_search_by_key(&object, |e| e.0)
+        .ok()
+        .and_then(|i| evidence[i].1.as_deref())
+}
+
+fn take_prev_series(evidence: &mut TakableSeries, object: u32) -> Option<Series> {
+    evidence
+        .binary_search_by_key(&object, |e| e.0)
+        .ok()
+        .and_then(|i| evidence[i].1.take())
+}
+
+/// Counting-sort the current assignment into per-slot member lists
+/// (`member_start` / `member_arena`, object tag indices ascending per slot —
+/// the reference solver's iteration order over its assignment map). Shared
+/// by the EM loop and the outcome builder, whose member sets must be built
+/// identically for the bit-identity contract to hold. Takes the scratch
+/// columns individually so callers can keep disjoint borrows (e.g. loglik
+/// rows) alive across the call.
+#[allow(clippy::too_many_arguments)]
+fn count_members(
+    assign: &[u32],
+    objects: &[u32],
+    slot_of: &[u32],
+    slot_fill: &mut Vec<u32>,
+    member_start: &mut Vec<u32>,
+    member_arena: &mut Vec<u32>,
+    num_rel: usize,
+) {
+    let num_objects = objects.len();
+    slot_fill.clear();
+    slot_fill.resize(num_rel, 0);
+    for k in 0..num_objects {
+        if assign[k] != NONE_IDX {
+            slot_fill[slot_of[assign[k] as usize] as usize] += 1;
+        }
+    }
+    member_start.clear();
+    let mut total = 0u32;
+    for slot in 0..num_rel {
+        member_start.push(total);
+        total += slot_fill[slot];
+        slot_fill[slot] = member_start[slot];
+    }
+    member_start.push(total);
+    member_arena.clear();
+    member_arena.resize(total as usize, 0);
+    for k in 0..num_objects {
+        if assign[k] != NONE_IDX {
+            let slot = slot_of[assign[k] as usize] as usize;
+            member_arena[slot_fill[slot] as usize] = objects[k];
+            slot_fill[slot] += 1;
+        }
+    }
+}
+
+/// Argmax over one object's weight row, iterating candidates in ascending
+/// container order with later ties winning — the reference's `BTreeMap`
+/// iteration + `max_by` semantics. `range` is the object's flat candidate
+/// range; returns the winning container index.
+fn argmax_weight(s: &DenseScratch, range: std::ops::Range<usize>) -> u32 {
+    let mut best: Option<(u32, f64)> = None;
+    for &p in &s.cand_sorted[range.clone()] {
+        let flat = range.start + p as usize;
+        let w = s.weights[flat];
+        if best.is_none_or(|(_, bw)| w >= bw) {
+            best = Some((s.cand_arena[flat], w));
+        }
+    }
+    best.map(|(ci, _)| ci).unwrap_or(NONE_IDX)
+}
+
+/// Sort a slice range in place and return its deduplicated length.
+fn sort_dedup(slice: &mut [Epoch]) -> usize {
+    slice.sort_unstable();
+    let mut len = 0usize;
+    for i in 0..slice.len() {
+        if len == 0 || slice[len - 1] != slice[i] {
+            slice[len] = slice[i];
+            len += 1;
+        }
+    }
+    len
+}
+
+/// Run the dense-interned EM. Control flow and floating-point summation
+/// order mirror `RfInfer::run_tree` exactly; see the module docs.
+pub(crate) fn run_dense(
+    rf: &RfInfer<'_>,
+    mut incr: Option<(&mut EvidenceCache, &DirtySet)>,
+    scratch: &mut DenseScratch,
+) -> (InferenceOutcome, InferenceStats) {
+    let model = rf.model;
+    let obs = rf.obs;
+    let prior = rf.prior;
+    let config = &rf.config;
+
+    let mut stats = InferenceStats::default();
+    let mut prev_cache: BTreeMap<TagId, Vec<CachedVariant>> = BTreeMap::new();
+    let mut dirty: Option<&DirtySet> = None;
+    if let Some((cache, d)) = incr.as_mut() {
+        prev_cache = std::mem::take(&mut cache.containers);
+        dirty = Some(*d);
+        stats.dirty_tags = d.num_tags();
+    }
+    let incremental = dirty.is_some();
+
+    let s = &mut *scratch;
+
+    // ---- Interning pass: tags ----------------------------------------
+    // The universe is every observed tag plus every container the prior
+    // names for an observed object (they become candidates even when never
+    // read locally). Observed tags arrive ascending; extras are merged in.
+    s.tags.clear();
+    s.extras.clear();
+    for (tag, _) in obs.entries() {
+        s.tags.push(tag);
+        if tag.is_object() {
+            for (c, _) in prior.entries_for(tag) {
+                if s.tags.binary_search(&c).is_err() {
+                    s.extras.push(c);
+                }
+            }
+        }
+    }
+    if !s.extras.is_empty() {
+        s.tags.append(&mut s.extras);
+        s.tags.sort_unstable();
+        s.tags.dedup();
+    }
+    let num_tags = s.tags.len();
+
+    // Per-tag observation slices, resolved once (extras have none).
+    let mut obs_of: Vec<&[ObsAt]> = Vec::with_capacity(num_tags);
+    {
+        let mut entries = obs.entries().peekable();
+        for &tag in &s.tags {
+            match entries.peek() {
+                Some(&(t, slice)) if t == tag => {
+                    obs_of.push(slice);
+                    entries.next();
+                }
+                _ => obs_of.push(&[]),
+            }
+        }
+    }
+
+    // ---- Interning pass: reader sets + loglik table ------------------
+    s.set_ids.clear();
+    s.set_start.clear();
+    let mut set_readers: Vec<&[LocationId]> = Vec::new();
+    {
+        let mut interner: HashMap<&[LocationId], u32> = HashMap::new();
+        for list in &obs_of {
+            s.set_start.push(s.set_ids.len() as u32);
+            for o in *list {
+                let next = set_readers.len() as u32;
+                let id = *interner.entry(o.readers.as_slice()).or_insert(next);
+                if id == next {
+                    set_readers.push(&o.readers);
+                }
+                s.set_ids.push(id);
+            }
+        }
+        s.set_start.push(s.set_ids.len() as u32);
+    }
+    model.fill_reader_set_table(set_readers.iter().copied(), &mut s.table);
+
+    // ---- Objects / containers ----------------------------------------
+    s.objects.clear();
+    s.all_containers.clear();
+    for (i, &tag) in s.tags.iter().enumerate() {
+        if obs_of[i].is_empty() {
+            continue; // prior-only extras are candidates, never objects
+        }
+        if tag.is_object() {
+            s.objects.push(i as u32);
+        } else if tag.is_container() {
+            s.all_containers.push(i as u32);
+        }
+    }
+    let num_objects = s.objects.len();
+
+    // ---- Candidate pruning -------------------------------------------
+    // Container columns for the dense co-location ranking.
+    let container_columns: Vec<(u32, &[ObsAt])> = s
+        .all_containers
+        .iter()
+        .map(|&ci| (ci, obs_of[ci as usize]))
+        .collect();
+    s.cand_arena.clear();
+    s.cand_start.clear();
+    s.prior_w.clear();
+    for &oi in &s.objects {
+        s.cand_start.push(s.cand_arena.len() as u32);
+        let start = s.cand_arena.len();
+        if config.candidate_pruning {
+            Observations::candidate_indices_dense(
+                obs_of[oi as usize],
+                &container_columns,
+                config.candidate_limit,
+                &mut s.colo_counts,
+                &mut s.cand_arena,
+            );
+        } else {
+            s.cand_arena.extend_from_slice(&s.all_containers);
+        }
+        for (c, _) in prior.entries_for(s.tags[oi as usize]) {
+            let ci = s.tags.binary_search(&c).expect("prior tags interned") as u32;
+            if !s.cand_arena[start..].contains(&ci) {
+                s.cand_arena.push(ci);
+            }
+        }
+        // Resolve the prior weight of every candidate once.
+        for &ci in &s.cand_arena[start..] {
+            s.prior_w
+                .push(prior.get(s.tags[oi as usize], s.tags[ci as usize]));
+        }
+    }
+    s.cand_start.push(s.cand_arena.len() as u32);
+
+    // Candidate positions (relative to each object's range) sorted by
+    // ascending container index — the tie ordering of the reference
+    // solver's `BTreeMap` argmax walks.
+    s.cand_sorted.clear();
+    for k in 0..num_objects {
+        let start = s.cand_start[k] as usize;
+        let end = s.cand_start[k + 1] as usize;
+        s.cand_sorted.extend(0..(end - start) as u32);
+        let arena = &s.cand_arena;
+        s.cand_sorted[start..end].sort_unstable_by_key(|&p| arena[start + p as usize]);
+    }
+
+    // ---- Initial assignment ------------------------------------------
+    // Strongest prior if any (later candidates win ties, like the
+    // reference's `max_by`), otherwise the top-ranked candidate.
+    s.assign.clear();
+    s.assign.resize(num_objects, NONE_IDX);
+    s.new_assign.clear();
+    s.new_assign.resize(num_objects, NONE_IDX);
+    for k in 0..num_objects {
+        let range = s.cand_start[k] as usize..s.cand_start[k + 1] as usize;
+        if range.is_empty() {
+            continue;
+        }
+        let mut best: Option<(u32, f64)> = None;
+        for flat in range.clone() {
+            let w = s.prior_w[flat];
+            if w != 0.0 && best.is_none_or(|(_, bw)| w >= bw) {
+                best = Some((s.cand_arena[flat], w));
+            }
+        }
+        s.assign[k] = best.map(|(ci, _)| ci).unwrap_or(s.cand_arena[range.start]);
+    }
+
+    // ---- Relevant containers + slots ---------------------------------
+    s.mark.clear();
+    s.mark.resize(num_tags, false);
+    for &ci in &s.cand_arena {
+        s.mark[ci as usize] = true;
+    }
+    for &ci in &s.all_containers {
+        s.mark[ci as usize] = true;
+    }
+    s.rel.clear();
+    s.slot_of.clear();
+    s.slot_of.resize(num_tags, NONE_IDX);
+    for i in 0..num_tags {
+        if s.mark[i] {
+            s.slot_of[i] = s.rel.len() as u32;
+            s.rel.push(i as u32);
+        }
+    }
+    let num_rel = s.rel.len();
+
+    // ---- Needed epochs per relevant container ------------------------
+    // Counting pass, prefix sums, fill, then per-slot sort + dedup: the
+    // set-union of the reference built with vector constants.
+    s.slot_fill.clear();
+    s.slot_fill.resize(num_rel, 0);
+    for (slot, &ci) in s.rel.iter().enumerate() {
+        s.slot_fill[slot] = obs_of[ci as usize].len() as u32;
+    }
+    for k in 0..num_objects {
+        let len = obs_of[s.objects[k] as usize].len() as u32;
+        for flat in s.cand_start[k] as usize..s.cand_start[k + 1] as usize {
+            s.slot_fill[s.slot_of[s.cand_arena[flat] as usize] as usize] += len;
+        }
+    }
+    s.epochs_start.clear();
+    let mut total = 0u32;
+    for slot in 0..num_rel {
+        s.epochs_start.push(total);
+        total += s.slot_fill[slot];
+        s.slot_fill[slot] = s.epochs_start[slot];
+    }
+    s.epochs_arena.clear();
+    s.epochs_arena.resize(total as usize, Epoch(0));
+    for (slot, &ci) in s.rel.iter().enumerate() {
+        let cur = s.slot_fill[slot] as usize;
+        for (off, o) in obs_of[ci as usize].iter().enumerate() {
+            s.epochs_arena[cur + off] = o.epoch;
+        }
+        s.slot_fill[slot] += obs_of[ci as usize].len() as u32;
+    }
+    for k in 0..num_objects {
+        let list = obs_of[s.objects[k] as usize];
+        for flat in s.cand_start[k] as usize..s.cand_start[k + 1] as usize {
+            let slot = s.slot_of[s.cand_arena[flat] as usize] as usize;
+            let cur = s.slot_fill[slot] as usize;
+            for (off, o) in list.iter().enumerate() {
+                s.epochs_arena[cur + off] = o.epoch;
+            }
+            s.slot_fill[slot] += list.len() as u32;
+        }
+    }
+    s.epochs_len.clear();
+    for slot in 0..num_rel {
+        let start = s.epochs_start[slot] as usize;
+        let end = if slot + 1 < num_rel {
+            s.epochs_start[slot + 1] as usize
+        } else {
+            s.epochs_arena.len()
+        };
+        let len = sort_dedup(&mut s.epochs_arena[start..end]);
+        s.epochs_len.push(len as u32);
+    }
+
+    // ---- Re-intern the previous run's cache --------------------------
+    // Containers or members that left the universe can never match or be
+    // requested this run, so variants naming them are dropped — exactly
+    // what the reference's `TagId` comparisons would conclude.
+    let mut prev_slots: Vec<Vec<PrevVariant>> = Vec::with_capacity(num_rel);
+    prev_slots.resize_with(num_rel, Vec::new);
+    for (tag, variants) in prev_cache {
+        let Ok(ci) = s.tags.binary_search(&tag) else {
+            continue;
+        };
+        let slot = s.slot_of[ci];
+        if slot == NONE_IDX {
+            continue;
+        }
+        let converted = &mut prev_slots[slot as usize];
+        'variant: for v in variants {
+            let mut members = Vec::with_capacity(v.members.len());
+            for m in &v.members {
+                match s.tags.binary_search(m) {
+                    Ok(mi) => members.push(mi as u32),
+                    Err(_) => continue 'variant,
+                }
+            }
+            let evidence = v
+                .evidence
+                .into_iter()
+                .filter_map(|(o, series)| {
+                    s.tags
+                        .binary_search(&o)
+                        .ok()
+                        .map(|oi| (oi as u32, Some(series)))
+                })
+                .collect();
+            converted.push(PrevVariant {
+                members,
+                per_epoch: v.per_epoch,
+                evidence,
+            });
+        }
+    }
+
+    // ---- EM loop ------------------------------------------------------
+    s.weights.clear();
+    s.weights.resize(s.cand_arena.len(), 0.0);
+    let mut current: Vec<Option<DVariant>> = Vec::with_capacity(num_rel);
+    current.resize_with(num_rel, || None);
+    let mut retired: Vec<Vec<DVariant>> = Vec::with_capacity(num_rel);
+    retired.resize_with(num_rel, Vec::new);
+    let mut member_rows: Vec<&[f64]> = Vec::new();
+    let mut iterations = 0;
+    for iter in 0..config.max_iterations.max(1) {
+        iterations = iter + 1;
+
+        // Members per container from the current assignment.
+        count_members(
+            &s.assign,
+            &s.objects,
+            &s.slot_of,
+            &mut s.slot_fill,
+            &mut s.member_start,
+            &mut s.member_arena,
+            num_rel,
+        );
+
+        // E-step (Eq. 4) over every relevant container.
+        for slot in 0..num_rel {
+            let ci = s.rel[slot];
+            let members =
+                &s.member_arena[s.member_start[slot] as usize..s.member_start[slot + 1] as usize];
+            if let Some(variant) = &current[slot] {
+                if config.memoization && variant.members == members {
+                    continue;
+                }
+            }
+            if let Some(old) = current[slot].take() {
+                retired[slot].push(old);
+            }
+            // Cross-run reuse: match the previous run's variant with the
+            // same member set (consumed on match, like the reference).
+            let matched = prev_slots[slot]
+                .iter()
+                .position(|v| v.members == members)
+                .map(|i| prev_slots[slot].swap_remove(i));
+            let (prev_per_epoch, prev_evidence) = match matched {
+                Some(v) => (v.per_epoch, v.evidence),
+                None => (Vec::new(), Vec::new()),
+            };
+            // Dirty union over the container and its members, clamped to
+            // the cached horizon.
+            s.invalid.clear();
+            if let Some(d) = dirty {
+                if !prev_per_epoch.is_empty() {
+                    let union = d.union_for_until(
+                        std::iter::once(s.tags[ci as usize])
+                            .chain(members.iter().map(|&m| s.tags[m as usize])),
+                        prev_per_epoch.last().map(|&(t, _)| t),
+                    );
+                    s.invalid.extend(union);
+                }
+            }
+            let needed_range =
+                s.epochs_start[slot] as usize..(s.epochs_start[slot] + s.epochs_len[slot]) as usize;
+            let needed = &s.epochs_arena[needed_range];
+            // Whole-variant fast path, same condition as the reference.
+            let fully_reused = !prev_per_epoch.is_empty()
+                && prev_per_epoch.len() == needed.len()
+                && prev_per_epoch
+                    .iter()
+                    .map(|&(t, _)| t)
+                    .eq(needed.iter().copied())
+                && s.invalid
+                    .iter()
+                    .all(|t| prev_per_epoch.binary_search_by_key(t, |e| e.0).is_err());
+            if fully_reused {
+                stats.posteriors_reused += prev_per_epoch.len();
+                let reused: Vec<Epoch> = prev_per_epoch.iter().map(|&(t, _)| t).collect();
+                current[slot] = Some(DVariant {
+                    members: members.to_vec(),
+                    updated_iter: iter,
+                    per_epoch: prev_per_epoch,
+                    reused,
+                    fully_reused: true,
+                    prev_evidence,
+                    evidence: Vec::new(),
+                });
+                continue;
+            }
+            // Per-epoch path: walk the sorted needed epochs in lockstep
+            // with the previous variant, the invalid set and every
+            // involved tag's observation list (one cursor each — no
+            // binary search per epoch).
+            let mut entries: Vec<(Epoch, Posterior)> = Vec::with_capacity(needed.len());
+            let mut reused_vec: Vec<Epoch> = Vec::new();
+            let mut prev_iter = prev_per_epoch.into_iter().peekable();
+            let mut invalid_cur = 0usize;
+            let own = obs_of[ci as usize];
+            let own_sets = &s.set_ids
+                [s.set_start[ci as usize] as usize..s.set_start[ci as usize + 1] as usize];
+            let mut own_cur = 0usize;
+            s.cursors.clear();
+            s.cursors.resize(members.len(), 0);
+            for &t in needed {
+                while prev_iter.peek().is_some_and(|(pt, _)| *pt < t) {
+                    prev_iter.next();
+                }
+                while invalid_cur < s.invalid.len() && s.invalid[invalid_cur] < t {
+                    invalid_cur += 1;
+                }
+                let hit = if s.invalid.get(invalid_cur) == Some(&t) {
+                    None
+                } else if prev_iter.peek().is_some_and(|(pt, _)| *pt == t) {
+                    prev_iter.next().map(|(_, q)| q)
+                } else {
+                    None
+                };
+                let q = match hit {
+                    Some(q) => {
+                        stats.posteriors_reused += 1;
+                        reused_vec.push(t);
+                        q
+                    }
+                    None => {
+                        stats.posteriors_computed += 1;
+                        while own_cur < own.len() && own[own_cur].epoch < t {
+                            own_cur += 1;
+                        }
+                        let base_row = if own_cur < own.len() && own[own_cur].epoch == t {
+                            s.table.row(own_sets[own_cur])
+                        } else {
+                            model.all_miss_row()
+                        };
+                        member_rows.clear();
+                        for (mi, &m) in members.iter().enumerate() {
+                            let list = obs_of[m as usize];
+                            let mut cur = s.cursors[mi] as usize;
+                            while cur < list.len() && list[cur].epoch < t {
+                                cur += 1;
+                            }
+                            s.cursors[mi] = cur as u32;
+                            member_rows.push(if cur < list.len() && list[cur].epoch == t {
+                                s.table
+                                    .row(s.set_ids[s.set_start[m as usize] as usize + cur])
+                            } else {
+                                model.all_miss_row()
+                            });
+                        }
+                        container_posterior_rows(base_row, member_rows.iter().copied())
+                    }
+                };
+                entries.push((t, q));
+            }
+            current[slot] = Some(DVariant {
+                members: members.to_vec(),
+                updated_iter: iter,
+                per_epoch: entries,
+                reused: reused_vec,
+                fully_reused: false,
+                prev_evidence,
+                evidence: Vec::new(),
+            });
+        }
+
+        // M-step (Eq. 5): weight rows and the new assignment.
+        for k in 0..num_objects {
+            let oi = s.objects[k];
+            let range = s.cand_start[k] as usize..s.cand_start[k + 1] as usize;
+            if range.is_empty() {
+                s.new_assign[k] = NONE_IDX;
+                continue;
+            }
+            // Stable-object fast path: every candidate variant untouched
+            // this iteration ⇒ last iteration's weight row is
+            // bit-identical; re-derive only the argmax, in ascending
+            // container order.
+            if incremental && iter > 0 {
+                let untouched = s.cand_arena[range.clone()].iter().all(|&ci| {
+                    current[s.slot_of[ci as usize] as usize]
+                        .as_ref()
+                        .is_none_or(|v| v.updated_iter < iter)
+                });
+                if untouched {
+                    s.new_assign[k] = argmax_weight(s, range);
+                    continue;
+                }
+            }
+            let o_dirty = dirty.and_then(|d| d.epochs_of(s.tags[oi as usize]));
+            let o_obs = obs_of[oi as usize];
+            let o_sets = &s.set_ids
+                [s.set_start[oi as usize] as usize..s.set_start[oi as usize + 1] as usize];
+            for flat in range.clone() {
+                let ci = s.cand_arena[flat];
+                let mut w = s.prior_w[flat];
+                if let Some(variant) = current[s.slot_of[ci as usize] as usize].as_mut() {
+                    if let Some(series) = find_series(&variant.evidence, oi) {
+                        // Same variant as an earlier iteration: identical
+                        // inputs, identical series and summation order.
+                        stats.evidence_reused += series.len();
+                        for &(_, e) in series {
+                            w += e;
+                        }
+                    } else if incremental {
+                        // Whole-series fast path: the variant's posteriors
+                        // all came from the cache and the object is clean.
+                        let o_clean = o_dirty.is_none_or(|d| d.is_empty());
+                        let moved = (variant.fully_reused && o_clean)
+                            .then(|| take_prev_series(&mut variant.prev_evidence, oi))
+                            .flatten();
+                        if let Some(series) = moved {
+                            stats.evidence_reused += series.len();
+                            for &(_, e) in &series {
+                                w += e;
+                            }
+                            debug_assert!(
+                                variant.evidence.last().is_none_or(|e| e.0 < oi),
+                                "evidence pushed out of object order"
+                            );
+                            variant.evidence.push((oi, series));
+                        } else {
+                            // Per-epoch path: lockstep walk over the
+                            // object's observations, the variant's sorted
+                            // posterior series, its reuse set, the dirty
+                            // set and the previous series.
+                            let mut prev = PrevSeries::new(prev_series(&variant.prev_evidence, oi));
+                            let mut series = Vec::with_capacity(o_obs.len());
+                            let mut q_cur = 0usize;
+                            let mut r_cur = 0usize;
+                            let mut dirty_iter = o_dirty.map(|d| d.iter().peekable());
+                            for (pos, obs_at) in o_obs.iter().enumerate() {
+                                let t = obs_at.epoch;
+                                while q_cur < variant.per_epoch.len()
+                                    && variant.per_epoch[q_cur].0 < t
+                                {
+                                    q_cur += 1;
+                                }
+                                let Some(&(qt, ref q)) = variant.per_epoch.get(q_cur) else {
+                                    break;
+                                };
+                                if qt != t {
+                                    continue;
+                                }
+                                while r_cur < variant.reused.len() && variant.reused[r_cur] < t {
+                                    r_cur += 1;
+                                }
+                                let posterior_reused = variant.reused.get(r_cur) == Some(&t);
+                                let o_dirty_here = dirty_iter.as_mut().is_some_and(|it| {
+                                    while it.peek().is_some_and(|dt| **dt < t) {
+                                        it.next();
+                                    }
+                                    it.peek().is_some_and(|dt| **dt == t)
+                                });
+                                let reusable = posterior_reused && !o_dirty_here;
+                                let e = match reusable.then(|| prev.lookup(t)).flatten() {
+                                    Some(e) => {
+                                        stats.evidence_reused += 1;
+                                        e
+                                    }
+                                    None => {
+                                        stats.evidence_computed += 1;
+                                        q.expect_row(s.table.row(o_sets[pos]))
+                                    }
+                                };
+                                series.push((t, e));
+                                w += e;
+                            }
+                            debug_assert!(
+                                variant.evidence.last().is_none_or(|e| e.0 < oi),
+                                "evidence pushed out of object order"
+                            );
+                            variant.evidence.push((oi, series));
+                        }
+                    } else {
+                        // Full recompute: lockstep walk, memoized rows.
+                        let mut q_cur = 0usize;
+                        for (pos, obs_at) in o_obs.iter().enumerate() {
+                            let t = obs_at.epoch;
+                            while q_cur < variant.per_epoch.len() && variant.per_epoch[q_cur].0 < t
+                            {
+                                q_cur += 1;
+                            }
+                            if let Some(&(qt, ref q)) = variant.per_epoch.get(q_cur) {
+                                if qt == t {
+                                    stats.evidence_computed += 1;
+                                    w += q.expect_row(s.table.row(o_sets[pos]));
+                                }
+                            }
+                        }
+                    }
+                }
+                s.weights[flat] = w;
+            }
+            s.new_assign[k] = argmax_weight(s, range);
+        }
+
+        let converged = s.new_assign == s.assign;
+        s.assign.copy_from_slice(&s.new_assign);
+        if converged {
+            break;
+        }
+    }
+
+    // ---- Run boundary: convert back to TagId-keyed results -----------
+    let outcome = build_outcome(
+        rf,
+        s,
+        &obs_of,
+        &current,
+        iterations,
+        incremental,
+        &mut stats,
+    );
+
+    // Refill the cache: the final variant of every container first, then
+    // recently retired ones (most recent first), deduplicated by member
+    // set and capped — the reference's policy, converted at the boundary.
+    if let Some((cache, _)) = incr {
+        let mut current = current;
+        let mut containers = BTreeMap::new();
+        for slot in 0..num_rel {
+            let Some(variant) = current[slot].take() else {
+                continue;
+            };
+            let mut chosen: Vec<DVariant> = vec![variant];
+            for candidate in retired[slot].drain(..).rev() {
+                if chosen.len() >= MAX_CACHED_VARIANTS {
+                    break;
+                }
+                if chosen.iter().all(|v| v.members != candidate.members) {
+                    chosen.push(candidate);
+                }
+            }
+            let variants: Vec<CachedVariant> = chosen
+                .into_iter()
+                .map(|v| CachedVariant {
+                    members: v.members.iter().map(|&m| s.tags[m as usize]).collect(),
+                    per_epoch: v.per_epoch,
+                    evidence: v
+                        .evidence
+                        .into_iter()
+                        .map(|(o, series)| (s.tags[o as usize], series))
+                        .collect(),
+                })
+                .collect();
+            containers.insert(s.tags[s.rel[slot] as usize], variants);
+        }
+        cache.containers = containers;
+    }
+    (outcome, stats)
+}
+
+/// Convert the dense EM state into the public `TagId`-keyed
+/// [`InferenceOutcome`] — the only place interned indices are translated
+/// back.
+#[allow(clippy::too_many_arguments)]
+fn build_outcome(
+    rf: &RfInfer<'_>,
+    s: &mut DenseScratch,
+    obs_of: &[&[ObsAt]],
+    current: &[Option<DVariant>],
+    iterations: usize,
+    incremental: bool,
+    stats: &mut InferenceStats,
+) -> InferenceOutcome {
+    let model = rf.model;
+    let num_objects = s.objects.len();
+    let num_rel = s.rel.len();
+
+    // Point evidence per (object, candidate) from the final posteriors; in
+    // incremental mode the final M-step iteration already stored every
+    // series, so the builder clones instead of re-deriving.
+    let mut objects_map: BTreeMap<TagId, ObjectEvidence> = BTreeMap::new();
+    for k in 0..num_objects {
+        let oi = s.objects[k];
+        let range = s.cand_start[k] as usize..s.cand_start[k + 1] as usize;
+        let o_obs = obs_of[oi as usize];
+        let o_sets =
+            &s.set_ids[s.set_start[oi as usize] as usize..s.set_start[oi as usize + 1] as usize];
+        let mut point_evidence: BTreeMap<TagId, Vec<(Epoch, f64)>> = BTreeMap::new();
+        let mut weights: BTreeMap<TagId, f64> = BTreeMap::new();
+        for flat in range.clone() {
+            let ci = s.cand_arena[flat];
+            let mut points = Vec::new();
+            if let Some(variant) = current[s.slot_of[ci as usize] as usize].as_ref() {
+                match find_series(&variant.evidence, oi) {
+                    Some(series) if incremental => {
+                        stats.evidence_reused += series.len();
+                        points = series.clone();
+                    }
+                    _ => {
+                        let mut q_cur = 0usize;
+                        for (pos, obs_at) in o_obs.iter().enumerate() {
+                            let t = obs_at.epoch;
+                            while q_cur < variant.per_epoch.len() && variant.per_epoch[q_cur].0 < t
+                            {
+                                q_cur += 1;
+                            }
+                            if let Some(&(qt, ref q)) = variant.per_epoch.get(q_cur) {
+                                if qt == t {
+                                    stats.evidence_computed += 1;
+                                    points.push((t, q.expect_row(s.table.row(o_sets[pos]))));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            point_evidence.insert(s.tags[ci as usize], points);
+            weights.insert(s.tags[ci as usize], s.weights[flat]);
+        }
+        let assigned = (s.assign[k] != NONE_IDX).then(|| s.tags[s.assign[k] as usize]);
+        objects_map.insert(
+            s.tags[oi as usize],
+            ObjectEvidence {
+                candidates: s.cand_arena[range]
+                    .iter()
+                    .map(|&ci| s.tags[ci as usize])
+                    .collect(),
+                weights,
+                point_evidence,
+                assigned,
+            },
+        );
+    }
+
+    // Location estimates: containers from their posteriors at informative
+    // epochs only. Members come from the *final* assignment (it may have
+    // moved after the last E-step), recounted into the member arena.
+    count_members(
+        &s.assign,
+        &s.objects,
+        &s.slot_of,
+        &mut s.slot_fill,
+        &mut s.member_start,
+        &mut s.member_arena,
+        num_rel,
+    );
+
+    let mut tag_locations: BTreeMap<TagId, Vec<(Epoch, LocationId)>> = BTreeMap::new();
+    for (slot, current_slot) in current.iter().enumerate() {
+        let Some(variant) = current_slot.as_ref() else {
+            continue;
+        };
+        let ci = s.rel[slot];
+        let own = obs_of[ci as usize];
+        let members =
+            &s.member_arena[s.member_start[slot] as usize..s.member_start[slot + 1] as usize];
+        let mut own_cur = 0usize;
+        s.cursors.clear();
+        s.cursors.resize(members.len(), 0);
+        let mut locs: Vec<(Epoch, LocationId)> = Vec::new();
+        for &(t, ref q) in &variant.per_epoch {
+            while own_cur < own.len() && own[own_cur].epoch < t {
+                own_cur += 1;
+            }
+            let mut informative = own_cur < own.len() && own[own_cur].epoch == t;
+            for (mi, &m) in members.iter().enumerate() {
+                let list = obs_of[m as usize];
+                let mut cur = s.cursors[mi] as usize;
+                while cur < list.len() && list[cur].epoch < t {
+                    cur += 1;
+                }
+                s.cursors[mi] = cur as u32;
+                if !informative && cur < list.len() && list[cur].epoch == t {
+                    informative = true;
+                }
+            }
+            if informative {
+                locs.push((t, q.map_location()));
+            }
+        }
+        if !locs.is_empty() {
+            tag_locations.insert(s.tags[ci as usize], locs);
+        }
+    }
+    // Objects with no assigned container fall back to their own readings
+    // (the memoized row *is* the log-weight vector of that posterior).
+    for k in 0..num_objects {
+        if s.assign[k] != NONE_IDX {
+            continue;
+        }
+        let oi = s.objects[k];
+        let o_obs = obs_of[oi as usize];
+        let o_sets =
+            &s.set_ids[s.set_start[oi as usize] as usize..s.set_start[oi as usize + 1] as usize];
+        let locs: Vec<(Epoch, LocationId)> = o_obs
+            .iter()
+            .enumerate()
+            .map(|(pos, obs_at)| {
+                let q = Posterior::from_log_weights(s.table.row(o_sets[pos]).to_vec());
+                (obs_at.epoch, q.map_location())
+            })
+            .collect();
+        if !locs.is_empty() {
+            tag_locations.insert(s.tags[oi as usize], locs);
+        }
+    }
+
+    let mut containment = ContainmentMap::new();
+    for k in 0..num_objects {
+        if s.assign[k] != NONE_IDX {
+            containment.set(s.tags[s.objects[k] as usize], s.tags[s.assign[k] as usize]);
+        }
+    }
+
+    InferenceOutcome {
+        containment,
+        objects: objects_map,
+        tag_locations,
+        iterations,
+        num_locations: model.num_locations(),
+    }
+}

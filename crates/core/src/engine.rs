@@ -10,6 +10,7 @@
 
 use crate::changepoint::{detect_changes, DetectedChange, ThresholdCalibrator};
 use crate::config::{InferenceConfig, ThresholdPolicy};
+use crate::dense::DenseScratch;
 use crate::likelihood::LikelihoodModel;
 use crate::observations::Observations;
 use crate::rfinfer::{
@@ -83,6 +84,10 @@ pub struct InferenceEngine {
     dirty: DirtySet,
     /// Cross-run posterior/evidence cache for incremental runs.
     cache: EvidenceCache,
+    /// Reusable dense-solver buffers (interning arena, flat EM columns,
+    /// reader-set loglik table), kept across runs so the streaming steady
+    /// state reuses capacity instead of reallocating.
+    scratch: DenseScratch,
 }
 
 impl InferenceEngine {
@@ -101,6 +106,7 @@ impl InferenceEngine {
             threshold: None,
             dirty: DirtySet::new(),
             cache: EvidenceCache::new(),
+            scratch: DenseScratch::default(),
         }
     }
 
@@ -160,7 +166,7 @@ impl InferenceEngine {
             let dirty = std::mem::take(&mut self.dirty);
             RfInfer::with_prior(&self.model, &self.store, &self.prior)
                 .with_config(rfinfer)
-                .run_incremental(&mut self.cache, &dirty)
+                .run_incremental_with_scratch(&mut self.cache, &dirty, &mut self.scratch)
         } else {
             // Keep the journal and cache empty so a later switch to
             // incremental mode starts from a clean slate instead of a stale
@@ -169,7 +175,7 @@ impl InferenceEngine {
             self.cache.clear();
             let outcome = RfInfer::with_prior(&self.model, &self.store, &self.prior)
                 .with_config(rfinfer)
-                .run();
+                .run_with_scratch(&mut self.scratch);
             (outcome, InferenceStats::default())
         };
 

@@ -21,6 +21,7 @@
 //! | [`likelihood`]   | §3.1, Eq. 1 | per-tag observation likelihoods under the read-rate model `pi(r, a)` |
 //! | [`posterior`]    | §3.2, Eq. 4 | the E-step posterior over a container's location |
 //! | [`rfinfer`]      | §3.2, Alg. 1 | the EM algorithm, co-location weights (Eq. 5), point evidence (Eq. 7) |
+//! | [`dense`]        | App. A.3 | the default dense-interned columnar EM solver (bit-identical to the reference) |
 //! | [`changepoint`]  | §3.3, App. A.2 | GLR change-point statistic and offline threshold calibration |
 //! | [`truncate`]     | §4.1 | critical-region history truncation and the simpler window/full policies |
 //! | [`state`]        | §4.1 | collapsed / critical-region migration state |
@@ -52,6 +53,7 @@
 
 pub mod changepoint;
 pub mod config;
+pub mod dense;
 pub mod engine;
 pub mod likelihood;
 pub mod observations;
@@ -62,10 +64,11 @@ pub mod truncate;
 
 pub use changepoint::{change_statistic, detect_changes, DetectedChange, ThresholdCalibrator};
 pub use config::{ChangeDetectionConfig, InferenceConfig, ThresholdPolicy};
+pub use dense::DenseScratch;
 pub use engine::{InferenceEngine, InferenceReport};
-pub use likelihood::LikelihoodModel;
+pub use likelihood::{LikelihoodModel, ReaderSetTable};
 pub use observations::{ObsAt, Observations};
-pub use posterior::{container_posterior, Posterior};
+pub use posterior::{container_posterior, container_posterior_rows, Posterior};
 pub use rfinfer::{
     DirtySet, EvidenceCache, InferenceOutcome, InferenceStats, ObjectEvidence, PriorWeights,
     RfInfer, RfInferConfig,

@@ -75,6 +75,64 @@ impl LikelihoodModel {
             None => self.unread_loglik(at),
         }
     }
+
+    /// The precomputed "missed by every reader" row: `unread_loglik` for
+    /// every location, in ascending location order. Row zero of the dense
+    /// inference path's loglik table — the row every `None` reader set maps
+    /// to.
+    pub fn all_miss_row(&self) -> &[f64] {
+        &self.log_all_miss
+    }
+
+    /// Fill a memoized `(reader set, location) → loglik` table for a run's
+    /// interned reader sets (Appendix A.3 memoization lifted across epochs):
+    /// row `i` of the result holds `tag_loglik(sets[i], a)` for every
+    /// location `a` in ascending order, so an inference run evaluates each
+    /// distinct reader set exactly once however many epochs repeat it.
+    ///
+    /// `rows` is cleared and refilled (capacity is reused across runs); use
+    /// [`ReaderSetTable::row`] to index it.
+    pub fn fill_reader_set_table<'s>(
+        &self,
+        sets: impl IntoIterator<Item = &'s [LocationId]>,
+        table: &mut ReaderSetTable,
+    ) {
+        table.rows.clear();
+        table.num_locations = self.num_locations();
+        for readers in sets {
+            for at in self.locations() {
+                table.rows.push(self.tag_loglik(readers, at));
+            }
+        }
+    }
+}
+
+/// A run-scoped memo of per-location log-likelihood rows, one row per
+/// interned reader set — filled by [`LikelihoodModel::fill_reader_set_table`]
+/// and held (capacity and all) in the engine's dense scratch across runs.
+#[derive(Debug, Clone, Default)]
+pub struct ReaderSetTable {
+    rows: Vec<f64>,
+    num_locations: usize,
+}
+
+impl ReaderSetTable {
+    /// The loglik row of one interned reader set: `row(id)[a.index()]` is
+    /// `tag_loglik(set_readers(id), a)`.
+    pub fn row(&self, set: u32) -> &[f64] {
+        let start = set as usize * self.num_locations;
+        &self.rows[start..start + self.num_locations]
+    }
+
+    /// Number of interned reader sets currently tabulated.
+    pub fn len(&self) -> usize {
+        self.rows.len().checked_div(self.num_locations).unwrap_or(0)
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +206,35 @@ mod tests {
             m.tag_loglik_opt(Some(&[LocationId(0)]), LocationId(0)),
             m.tag_loglik(&[LocationId(0)], LocationId(0))
         );
+    }
+
+    #[test]
+    fn reader_set_table_memoizes_tag_logliks_exactly() {
+        let m = model();
+        let sets: Vec<Vec<LocationId>> = vec![
+            vec![],
+            vec![LocationId(0)],
+            vec![LocationId(1), LocationId(3)],
+        ];
+        let mut table = ReaderSetTable::default();
+        assert!(table.is_empty());
+        m.fill_reader_set_table(sets.iter().map(|s| s.as_slice()), &mut table);
+        assert_eq!(table.len(), 3);
+        assert!(!table.is_empty());
+        for (i, set) in sets.iter().enumerate() {
+            let row = table.row(i as u32);
+            for at in m.locations() {
+                // bit-identical, not merely close: the table is a memo of the
+                // exact same computation
+                assert_eq!(row[at.index()], m.tag_loglik(set, at));
+            }
+        }
+        assert_eq!(m.all_miss_row(), table.row(0), "empty set == all-miss row");
+        assert_eq!(m.all_miss_row().len(), m.num_locations());
+        // refilling reuses the buffer and replaces the contents
+        m.fill_reader_set_table(std::iter::once(&sets[1][..]), &mut table);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.row(0)[0], m.tag_loglik(&sets[1], LocationId(0)));
     }
 
     #[test]

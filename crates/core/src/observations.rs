@@ -46,27 +46,33 @@ impl Observations {
     pub fn insert(&mut self, reading: RawReading) -> bool {
         let entry = self.per_tag.entry(reading.tag).or_default();
         let loc = reading.reader.location();
-        // Readings arrive roughly in time order; search from the back.
-        match entry.iter_mut().rev().find(|o| o.epoch == reading.time) {
-            Some(o) => match o.readers.binary_search(&loc) {
+        // Readings arrive roughly in time order: the affected epoch is almost
+        // always the last entry (or a brand-new one past it). Check that slot
+        // first; anything older is found by binary search — the list is
+        // epoch-sorted, so a miss must never walk it linearly.
+        let pos = match entry.last() {
+            None => Err(0),
+            Some(last) if last.epoch == reading.time => Ok(entry.len() - 1),
+            Some(last) if last.epoch < reading.time => Err(entry.len()),
+            _ => entry.binary_search_by_key(&reading.time, |o| o.epoch),
+        };
+        match pos {
+            Ok(at) => match entry[at].readers.binary_search(&loc) {
                 Ok(_) => false,
                 Err(pos) => {
-                    o.readers.insert(pos, loc);
+                    entry[at].readers.insert(pos, loc);
                     true
                 }
             },
-            None => {
-                let obs = ObsAt {
-                    epoch: reading.time,
-                    readers: vec![loc],
-                };
-                match entry.binary_search_by_key(&reading.time, |o| o.epoch) {
-                    Ok(_) => unreachable!("epoch found but not matched above"),
-                    Err(pos) => {
-                        entry.insert(pos, obs);
-                        true
-                    }
-                }
+            Err(at) => {
+                entry.insert(
+                    at,
+                    ObsAt {
+                        epoch: reading.time,
+                        readers: vec![loc],
+                    },
+                );
+                true
             }
         }
     }
@@ -113,6 +119,14 @@ impl Observations {
     /// Observations of one tag, in epoch order.
     pub fn obs_for(&self, tag: TagId) -> &[ObsAt] {
         self.per_tag.get(&tag).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// All `(tag, observations)` entries in ascending tag order — one walk
+    /// over the index instead of one tree lookup per tag. This is how the
+    /// dense inference path resolves every per-tag observation slice once,
+    /// up front, before entering the EM loops.
+    pub fn entries(&self) -> impl Iterator<Item = (TagId, &[ObsAt])> {
+        self.per_tag.iter().map(|(t, v)| (*t, v.as_slice()))
     }
 
     /// Observations of one tag restricted to the inclusive epoch range.
@@ -183,30 +197,54 @@ impl Observations {
             if !tag.is_container() || *tag == object {
                 continue;
             }
-            let mut count = 0usize;
-            let mut i = 0usize;
-            let mut j = 0usize;
-            while i < object_obs.len() && j < obs_list.len() {
-                match object_obs[i].epoch.cmp(&obs_list[j].epoch) {
-                    std::cmp::Ordering::Less => i += 1,
-                    std::cmp::Ordering::Greater => j += 1,
-                    std::cmp::Ordering::Equal => {
-                        let shared = object_obs[i]
-                            .readers
-                            .iter()
-                            .any(|r| obs_list[j].readers.contains(r));
-                        if shared {
-                            count += 1;
-                        }
-                        i += 1;
-                        j += 1;
-                    }
-                }
-            }
+            let count = colocated_epochs(object_obs, obs_list);
             if count > 0 {
                 counts.push((*tag, count));
             }
         }
+    }
+
+    /// Dense variant of [`Self::colocation_counts_into`]: count, for each
+    /// pre-resolved container column `(index, observations)`, the epochs at
+    /// which it shared a reader with `object_obs`. Pushes `(index, count)`
+    /// pairs in column order, omitting zeros — when the columns are supplied
+    /// in ascending tag order (the interner's order), the result matches
+    /// [`Self::colocation_counts`] with tags replaced by their dense indices,
+    /// and no per-object tree iteration remains.
+    pub fn colocation_counts_dense(
+        object_obs: &[ObsAt],
+        containers: &[(u32, &[ObsAt])],
+        counts: &mut Vec<(u32, usize)>,
+    ) {
+        counts.clear();
+        if object_obs.is_empty() {
+            return;
+        }
+        for &(index, obs_list) in containers {
+            let count = colocated_epochs(object_obs, obs_list);
+            if count > 0 {
+                counts.push((index, count));
+            }
+        }
+    }
+
+    /// Dense variant of [`Self::candidate_containers_with`]: rank the
+    /// container columns by co-location count (most frequent first, ties by
+    /// ascending index) and **append** the top `limit` indices to `out` —
+    /// unlike `scratch`, `out` is deliberately *not* cleared, because the
+    /// caller is building one flat candidate arena across many objects.
+    /// With columns in ascending tag order this selects exactly the
+    /// candidates of [`Self::candidate_containers`], as dense indices.
+    pub fn candidate_indices_dense(
+        object_obs: &[ObsAt],
+        containers: &[(u32, &[ObsAt])],
+        limit: usize,
+        scratch: &mut Vec<(u32, usize)>,
+        out: &mut Vec<u32>,
+    ) {
+        Self::colocation_counts_dense(object_obs, containers, scratch);
+        scratch.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out.extend(scratch.iter().take(limit).map(|&(c, _)| c));
     }
 
     /// The `limit` containers most frequently co-located with `object`
@@ -271,6 +309,32 @@ impl Observations {
         }
         set
     }
+}
+
+/// Number of epochs at which two epoch-sorted observation lists share at
+/// least one reader — the co-location count of candidate pruning.
+fn colocated_epochs(object_obs: &[ObsAt], obs_list: &[ObsAt]) -> usize {
+    let mut count = 0usize;
+    let mut i = 0usize;
+    let mut j = 0usize;
+    while i < object_obs.len() && j < obs_list.len() {
+        match object_obs[i].epoch.cmp(&obs_list[j].epoch) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let shared = object_obs[i]
+                    .readers
+                    .iter()
+                    .any(|r| obs_list[j].readers.contains(r));
+                if shared {
+                    count += 1;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
 }
 
 /// Merge one tag's sorted observation list into another, preserving the
@@ -404,6 +468,94 @@ mod tests {
         assert_eq!(obs.readers_at(TagId::item(1), Epoch(3)).unwrap().len(), 2);
         assert!(obs.insert(read(9, TagId::item(1), 1)), "new epoch");
         assert!(obs.insert(read(9, TagId::item(1), 2)), "new reader");
+    }
+
+    /// Out-of-order arrivals (a late reading older than everything stored,
+    /// one landing in the middle, duplicates of both) must keep the per-tag
+    /// list epoch-sorted with merged reader sets — the binary-search insert
+    /// path, which the in-order fast path never exercises.
+    #[test]
+    fn insert_handles_out_of_order_arrivals() {
+        let tag = TagId::item(1);
+        let mut obs = Observations::new();
+        assert!(obs.insert(read(10, tag, 0)), "first reading of a tag");
+        assert!(obs.insert(read(20, tag, 0)), "in-order append");
+        assert!(obs.insert(read(2, tag, 1)), "older than everything stored");
+        assert!(obs.insert(read(15, tag, 2)), "lands in the middle");
+        assert!(obs.insert(read(15, tag, 1)), "new reader at a middle epoch");
+        assert!(!obs.insert(read(15, tag, 2)), "duplicate middle reading");
+        assert!(!obs.insert(read(2, tag, 1)), "duplicate oldest reading");
+        let list = obs.obs_for(tag);
+        let epochs: Vec<Epoch> = list.iter().map(|o| o.epoch).collect();
+        assert_eq!(epochs, vec![Epoch(2), Epoch(10), Epoch(15), Epoch(20)]);
+        assert_eq!(list[2].readers, vec![LocationId(1), LocationId(2)]);
+        // A replay in any order produces the same index.
+        let mut replay = Observations::new();
+        for r in [
+            read(15, tag, 1),
+            read(2, tag, 1),
+            read(20, tag, 0),
+            read(15, tag, 2),
+            read(10, tag, 0),
+        ] {
+            assert!(replay.insert(r));
+        }
+        assert_eq!(replay.obs_for(tag), list);
+    }
+
+    #[test]
+    fn entries_iterate_in_ascending_tag_order() {
+        let obs = sample();
+        let entries: Vec<(TagId, usize)> = obs.entries().map(|(t, list)| (t, list.len())).collect();
+        assert_eq!(
+            entries,
+            vec![
+                (TagId::item(1), 3),
+                (TagId::case(1), 2),
+                (TagId::case(2), 2)
+            ]
+        );
+    }
+
+    /// The dense colocation/candidate variants agree with the tag-keyed ones
+    /// once tags are replaced by their positions in an ascending container
+    /// column list.
+    #[test]
+    fn dense_colocation_matches_tag_keyed_counts() {
+        let obs = sample();
+        let containers: Vec<TagId> = obs.containers();
+        let columns: Vec<(u32, &[ObsAt])> = containers
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u32, obs.obs_for(c)))
+            .collect();
+        let mut dense = Vec::new();
+        Observations::colocation_counts_dense(obs.obs_for(TagId::item(1)), &columns, &mut dense);
+        let keyed = obs.colocation_counts(TagId::item(1));
+        let mapped: Vec<(TagId, usize)> = dense
+            .iter()
+            .map(|&(i, n)| (containers[i as usize], n))
+            .collect();
+        assert_eq!(mapped, keyed);
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        Observations::candidate_indices_dense(
+            obs.obs_for(TagId::item(1)),
+            &columns,
+            1,
+            &mut scratch,
+            &mut out,
+        );
+        let keyed_cands = obs.candidate_containers(TagId::item(1), 1);
+        assert_eq!(
+            out.iter()
+                .map(|&i| containers[i as usize])
+                .collect::<Vec<_>>(),
+            keyed_cands
+        );
+        // An unobserved object yields no columns hits.
+        Observations::colocation_counts_dense(&[], &columns, &mut dense);
+        assert!(dense.is_empty());
     }
 
     #[test]

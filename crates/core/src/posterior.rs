@@ -20,17 +20,22 @@ pub struct Posterior {
 }
 
 impl Posterior {
-    /// Build a posterior from unnormalized log-weights (one per location).
+    /// Build a posterior from unnormalized log-weights (one per location),
+    /// normalizing in place (the input vector becomes the probability
+    /// storage — no second allocation).
     ///
     /// Uses the log-sum-exp trick so that very negative log-likelihoods do
     /// not underflow.
-    pub fn from_log_weights(log_weights: Vec<f64>) -> Posterior {
+    pub fn from_log_weights(mut log_weights: Vec<f64>) -> Posterior {
         assert!(!log_weights.is_empty(), "need at least one location");
         let max = log_weights
             .iter()
             .copied()
             .fold(f64::NEG_INFINITY, f64::max);
-        let mut probs: Vec<f64> = log_weights.iter().map(|lw| (lw - max).exp()).collect();
+        for lw in &mut log_weights {
+            *lw = (*lw - max).exp();
+        }
+        let mut probs = log_weights;
         let sum: f64 = probs.iter().sum();
         if sum > 0.0 {
             for p in &mut probs {
@@ -90,6 +95,15 @@ impl Posterior {
     pub fn expect<F: FnMut(LocationId) -> f64>(&self, mut f: F) -> f64 {
         self.iter().map(|(a, q)| q * f(a)).sum()
     }
+
+    /// [`Self::expect`] over a precomputed per-location value row (ascending
+    /// location order, the layout of
+    /// [`ReaderSetTable::row`](crate::likelihood::ReaderSetTable::row)):
+    /// `sum_a q(a) row[a]`, summed in the same order as `expect`, so the
+    /// result is bit-identical to evaluating the function per location.
+    pub fn expect_row(&self, row: &[f64]) -> f64 {
+        self.probs.iter().zip(row).map(|(q, v)| q * v).sum()
+    }
 }
 
 /// Compute the E-step posterior for one container at one epoch.
@@ -113,6 +127,25 @@ pub fn container_posterior(
             ll
         })
         .collect();
+    Posterior::from_log_weights(log_weights)
+}
+
+/// [`container_posterior`] over precomputed log-likelihood rows: the base row
+/// is the container's loglik row at this epoch (the all-miss row when it was
+/// not read), and each member contributes its own row. Per location the
+/// addends accumulate in member order — the same sequence of floating-point
+/// additions as the per-location loop of [`container_posterior`], so the
+/// result is bit-identical.
+pub fn container_posterior_rows<'r>(
+    base_row: &[f64],
+    member_rows: impl Iterator<Item = &'r [f64]>,
+) -> Posterior {
+    let mut log_weights = base_row.to_vec();
+    for row in member_rows {
+        for (lw, v) in log_weights.iter_mut().zip(row) {
+            *lw += v;
+        }
+    }
     Posterior::from_log_weights(log_weights)
 }
 
@@ -189,6 +222,43 @@ mod tests {
         let p = Posterior::from_log_weights(vec![0.0, 0.0]);
         let e = p.expect(|a| if a == LocationId(0) { 2.0 } else { 4.0 });
         assert!((e - 3.0).abs() < 1e-12);
+        // the row variant is the same sum in the same order
+        assert_eq!(p.expect_row(&[2.0, 4.0]), e);
+    }
+
+    /// The rows-based posterior is bit-identical to the per-location loop of
+    /// `container_posterior`, for every combination of read and missed
+    /// container/members.
+    #[test]
+    fn posterior_from_rows_matches_container_posterior() {
+        let m = model();
+        let row_of = |readers: Option<&[LocationId]>| -> Vec<f64> {
+            m.locations()
+                .map(|a| m.tag_loglik_opt(readers, a))
+                .collect()
+        };
+        let sets: Vec<Option<Vec<LocationId>>> = vec![
+            None,
+            Some(vec![LocationId(1)]),
+            Some(vec![LocationId(0), LocationId(2)]),
+        ];
+        for container in &sets {
+            for m1 in &sets {
+                for m2 in &sets {
+                    let reference = container_posterior(
+                        &m,
+                        container.as_deref(),
+                        &[m1.as_deref(), m2.as_deref()],
+                    );
+                    let member_rows = [row_of(m1.as_deref()), row_of(m2.as_deref())];
+                    let dense = container_posterior_rows(
+                        &row_of(container.as_deref()),
+                        member_rows.iter().map(|r| r.as_slice()),
+                    );
+                    assert_eq!(dense, reference);
+                }
+            }
+        }
     }
 
     #[test]

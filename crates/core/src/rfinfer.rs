@@ -41,6 +41,14 @@ pub struct RfInferConfig {
     /// when its member set did not change (the memoization optimization;
     /// introduces no error).
     pub memoization: bool,
+    /// Whether to run the EM over dense-interned columnar state (tags and
+    /// locations interned to contiguous `u32` indices, flat arena storage,
+    /// memoized reader-set log-likelihood rows — see
+    /// [`crate::dense`]) instead of the `BTreeMap`-keyed reference solver.
+    /// Both solvers are bit-identical; dense is faster and the default. The
+    /// tree solver is kept as the reference the equivalence tests compare
+    /// against.
+    pub dense: bool,
 }
 
 impl Default for RfInferConfig {
@@ -50,6 +58,7 @@ impl Default for RfInferConfig {
             max_iterations: 10,
             candidate_pruning: true,
             memoization: true,
+            dense: true,
         }
     }
 }
@@ -102,6 +111,16 @@ impl PriorWeights {
             .get(&object)
             .map(|m| m.keys().copied().collect())
             .unwrap_or_default()
+    }
+
+    /// The `(container, weight)` priors of one object in ascending container
+    /// order, without allocating — the dense path's view of
+    /// [`Self::containers_for`].
+    pub fn entries_for(&self, object: TagId) -> impl Iterator<Item = (TagId, f64)> + '_ {
+        self.map
+            .get(&object)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(c, w)| (*c, *w)))
     }
 
     /// Objects with prior information.
@@ -350,16 +369,17 @@ impl DirtySet {
 /// Cached variants kept per container across runs. The EM typically visits
 /// two member sets per container and run (the initial assignment's and the
 /// converged one), and both tend to recur on the next run.
-const MAX_CACHED_VARIANTS: usize = 4;
+pub(crate) const MAX_CACHED_VARIANTS: usize = 4;
 
 /// One E-step *variant* of a container: the per-epoch posteriors computed
 /// over one member set, plus the point-evidence series each object computed
-/// against those posteriors.
+/// against those posteriors. The posterior series is stored as an
+/// epoch-sorted slice (not a tree), which both solvers walk with cursors.
 #[derive(Debug, Clone)]
-struct CachedVariant {
-    members: Vec<TagId>,
-    per_epoch: BTreeMap<Epoch, Posterior>,
-    evidence: BTreeMap<TagId, Vec<(Epoch, f64)>>,
+pub(crate) struct CachedVariant {
+    pub(crate) members: Vec<TagId>,
+    pub(crate) per_epoch: Vec<(Epoch, Posterior)>,
+    pub(crate) evidence: BTreeMap<TagId, Vec<(Epoch, f64)>>,
 }
 
 /// Working state of one container during an EM run.
@@ -370,8 +390,8 @@ struct Variant {
     /// candidates were all left untouched by an iteration's E-step skip its
     /// M-step wholesale (their weights could not have changed).
     updated_iter: usize,
-    /// Per-epoch posteriors of this variant.
-    per_epoch: BTreeMap<Epoch, Posterior>,
+    /// Per-epoch posteriors of this variant, epoch-sorted.
+    per_epoch: Vec<(Epoch, Posterior)>,
     /// Epochs whose posterior was moved bitwise out of the previous run's
     /// matching variant (sorted ascending) — the precondition for cross-run
     /// evidence reuse.
@@ -405,7 +425,7 @@ impl Variant {
 /// variant.
 #[derive(Debug, Clone, Default)]
 pub struct EvidenceCache {
-    containers: BTreeMap<TagId, Vec<CachedVariant>>,
+    pub(crate) containers: BTreeMap<TagId, Vec<CachedVariant>>,
 }
 
 impl EvidenceCache {
@@ -480,20 +500,20 @@ impl InferenceStats {
 
 /// Forward-only cursor over a previous run's point-evidence series, looked
 /// up in step with an object's (epoch-sorted) observations.
-struct PrevSeries<'a> {
+pub(crate) struct PrevSeries<'a> {
     series: &'a [(Epoch, f64)],
     cursor: usize,
 }
 
 impl<'a> PrevSeries<'a> {
-    fn new(series: Option<&'a Vec<(Epoch, f64)>>) -> PrevSeries<'a> {
+    pub(crate) fn new(series: Option<&'a [(Epoch, f64)]>) -> PrevSeries<'a> {
         PrevSeries {
-            series: series.map(|v| v.as_slice()).unwrap_or(&[]),
+            series: series.unwrap_or(&[]),
             cursor: 0,
         }
     }
 
-    fn lookup(&mut self, t: Epoch) -> Option<f64> {
+    pub(crate) fn lookup(&mut self, t: Epoch) -> Option<f64> {
         while self.cursor < self.series.len() && self.series[self.cursor].0 < t {
             self.cursor += 1;
         }
@@ -507,10 +527,10 @@ impl<'a> PrevSeries<'a> {
 /// The RFINFER algorithm bound to a likelihood model, an observation index
 /// and optional prior weights.
 pub struct RfInfer<'a> {
-    model: &'a LikelihoodModel,
-    obs: &'a Observations,
-    prior: &'a PriorWeights,
-    config: RfInferConfig,
+    pub(crate) model: &'a LikelihoodModel,
+    pub(crate) obs: &'a Observations,
+    pub(crate) prior: &'a PriorWeights,
+    pub(crate) config: RfInferConfig,
 }
 
 impl<'a> RfInfer<'a> {
@@ -548,7 +568,15 @@ impl<'a> RfInfer<'a> {
     /// Run EM to convergence and return the inferred containment, locations
     /// and evidence (a full recompute over the observation index).
     pub fn run(&self) -> InferenceOutcome {
-        self.run_impl(None).0
+        self.run_impl(None, None).0
+    }
+
+    /// [`Self::run`] with caller-owned dense scratch buffers (the interning
+    /// arena, flat weight/epoch arenas and the reader-set loglik table),
+    /// reused across runs so the steady state allocates almost nothing. A
+    /// no-op difference when `RfInferConfig::dense` is off.
+    pub fn run_with_scratch(&self, scratch: &mut crate::dense::DenseScratch) -> InferenceOutcome {
+        self.run_impl(None, Some(scratch)).0
     }
 
     /// Run EM incrementally against a cross-run [`EvidenceCache`].
@@ -570,10 +598,43 @@ impl<'a> RfInfer<'a> {
         cache: &mut EvidenceCache,
         dirty: &DirtySet,
     ) -> (InferenceOutcome, InferenceStats) {
-        self.run_impl(Some((cache, dirty)))
+        self.run_impl(Some((cache, dirty)), None)
+    }
+
+    /// [`Self::run_incremental`] with caller-owned dense scratch buffers —
+    /// what [`crate::InferenceEngine`] uses so consecutive periodic runs
+    /// share one arena.
+    pub fn run_incremental_with_scratch(
+        &self,
+        cache: &mut EvidenceCache,
+        dirty: &DirtySet,
+        scratch: &mut crate::dense::DenseScratch,
+    ) -> (InferenceOutcome, InferenceStats) {
+        self.run_impl(Some((cache, dirty)), Some(scratch))
     }
 
     fn run_impl(
+        &self,
+        incr: Option<(&mut EvidenceCache, &DirtySet)>,
+        scratch: Option<&mut crate::dense::DenseScratch>,
+    ) -> (InferenceOutcome, InferenceStats) {
+        if self.config.dense {
+            return match scratch {
+                Some(scratch) => crate::dense::run_dense(self, incr, scratch),
+                None => {
+                    let mut scratch = crate::dense::DenseScratch::default();
+                    crate::dense::run_dense(self, incr, &mut scratch)
+                }
+            };
+        }
+        self.run_tree(incr)
+    }
+
+    /// The reference solver: the EM over `BTreeMap`-keyed state, exactly as
+    /// it ran before dense interning existed. Kept verbatim (modulo the
+    /// epoch-sorted posterior slices shared with the dense path) as the
+    /// ground truth the dense solver is equivalence-tested against.
+    fn run_tree(
         &self,
         mut incr: Option<(&mut EvidenceCache, &DirtySet)>,
     ) -> (InferenceOutcome, InferenceStats) {
@@ -701,7 +762,7 @@ impl<'a> RfInfer<'a> {
                 });
                 let (prev_per_epoch, prev_evidence) = match matched {
                     Some(v) => (v.per_epoch, v.evidence),
-                    None => (BTreeMap::new(), BTreeMap::new()),
+                    None => (Vec::new(), BTreeMap::new()),
                 };
                 // Changes after the cached horizon cannot invalidate
                 // anything (the cache has no entries there), so clamp the
@@ -709,23 +770,27 @@ impl<'a> RfInfer<'a> {
                 let invalid: BTreeSet<Epoch> = match dirty {
                     Some(d) if !prev_per_epoch.is_empty() => d.union_for_until(
                         std::iter::once(c).chain(members.iter().copied()),
-                        prev_per_epoch.keys().next_back().copied(),
+                        prev_per_epoch.last().map(|&(t, _)| t),
                     ),
                     _ => BTreeSet::new(),
                 };
                 let needed = needed_epochs.get(&c);
                 // Whole-variant fast path: the previous run's variant covers
                 // exactly the needed epochs and none of them is dirty — take
-                // its posterior map wholesale instead of moving entries one
-                // by one.
+                // its posterior series wholesale instead of moving entries
+                // one by one.
                 let fully_reused = !prev_per_epoch.is_empty()
                     && needed.is_some_and(|s| {
-                        prev_per_epoch.len() == s.len() && prev_per_epoch.keys().eq(s.iter())
+                        prev_per_epoch.len() == s.len()
+                            && prev_per_epoch.iter().map(|(t, _)| t).eq(s.iter())
                     })
-                    && invalid.iter().all(|t| !prev_per_epoch.contains_key(t));
+                    && invalid
+                        .iter()
+                        .all(|t| prev_per_epoch.binary_search_by_key(t, |e| e.0).is_err());
                 if fully_reused {
                     stats.posteriors_reused += prev_per_epoch.len();
-                    let reused_epochs: Vec<Epoch> = prev_per_epoch.keys().copied().collect();
+                    let reused_epochs: Vec<Epoch> =
+                        prev_per_epoch.iter().map(|&(t, _)| t).collect();
                     current.insert(
                         c,
                         Variant {
@@ -780,7 +845,8 @@ impl<'a> RfInfer<'a> {
                     };
                     entries.push((t, q));
                 }
-                let per_epoch: BTreeMap<Epoch, Posterior> = entries.into_iter().collect();
+                // `needed` is sorted, so `entries` is already epoch-sorted.
+                let per_epoch = entries;
                 let reused_epochs = reused_vec;
                 current.insert(
                     c,
@@ -859,9 +925,11 @@ impl<'a> RfInfer<'a> {
                             } else {
                                 // Per-epoch path: walk the object's (sorted)
                                 // observations in lockstep with the variant's
-                                // sorted posterior map, reuse set and dirty
+                                // sorted posterior series, reuse set and dirty
                                 // set, so no per-epoch tree lookups remain.
-                                let mut prev = PrevSeries::new(variant.prev_evidence.get(&o));
+                                let mut prev = PrevSeries::new(
+                                    variant.prev_evidence.get(&o).map(|v| v.as_slice()),
+                                );
                                 let obs = self.obs.obs_for(o);
                                 let mut series = Vec::with_capacity(obs.len());
                                 let mut q_iter = variant.per_epoch.iter().peekable();
@@ -869,12 +937,13 @@ impl<'a> RfInfer<'a> {
                                 let mut dirty_iter = o_dirty.map(|s| s.iter().peekable());
                                 for obs_at in obs {
                                     let t = obs_at.epoch;
-                                    while q_iter.peek().is_some_and(|(qt, _)| **qt < t) {
+                                    while q_iter.peek().is_some_and(|(qt, _)| *qt < t) {
                                         q_iter.next();
                                     }
-                                    let Some(&(&qt, q)) = q_iter.peek() else {
+                                    let Some(entry) = q_iter.peek() else {
                                         break;
                                     };
+                                    let (qt, q) = (entry.0, &entry.1);
                                     if qt != t {
                                         continue;
                                     }
@@ -909,7 +978,11 @@ impl<'a> RfInfer<'a> {
                             // Full recompute: the reference path, kept free
                             // of cache bookkeeping.
                             for obs_at in self.obs.obs_for(o) {
-                                if let Some(q) = variant.per_epoch.get(&obs_at.epoch) {
+                                if let Ok(i) = variant
+                                    .per_epoch
+                                    .binary_search_by_key(&obs_at.epoch, |e| e.0)
+                                {
+                                    let q = &variant.per_epoch[i].1;
                                     stats.evidence_computed += 1;
                                     w += q.expect(|a| self.model.tag_loglik(&obs_at.readers, a));
                                 }
@@ -995,7 +1068,8 @@ impl<'a> RfInfer<'a> {
                         _ => {
                             for obs_at in self.obs.obs_for(o) {
                                 let t = obs_at.epoch;
-                                if let Some(q) = variant.per_epoch.get(&t) {
+                                if let Ok(i) = variant.per_epoch.binary_search_by_key(&t, |e| e.0) {
+                                    let q = &variant.per_epoch[i].1;
                                     stats.evidence_computed += 1;
                                     let e = q.expect(|a| self.model.tag_loglik(&obs_at.readers, a));
                                     points.push((t, e));
@@ -1038,7 +1112,7 @@ impl<'a> RfInfer<'a> {
             let locs: Vec<(Epoch, LocationId)> = variant
                 .per_epoch
                 .iter()
-                .filter(|(t, _)| informative(**t))
+                .filter(|(t, _)| informative(*t))
                 .map(|(t, q)| (*t, q.map_location()))
                 .collect();
             if !locs.is_empty() {

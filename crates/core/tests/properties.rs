@@ -121,6 +121,143 @@ proptest! {
         prop_assert!(outcome.iterations >= 1);
     }
 
+    /// The dense-interned columnar solver is bit-identical to the
+    /// `BTreeMap`-keyed tree reference under arbitrary interleavings of
+    /// observations, collapsed-state and critical-region-readings imports,
+    /// forgets and inference runs — with the cross-run cache (`incremental`)
+    /// both on and off, and with change-point detection (whose truncations
+    /// feed the dirty journal) active throughout.
+    #[test]
+    fn dense_solver_matches_tree_reference(
+        ops in prop::collection::vec(
+            (0u8..8, 1u32..5, 0u64..4, 0u64..3, 0u16..3),
+            30..120,
+        ),
+    ) {
+        let config = InferenceConfig::default()
+            .with_period(10)
+            .with_recent_history(25)
+            .with_fixed_threshold(5.0);
+        // Four engines fed identically: {dense, tree} × {incremental, full}.
+        let rates = ReadRateTable::diagonal(3, 0.8, 1e-4);
+        let mut engines = [
+            InferenceEngine::new(config.clone().with_dense(true), rates.clone()),
+            InferenceEngine::new(config.clone().with_dense(false), rates.clone()),
+            InferenceEngine::new(
+                config.clone().with_dense(true).with_incremental(false),
+                rates.clone(),
+            ),
+            InferenceEngine::new(
+                config.with_dense(false).with_incremental(false),
+                rates,
+            ),
+        ];
+        let mut now = Epoch(0);
+
+        for (i, &(kind, dt, obj, cont, reader)) in ops.iter().enumerate() {
+            now = now.plus(dt);
+            let object = TagId::item(obj);
+            let container = TagId::case(cont);
+            match kind {
+                0 | 1 => {
+                    for engine in engines.iter_mut() {
+                        engine.observe(RawReading::new(now, object, ReaderId(reader)));
+                        engine.observe(RawReading::new(now, container, ReaderId(reader)));
+                    }
+                }
+                2 => {
+                    for engine in engines.iter_mut() {
+                        engine.observe(RawReading::new(now, object, ReaderId(reader)));
+                    }
+                }
+                3 => {
+                    let state = CollapsedState {
+                        object,
+                        weights: BTreeMap::from([
+                            (container, 0.0),
+                            (TagId::case((cont + 1) % 3), -(dt as f64) * 3.0),
+                        ]),
+                        container: Some(container),
+                    };
+                    for engine in engines.iter_mut() {
+                        engine.import_state(MigrationState::Collapsed(state.clone()));
+                    }
+                }
+                4 => {
+                    let from = now.minus(8);
+                    let readings: Vec<RawReading> = (0..4u32)
+                        .map(|k| RawReading::new(from.plus(k), object, ReaderId(reader)))
+                        .chain((0..4u32).map(|k| {
+                            RawReading::new(from.plus(k), container, ReaderId(reader))
+                        }))
+                        .collect();
+                    let state = ReadingsState {
+                        object,
+                        readings,
+                        container: Some(container),
+                    };
+                    for engine in engines.iter_mut() {
+                        engine.import_state(MigrationState::Readings(state.clone()));
+                    }
+                }
+                5 => {
+                    for engine in engines.iter_mut() {
+                        engine.forget(object);
+                    }
+                }
+                _ => {
+                    if engines[0].stored_observations() == 0 {
+                        continue;
+                    }
+                    let reports: Vec<_> = engines
+                        .iter_mut()
+                        .map(|engine| engine.run_inference(now))
+                        .collect();
+                    let dense_incr = &reports[0];
+                    for (label, other) in
+                        [("tree-incr", &reports[1]), ("dense-full", &reports[2]),
+                         ("tree-full", &reports[3])]
+                    {
+                        prop_assert_eq!(&dense_incr.outcome, &other.outcome,
+                            "{} outcome diverged at op {} (epoch {:?})", label, i, now);
+                        prop_assert_eq!(&dense_incr.changes, &other.changes,
+                            "{} changes diverged at op {}", label, i);
+                        prop_assert_eq!(
+                            dense_incr.retained_observations,
+                            other.retained_observations
+                        );
+                    }
+                    // The two incremental solvers replay the same reuse
+                    // decisions, so their accounting matches exactly too.
+                    prop_assert_eq!(reports[0].stats, reports[1].stats,
+                        "dense-incr vs tree-incr reuse counters diverged at op {}", i);
+                    prop_assert_eq!(engines[0].containment(), engines[1].containment());
+                    prop_assert_eq!(engines[0].containment(), engines[2].containment());
+                    prop_assert_eq!(
+                        engines[0].export_collapsed(object),
+                        engines[1].export_collapsed(object)
+                    );
+                    prop_assert_eq!(
+                        engines[0].export_readings(object),
+                        engines[1].export_readings(object)
+                    );
+                }
+            }
+        }
+        // final run: every solver must agree after the whole interleaving
+        if engines[0].stored_observations() > 0 {
+            let final_at = now.plus(1);
+            let reports: Vec<_> = engines
+                .iter_mut()
+                .map(|engine| engine.run_inference(final_at))
+                .collect();
+            for other in &reports[1..] {
+                prop_assert_eq!(&reports[0].outcome, &other.outcome);
+            }
+            prop_assert_eq!(engines[0].containment(), engines[3].containment());
+        }
+    }
+
     /// Incremental RFINFER is bit-identical to a from-scratch full recompute
     /// under arbitrary interleavings of observations, collapsed-state and
     /// critical-region-readings imports, forgets and inference runs — with
