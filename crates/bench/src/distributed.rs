@@ -291,7 +291,7 @@ pub fn table_query(scale: Scale) -> Table {
 /// At `Scale::Default` with 8 sites this is the CHANGES.md reference scale:
 /// 2400 s, 20 items/case, 3 cases/pallet, seed 97 — 286,534 readings,
 /// 2,394 transfers, 1,200 objects.
-fn short_dwell_chain(scale: Scale, sites: u32) -> ChainTrace {
+pub fn short_dwell_chain(scale: Scale, sites: u32) -> ChainTrace {
     let mut warehouse = WarehouseConfig::default()
         .with_length(match scale {
             Scale::Smoke => 1500,
@@ -468,6 +468,10 @@ pub struct InferMeasurement {
     pub posterior_reuse: f64,
     /// Fraction of point-evidence values served from the cache.
     pub evidence_reuse: f64,
+    /// Which dense EM kernel path produced `dense_secs`: `"vector"` for the
+    /// chunk-of-8 lane kernels (the default), `"scalar"` when they are
+    /// disabled. Both paths are bit-identical; only the wall-clock differs.
+    pub kernel: &'static str,
 }
 
 /// Dense-solver comparison at the 8-site short-dwell reference scale: for
@@ -508,6 +512,11 @@ pub fn infer_measurements(scale: Scale) -> Vec<InferMeasurement> {
             tree.inference_stats, dense.inference_stats,
             "{name}: both solvers replay the same reuse decisions"
         );
+        let kernel = if config(true).inference.rfinfer.vector_kernels {
+            "vector"
+        } else {
+            "scalar"
+        };
         rows.push(InferMeasurement {
             strategy: name,
             runs: tree.inference_runs,
@@ -515,6 +524,7 @@ pub fn infer_measurements(scale: Scale) -> Vec<InferMeasurement> {
             dense_secs: dense.inference_wall.as_secs_f64(),
             posterior_reuse: dense.inference_stats.posterior_reuse_fraction(),
             evidence_reuse: dense.inference_stats.evidence_reuse_fraction(),
+            kernel,
         });
     }
     rows
@@ -586,10 +596,11 @@ pub fn inference_dense_json(scale: Scale, measurements: &[InferMeasurement]) -> 
     out.push_str("  \"rows\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"strategy\": \"{}\", \"runs\": {}, \"tree_secs\": {:.3}, \
+            "    {{\"strategy\": \"{}\", \"kernel\": \"{}\", \"runs\": {}, \"tree_secs\": {:.3}, \
              \"dense_secs\": {:.3}, \"speedup\": {:.3}, \"posterior_reuse\": {:.3}, \
              \"evidence_reuse\": {:.3}}}{}\n",
             m.strategy,
+            m.kernel,
             m.runs,
             m.tree_secs,
             m.dense_secs,
@@ -893,6 +904,7 @@ mod tests {
         let json = inference_dense_json(Scale::Smoke, &rows);
         assert!(json.contains("\"rows\": ["));
         assert!(json.contains("\"strategy\": \"Centralized\""));
+        assert!(json.contains("\"kernel\": \"vector\""));
         assert!(json.contains("\"total_speedup\""));
         assert!(json.trim_end().ends_with('}'));
     }

@@ -114,6 +114,22 @@ impl InferenceConfig {
         self
     }
 
+    /// Enable or disable the dense solver's chunk-of-8 vector kernels.
+    /// Outcomes are bit-identical either way; `false` selects the scalar
+    /// reference loops the equivalence tests compare against.
+    pub fn with_vector_kernels(mut self, on: bool) -> Self {
+        self.rfinfer.vector_kernels = on;
+        self
+    }
+
+    /// Opt into the reassociating `fast_math` kernels (multi-accumulator
+    /// sums/dots). **Not** bit-identical to the reference summation order;
+    /// off by default and excluded from the equivalence guarantees.
+    pub fn with_fast_math(mut self, on: bool) -> Self {
+        self.rfinfer.fast_math = on;
+        self
+    }
+
     /// Use a fixed change-point threshold.
     pub fn with_fixed_threshold(mut self, delta: f64) -> Self {
         self.change_detection = Some(ChangeDetectionConfig {

@@ -36,9 +36,13 @@
 //! `dense_solver_matches_tree_reference` proptest and the distributed
 //! determinism suite.
 
+pub mod kernels;
+
 use crate::likelihood::ReaderSetTable;
 use crate::observations::{ObsAt, Observations};
-use crate::posterior::{container_posterior_rows, Posterior};
+use crate::posterior::{
+    container_posterior_row_into, container_posterior_row_into_vector, expect_row_of, Posterior,
+};
 use crate::rfinfer::{
     CachedVariant, DirtySet, EvidenceCache, InferenceOutcome, InferenceStats, ObjectEvidence,
     PrevSeries, RfInfer, MAX_CACHED_VARIANTS,
@@ -48,6 +52,8 @@ use std::collections::{BTreeMap, HashMap};
 
 /// Sentinel for "no index" in dense `u32` columns.
 const NONE_IDX: u32 = u32::MAX;
+
+// TEMPORARY profiling section counters (nanos).
 
 /// One point-evidence series: `(epoch, e_co)` in epoch order.
 type Series = Vec<(Epoch, f64)>;
@@ -121,12 +127,44 @@ pub struct DenseScratch {
     cursors: Vec<u32>,
     /// Sorted invalid epochs of the current container (dirty union).
     invalid: Vec<Epoch>,
+    /// Vector-path scratch: one probability row, reused by every in-place
+    /// normalization that only needs the MAP location (no `Posterior`
+    /// allocation per epoch).
+    row_scratch: Vec<f64>,
+    /// Vector-path scratch: gathered weights of one argmax scan, in
+    /// ascending-container (`cand_sorted`) order.
+    argmax_buf: Vec<f64>,
+    /// Vector-path scratch: per-reader-set location bitmask (bit `r` set
+    /// when reader `r` fired). Exact only when every reader id fits the
+    /// mask width; see `set_mask_exact`.
+    set_masks: Vec<u128>,
+    /// Whether the matching `set_masks` entry covers every reader of the
+    /// set (readers with ids ≥ 128 fall back to a list intersection).
+    set_mask_exact: Vec<bool>,
+    /// Vector-path scratch: container observation events `(epoch,
+    /// all-containers position, reader-set id)`, epoch-sorted.
+    colo_cont_events: Vec<(Epoch, u32, u32)>,
+    /// Vector-path scratch: object observation events `(epoch, object
+    /// position, reader-set id)`, epoch-sorted.
+    colo_obj_events: Vec<(Epoch, u32, u32)>,
+    /// Vector-path scratch: object × container co-location count matrix,
+    /// row-major by object position.
+    colo_matrix: Vec<u32>,
+    /// Vector-path scratch: lane indices computing a dot product at the
+    /// current epoch of one transposed M-step walk.
+    active: Vec<u32>,
+    /// Vector-path scratch: epoch-presence bitset of one slot's needed-epoch
+    /// dedup, indexed by epoch offset from the run's earliest epoch.
+    seen: Vec<u64>,
+    /// Vector-path scratch: the distinct epochs of one slot, pre-sort.
+    uniq: Vec<Epoch>,
 }
 
 /// A previous run's cached variant, re-interned into this run's indices.
 struct PrevVariant {
     members: Vec<u32>,
-    per_epoch: Vec<(Epoch, Posterior)>,
+    epochs: Vec<Epoch>,
+    qrows: Vec<f64>,
     evidence: TakableSeries,
 }
 
@@ -135,13 +173,114 @@ struct PrevVariant {
 struct DVariant {
     members: Vec<u32>,
     updated_iter: usize,
-    per_epoch: Vec<(Epoch, Posterior)>,
+    /// Epochs of the per-epoch posteriors, ascending.
+    epochs: Vec<Epoch>,
+    /// Posterior probability rows, concatenated in epoch order (row width =
+    /// number of locations) — one arena per variant, so the M-step lanes and
+    /// the outcome builder stream rows instead of chasing per-posterior
+    /// allocations.
+    qrows: Vec<f64>,
     /// Epochs whose posterior was moved bitwise out of the previous run.
     reused: Vec<Epoch>,
     fully_reused: bool,
     prev_evidence: TakableSeries,
     /// This run's evidence series, pushed in ascending object order.
     evidence: Vec<(u32, Series)>,
+}
+
+/// One lane of the transposed M-step walk: the per-candidate cursors and the
+/// accumulating weight for a candidate whose evidence series must be derived
+/// (or partially reused) against its variant's per-epoch posteriors. The
+/// variant itself stays in `current`, borrowed shared for the duration of the
+/// walk; lanes only carry indices and owned state.
+struct MWalker {
+    /// Flat index of this (object, candidate) pair in the weight arena.
+    flat: u32,
+    /// Slot of the candidate's variant in `current`.
+    slot: u32,
+    /// Accumulating co-location weight (prior already added).
+    w: f64,
+    /// Evidence series under construction (incremental mode only).
+    series: Series,
+    /// Cursor into the variant's per-epoch posterior series.
+    q_cur: usize,
+    /// Cursor into the variant's reused-epochs list.
+    r_cur: usize,
+    /// Cursor into the previous run's series for this pair.
+    prev_pos: usize,
+    /// The posterior series is exhausted; the lane contributes nothing more.
+    done: bool,
+}
+
+/// The shared borrows one M-step lane reads during the transposed walk:
+/// (posterior epochs, flat posterior rows, reused epochs, previous run's
+/// evidence series for the walked object).
+type MLaneRefs<'v> = (
+    &'v [Epoch],
+    &'v [f64],
+    &'v [Epoch],
+    Option<&'v [(Epoch, f64)]>,
+);
+
+/// Multiplicative word hasher for the run-scoped reader-set interner (the
+/// fx-hash recipe: rotate, xor, multiply by a golden-ratio-derived odd
+/// constant). The interner's keys are tiny `&[LocationId]` slices hashed
+/// thousands of times per run, where SipHash's per-call setup dominates;
+/// interned ids depend only on insertion order, so the hash function cannot
+/// affect inference output.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
 }
 
 fn find_series(evidence: &[(u32, Series)], object: u32) -> Option<&Series> {
@@ -225,6 +364,127 @@ fn argmax_weight(s: &DenseScratch, range: std::ops::Range<usize>) -> u32 {
     best.map(|(ci, _)| ci).unwrap_or(NONE_IDX)
 }
 
+/// Vector-path [`argmax_weight`]: gather the weights in `cand_sorted`
+/// order into a reusable buffer and scan them with the chunked
+/// [`kernels::argmax_ties_last`] — same iteration order, same `>=`
+/// later-ties-win rule, so the winner is identical for every input.
+fn argmax_weight_vector(
+    cand_sorted: &[u32],
+    cand_arena: &[u32],
+    weights: &[f64],
+    range: std::ops::Range<usize>,
+    buf: &mut Vec<f64>,
+) -> u32 {
+    buf.clear();
+    buf.extend(
+        cand_sorted[range.clone()]
+            .iter()
+            .map(|&p| weights[range.start + p as usize]),
+    );
+    kernels::argmax_ties_last(buf)
+        .map(|i| cand_arena[range.start + cand_sorted[range.start + i] as usize])
+        .unwrap_or(NONE_IDX)
+}
+
+/// Epoch-indexed co-location counting for the vector path's candidate
+/// pruning: instead of one merge-join per (object, container) pair — the
+/// scalar [`Observations::candidate_indices_dense`] walk, quadratic in the
+/// tag universe — group *all* observation events by epoch once and touch
+/// only the (object, container) pairs that actually share an epoch.
+/// Reader-set overlap is resolved through per-set location bitmasks
+/// (`any shared reader` ⇔ `mask ∩ mask ≠ ∅` — exact whenever reader ids fit
+/// the mask, with a list-intersection fallback when they don't), so the
+/// resulting counts equal the scalar `colocated_epochs` counts exactly.
+///
+/// Fills `s.colo_matrix` row-major by object position over
+/// `s.all_containers` columns.
+fn fill_colocation_matrix(
+    s: &mut DenseScratch,
+    obs_of: &[&[ObsAt]],
+    set_readers: &[&[LocationId]],
+) {
+    // Per-set location masks.
+    s.set_masks.clear();
+    s.set_mask_exact.clear();
+    for readers in set_readers {
+        let mut mask = 0u128;
+        let mut exact = true;
+        for r in *readers {
+            if (r.0 as usize) < 128 {
+                mask |= 1u128 << r.0;
+            } else {
+                exact = false;
+            }
+        }
+        s.set_masks.push(mask);
+        s.set_mask_exact.push(exact);
+    }
+
+    // Epoch-sorted event lists, containers and objects separately.
+    s.colo_cont_events.clear();
+    for (cpos, &ci) in s.all_containers.iter().enumerate() {
+        let base = s.set_start[ci as usize];
+        for (off, obs_at) in obs_of[ci as usize].iter().enumerate() {
+            s.colo_cont_events.push((
+                obs_at.epoch,
+                cpos as u32,
+                s.set_ids[(base + off as u32) as usize],
+            ));
+        }
+    }
+    s.colo_cont_events.sort_unstable_by_key(|e| e.0);
+    s.colo_obj_events.clear();
+    for (kpos, &oi) in s.objects.iter().enumerate() {
+        let base = s.set_start[oi as usize];
+        for (off, obs_at) in obs_of[oi as usize].iter().enumerate() {
+            s.colo_obj_events.push((
+                obs_at.epoch,
+                kpos as u32,
+                s.set_ids[(base + off as u32) as usize],
+            ));
+        }
+    }
+    s.colo_obj_events.sort_unstable_by_key(|e| e.0);
+
+    // Lockstep walk over shared epochs; each co-located (object, container)
+    // event pair bumps one matrix cell.
+    let nc = s.all_containers.len();
+    s.colo_matrix.clear();
+    s.colo_matrix.resize(s.objects.len() * nc, 0);
+    let overlap = |oset: u32, cset: u32| -> bool {
+        if s.set_mask_exact[oset as usize] && s.set_mask_exact[cset as usize] {
+            s.set_masks[oset as usize] & s.set_masks[cset as usize] != 0
+        } else {
+            set_readers[oset as usize]
+                .iter()
+                .any(|r| set_readers[cset as usize].contains(r))
+        }
+    };
+    let (objs, conts) = (&s.colo_obj_events, &s.colo_cont_events);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < objs.len() && j < conts.len() {
+        let t = objs[i].0;
+        match t.cmp(&conts[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let i_end = i + objs[i..].iter().take_while(|e| e.0 == t).count();
+                let j_end = j + conts[j..].iter().take_while(|e| e.0 == t).count();
+                for &(_, kpos, oset) in &objs[i..i_end] {
+                    let row = kpos as usize * nc;
+                    for &(_, cpos, cset) in &conts[j..j_end] {
+                        if overlap(oset, cset) {
+                            s.colo_matrix[row + cpos as usize] += 1;
+                        }
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+}
+
 /// Sort a slice range in place and return its deduplicated length.
 fn sort_dedup(slice: &mut [Epoch]) -> usize {
     slice.sort_unstable();
@@ -238,6 +498,37 @@ fn sort_dedup(slice: &mut [Epoch]) -> usize {
     len
 }
 
+/// [`sort_dedup`] through an epoch-presence bitset: collect each distinct
+/// epoch once (testing a bit instead of sorting duplicates), sort only the
+/// distinct values, and clear the touched bits for the next slot. A slot's
+/// segment concatenates one epoch-sorted list per candidate object, so the
+/// duplication factor is roughly the candidate count — sorting only the
+/// distinct epochs is what makes this linear-ish. The output (ascending
+/// distinct epochs) is identical to [`sort_dedup`]'s for every input.
+fn sort_dedup_bitmap(
+    slice: &mut [Epoch],
+    base: Epoch,
+    seen: &mut [u64],
+    uniq: &mut Vec<Epoch>,
+) -> usize {
+    uniq.clear();
+    for &e in slice.iter() {
+        let off = e.since(base) as usize;
+        let (word, bit) = (off / 64, off % 64);
+        if seen[word] & (1 << bit) == 0 {
+            seen[word] |= 1 << bit;
+            uniq.push(e);
+        }
+    }
+    uniq.sort_unstable();
+    slice[..uniq.len()].copy_from_slice(uniq);
+    for &e in uniq.iter() {
+        let off = e.since(base) as usize;
+        seen[off / 64] &= !(1 << (off % 64));
+    }
+    uniq.len()
+}
+
 /// Run the dense-interned EM. Control flow and floating-point summation
 /// order mirror `RfInfer::run_tree` exactly; see the module docs.
 pub(crate) fn run_dense(
@@ -246,6 +537,7 @@ pub(crate) fn run_dense(
     scratch: &mut DenseScratch,
 ) -> (InferenceOutcome, InferenceStats) {
     let model = rf.model;
+    let nl = model.num_locations();
     let obs = rf.obs;
     let prior = rf.prior;
     let config = &rf.config;
@@ -305,7 +597,8 @@ pub(crate) fn run_dense(
     s.set_start.clear();
     let mut set_readers: Vec<&[LocationId]> = Vec::new();
     {
-        let mut interner: HashMap<&[LocationId], u32> = HashMap::new();
+        let mut interner: HashMap<&[LocationId], u32, std::hash::BuildHasherDefault<FxHasher>> =
+            HashMap::default();
         for list in &obs_of {
             s.set_start.push(s.set_ids.len() as u32);
             for o in *list {
@@ -319,7 +612,11 @@ pub(crate) fn run_dense(
         }
         s.set_start.push(s.set_ids.len() as u32);
     }
-    model.fill_reader_set_table(set_readers.iter().copied(), &mut s.table);
+    if config.vector_kernels {
+        model.fill_reader_set_table_vector(set_readers.iter().copied(), &mut s.table);
+    } else {
+        model.fill_reader_set_table(set_readers.iter().copied(), &mut s.table);
+    }
 
     // ---- Objects / containers ----------------------------------------
     s.objects.clear();
@@ -343,20 +640,45 @@ pub(crate) fn run_dense(
         .iter()
         .map(|&ci| (ci, obs_of[ci as usize]))
         .collect();
+    // Vector path: one epoch-indexed counting pass over all observation
+    // events replaces the per-(object, container) merge joins; the counts —
+    // and therefore the selected candidates — are identical.
+    if config.vector_kernels && config.candidate_pruning {
+        fill_colocation_matrix(s, &obs_of, &set_readers);
+    }
     s.cand_arena.clear();
     s.cand_start.clear();
     s.prior_w.clear();
-    for &oi in &s.objects {
+    for (k, &oi) in s.objects.iter().enumerate() {
         s.cand_start.push(s.cand_arena.len() as u32);
         let start = s.cand_arena.len();
         if config.candidate_pruning {
-            Observations::candidate_indices_dense(
-                obs_of[oi as usize],
-                &container_columns,
-                config.candidate_limit,
-                &mut s.colo_counts,
-                &mut s.cand_arena,
-            );
+            if config.vector_kernels {
+                let nc = s.all_containers.len();
+                s.colo_counts.clear();
+                for cpos in 0..nc {
+                    let count = s.colo_matrix[k * nc + cpos];
+                    if count > 0 {
+                        s.colo_counts.push((s.all_containers[cpos], count as usize));
+                    }
+                }
+                s.colo_counts
+                    .sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                s.cand_arena.extend(
+                    s.colo_counts
+                        .iter()
+                        .take(config.candidate_limit)
+                        .map(|&(c, _)| c),
+                );
+            } else {
+                Observations::candidate_indices_dense(
+                    obs_of[oi as usize],
+                    &container_columns,
+                    config.candidate_limit,
+                    &mut s.colo_counts,
+                    &mut s.cand_arena,
+                );
+            }
         } else {
             s.cand_arena.extend_from_slice(&s.all_containers);
         }
@@ -470,6 +792,24 @@ pub(crate) fn run_dense(
         }
     }
     s.epochs_len.clear();
+    // Epoch span of the run, for the bitset dedup (the arena holds every
+    // observed epoch, so min/max bound every slot's segment).
+    let dedup_base = if config.vector_kernels {
+        let base = s.epochs_arena.iter().copied().min().unwrap_or(Epoch(0));
+        let max = s.epochs_arena.iter().copied().max().unwrap_or(base);
+        let span = max.since(base) as usize + 1;
+        // Epoch spans are bounded by the retained history; fall back to the
+        // plain sort if a pathological store says otherwise.
+        if span <= (1 << 24) {
+            s.seen.clear();
+            s.seen.resize(span.div_ceil(64), 0);
+            Some(base)
+        } else {
+            None
+        }
+    } else {
+        None
+    };
     for slot in 0..num_rel {
         let start = s.epochs_start[slot] as usize;
         let end = if slot + 1 < num_rel {
@@ -477,7 +817,15 @@ pub(crate) fn run_dense(
         } else {
             s.epochs_arena.len()
         };
-        let len = sort_dedup(&mut s.epochs_arena[start..end]);
+        let len = match dedup_base {
+            Some(base) => sort_dedup_bitmap(
+                &mut s.epochs_arena[start..end],
+                base,
+                &mut s.seen,
+                &mut s.uniq,
+            ),
+            None => sort_dedup(&mut s.epochs_arena[start..end]),
+        };
         s.epochs_len.push(len as u32);
     }
 
@@ -516,7 +864,8 @@ pub(crate) fn run_dense(
                 .collect();
             converted.push(PrevVariant {
                 members,
-                per_epoch: v.per_epoch,
+                epochs: v.epochs,
+                qrows: v.qrows,
                 evidence,
             });
         }
@@ -530,6 +879,8 @@ pub(crate) fn run_dense(
     let mut retired: Vec<Vec<DVariant>> = Vec::with_capacity(num_rel);
     retired.resize_with(num_rel, Vec::new);
     let mut member_rows: Vec<&[f64]> = Vec::new();
+    // Lanes of the transposed M-step walk, reused across objects.
+    let mut walkers: Vec<MWalker> = Vec::new();
     let mut iterations = 0;
     for iter in 0..config.max_iterations.max(1) {
         iterations = iter + 1;
@@ -564,19 +915,19 @@ pub(crate) fn run_dense(
                 .iter()
                 .position(|v| v.members == members)
                 .map(|i| prev_slots[slot].swap_remove(i));
-            let (prev_per_epoch, prev_evidence) = match matched {
-                Some(v) => (v.per_epoch, v.evidence),
-                None => (Vec::new(), Vec::new()),
+            let (prev_epochs, prev_qrows, prev_evidence) = match matched {
+                Some(v) => (v.epochs, v.qrows, v.evidence),
+                None => (Vec::new(), Vec::new(), Vec::new()),
             };
             // Dirty union over the container and its members, clamped to
             // the cached horizon.
             s.invalid.clear();
             if let Some(d) = dirty {
-                if !prev_per_epoch.is_empty() {
+                if !prev_epochs.is_empty() {
                     let union = d.union_for_until(
                         std::iter::once(s.tags[ci as usize])
                             .chain(members.iter().map(|&m| s.tags[m as usize])),
-                        prev_per_epoch.last().map(|&(t, _)| t),
+                        prev_epochs.last().copied(),
                     );
                     s.invalid.extend(union);
                 }
@@ -585,22 +936,19 @@ pub(crate) fn run_dense(
                 s.epochs_start[slot] as usize..(s.epochs_start[slot] + s.epochs_len[slot]) as usize;
             let needed = &s.epochs_arena[needed_range];
             // Whole-variant fast path, same condition as the reference.
-            let fully_reused = !prev_per_epoch.is_empty()
-                && prev_per_epoch.len() == needed.len()
-                && prev_per_epoch
-                    .iter()
-                    .map(|&(t, _)| t)
-                    .eq(needed.iter().copied())
+            let fully_reused = !prev_epochs.is_empty()
+                && prev_epochs.as_slice() == needed
                 && s.invalid
                     .iter()
-                    .all(|t| prev_per_epoch.binary_search_by_key(t, |e| e.0).is_err());
+                    .all(|t| prev_epochs.binary_search(t).is_err());
             if fully_reused {
-                stats.posteriors_reused += prev_per_epoch.len();
-                let reused: Vec<Epoch> = prev_per_epoch.iter().map(|&(t, _)| t).collect();
+                stats.posteriors_reused += prev_epochs.len();
+                let reused = prev_epochs.clone();
                 current[slot] = Some(DVariant {
                     members: members.to_vec(),
                     updated_iter: iter,
-                    per_epoch: prev_per_epoch,
+                    epochs: prev_epochs,
+                    qrows: prev_qrows,
                     reused,
                     fully_reused: true,
                     prev_evidence,
@@ -612,9 +960,10 @@ pub(crate) fn run_dense(
             // with the previous variant, the invalid set and every
             // involved tag's observation list (one cursor each — no
             // binary search per epoch).
-            let mut entries: Vec<(Epoch, Posterior)> = Vec::with_capacity(needed.len());
+            let mut epochs_vec: Vec<Epoch> = Vec::with_capacity(needed.len());
+            let mut qrows: Vec<f64> = Vec::with_capacity(needed.len() * nl);
             let mut reused_vec: Vec<Epoch> = Vec::new();
-            let mut prev_iter = prev_per_epoch.into_iter().peekable();
+            let mut prev_cur = 0usize;
             let mut invalid_cur = 0usize;
             let own = obs_of[ci as usize];
             let own_sets = &s.set_ids
@@ -623,59 +972,67 @@ pub(crate) fn run_dense(
             s.cursors.clear();
             s.cursors.resize(members.len(), 0);
             for &t in needed {
-                while prev_iter.peek().is_some_and(|(pt, _)| *pt < t) {
-                    prev_iter.next();
+                while prev_cur < prev_epochs.len() && prev_epochs[prev_cur] < t {
+                    prev_cur += 1;
                 }
                 while invalid_cur < s.invalid.len() && s.invalid[invalid_cur] < t {
                     invalid_cur += 1;
                 }
-                let hit = if s.invalid.get(invalid_cur) == Some(&t) {
-                    None
-                } else if prev_iter.peek().is_some_and(|(pt, _)| *pt == t) {
-                    prev_iter.next().map(|(_, q)| q)
+                let hit =
+                    s.invalid.get(invalid_cur) != Some(&t) && prev_epochs.get(prev_cur) == Some(&t);
+                if hit {
+                    // The cached row's bits move into the new arena verbatim.
+                    stats.posteriors_reused += 1;
+                    reused_vec.push(t);
+                    qrows.extend_from_slice(&prev_qrows[prev_cur * nl..(prev_cur + 1) * nl]);
                 } else {
-                    None
-                };
-                let q = match hit {
-                    Some(q) => {
-                        stats.posteriors_reused += 1;
-                        reused_vec.push(t);
-                        q
+                    stats.posteriors_computed += 1;
+                    while own_cur < own.len() && own[own_cur].epoch < t {
+                        own_cur += 1;
                     }
-                    None => {
-                        stats.posteriors_computed += 1;
-                        while own_cur < own.len() && own[own_cur].epoch < t {
-                            own_cur += 1;
+                    let base_row = if own_cur < own.len() && own[own_cur].epoch == t {
+                        s.table.row(own_sets[own_cur])
+                    } else {
+                        model.all_miss_row()
+                    };
+                    member_rows.clear();
+                    for (mi, &m) in members.iter().enumerate() {
+                        let list = obs_of[m as usize];
+                        let mut cur = s.cursors[mi] as usize;
+                        while cur < list.len() && list[cur].epoch < t {
+                            cur += 1;
                         }
-                        let base_row = if own_cur < own.len() && own[own_cur].epoch == t {
-                            s.table.row(own_sets[own_cur])
+                        s.cursors[mi] = cur as u32;
+                        member_rows.push(if cur < list.len() && list[cur].epoch == t {
+                            s.table
+                                .row(s.set_ids[s.set_start[m as usize] as usize + cur])
                         } else {
                             model.all_miss_row()
-                        };
-                        member_rows.clear();
-                        for (mi, &m) in members.iter().enumerate() {
-                            let list = obs_of[m as usize];
-                            let mut cur = s.cursors[mi] as usize;
-                            while cur < list.len() && list[cur].epoch < t {
-                                cur += 1;
-                            }
-                            s.cursors[mi] = cur as u32;
-                            member_rows.push(if cur < list.len() && list[cur].epoch == t {
-                                s.table
-                                    .row(s.set_ids[s.set_start[m as usize] as usize + cur])
-                            } else {
-                                model.all_miss_row()
-                            });
-                        }
-                        container_posterior_rows(base_row, member_rows.iter().copied())
+                        });
                     }
-                };
-                entries.push((t, q));
+                    // The posterior normalizes directly onto the arena tail —
+                    // no per-posterior allocation.
+                    if config.vector_kernels {
+                        container_posterior_row_into_vector(
+                            base_row,
+                            member_rows.iter().copied(),
+                            &mut qrows,
+                        );
+                    } else {
+                        container_posterior_row_into(
+                            base_row,
+                            member_rows.iter().copied(),
+                            &mut qrows,
+                        );
+                    }
+                }
+                epochs_vec.push(t);
             }
             current[slot] = Some(DVariant {
                 members: members.to_vec(),
                 updated_iter: iter,
-                per_epoch: entries,
+                epochs: epochs_vec,
+                qrows,
                 reused: reused_vec,
                 fully_reused: false,
                 prev_evidence,
@@ -702,7 +1059,17 @@ pub(crate) fn run_dense(
                         .is_none_or(|v| v.updated_iter < iter)
                 });
                 if untouched {
-                    s.new_assign[k] = argmax_weight(s, range);
+                    s.new_assign[k] = if config.vector_kernels {
+                        argmax_weight_vector(
+                            &s.cand_sorted,
+                            &s.cand_arena,
+                            &s.weights,
+                            range,
+                            &mut s.argmax_buf,
+                        )
+                    } else {
+                        argmax_weight(s, range)
+                    };
                     continue;
                 }
             }
@@ -710,108 +1077,309 @@ pub(crate) fn run_dense(
             let o_obs = obs_of[oi as usize];
             let o_sets = &s.set_ids
                 [s.set_start[oi as usize] as usize..s.set_start[oi as usize + 1] as usize];
-            for flat in range.clone() {
-                let ci = s.cand_arena[flat];
-                let mut w = s.prior_w[flat];
-                if let Some(variant) = current[s.slot_of[ci as usize] as usize].as_mut() {
-                    if let Some(series) = find_series(&variant.evidence, oi) {
-                        // Same variant as an earlier iteration: identical
-                        // inputs, identical series and summation order.
-                        stats.evidence_reused += series.len();
-                        for &(_, e) in series {
-                            w += e;
-                        }
-                    } else if incremental {
-                        // Whole-series fast path: the variant's posteriors
-                        // all came from the cache and the object is clean.
-                        let o_clean = o_dirty.is_none_or(|d| d.is_empty());
-                        let moved = (variant.fully_reused && o_clean)
-                            .then(|| take_prev_series(&mut variant.prev_evidence, oi))
-                            .flatten();
-                        if let Some(series) = moved {
+            if config.vector_kernels {
+                // Lane-parallel M-step (the transposed walk): classify every
+                // candidate once, then drive all candidates that need the
+                // per-epoch walk through ONE pass over the object's
+                // observations — one lane per candidate accumulator. Each
+                // lane keeps the scalar walk's exact sequence of reuse
+                // decisions, dot products and additions (prior first, then
+                // epoch order), and no value flows between lanes, so every
+                // weight is bit-identical; only the interleaving across
+                // candidates changes. The shared work — the o_obs cursor,
+                // the dirty test and the object's loglik row — is paid once
+                // per epoch instead of once per (candidate, epoch).
+                let o_clean = o_dirty.is_none_or(|d| d.is_empty());
+                debug_assert!(walkers.is_empty());
+                for flat in range.clone() {
+                    let ci = s.cand_arena[flat];
+                    let slot = s.slot_of[ci as usize] as usize;
+                    let mut w = s.prior_w[flat];
+                    if let Some(variant) = current[slot].as_mut() {
+                        if let Some(series) = find_series(&variant.evidence, oi) {
+                            // Same variant as an earlier iteration: identical
+                            // inputs, identical series and summation order.
                             stats.evidence_reused += series.len();
-                            for &(_, e) in &series {
+                            for &(_, e) in series {
                                 w += e;
                             }
+                        } else {
+                            // Whole-series fast path: the variant's
+                            // posteriors all came from the cache and the
+                            // object is clean.
+                            let moved = (incremental && variant.fully_reused && o_clean)
+                                .then(|| take_prev_series(&mut variant.prev_evidence, oi))
+                                .flatten();
+                            if let Some(series) = moved {
+                                stats.evidence_reused += series.len();
+                                for &(_, e) in &series {
+                                    w += e;
+                                }
+                                debug_assert!(
+                                    variant.evidence.last().is_none_or(|e| e.0 < oi),
+                                    "evidence pushed out of object order"
+                                );
+                                variant.evidence.push((oi, series));
+                            } else {
+                                walkers.push(MWalker {
+                                    flat: flat as u32,
+                                    slot: slot as u32,
+                                    w,
+                                    series: if incremental {
+                                        Vec::with_capacity(o_obs.len())
+                                    } else {
+                                        Vec::new()
+                                    },
+                                    q_cur: 0,
+                                    r_cur: 0,
+                                    prev_pos: 0,
+                                    done: false,
+                                });
+                                continue;
+                            }
+                        }
+                    }
+                    s.weights[flat] = w;
+                }
+                if !walkers.is_empty() {
+                    // Bind each lane's inputs once — the posterior series,
+                    // the reuse epochs and the previous run's series are
+                    // shared borrows of `current`, so the walk reads flat
+                    // slices instead of chasing through the variant on
+                    // every epoch. (Distinct candidates name distinct
+                    // slots; the variants themselves are only mutated
+                    // after the walk, when the lanes are drained.)
+                    let lane_refs: Vec<MLaneRefs<'_>> = walkers
+                        .iter()
+                        .map(|wk| {
+                            let v = current[wk.slot as usize].as_ref().expect("walker variant");
+                            (
+                                v.epochs.as_slice(),
+                                v.qrows.as_slice(),
+                                v.reused.as_slice(),
+                                prev_series(&v.prev_evidence, oi),
+                            )
+                        })
+                        .collect();
+                    let mut rows: Vec<&[f64]> = Vec::with_capacity(walkers.len());
+                    let mut dirty_iter = o_dirty.map(|d| d.iter().peekable());
+                    for (pos, obs_at) in o_obs.iter().enumerate() {
+                        let t = obs_at.epoch;
+                        // The dirty test depends only on (object, epoch):
+                        // hoisted out of the per-candidate walks. Same
+                        // monotone cursor, same boolean per epoch.
+                        let o_dirty_here = dirty_iter.as_mut().is_some_and(|it| {
+                            while it.peek().is_some_and(|dt| **dt < t) {
+                                it.next();
+                            }
+                            it.peek().is_some_and(|dt| **dt == t)
+                        });
+                        s.active.clear();
+                        rows.clear();
+                        let mut all_done = true;
+                        for (l, (wk, refs)) in walkers.iter_mut().zip(&lane_refs).enumerate() {
+                            if wk.done {
+                                continue;
+                            }
+                            let (epochs, qrows, reused, prev) = *refs;
+                            while wk.q_cur < epochs.len() && epochs[wk.q_cur] < t {
+                                wk.q_cur += 1;
+                            }
+                            if wk.q_cur >= epochs.len() {
+                                wk.done = true;
+                                continue;
+                            }
+                            all_done = false;
+                            if epochs[wk.q_cur] != t {
+                                continue;
+                            }
+                            while wk.r_cur < reused.len() && reused[wk.r_cur] < t {
+                                wk.r_cur += 1;
+                            }
+                            if reused.get(wk.r_cur) == Some(&t) && !o_dirty_here {
+                                if let Some(series) = prev {
+                                    while wk.prev_pos < series.len() && series[wk.prev_pos].0 < t {
+                                        wk.prev_pos += 1;
+                                    }
+                                    if let Some(&(pt, e)) = series.get(wk.prev_pos) {
+                                        if pt == t {
+                                            stats.evidence_reused += 1;
+                                            wk.series.push((t, e));
+                                            wk.w += e;
+                                            continue;
+                                        }
+                                    }
+                                }
+                            }
+                            stats.evidence_computed += 1;
+                            s.active.push(l as u32);
+                            rows.push(&qrows[wk.q_cur * nl..(wk.q_cur + 1) * nl]);
+                        }
+                        if all_done {
+                            break;
+                        }
+                        if s.active.is_empty() {
+                            continue;
+                        }
+                        // Point-evidence dots of every active lane against
+                        // the object's loglik row at this epoch — the row is
+                        // loaded once and shared across the lanes.
+                        let row = s.table.row(o_sets[pos]);
+                        for (chunk, qch) in s
+                            .active
+                            .chunks(kernels::LANES)
+                            .zip(rows.chunks(kernels::LANES))
+                        {
+                            let mut vals = [0.0f64; kernels::LANES];
+                            if config.fast_math {
+                                for (v, q) in vals.iter_mut().zip(qch) {
+                                    *v = kernels::dot_fast(q, row);
+                                }
+                            } else {
+                                kernels::dot_many_shared(qch, row, &mut vals[..qch.len()]);
+                            }
+                            for (j, &l) in chunk.iter().enumerate() {
+                                let wk = &mut walkers[l as usize];
+                                let e = vals[j];
+                                if incremental {
+                                    wk.series.push((t, e));
+                                }
+                                wk.w += e;
+                            }
+                        }
+                    }
+                    for wk in walkers.drain(..) {
+                        if incremental {
+                            let v = current[wk.slot as usize].as_mut().expect("walker variant");
                             debug_assert!(
-                                variant.evidence.last().is_none_or(|e| e.0 < oi),
+                                v.evidence.last().is_none_or(|e| e.0 < oi),
                                 "evidence pushed out of object order"
                             );
-                            variant.evidence.push((oi, series));
+                            v.evidence.push((oi, wk.series));
+                        }
+                        s.weights[wk.flat as usize] = wk.w;
+                    }
+                }
+            } else {
+                for flat in range.clone() {
+                    let ci = s.cand_arena[flat];
+                    let mut w = s.prior_w[flat];
+                    if let Some(variant) = current[s.slot_of[ci as usize] as usize].as_mut() {
+                        if let Some(series) = find_series(&variant.evidence, oi) {
+                            // Same variant as an earlier iteration: identical
+                            // inputs, identical series and summation order.
+                            stats.evidence_reused += series.len();
+                            for &(_, e) in series {
+                                w += e;
+                            }
+                        } else if incremental {
+                            // Whole-series fast path: the variant's posteriors
+                            // all came from the cache and the object is clean.
+                            let o_clean = o_dirty.is_none_or(|d| d.is_empty());
+                            let moved = (variant.fully_reused && o_clean)
+                                .then(|| take_prev_series(&mut variant.prev_evidence, oi))
+                                .flatten();
+                            if let Some(series) = moved {
+                                stats.evidence_reused += series.len();
+                                for &(_, e) in &series {
+                                    w += e;
+                                }
+                                debug_assert!(
+                                    variant.evidence.last().is_none_or(|e| e.0 < oi),
+                                    "evidence pushed out of object order"
+                                );
+                                variant.evidence.push((oi, series));
+                            } else {
+                                // Per-epoch path: lockstep walk over the
+                                // object's observations, the variant's sorted
+                                // posterior series, its reuse set, the dirty
+                                // set and the previous series.
+                                let mut prev =
+                                    PrevSeries::new(prev_series(&variant.prev_evidence, oi));
+                                let mut series = Vec::with_capacity(o_obs.len());
+                                let mut q_cur = 0usize;
+                                let mut r_cur = 0usize;
+                                let mut dirty_iter = o_dirty.map(|d| d.iter().peekable());
+                                for (pos, obs_at) in o_obs.iter().enumerate() {
+                                    let t = obs_at.epoch;
+                                    while q_cur < variant.epochs.len() && variant.epochs[q_cur] < t
+                                    {
+                                        q_cur += 1;
+                                    }
+                                    let Some(&qt) = variant.epochs.get(q_cur) else {
+                                        break;
+                                    };
+                                    if qt != t {
+                                        continue;
+                                    }
+                                    while r_cur < variant.reused.len() && variant.reused[r_cur] < t
+                                    {
+                                        r_cur += 1;
+                                    }
+                                    let posterior_reused = variant.reused.get(r_cur) == Some(&t);
+                                    let o_dirty_here = dirty_iter.as_mut().is_some_and(|it| {
+                                        while it.peek().is_some_and(|dt| **dt < t) {
+                                            it.next();
+                                        }
+                                        it.peek().is_some_and(|dt| **dt == t)
+                                    });
+                                    let reusable = posterior_reused && !o_dirty_here;
+                                    let e = match reusable.then(|| prev.lookup(t)).flatten() {
+                                        Some(e) => {
+                                            stats.evidence_reused += 1;
+                                            e
+                                        }
+                                        None => {
+                                            stats.evidence_computed += 1;
+                                            expect_row_of(
+                                                &variant.qrows[q_cur * nl..(q_cur + 1) * nl],
+                                                s.table.row(o_sets[pos]),
+                                            )
+                                        }
+                                    };
+                                    series.push((t, e));
+                                    w += e;
+                                }
+                                debug_assert!(
+                                    variant.evidence.last().is_none_or(|e| e.0 < oi),
+                                    "evidence pushed out of object order"
+                                );
+                                variant.evidence.push((oi, series));
+                            }
                         } else {
-                            // Per-epoch path: lockstep walk over the
-                            // object's observations, the variant's sorted
-                            // posterior series, its reuse set, the dirty
-                            // set and the previous series.
-                            let mut prev = PrevSeries::new(prev_series(&variant.prev_evidence, oi));
-                            let mut series = Vec::with_capacity(o_obs.len());
+                            // Full recompute: lockstep walk, memoized rows.
                             let mut q_cur = 0usize;
-                            let mut r_cur = 0usize;
-                            let mut dirty_iter = o_dirty.map(|d| d.iter().peekable());
                             for (pos, obs_at) in o_obs.iter().enumerate() {
                                 let t = obs_at.epoch;
-                                while q_cur < variant.per_epoch.len()
-                                    && variant.per_epoch[q_cur].0 < t
-                                {
+                                while q_cur < variant.epochs.len() && variant.epochs[q_cur] < t {
                                     q_cur += 1;
                                 }
-                                let Some(&(qt, ref q)) = variant.per_epoch.get(q_cur) else {
-                                    break;
-                                };
-                                if qt != t {
-                                    continue;
-                                }
-                                while r_cur < variant.reused.len() && variant.reused[r_cur] < t {
-                                    r_cur += 1;
-                                }
-                                let posterior_reused = variant.reused.get(r_cur) == Some(&t);
-                                let o_dirty_here = dirty_iter.as_mut().is_some_and(|it| {
-                                    while it.peek().is_some_and(|dt| **dt < t) {
-                                        it.next();
-                                    }
-                                    it.peek().is_some_and(|dt| **dt == t)
-                                });
-                                let reusable = posterior_reused && !o_dirty_here;
-                                let e = match reusable.then(|| prev.lookup(t)).flatten() {
-                                    Some(e) => {
-                                        stats.evidence_reused += 1;
-                                        e
-                                    }
-                                    None => {
+                                if let Some(&qt) = variant.epochs.get(q_cur) {
+                                    if qt == t {
                                         stats.evidence_computed += 1;
-                                        q.expect_row(s.table.row(o_sets[pos]))
+                                        w += expect_row_of(
+                                            &variant.qrows[q_cur * nl..(q_cur + 1) * nl],
+                                            s.table.row(o_sets[pos]),
+                                        );
                                     }
-                                };
-                                series.push((t, e));
-                                w += e;
-                            }
-                            debug_assert!(
-                                variant.evidence.last().is_none_or(|e| e.0 < oi),
-                                "evidence pushed out of object order"
-                            );
-                            variant.evidence.push((oi, series));
-                        }
-                    } else {
-                        // Full recompute: lockstep walk, memoized rows.
-                        let mut q_cur = 0usize;
-                        for (pos, obs_at) in o_obs.iter().enumerate() {
-                            let t = obs_at.epoch;
-                            while q_cur < variant.per_epoch.len() && variant.per_epoch[q_cur].0 < t
-                            {
-                                q_cur += 1;
-                            }
-                            if let Some(&(qt, ref q)) = variant.per_epoch.get(q_cur) {
-                                if qt == t {
-                                    stats.evidence_computed += 1;
-                                    w += q.expect_row(s.table.row(o_sets[pos]));
                                 }
                             }
                         }
                     }
+                    s.weights[flat] = w;
                 }
-                s.weights[flat] = w;
             }
-            s.new_assign[k] = argmax_weight(s, range);
+            s.new_assign[k] = if config.vector_kernels {
+                argmax_weight_vector(
+                    &s.cand_sorted,
+                    &s.cand_arena,
+                    &s.weights,
+                    range,
+                    &mut s.argmax_buf,
+                )
+            } else {
+                argmax_weight(s, range)
+            };
         }
 
         let converged = s.new_assign == s.assign;
@@ -855,7 +1423,8 @@ pub(crate) fn run_dense(
                 .into_iter()
                 .map(|v| CachedVariant {
                     members: v.members.iter().map(|&m| s.tags[m as usize]).collect(),
-                    per_epoch: v.per_epoch,
+                    epochs: v.epochs,
+                    qrows: v.qrows,
                     evidence: v
                         .evidence
                         .into_iter()
@@ -884,6 +1453,7 @@ fn build_outcome(
     stats: &mut InferenceStats,
 ) -> InferenceOutcome {
     let model = rf.model;
+    let nl = model.num_locations();
     let num_objects = s.objects.len();
     let num_rel = s.rel.len();
 
@@ -899,34 +1469,109 @@ fn build_outcome(
             &s.set_ids[s.set_start[oi as usize] as usize..s.set_start[oi as usize + 1] as usize];
         let mut point_evidence: BTreeMap<TagId, Vec<(Epoch, f64)>> = BTreeMap::new();
         let mut weights: BTreeMap<TagId, f64> = BTreeMap::new();
-        for flat in range.clone() {
+        // One points list per candidate, indexed by offset within `range`.
+        let mut flat_points: Vec<Vec<(Epoch, f64)>> = Vec::new();
+        flat_points.resize_with(range.len(), Vec::new);
+        // Lanes of the transposed recompute walk (vector path): one per
+        // candidate whose series must be re-derived from the final
+        // posteriors.
+        struct BLane<'v> {
+            off: usize,
+            q_cur: usize,
+            v: &'v DVariant,
+        }
+        let mut lanes: Vec<BLane<'_>> = Vec::new();
+        for (off, flat) in range.clone().enumerate() {
             let ci = s.cand_arena[flat];
-            let mut points = Vec::new();
             if let Some(variant) = current[s.slot_of[ci as usize] as usize].as_ref() {
                 match find_series(&variant.evidence, oi) {
                     Some(series) if incremental => {
                         stats.evidence_reused += series.len();
-                        points = series.clone();
+                        flat_points[off] = series.clone();
                     }
+                    _ if rf.config.vector_kernels => lanes.push(BLane {
+                        off,
+                        q_cur: 0,
+                        v: variant,
+                    }),
                     _ => {
                         let mut q_cur = 0usize;
                         for (pos, obs_at) in o_obs.iter().enumerate() {
                             let t = obs_at.epoch;
-                            while q_cur < variant.per_epoch.len() && variant.per_epoch[q_cur].0 < t
-                            {
+                            while q_cur < variant.epochs.len() && variant.epochs[q_cur] < t {
                                 q_cur += 1;
                             }
-                            if let Some(&(qt, ref q)) = variant.per_epoch.get(q_cur) {
+                            if let Some(&qt) = variant.epochs.get(q_cur) {
                                 if qt == t {
                                     stats.evidence_computed += 1;
-                                    points.push((t, q.expect_row(s.table.row(o_sets[pos]))));
+                                    flat_points[off].push((
+                                        t,
+                                        expect_row_of(
+                                            &variant.qrows[q_cur * nl..(q_cur + 1) * nl],
+                                            s.table.row(o_sets[pos]),
+                                        ),
+                                    ));
                                 }
                             }
                         }
                     }
                 }
             }
-            point_evidence.insert(s.tags[ci as usize], points);
+        }
+        if !lanes.is_empty() {
+            // Same transposed walk as the M-step: one pass over the
+            // object's observations drives every lane, the loglik row is
+            // loaded once per epoch and shared, and each lane's points
+            // accumulate in epoch order — the scalar walk's exact values
+            // in the scalar walk's exact order.
+            for (pos, obs_at) in o_obs.iter().enumerate() {
+                let t = obs_at.epoch;
+                s.active.clear();
+                let mut all_done = true;
+                for (l, lane) in lanes.iter_mut().enumerate() {
+                    let epochs = &lane.v.epochs;
+                    while lane.q_cur < epochs.len() && epochs[lane.q_cur] < t {
+                        lane.q_cur += 1;
+                    }
+                    if lane.q_cur >= epochs.len() {
+                        continue;
+                    }
+                    all_done = false;
+                    if epochs[lane.q_cur] == t {
+                        stats.evidence_computed += 1;
+                        s.active.push(l as u32);
+                    }
+                }
+                if all_done {
+                    break;
+                }
+                if s.active.is_empty() {
+                    continue;
+                }
+                let row = s.table.row(o_sets[pos]);
+                for chunk in s.active.chunks(kernels::LANES) {
+                    let mut qs: [&[f64]; kernels::LANES] = [&[]; kernels::LANES];
+                    for (j, &l) in chunk.iter().enumerate() {
+                        let lane = &lanes[l as usize];
+                        qs[j] = &lane.v.qrows[lane.q_cur * nl..(lane.q_cur + 1) * nl];
+                    }
+                    let mut vals = [0.0f64; kernels::LANES];
+                    if rf.config.fast_math {
+                        for j in 0..chunk.len() {
+                            vals[j] = kernels::dot_fast(qs[j], row);
+                        }
+                    } else {
+                        kernels::dot_many_shared(&qs[..chunk.len()], row, &mut vals[..chunk.len()]);
+                    }
+                    for (j, &l) in chunk.iter().enumerate() {
+                        flat_points[lanes[l as usize].off].push((t, vals[j]));
+                    }
+                }
+            }
+        }
+        for (off, flat) in range.clone().enumerate() {
+            let ci = s.cand_arena[flat];
+            point_evidence.insert(s.tags[ci as usize], std::mem::take(&mut flat_points[off]));
             weights.insert(s.tags[ci as usize], s.weights[flat]);
         }
         let assigned = (s.assign[k] != NONE_IDX).then(|| s.tags[s.assign[k] as usize]);
@@ -970,7 +1615,7 @@ fn build_outcome(
         s.cursors.clear();
         s.cursors.resize(members.len(), 0);
         let mut locs: Vec<(Epoch, LocationId)> = Vec::new();
-        for &(t, ref q) in &variant.per_epoch {
+        for (&t, q) in variant.epochs.iter().zip(variant.qrows.chunks_exact(nl)) {
             while own_cur < own.len() && own[own_cur].epoch < t {
                 own_cur += 1;
             }
@@ -987,7 +1632,9 @@ fn build_outcome(
                 }
             }
             if informative {
-                locs.push((t, q.map_location()));
+                // The later-ties-win scan of `Posterior::map_location`, over
+                // the arena row directly.
+                locs.push((t, Posterior::map_location_of_row(q)));
             }
         }
         if !locs.is_empty() {
@@ -1008,8 +1655,18 @@ fn build_outcome(
             .iter()
             .enumerate()
             .map(|(pos, obs_at)| {
-                let q = Posterior::from_log_weights(s.table.row(o_sets[pos]).to_vec());
-                (obs_at.epoch, q.map_location())
+                let loc = if rf.config.vector_kernels {
+                    // Normalize into the reusable scratch row instead of
+                    // allocating a posterior per epoch; same kernel, same
+                    // later-ties-win MAP scan, identical location.
+                    s.row_scratch.clear();
+                    s.row_scratch.extend_from_slice(s.table.row(o_sets[pos]));
+                    kernels::exp_normalize(&mut s.row_scratch);
+                    Posterior::map_location_of_row(&s.row_scratch)
+                } else {
+                    Posterior::from_log_weights(s.table.row(o_sets[pos]).to_vec()).map_location()
+                };
+                (obs_at.epoch, loc)
             })
             .collect();
         if !locs.is_empty() {

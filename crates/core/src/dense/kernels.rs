@@ -1,0 +1,628 @@
+//! Chunk-of-8 `f64` kernels behind the dense EM's vector path.
+//!
+//! Every kernel here obeys one design rule, which is what lets the vector
+//! path stay **bit-identical to the scalar reference without an opt-in**:
+//! lanes run *across locations or across candidates*, never across the terms
+//! of a single accumulator. Elementwise operations (row adds, the
+//! subtract-max before `exp`, the divide-by-sum) are embarrassingly lane
+//! parallel; the set-max of the log-sum-exp trick is order-independent (see
+//! [`max_log_weights`]); and the batched dot products of [`dot_batch`] give
+//! each candidate its own lane whose summation order over locations is
+//! exactly the scalar [`Posterior::expect_row`](crate::Posterior::expect_row)
+//! order. Anything that would
+//! reassociate a single running sum — splitting one dot product or one
+//! normalization sum into partial accumulators — lives in the `*_fast`
+//! kernels and is only reachable through the opt-in
+//! [`RfInferConfig::fast_math`](crate::RfInferConfig::fast_math) flag.
+//!
+//! The portable kernels are written as fixed-width chunk loops that rustc
+//! autovectorizes on stable. On x86-64 an explicit AVX2 path (plain
+//! `_mm256_add_pd`/`_mm256_div_pd` — never FMA, which would skip the
+//! intermediate rounding and change results) is selected at runtime via
+//! `is_x86_feature_detected!` and can be force-disabled by setting the
+//! `RFID_DISABLE_AVX2` environment variable, which is how CI keeps the
+//! portable fallback tested on AVX2 hardware.
+
+use std::sync::OnceLock;
+
+/// Lane width of the portable chunk loops.
+pub const LANES: usize = 8;
+
+/// Whether the explicit AVX2 path is compiled in, supported by this CPU and
+/// not force-disabled via the `RFID_DISABLE_AVX2` environment variable.
+/// Resolved once per process.
+pub fn avx2_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        if std::env::var_os("RFID_DISABLE_AVX2").is_some() {
+            return false;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise row kernels (lane = location)
+// ---------------------------------------------------------------------------
+
+/// `dst[i] += src[i]` for every lane. Elementwise, so lane order is
+/// irrelevant: bit-identical to the scalar loop for all inputs.
+pub fn add_assign_rows(dst: &mut [f64], src: &[f64]) {
+    debug_assert_eq!(dst.len(), src.len());
+    #[cfg(target_arch = "x86_64")]
+    if avx2_enabled() {
+        // SAFETY: gated on runtime AVX2 detection.
+        unsafe { add_assign_rows_avx2(dst, src) };
+        return;
+    }
+    add_assign_rows_portable(dst, src);
+}
+
+pub(crate) fn add_assign_rows_portable(dst: &mut [f64], src: &[f64]) {
+    let n = dst.len().min(src.len());
+    let (dc, dr) = dst[..n].split_at_mut(n - n % LANES);
+    let (sc, sr) = src[..n].split_at(n - n % LANES);
+    for (d8, s8) in dc.chunks_exact_mut(LANES).zip(sc.chunks_exact(LANES)) {
+        for l in 0..LANES {
+            d8[l] += s8[l];
+        }
+    }
+    for (d, s) in dr.iter_mut().zip(sr) {
+        *d += s;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn add_assign_rows_avx2(dst: &mut [f64], src: &[f64]) {
+    use std::arch::x86_64::*;
+    let n = dst.len().min(src.len());
+    let mut i = 0usize;
+    unsafe {
+        while i + 4 <= n {
+            let d = _mm256_loadu_pd(dst.as_ptr().add(i));
+            let s = _mm256_loadu_pd(src.as_ptr().add(i));
+            _mm256_storeu_pd(dst.as_mut_ptr().add(i), _mm256_add_pd(d, s));
+            i += 4;
+        }
+    }
+    while i < n {
+        dst[i] += src[i];
+        i += 1;
+    }
+}
+
+/// `dst[i] = (dst[i] - max).exp()` for every lane. The subtraction is
+/// elementwise (vectorizable); `exp` stays the scalar libm call per lane —
+/// a polynomial SIMD `exp` differs in ULPs, which would break bit-identity.
+pub fn sub_exp_rows(dst: &mut [f64], max: f64) {
+    for lw in dst {
+        *lw = (*lw - max).exp();
+    }
+}
+
+/// `dst[i] /= divisor` for every lane. Must stay a true division — folding
+/// it into a reciprocal multiply rounds differently.
+pub fn div_assign_rows(dst: &mut [f64], divisor: f64) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_enabled() {
+        // SAFETY: gated on runtime AVX2 detection.
+        unsafe { div_assign_rows_avx2(dst, divisor) };
+        return;
+    }
+    div_assign_rows_portable(dst, divisor);
+}
+
+pub(crate) fn div_assign_rows_portable(dst: &mut [f64], divisor: f64) {
+    let n = dst.len();
+    let (chunks, rest) = dst.split_at_mut(n - n % LANES);
+    for d8 in chunks.chunks_exact_mut(LANES) {
+        for d in d8 {
+            *d /= divisor;
+        }
+    }
+    for d in rest {
+        *d /= divisor;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn div_assign_rows_avx2(dst: &mut [f64], divisor: f64) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let mut i = 0usize;
+    unsafe {
+        let dv = _mm256_set1_pd(divisor);
+        while i + 4 <= n {
+            let d = _mm256_loadu_pd(dst.as_ptr().add(i));
+            _mm256_storeu_pd(dst.as_mut_ptr().add(i), _mm256_div_pd(d, dv));
+            i += 4;
+        }
+    }
+    while i < n {
+        dst[i] /= divisor;
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Log-sum-exp normalization (the from_log_weights kernel)
+// ---------------------------------------------------------------------------
+
+/// Chunked maximum of a log-weight row, `NEG_INFINITY` when empty.
+///
+/// Bit-identical to the scalar `fold(NEG_INFINITY, f64::max)` for every
+/// input: `f64::max` is associative and commutative over non-NaN values, a
+/// NaN operand never survives against any non-NaN (including the
+/// `NEG_INFINITY` each lane starts from), and a `-0.0`/`+0.0` ambiguity is
+/// harmless downstream because the maximum only ever feeds a subtraction
+/// whose result then runs through `exp` (and `exp(-0.0) == exp(0.0) == 1`).
+pub fn max_log_weights(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    let (chunks, rest) = xs.split_at(n - n % LANES);
+    let mut lanes = [f64::NEG_INFINITY; LANES];
+    for x8 in chunks.chunks_exact(LANES) {
+        for l in 0..LANES {
+            lanes[l] = lanes[l].max(x8[l]);
+        }
+    }
+    let mut max = lanes.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    for &x in rest {
+        max = max.max(x);
+    }
+    max
+}
+
+/// Normalize a row of unnormalized log-weights into probabilities in place:
+/// the vector-path equivalent of
+/// [`Posterior::from_log_weights`](crate::Posterior::from_log_weights),
+/// bit-identical to it for every input. Chunked max, scalar libm `exp` per
+/// lane, *sequential* sum (a single accumulator is never split), vectorized
+/// divide; degenerate rows (total mass zero) fall back to uniform.
+pub fn exp_normalize(row: &mut [f64]) {
+    assert!(!row.is_empty(), "need at least one location");
+    let max = max_log_weights(row);
+    sub_exp_rows(row, max);
+    let sum: f64 = row.iter().sum();
+    if sum > 0.0 {
+        div_assign_rows(row, sum);
+    } else {
+        let uniform = 1.0 / row.len() as f64;
+        row.iter_mut().for_each(|p| *p = uniform);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched dot products (lane = candidate)
+// ---------------------------------------------------------------------------
+
+/// One point-evidence dot product, in the scalar reference order — the
+/// summation order every lane of [`dot_batch`] replicates.
+pub fn dot(q: &[f64], row: &[f64]) -> f64 {
+    q.iter().zip(row).map(|(q, v)| q * v).sum()
+}
+
+/// Up to [`LANES`] independent dot products evaluated in lockstep:
+/// `out[l] = dot(qs[l], rows[l])`.
+///
+/// This is the lane-per-candidate kernel of the M-step: each lane keeps its
+/// own accumulator and walks locations in exactly the scalar [`dot`] order,
+/// so every output is bit-identical to calling [`dot`] per lane — the lanes
+/// only break the single serial multiply-add dependency chain (the dominant
+/// cost of evidence evaluation) into `LANES` independent ones.
+pub fn dot_batch(qs: &[&[f64]], rows: &[&[f64]], out: &mut [f64]) {
+    debug_assert_eq!(qs.len(), rows.len());
+    debug_assert!(out.len() >= qs.len());
+    let mut lane = 0usize;
+    while lane + LANES <= qs.len() {
+        let q8: &[&[f64]] = &qs[lane..lane + LANES];
+        let r8: &[&[f64]] = &rows[lane..lane + LANES];
+        let n = q8[0].len();
+        // `Iterator::sum::<f64>()` folds from `-0.0`; start every lane there
+        // so zero-sign behaviour matches the scalar dot bitwise.
+        let mut acc = [-0.0f64; LANES];
+        if q8.iter().all(|q| q.len() == n) && r8.iter().all(|r| r.len() >= n) {
+            for a in 0..n {
+                for l in 0..LANES {
+                    acc[l] += q8[l][a] * r8[l][a];
+                }
+            }
+            out[lane..lane + LANES].copy_from_slice(&acc);
+        } else {
+            for l in 0..LANES {
+                out[lane + l] = dot(q8[l], r8[l]);
+            }
+        }
+        lane += LANES;
+    }
+    for l in lane..qs.len() {
+        out[l] = dot(qs[l], rows[l]);
+    }
+}
+
+/// Up to [`LANES`] dot products against one **shared** row:
+/// `out[l] = dot(qs[l], row)`.
+///
+/// The transposed M-step evaluates every active candidate's point evidence
+/// at one epoch against the same object loglik row; sharing the row halves
+/// the loads per lane (the row stays hot while the lane posteriors stream).
+/// Each lane keeps its own accumulator in the scalar [`dot`] order, so every
+/// output is bit-identical to calling [`dot`] per lane.
+pub fn dot_many_shared(qs: &[&[f64]], row: &[f64], out: &mut [f64]) {
+    debug_assert!(out.len() >= qs.len());
+    let n = row.len();
+    if qs.iter().all(|q| q.len() == n) {
+        for (l, q) in qs.iter().enumerate() {
+            // `Iterator::sum::<f64>()` folds from `-0.0`; start there so
+            // zero-sign behaviour matches the scalar dot bitwise.
+            let mut acc = -0.0f64;
+            for a in 0..n {
+                acc += q[a] * row[a];
+            }
+            out[l] = acc;
+        }
+    } else {
+        for (l, q) in qs.iter().enumerate() {
+            out[l] = dot(q, row);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Argmax (lane = candidate)
+// ---------------------------------------------------------------------------
+
+/// Index of the maximum weight with **later ties winning** (`w >= best`),
+/// `None` on an empty slice — the argmax rule of the reference M-step.
+///
+/// Chunks are only a fast *filter*: a chunk is skipped when no lane compares
+/// `>=` the running best (every lane `< best`, and a NaN lane compares false
+/// exactly as it would in the scalar scan), otherwise the chunk is rescanned
+/// scalar from its first lane with the running best carried in. The selected
+/// index is therefore identical to the scalar scan for every input,
+/// including NaN weights and a NaN running best.
+pub fn argmax_ties_last(ws: &[f64]) -> Option<usize> {
+    if ws.is_empty() {
+        return None;
+    }
+    let mut best = ws[0];
+    let mut best_at = 0usize;
+    let mut i = 1usize;
+    while i < ws.len() {
+        let end = (i + LANES).min(ws.len());
+        let chunk = &ws[i..end];
+        // A lane can only move the running best if it compares >= to the
+        // best at chunk entry: the best is non-decreasing inside a chunk
+        // (and a NaN best rejects every comparison, scalar and here alike).
+        if chunk.iter().any(|&w| w >= best) {
+            for (off, &w) in chunk.iter().enumerate() {
+                if w >= best {
+                    best = w;
+                    best_at = i + off;
+                }
+            }
+        }
+        i = end;
+    }
+    Some(best_at)
+}
+
+// ---------------------------------------------------------------------------
+// Reassociating kernels (opt-in via RfInferConfig::fast_math only)
+// ---------------------------------------------------------------------------
+
+/// Sum with [`LANES`] partial accumulators. **Reassociates** the addition
+/// order, so the result differs from the sequential sum in the last ULPs —
+/// only used when `fast_math` is enabled, and excluded from the equivalence
+/// tests.
+pub fn sum_fast(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    let (chunks, rest) = xs.split_at(n - n % LANES);
+    let mut lanes = [0.0f64; LANES];
+    for x8 in chunks.chunks_exact(LANES) {
+        for l in 0..LANES {
+            lanes[l] += x8[l];
+        }
+    }
+    lanes.iter().sum::<f64>() + rest.iter().sum::<f64>()
+}
+
+/// Dot product with [`LANES`] partial accumulators — the `fast_math`
+/// counterpart of [`dot`]. **Reassociates**; see [`sum_fast`].
+pub fn dot_fast(q: &[f64], row: &[f64]) -> f64 {
+    let n = q.len().min(row.len());
+    let (qc, qr) = q[..n].split_at(n - n % LANES);
+    let (rc, rr) = row[..n].split_at(n - n % LANES);
+    let mut lanes = [0.0f64; LANES];
+    for (q8, r8) in qc.chunks_exact(LANES).zip(rc.chunks_exact(LANES)) {
+        for l in 0..LANES {
+            lanes[l] += q8[l] * r8[l];
+        }
+    }
+    lanes.iter().sum::<f64>() + qr.iter().zip(rr).map(|(q, v)| q * v).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test rows exercising every remainder-lane shape (`0..=17`) and the
+    /// pathological values the posterior path can produce: `-inf` rows,
+    /// NaN-adjacent mixes and `-1e6`-offset log weights.
+    fn cases() -> Vec<Vec<f64>> {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for n in 0..=17usize {
+            // Deterministic pseudo-random log weights with sign structure.
+            let base: Vec<f64> = (0..n)
+                .map(|i| -((i * 37 % 23) as f64) * 1.37 - 0.01 * i as f64)
+                .collect();
+            rows.push(base.clone());
+            // All -inf.
+            rows.push(vec![f64::NEG_INFINITY; n]);
+            // -inf interleaved with finite lanes.
+            rows.push(
+                base.iter()
+                    .enumerate()
+                    .map(|(i, &x)| if i % 3 == 0 { f64::NEG_INFINITY } else { x })
+                    .collect(),
+            );
+            // Deeply offset log weights (posterior.rs's -1e6 regime).
+            rows.push(base.iter().map(|&x| x - 1e6).collect());
+            // NaN-adjacent: NaN lanes scattered through finite weights.
+            rows.push(
+                base.iter()
+                    .enumerate()
+                    .map(|(i, &x)| if i % 4 == 1 { f64::NAN } else { x })
+                    .collect(),
+            );
+            // Tiny magnitudes around the subnormal boundary.
+            rows.push(base.iter().map(|&x| x * 1e-308).collect());
+        }
+        rows
+    }
+
+    fn scalar_max(xs: &[f64]) -> f64 {
+        xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Scalar reference of the normalization, copied from
+    /// `Posterior::from_log_weights`.
+    fn scalar_normalize(row: &mut [f64]) {
+        let max = scalar_max(row);
+        for lw in row.iter_mut() {
+            *lw = (*lw - max).exp();
+        }
+        let sum: f64 = row.iter().sum();
+        if sum > 0.0 {
+            for p in row.iter_mut() {
+                *p /= sum;
+            }
+        } else {
+            let uniform = 1.0 / row.len() as f64;
+            row.iter_mut().for_each(|p| *p = uniform);
+        }
+    }
+
+    #[test]
+    fn max_matches_scalar_fold_bitwise() {
+        for case in cases() {
+            let got = max_log_weights(&case);
+            let want = scalar_max(&case);
+            assert_eq!(got.to_bits(), want.to_bits(), "case {case:?}");
+        }
+    }
+
+    #[test]
+    fn add_assign_matches_scalar_bitwise() {
+        for case in cases() {
+            let src: Vec<f64> = case.iter().map(|&x| x * 0.5 - 1.0).collect();
+            let mut got = case.clone();
+            add_assign_rows(&mut got, &src);
+            let mut portable = case.clone();
+            add_assign_rows_portable(&mut portable, &src);
+            let mut want = case.clone();
+            for (d, s) in want.iter_mut().zip(&src) {
+                *d += s;
+            }
+            for i in 0..want.len() {
+                assert_eq!(got[i].to_bits(), want[i].to_bits(), "case {case:?}");
+                assert_eq!(portable[i].to_bits(), want[i].to_bits(), "case {case:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn div_assign_matches_scalar_bitwise() {
+        for case in cases() {
+            for divisor in [3.0f64, 1e-12, 7.77e300] {
+                let mut got = case.clone();
+                div_assign_rows(&mut got, divisor);
+                let mut portable = case.clone();
+                div_assign_rows_portable(&mut portable, divisor);
+                let mut want = case.clone();
+                for d in want.iter_mut() {
+                    *d /= divisor;
+                }
+                for i in 0..want.len() {
+                    assert_eq!(got[i].to_bits(), want[i].to_bits(), "case {case:?}");
+                    assert_eq!(portable[i].to_bits(), want[i].to_bits(), "case {case:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exp_normalize_matches_from_log_weights_bitwise() {
+        for case in cases() {
+            if case.is_empty() {
+                continue;
+            }
+            let mut got = case.clone();
+            exp_normalize(&mut got);
+            let mut want = case.clone();
+            scalar_normalize(&mut want);
+            for i in 0..want.len() {
+                assert_eq!(
+                    got[i].to_bits(),
+                    want[i].to_bits(),
+                    "lane {i} of case {case:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_batch_matches_scalar_dots_bitwise() {
+        let rows = cases();
+        // Build lane batches of every width 0..=17 from consecutive cases of
+        // equal length, paired with a second operand derived from each.
+        for width in 0..=17usize {
+            for n in [0usize, 1, 7, 8, 9, 16, 17] {
+                let qs_owned: Vec<Vec<f64>> = (0..width)
+                    .map(|l| {
+                        (0..n)
+                            .map(|i| ((i + l * 11) % 13) as f64 * 0.7 - 3.0)
+                            .collect()
+                    })
+                    .collect();
+                let rows_owned: Vec<Vec<f64>> = (0..width)
+                    .map(|l| (0..n).map(|i| -(((i * 5 + l) % 19) as f64) * 1.1).collect())
+                    .collect();
+                let qs: Vec<&[f64]> = qs_owned.iter().map(|v| v.as_slice()).collect();
+                let vrows: Vec<&[f64]> = rows_owned.iter().map(|v| v.as_slice()).collect();
+                let mut out = vec![0.0f64; width];
+                dot_batch(&qs, &vrows, &mut out);
+                for l in 0..width {
+                    let want = dot(qs[l], vrows[l]);
+                    assert_eq!(out[l].to_bits(), want.to_bits(), "lane {l} width {width}");
+                }
+            }
+        }
+        // Pathological lanes: -inf and NaN-adjacent operands.
+        for case in rows.iter().filter(|c| !c.is_empty()) {
+            let q: Vec<f64> = case.iter().map(|&x| (x * 0.01).exp()).collect();
+            let qs = [q.as_slice(), q.as_slice()];
+            let vrows = [case.as_slice(), case.as_slice()];
+            let mut out = [0.0f64; 2];
+            dot_batch(&qs, &vrows, &mut out);
+            let want = dot(&q, case);
+            assert_eq!(out[0].to_bits(), want.to_bits());
+            assert_eq!(out[1].to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn dot_many_shared_matches_scalar_dots_bitwise() {
+        for width in 0..=17usize {
+            for n in [0usize, 1, 7, 8, 9, 16, 17] {
+                let row: Vec<f64> = (0..n).map(|i| -(((i * 5) % 19) as f64) * 1.1).collect();
+                let qs_owned: Vec<Vec<f64>> = (0..width)
+                    .map(|l| {
+                        (0..n)
+                            .map(|i| ((i + l * 11) % 13) as f64 * 0.7 - 3.0)
+                            .collect()
+                    })
+                    .collect();
+                let qs: Vec<&[f64]> = qs_owned.iter().map(|v| v.as_slice()).collect();
+                let mut out = vec![0.0f64; width];
+                dot_many_shared(&qs, &row, &mut out);
+                for l in 0..width {
+                    let want = dot(qs[l], &row);
+                    assert_eq!(out[l].to_bits(), want.to_bits(), "lane {l} width {width}");
+                }
+            }
+        }
+        // Pathological shared rows (-inf, NaN-scattered, -1e6 offsets) and a
+        // length-mismatched lane falling back to the scalar dot.
+        for case in cases().iter().filter(|c| !c.is_empty()) {
+            let q: Vec<f64> = case.iter().map(|&x| (x * 0.01).exp()).collect();
+            let short = &q[..q.len() - 1];
+            let qs = [q.as_slice(), short, q.as_slice()];
+            let mut out = [0.0f64; 3];
+            dot_many_shared(&qs, case, &mut out);
+            for (l, q) in qs.iter().enumerate() {
+                assert_eq!(out[l].to_bits(), dot(q, case).to_bits(), "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn argmax_matches_scalar_scan_for_all_inputs() {
+        fn scalar_argmax(ws: &[f64]) -> Option<usize> {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, &w) in ws.iter().enumerate() {
+                if best.is_none_or(|(_, bw)| w >= bw) {
+                    best = Some((i, w));
+                }
+            }
+            best.map(|(i, _)| i)
+        }
+        for case in cases() {
+            assert_eq!(argmax_ties_last(&case), scalar_argmax(&case), "{case:?}");
+        }
+        // Ties must pick the later lane, across chunk boundaries too.
+        let mut tied = vec![1.0f64; 17];
+        tied[3] = 5.0;
+        tied[12] = 5.0;
+        assert_eq!(argmax_ties_last(&tied), Some(12));
+        // NaN running best sticks, exactly like the scalar scan.
+        let nan_first = [f64::NAN, 3.0, 7.0];
+        assert_eq!(argmax_ties_last(&nan_first), Some(0));
+        // A NaN after a finite best never wins and never blocks later lanes.
+        let nan_mid: Vec<f64> = (0..17)
+            .map(|i| if i == 9 { f64::NAN } else { i as f64 })
+            .collect();
+        assert_eq!(argmax_ties_last(&nan_mid), Some(16));
+    }
+
+    #[test]
+    fn fast_kernels_stay_close_but_are_not_required_to_match() {
+        // The fast kernels reassociate: assert they agree to float tolerance
+        // (their contract) without pinning bits.
+        for n in [0usize, 1, 7, 8, 9, 16, 17, 100] {
+            let xs: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+            let ys: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+            let seq_sum: f64 = xs.iter().sum();
+            assert!((sum_fast(&xs) - seq_sum).abs() <= 1e-9 * (1.0 + seq_sum.abs()));
+            let seq_dot = dot(&xs, &ys);
+            assert!((dot_fast(&xs, &ys) - seq_dot).abs() <= 1e-9 * (1.0 + seq_dot.abs()));
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_paths_match_portable_bitwise_when_supported() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        for case in cases() {
+            let src: Vec<f64> = case.iter().map(|&x| x * 0.9 + 0.1).collect();
+            let mut a = case.clone();
+            let mut b = case.clone();
+            // SAFETY: feature checked above.
+            unsafe { add_assign_rows_avx2(&mut a, &src) };
+            add_assign_rows_portable(&mut b, &src);
+            assert_eq!(
+                a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+            let mut a = case.clone();
+            let mut b = case.clone();
+            // SAFETY: feature checked above.
+            unsafe { div_assign_rows_avx2(&mut a, 3.7) };
+            div_assign_rows_portable(&mut b, 3.7);
+            assert_eq!(
+                a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+}

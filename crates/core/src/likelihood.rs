@@ -23,16 +23,39 @@ pub struct LikelihoodModel {
     rates: ReadRateTable,
     /// `log_all_miss[a] = sum_r log (1 - pi(r, a))`.
     log_all_miss: Vec<f64>,
+    /// Row-major correction rows, one per reader:
+    /// `corr[r * R + a] = log pi(r, a) - log (1 - pi(r, a))`.
+    ///
+    /// Precomputing these once per model turns every loglik row fill into a
+    /// copy of the all-miss row plus one elementwise row add per firing
+    /// reader — no `ln` in any inner loop. Each entry is the same
+    /// `log_hit - log_miss` subtraction [`Self::tag_loglik`] performs, so
+    /// adding a correction row is bit-identical to the scalar loop.
+    corr: Vec<f64>,
 }
 
 impl LikelihoodModel {
     /// Build the model from a read-rate table.
     pub fn new(rates: ReadRateTable) -> LikelihoodModel {
-        let log_all_miss = rates.locations().map(|a| rates.log_all_miss(a)).collect();
+        let log_all_miss: Vec<f64> = rates.locations().map(|a| rates.log_all_miss(a)).collect();
+        let mut corr = Vec::with_capacity(rates.num_locations() * rates.num_locations());
+        for r in rates.locations() {
+            for a in rates.locations() {
+                corr.push(rates.log_hit(r, a) - rates.log_miss(r, a));
+            }
+        }
         LikelihoodModel {
             rates,
             log_all_miss,
+            corr,
         }
+    }
+
+    /// The precomputed per-location correction row of one reader:
+    /// `corr_row(r)[a] = log pi(r, a) - log (1 - pi(r, a))`.
+    pub fn corr_row(&self, r: LocationId) -> &[f64] {
+        let n = self.num_locations();
+        &self.corr[r.index() * n..(r.index() + 1) * n]
     }
 
     /// The read-rate table the model was built from.
@@ -102,6 +125,32 @@ impl LikelihoodModel {
         for readers in sets {
             for at in self.locations() {
                 table.rows.push(self.tag_loglik(readers, at));
+            }
+        }
+    }
+
+    /// Vector-path variant of [`Self::fill_reader_set_table`]: each row
+    /// starts as a copy of the all-miss row and gains one lane-parallel
+    /// [`kernels::add_assign_rows`](crate::dense::kernels::add_assign_rows)
+    /// of the firing reader's correction row, in reader order. Per location
+    /// that is the same addition sequence as [`Self::tag_loglik`], so the
+    /// table is bit-identical to the scalar fill.
+    pub fn fill_reader_set_table_vector<'s>(
+        &self,
+        sets: impl IntoIterator<Item = &'s [LocationId]>,
+        table: &mut ReaderSetTable,
+    ) {
+        let n = self.num_locations();
+        table.rows.clear();
+        table.num_locations = n;
+        for readers in sets {
+            let start = table.rows.len();
+            table.rows.extend_from_slice(&self.log_all_miss);
+            for &r in readers {
+                crate::dense::kernels::add_assign_rows(
+                    &mut table.rows[start..start + n],
+                    self.corr_row(r),
+                );
             }
         }
     }

@@ -27,25 +27,40 @@ impl Posterior {
     /// Uses the log-sum-exp trick so that very negative log-likelihoods do
     /// not underflow.
     pub fn from_log_weights(mut log_weights: Vec<f64>) -> Posterior {
-        assert!(!log_weights.is_empty(), "need at least one location");
-        let max = log_weights
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
-        for lw in &mut log_weights {
-            *lw = (*lw - max).exp();
-        }
-        let mut probs = log_weights;
-        let sum: f64 = probs.iter().sum();
-        if sum > 0.0 {
-            for p in &mut probs {
-                *p /= sum;
-            }
-        } else {
-            let uniform = 1.0 / probs.len() as f64;
-            probs.iter_mut().for_each(|p| *p = uniform);
-        }
+        normalize_log_weights(&mut log_weights);
+        Posterior { probs: log_weights }
+    }
+
+    /// Rebuild a posterior from an already-normalized probability row — the
+    /// arena layout of the cross-run cache stores rows flat, and inflating
+    /// one back into a `Posterior` copies the bits verbatim.
+    pub(crate) fn from_probs(probs: Vec<f64>) -> Posterior {
         Posterior { probs }
+    }
+
+    /// Vector-path variant of [`Self::from_log_weights`], normalizing
+    /// through the chunk-of-8 kernels
+    /// ([`kernels::exp_normalize`](crate::dense::kernels::exp_normalize)):
+    /// chunked max, scalar libm `exp` per lane, sequential sum, vectorized
+    /// divide. Bit-identical to the scalar constructor for every input.
+    pub fn from_log_weights_vector(mut log_weights: Vec<f64>) -> Posterior {
+        crate::dense::kernels::exp_normalize(&mut log_weights);
+        Posterior { probs: log_weights }
+    }
+
+    /// [`Self::map_location`] over a borrowed probability row (ascending
+    /// location order), without materializing a `Posterior`: the same
+    /// later-ties-win `max_by` scan, so the result is identical for any row
+    /// a normalization kernel produced. Lets callers that only need the MAP
+    /// location normalize into a reusable scratch buffer instead of
+    /// allocating per epoch.
+    pub fn map_location_of_row(probs: &[f64]) -> LocationId {
+        let (idx, _) = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .expect("non-empty");
+        LocationId(idx as u16)
     }
 
     /// The uniform distribution over `n` locations.
@@ -79,6 +94,12 @@ impl Posterior {
         LocationId(idx as u16)
     }
 
+    /// The probability row itself, in ascending location order — the lane
+    /// layout the dense kernels consume.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
     /// Number of locations.
     pub fn len(&self) -> usize {
         self.probs.len()
@@ -102,8 +123,40 @@ impl Posterior {
     /// `sum_a q(a) row[a]`, summed in the same order as `expect`, so the
     /// result is bit-identical to evaluating the function per location.
     pub fn expect_row(&self, row: &[f64]) -> f64 {
-        self.probs.iter().zip(row).map(|(q, v)| q * v).sum()
+        expect_row_of(&self.probs, row)
     }
+}
+
+/// Normalize a row of unnormalized log-weights in place (the body of
+/// [`Posterior::from_log_weights`], usable on a slice of a posterior arena):
+/// log-sum-exp shift, scalar `exp` per entry, sequential sum, divide — or the
+/// uniform fallback when everything underflowed.
+pub fn normalize_log_weights(log_weights: &mut [f64]) {
+    assert!(!log_weights.is_empty(), "need at least one location");
+    let max = log_weights
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    for lw in log_weights.iter_mut() {
+        *lw = (*lw - max).exp();
+    }
+    let probs = log_weights;
+    let sum: f64 = probs.iter().sum();
+    if sum > 0.0 {
+        for p in probs.iter_mut() {
+            *p /= sum;
+        }
+    } else {
+        let uniform = 1.0 / probs.len() as f64;
+        probs.iter_mut().for_each(|p| *p = uniform);
+    }
+}
+
+/// [`Posterior::expect_row`] over a borrowed probability row — the same
+/// zipped multiply-accumulate in the same order, so the result is
+/// bit-identical for rows taken out of a posterior arena.
+pub fn expect_row_of(q: &[f64], row: &[f64]) -> f64 {
+    q.iter().zip(row).map(|(q, v)| q * v).sum()
 }
 
 /// Compute the E-step posterior for one container at one epoch.
@@ -147,6 +200,64 @@ pub fn container_posterior_rows<'r>(
         }
     }
     Posterior::from_log_weights(log_weights)
+}
+
+/// Vector-path variant of [`container_posterior_rows`]: the member rows
+/// accumulate through the lane-parallel
+/// [`kernels::add_assign_rows`](crate::dense::kernels::add_assign_rows)
+/// (elementwise, member order preserved per location) and the normalization
+/// runs in place through [`Posterior::from_log_weights_vector`]. Bit-identical
+/// to the scalar variant for every input.
+pub fn container_posterior_rows_vector<'r>(
+    base_row: &[f64],
+    member_rows: impl Iterator<Item = &'r [f64]>,
+) -> Posterior {
+    let mut log_weights = base_row.to_vec();
+    for row in member_rows {
+        crate::dense::kernels::add_assign_rows(&mut log_weights, row);
+    }
+    Posterior::from_log_weights_vector(log_weights)
+}
+
+/// [`container_posterior_rows`] writing its normalized row onto the tail of a
+/// posterior arena instead of materializing a `Posterior`: appends the base
+/// row, accumulates each member row elementwise in member order, then
+/// normalizes the tail in place. The exact operation sequence of the
+/// allocating variant, so the stored row is bit-identical.
+pub fn container_posterior_row_into<'r>(
+    base_row: &[f64],
+    member_rows: impl Iterator<Item = &'r [f64]>,
+    out: &mut Vec<f64>,
+) {
+    let start = out.len();
+    out.extend_from_slice(base_row);
+    let tail = &mut out[start..];
+    for row in member_rows {
+        for (lw, v) in tail.iter_mut().zip(row) {
+            *lw += v;
+        }
+    }
+    normalize_log_weights(tail);
+}
+
+/// Vector-path variant of [`container_posterior_row_into`]: member rows
+/// accumulate through the lane-parallel
+/// [`kernels::add_assign_rows`](crate::dense::kernels::add_assign_rows) and
+/// the tail normalizes through
+/// [`kernels::exp_normalize`](crate::dense::kernels::exp_normalize).
+/// Bit-identical to the scalar variant for every input.
+pub fn container_posterior_row_into_vector<'r>(
+    base_row: &[f64],
+    member_rows: impl Iterator<Item = &'r [f64]>,
+    out: &mut Vec<f64>,
+) {
+    let start = out.len();
+    out.extend_from_slice(base_row);
+    let tail = &mut out[start..];
+    for row in member_rows {
+        crate::dense::kernels::add_assign_rows(tail, row);
+    }
+    crate::dense::kernels::exp_normalize(tail);
 }
 
 #[cfg(test)]

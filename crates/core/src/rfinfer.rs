@@ -49,6 +49,20 @@ pub struct RfInferConfig {
     /// tree solver is kept as the reference the equivalence tests compare
     /// against.
     pub dense: bool,
+    /// Whether the dense solver's inner loops run through the chunk-of-8
+    /// vector kernels ([`crate::dense::kernels`]): lane-parallel loglik row
+    /// fills, in-place log-sum-exp normalization, batched point-evidence
+    /// dot products and the epoch-indexed candidate-pruning pass. The
+    /// kernels vectorize across locations/candidates only — never across
+    /// the terms of one accumulator — so outcomes, reuse counters and wire
+    /// bytes are **bit-identical** with the flag on or off; off exists as
+    /// the exactness reference the equivalence tests sweep.
+    pub vector_kernels: bool,
+    /// Opt-in reassociating kernels (multi-accumulator sums and dot
+    /// products). Faster but **not** bit-identical to the reference
+    /// summation order — off by default and excluded from the equivalence
+    /// tests. Ignored unless `vector_kernels` is also on.
+    pub fast_math: bool,
 }
 
 impl Default for RfInferConfig {
@@ -59,6 +73,8 @@ impl Default for RfInferConfig {
             candidate_pruning: true,
             memoization: true,
             dense: true,
+            vector_kernels: true,
+            fast_math: false,
         }
     }
 }
@@ -373,13 +389,30 @@ pub(crate) const MAX_CACHED_VARIANTS: usize = 4;
 
 /// One E-step *variant* of a container: the per-epoch posteriors computed
 /// over one member set, plus the point-evidence series each object computed
-/// against those posteriors. The posterior series is stored as an
-/// epoch-sorted slice (not a tree), which both solvers walk with cursors.
+/// against those posteriors. The posterior series is stored columnar — an
+/// epoch-sorted key vector plus one flat row arena holding every posterior's
+/// probability row back to back — so the dense solver walks and reuses the
+/// rows without touching a per-posterior allocation.
 #[derive(Debug, Clone)]
 pub(crate) struct CachedVariant {
     pub(crate) members: Vec<TagId>,
-    pub(crate) per_epoch: Vec<(Epoch, Posterior)>,
+    /// Epochs of the cached posteriors, ascending.
+    pub(crate) epochs: Vec<Epoch>,
+    /// Probability rows of the cached posteriors, concatenated in epoch
+    /// order; row width is `qrows.len() / epochs.len()`.
+    pub(crate) qrows: Vec<f64>,
     pub(crate) evidence: BTreeMap<TagId, Vec<(Epoch, f64)>>,
+}
+
+impl CachedVariant {
+    /// The cached posteriors as `(epoch, row)` pairs, in epoch order.
+    fn rows(&self) -> impl Iterator<Item = (Epoch, &[f64])> {
+        let width = self.qrows.len().checked_div(self.epochs.len()).unwrap_or(0);
+        self.epochs
+            .iter()
+            .copied()
+            .zip(self.qrows.chunks_exact(width.max(1)))
+    }
 }
 
 /// Working state of one container during an EM run.
@@ -408,9 +441,16 @@ struct Variant {
 
 impl Variant {
     fn into_cached(self) -> CachedVariant {
+        let mut epochs = Vec::with_capacity(self.per_epoch.len());
+        let mut qrows = Vec::with_capacity(self.per_epoch.iter().map(|(_, q)| q.len()).sum());
+        for (t, q) in &self.per_epoch {
+            epochs.push(*t);
+            qrows.extend_from_slice(q.probs());
+        }
         CachedVariant {
             members: self.members,
-            per_epoch: self.per_epoch,
+            epochs,
+            qrows,
             evidence: self.evidence,
         }
     }
@@ -440,7 +480,7 @@ impl EvidenceCache {
         self.containers
             .values()
             .flat_map(|variants| variants.iter())
-            .map(|v| v.per_epoch.len())
+            .map(|v| v.epochs.len())
             .sum()
     }
 
@@ -760,8 +800,16 @@ impl<'a> RfInfer<'a> {
                         .position(|v| v.members == members)
                         .map(|i| variants.swap_remove(i))
                 });
-                let (prev_per_epoch, prev_evidence) = match matched {
-                    Some(v) => (v.per_epoch, v.evidence),
+                // Inflate the columnar cache rows back into per-epoch
+                // posteriors; each row's bits are copied verbatim, so every
+                // downstream reuse decision sees the exact cached values.
+                let (prev_per_epoch, prev_evidence): (Vec<(Epoch, Posterior)>, _) = match matched {
+                    Some(v) => (
+                        v.rows()
+                            .map(|(t, row)| (t, Posterior::from_probs(row.to_vec())))
+                            .collect(),
+                        v.evidence,
+                    ),
                     None => (Vec::new(), BTreeMap::new()),
                 };
                 // Changes after the cached horizon cannot invalidate

@@ -90,34 +90,55 @@ pub fn critical_region(
     }
     let candidates: Vec<&Vec<(Epoch, f64)>> = evidence.point_evidence.values().collect();
 
-    // Slide the window with two monotone cursors per candidate instead of
-    // rescanning each full series per end epoch. The summed elements and
-    // their order are exactly those of the naive filter, so the sums (and
-    // hence the selected region) are bit-identical.
-    let mut cursors: Vec<(usize, usize)> = vec![(0, 0); candidates.len()];
+    // The most recent qualifying window wins, so slide the window BACKWARDS
+    // from the latest end epoch and stop at the first qualifying one — the
+    // same region a forward scan would keep ("overwrite with the most
+    // recent"), found without evaluating the windows before it. The cursors
+    // stay monotone (they only ever decrease), every evaluated window's sum
+    // is the same ascending-epoch sequential sum the forward scan computes,
+    // and the margin test only needs the two largest sums, so the selected
+    // region is bit-identical to the naive filter's.
+    let mut cursors: Vec<(usize, usize)> = candidates
+        .iter()
+        .map(|series| (series.len(), series.len()))
+        .collect();
     let mut sums: Vec<f64> = Vec::with_capacity(candidates.len());
-    let mut best: Option<CriticalRegion> = None;
-    for &end in &epochs {
+    for &end in epochs.iter().rev() {
         let start = end.minus(window_secs);
         // Sum each candidate's point evidence inside [start, end].
         sums.clear();
         for (series, (lo, hi)) in candidates.iter().zip(cursors.iter_mut()) {
-            while *hi < series.len() && series[*hi].0 <= end {
-                *hi += 1;
+            while *hi > 0 && series[*hi - 1].0 > end {
+                *hi -= 1;
             }
-            while *lo < series.len() && series[*lo].0 < start {
-                *lo += 1;
+            while *lo > 0 && series[*lo - 1].0 >= start {
+                *lo -= 1;
             }
             let sum: f64 = series[*lo..*hi].iter().map(|&(_, e)| e).sum();
             sums.push(sum);
         }
-        sums.sort_by(|a, b| b.partial_cmp(a).unwrap());
-        if sums.len() >= 2 && sums[0] - sums[1] >= margin {
-            // Most recent qualifying window wins (overwrite).
-            best = Some(CriticalRegion { start, end });
+        // Largest and second-largest sum — what the descending sort's first
+        // two entries were, with the same NaN strictness.
+        let mut top = f64::NEG_INFINITY;
+        let mut second = f64::NEG_INFINITY;
+        for &sum in &sums {
+            match sum.partial_cmp(&top).expect("NaN evidence sum") {
+                std::cmp::Ordering::Greater => {
+                    second = top;
+                    top = sum;
+                }
+                _ => {
+                    if sum > second {
+                        second = sum;
+                    }
+                }
+            }
+        }
+        if sums.len() >= 2 && top - second >= margin {
+            return Some(CriticalRegion { start, end });
         }
     }
-    best
+    None
 }
 
 /// The retention plan produced by a truncation policy: per tag, the inclusive

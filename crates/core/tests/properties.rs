@@ -125,8 +125,9 @@ proptest! {
     /// `BTreeMap`-keyed tree reference under arbitrary interleavings of
     /// observations, collapsed-state and critical-region-readings imports,
     /// forgets and inference runs — with the cross-run cache (`incremental`)
-    /// both on and off, and with change-point detection (whose truncations
-    /// feed the dirty journal) active throughout.
+    /// both on and off, with the chunk-of-8 vector kernels both on and off,
+    /// and with change-point detection (whose truncations feed the dirty
+    /// journal) active throughout.
     #[test]
     fn dense_solver_matches_tree_reference(
         ops in prop::collection::vec(
@@ -138,7 +139,10 @@ proptest! {
             .with_period(10)
             .with_recent_history(25)
             .with_fixed_threshold(5.0);
-        // Four engines fed identically: {dense, tree} × {incremental, full}.
+        // Six engines fed identically: {dense, tree} × {incremental, full},
+        // plus the dense pair again with the vector kernels disabled — the
+        // scalar dense path is the exactness reference for the chunk-of-8
+        // kernels, so all six must agree bitwise.
         let rates = ReadRateTable::diagonal(3, 0.8, 1e-4);
         let mut engines = [
             InferenceEngine::new(config.clone().with_dense(true), rates.clone()),
@@ -148,7 +152,18 @@ proptest! {
                 rates.clone(),
             ),
             InferenceEngine::new(
-                config.with_dense(false).with_incremental(false),
+                config.clone().with_dense(false).with_incremental(false),
+                rates.clone(),
+            ),
+            InferenceEngine::new(
+                config.clone().with_dense(true).with_vector_kernels(false),
+                rates.clone(),
+            ),
+            InferenceEngine::new(
+                config
+                    .with_dense(true)
+                    .with_vector_kernels(false)
+                    .with_incremental(false),
                 rates,
             ),
         ];
@@ -216,7 +231,9 @@ proptest! {
                     let dense_incr = &reports[0];
                     for (label, other) in
                         [("tree-incr", &reports[1]), ("dense-full", &reports[2]),
-                         ("tree-full", &reports[3])]
+                         ("tree-full", &reports[3]),
+                         ("dense-incr-scalar", &reports[4]),
+                         ("dense-full-scalar", &reports[5])]
                     {
                         prop_assert_eq!(&dense_incr.outcome, &other.outcome,
                             "{} outcome diverged at op {} (epoch {:?})", label, i, now);
@@ -227,10 +244,13 @@ proptest! {
                             other.retained_observations
                         );
                     }
-                    // The two incremental solvers replay the same reuse
-                    // decisions, so their accounting matches exactly too.
+                    // The incremental solvers replay the same reuse
+                    // decisions, so their accounting matches exactly too —
+                    // the vector kernels must not change what gets reused.
                     prop_assert_eq!(reports[0].stats, reports[1].stats,
                         "dense-incr vs tree-incr reuse counters diverged at op {}", i);
+                    prop_assert_eq!(reports[0].stats, reports[4].stats,
+                        "dense-incr vs dense-incr-scalar reuse counters diverged at op {}", i);
                     prop_assert_eq!(engines[0].containment(), engines[1].containment());
                     prop_assert_eq!(engines[0].containment(), engines[2].containment());
                     prop_assert_eq!(
