@@ -79,12 +79,20 @@ pub(crate) fn add_assign_rows_portable(dst: &mut [f64], src: &[f64]) {
     }
 }
 
+/// AVX2 arm of [`add_assign_rows`].
+///
+/// # Safety
+/// The caller must ensure the `avx2` target feature is available at runtime
+/// (checked by `avx2_enabled()` at every call site).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn add_assign_rows_avx2(dst: &mut [f64], src: &[f64]) {
     use std::arch::x86_64::*;
     let n = dst.len().min(src.len());
     let mut i = 0usize;
+    // SAFETY: every load/store stays in bounds — `i + 4 <= n` with
+    // `n <= dst.len()` and `n <= src.len()` — and `f64` has no validity
+    // invariants an unaligned load could break.
     unsafe {
         while i + 4 <= n {
             let d = _mm256_loadu_pd(dst.as_ptr().add(i));
@@ -133,12 +141,19 @@ pub(crate) fn div_assign_rows_portable(dst: &mut [f64], divisor: f64) {
     }
 }
 
+/// AVX2 arm of [`div_assign_rows`].
+///
+/// # Safety
+/// The caller must ensure the `avx2` target feature is available at runtime
+/// (checked by `avx2_enabled()` at every call site).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn div_assign_rows_avx2(dst: &mut [f64], divisor: f64) {
     use std::arch::x86_64::*;
     let n = dst.len();
     let mut i = 0usize;
+    // SAFETY: every load/store stays in bounds (`i + 4 <= n == dst.len()`),
+    // and `f64` has no validity invariants an unaligned load could break.
     unsafe {
         let dv = _mm256_set1_pd(divisor);
         while i + 4 <= n {
@@ -174,6 +189,7 @@ pub fn max_log_weights(xs: &[f64]) -> f64 {
             lanes[l] = lanes[l].max(x8[l]);
         }
     }
+    // LINT-ALLOW(float-exactness): reduces the lane maxima; `f64::max` is order-independent for every reachable input (see the doc comment's argument)
     let mut max = lanes.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     for &x in rest {
         max = max.max(x);
@@ -232,6 +248,7 @@ pub fn dot_batch(qs: &[&[f64]], rows: &[&[f64]], out: &mut [f64]) {
         if q8.iter().all(|q| q.len() == n) && r8.iter().all(|r| r.len() >= n) {
             for a in 0..n {
                 for l in 0..LANES {
+                    // LINT-ALLOW(float-exactness): each lane owns one whole dot product in scalar term order; no single sum is ever split across lanes
                     acc[l] += q8[l][a] * r8[l][a];
                 }
             }
@@ -323,6 +340,7 @@ pub fn argmax_ties_last(ws: &[f64]) -> Option<usize> {
 /// order, so the result differs from the sequential sum in the last ULPs —
 /// only used when `fast_math` is enabled, and excluded from the equivalence
 /// tests.
+// EXACTNESS: reassociating (fast_math only)
 pub fn sum_fast(xs: &[f64]) -> f64 {
     let n = xs.len();
     let (chunks, rest) = xs.split_at(n - n % LANES);
@@ -337,6 +355,7 @@ pub fn sum_fast(xs: &[f64]) -> f64 {
 
 /// Dot product with [`LANES`] partial accumulators — the `fast_math`
 /// counterpart of [`dot`]. **Reassociates**; see [`sum_fast`].
+// EXACTNESS: reassociating (fast_math only)
 pub fn dot_fast(q: &[f64], row: &[f64]) -> f64 {
     let n = q.len().min(row.len());
     let (qc, qr) = q[..n].split_at(n - n % LANES);
@@ -385,6 +404,25 @@ mod tests {
             );
             // Tiny magnitudes around the subnormal boundary.
             rows.push(base.iter().map(|&x| x * 1e-308).collect());
+            // Signed-zero mixes: the -0.0/+0.0 pair compares equal but is
+            // bitwise distinct, so any kernel that reorders a max or seeds an
+            // accumulator from the wrong zero shows up here.
+            rows.push(
+                (0..n)
+                    .map(|i| if i % 2 == 0 { -0.0 } else { 0.0 })
+                    .collect(),
+            );
+            // Signed zeros against -inf and NaN lanes.
+            rows.push(
+                (0..n)
+                    .map(|i| match i % 4 {
+                        0 => -0.0,
+                        1 => f64::NEG_INFINITY,
+                        2 => 0.0,
+                        _ => f64::NAN,
+                    })
+                    .collect(),
+            );
         }
         rows
     }
@@ -474,6 +512,37 @@ mod tests {
                     got[i].to_bits(),
                     want[i].to_bits(),
                     "lane {i} of case {case:?}"
+                );
+            }
+        }
+    }
+
+    /// The copied `scalar_normalize` above could drift from the shipping
+    /// reference without failing anything; pin the kernel (and the copy) to
+    /// the real `posterior::normalize_log_weights`, bit for bit, on every
+    /// case including the signed-zero and NaN mixes.
+    #[test]
+    fn exp_normalize_matches_real_posterior_reference_bitwise() {
+        for case in cases() {
+            if case.is_empty() {
+                continue;
+            }
+            let mut got = case.clone();
+            exp_normalize(&mut got);
+            let mut want = case.clone();
+            crate::posterior::normalize_log_weights(&mut want);
+            let mut copy = case.clone();
+            scalar_normalize(&mut copy);
+            for i in 0..want.len() {
+                assert_eq!(
+                    got[i].to_bits(),
+                    want[i].to_bits(),
+                    "kernel vs posterior reference, lane {i} of case {case:?}"
+                );
+                assert_eq!(
+                    copy[i].to_bits(),
+                    want[i].to_bits(),
+                    "copied test reference drifted from posterior::normalize_log_weights, lane {i} of case {case:?}"
                 );
             }
         }

@@ -153,6 +153,7 @@ impl InferenceEngine {
     /// unchanged; otherwise it recomputes from scratch. The two modes produce
     /// bit-identical reports (up to wall-clock and reuse counters).
     pub fn run_inference(&mut self, now: Epoch) -> InferenceReport {
+        // LINT-ALLOW(no-wall-clock): feeds only InferenceStats::elapsed, which never branches inference; logical time is the `now: Epoch` argument
         let started = Instant::now();
         // Calibrate the change threshold up front (it is lazy and needs
         // `&mut self`; everything after this runs on disjoint borrows).

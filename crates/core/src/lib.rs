@@ -50,6 +50,12 @@
 //! ```
 
 #![warn(missing_docs)]
+// The one crate allowed to contain `unsafe` (the AVX2 dense kernels): every
+// unsafe operation must be spelled out inside its own block, and every block
+// justified — enforced here by rustc/clippy and repo-wide by `rfid-lint`'s
+// `undocumented-unsafe` rule (`docs/INVARIANTS.md`).
+#![deny(unsafe_op_in_unsafe_fn)]
+#![deny(clippy::undocumented_unsafe_blocks)]
 
 pub mod changepoint;
 pub mod config;

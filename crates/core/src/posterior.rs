@@ -136,6 +136,7 @@ pub fn normalize_log_weights(log_weights: &mut [f64]) {
     let max = log_weights
         .iter()
         .copied()
+        // LINT-ALLOW(float-exactness): this fold IS the scalar reference order that the dense kernels must reproduce; `f64::max` is order-independent here besides
         .fold(f64::NEG_INFINITY, f64::max);
     for lw in log_weights.iter_mut() {
         *lw = (*lw - max).exp();

@@ -1,0 +1,26 @@
+//# path: crates/query/src/fixture_clock.rs
+//! Seeded violations for R5: no wall-clock reads in solver/replay paths.
+
+use std::time::{Instant, SystemTime};
+
+fn replay_step() {
+    let started = Instant::now(); // EXPECT(no-wall-clock)
+    let _ = started;
+}
+
+fn stamp() -> SystemTime {
+    SystemTime::now() // EXPECT(no-wall-clock)
+}
+
+fn waived_timer() {
+    let t = Instant::now(); // LINT-ALLOW(no-wall-clock): feeds the stats report only
+    let _ = t;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,25 @@
+//# path: crates/dist/src/fixture_collections.rs
+//! Seeded violations for R3: no hash-randomized iteration order.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn randomized_map() -> HashMap<u64, u32> { // EXPECT(nondeterministic-collections)
+    HashMap::new() // EXPECT(nondeterministic-collections)
+}
+
+fn randomized_set(tags: &[u64]) -> HashSet<u64> { // EXPECT(nondeterministic-collections)
+    tags.iter().copied().collect()
+}
+
+fn seeded_state() {
+    let state = std::collections::hash_map::RandomState::new(); // EXPECT(nondeterministic-collections)
+    let _ = state;
+}
+
+fn deterministic_map(pairs: &[(u64, u32)]) -> BTreeMap<u64, u32> {
+    pairs.iter().copied().collect()
+}
+
+fn explicit_hasher() -> HashMap<u64, u32, std::hash::BuildHasherDefault<FxHasher>> {
+    HashMap::default()
+}

@@ -1,0 +1,29 @@
+//# path: crates/wire/src/fixture_decode.rs
+//! Seeded violations for R2: wire decode paths must be panic-free.
+
+fn decode_header(bytes: &[u8]) -> u8 {
+    let first = bytes.first().unwrap(); // EXPECT(panic-free-decode)
+    *first
+}
+
+fn decode_len(bytes: &[u8]) -> u8 {
+    bytes[0] // EXPECT(panic-free-decode)
+}
+
+fn decode_tag(ok: bool) {
+    if !ok {
+        panic!("bad tag"); // EXPECT(panic-free-decode)
+    }
+}
+
+fn encode_frame(out: &mut Vec<u8>, idx: Option<u8>) {
+    out.push(idx.expect("interned during encode"));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_are_fine_in_tests() {
+        assert_eq!(super::decode_len(&[7]), 7);
+    }
+}

@@ -1,0 +1,28 @@
+//# path: crates/core/src/fixture_unsafe.rs
+//! Seeded violations for R1: every `unsafe` needs a safety justification.
+
+fn undocumented_block() {
+    unsafe { core::hint::unreachable_unchecked() } // EXPECT(undocumented-unsafe)
+}
+
+unsafe fn undocumented_fn(p: *const u8) -> u8 { // EXPECT(undocumented-unsafe)
+    *p
+}
+
+fn waived_block(p: *const u8) -> u8 {
+    // LINT-ALLOW(undocumented-unsafe): seeded fixture exercising the waiver path
+    unsafe { *p }
+}
+
+// SAFETY: the caller guarantees `p` is valid for reads.
+fn documented_block(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+/// Reads one byte.
+///
+/// # Safety
+/// `p` must be valid for reads.
+unsafe fn documented_fn(p: *const u8) -> u8 {
+    *p
+}

@@ -1,0 +1,17 @@
+//# path: crates/core/src/fixture_waivers.rs
+//! Waiver hygiene: reasonless and stale waivers are findings themselves.
+
+fn reasonless_waiver(p: *const u8) -> u8 {
+    // LINT-ALLOW(undocumented-unsafe) EXPECT(malformed-waiver)
+    unsafe { *p } // EXPECT(undocumented-unsafe)
+}
+
+fn stale_waiver() -> u32 {
+    // LINT-ALLOW(no-wall-clock): nothing below reads a clock now EXPECT(unused-waiver)
+    42
+}
+
+fn healthy_waiver(p: *const u8) -> u8 {
+    // LINT-ALLOW(undocumented-unsafe): seeded fixture demonstrating a used waiver
+    unsafe { *p }
+}

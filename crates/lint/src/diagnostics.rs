@@ -1,0 +1,203 @@
+//! Diagnostics, waiver application, and output formatting.
+//!
+//! Rules emit raw diagnostics; the driver then applies the file's
+//! `// LINT-ALLOW(rule): reason` waivers. Waivers are themselves linted:
+//! one without a reason is a `malformed-waiver` finding, and one that no
+//! longer suppresses anything is an `unused-waiver` finding — so stale
+//! annotations cannot accumulate as the code underneath them changes.
+
+use crate::scope::FileContext;
+use std::fmt;
+
+/// One finding: a rule fired at a `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule name (e.g. `panic-free-decode`).
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human explanation of what fired and how to fix or waive it.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build one diagnostic.
+    pub fn new(rule: &str, path: &str, line: u32, message: String) -> Diagnostic {
+        Diagnostic {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            line,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Rule name for a waiver with an empty reason.
+pub const MALFORMED_WAIVER: &str = "malformed-waiver";
+/// Rule name for a waiver that suppressed nothing.
+pub const UNUSED_WAIVER: &str = "unused-waiver";
+
+/// Apply the file's waivers to `raw` diagnostics: suppressed findings are
+/// dropped; malformed and unused waivers become findings of their own.
+pub fn apply_waivers(file: &FileContext, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut used = vec![false; file.waivers.len()];
+    let mut out = Vec::new();
+    for d in raw {
+        let waived = file
+            .waivers
+            .iter()
+            .enumerate()
+            .find(|(_, w)| w.rule == d.rule && !w.reason.is_empty() && w.target_line == d.line);
+        match waived {
+            Some((idx, _)) => used[idx] = true,
+            None => out.push(d),
+        }
+    }
+    for (w, used) in file.waivers.iter().zip(&used) {
+        if w.reason.is_empty() {
+            out.push(Diagnostic::new(
+                MALFORMED_WAIVER,
+                &file.path,
+                w.line,
+                format!(
+                    "`LINT-ALLOW({})` without a reason; write `LINT-ALLOW({}): <why this is sound>`",
+                    w.rule, w.rule
+                ),
+            ));
+        } else if !used {
+            out.push(Diagnostic::new(
+                UNUSED_WAIVER,
+                &file.path,
+                w.line,
+                format!(
+                    "`LINT-ALLOW({})` no longer suppresses anything on line {}; remove it",
+                    w.rule, w.target_line
+                ),
+            ));
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    out
+}
+
+/// Render diagnostics as a JSON array (`--json` mode). Hand-rolled because
+/// the linter is dependency-free by design: it must lint the workspace even
+/// when the workspace itself does not build.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+            json_str(&d.rule),
+            json_str(&d.path),
+            d.line,
+            json_str(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::run_all;
+
+    fn lint(path: &str, src: &str) -> Vec<Diagnostic> {
+        let ctx = FileContext::new(path.to_string(), lex(src));
+        apply_waivers(&ctx, run_all(&ctx))
+    }
+
+    #[test]
+    fn waivers_suppress_exactly_their_rule_and_line() {
+        let src = "\
+fn f() {
+    // LINT-ALLOW(undocumented-unsafe): checked by the caller's feature gate
+    unsafe { g() }
+    unsafe { h() }
+}
+";
+        let d = lint("crates/core/src/x.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn wrong_rule_name_does_not_suppress_and_reports_unused() {
+        let src = "\
+fn f() {
+    // LINT-ALLOW(no-wall-clock): wrong rule for this site
+    unsafe { g() }
+}
+";
+        let d = lint("crates/core/src/x.rs", src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().any(|d| d.rule == "undocumented-unsafe"));
+        assert!(d.iter().any(|d| d.rule == UNUSED_WAIVER));
+    }
+
+    #[test]
+    fn reasonless_waivers_are_flagged_and_do_not_suppress() {
+        let src = "\
+fn f() {
+    // LINT-ALLOW(undocumented-unsafe)
+    unsafe { g() }
+}
+";
+        let d = lint("crates/core/src/x.rs", src);
+        assert!(d.iter().any(|d| d.rule == MALFORMED_WAIVER));
+        assert!(d.iter().any(|d| d.rule == "undocumented-unsafe"));
+    }
+
+    #[test]
+    fn json_output_escapes_and_lists() {
+        let diags = vec![Diagnostic::new(
+            "r",
+            "a/b.rs",
+            3,
+            "uses `\"quotes\"` and\nnewlines".to_string(),
+        )];
+        let json = to_json(&diags);
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.starts_with('['));
+        assert_eq!(to_json(&[]), "[]\n");
+    }
+}

@@ -1,0 +1,111 @@
+//! CLI driver for `rfid-lint`.
+//!
+//! ```text
+//! rfid-lint --check            # lint the workspace; exit 1 on any finding
+//! rfid-lint --check --json     # same, diagnostics as a JSON array
+//! rfid-lint --self-test        # run the seeded-violation fixture suite
+//! rfid-lint --root <dir>       # override workspace-root discovery
+//! ```
+//!
+//! Without `--check` or `--self-test` the linter prints findings but always
+//! exits 0 (advisory mode, useful while iterating on a fix).
+
+use rfid_lint::{find_root, lint_workspace, self_test, to_json};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut json = false;
+    let mut run_self_test = false;
+    let mut root_override: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--json" => json = true,
+            "--self-test" => run_self_test = true,
+            "--root" => match args.next() {
+                Some(dir) => root_override = Some(PathBuf::from(dir)),
+                None => return usage("--root requires a directory argument"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: rfid-lint [--check] [--json] [--self-test] [--root <dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root_override
+        .or_else(|| std::env::current_dir().ok().and_then(|cwd| find_root(&cwd)))
+    {
+        Some(root) => root,
+        None => {
+            eprintln!("rfid-lint: could not find a workspace root (no Cargo.toml with [workspace]); pass --root");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if run_self_test {
+        let fixtures = root.join("crates").join("lint").join("fixtures");
+        return match self_test(&fixtures) {
+            Ok(report) => {
+                for m in &report.matched {
+                    println!("self-test ok: {m}");
+                }
+                for f in &report.failures {
+                    eprintln!("self-test FAIL: {f}");
+                }
+                for r in &report.silent_rules {
+                    eprintln!("self-test FAIL: rule `{r}` never fired across the fixture set");
+                }
+                if report.passed() {
+                    println!(
+                        "self-test passed: {} expected findings fired, all rules exercised",
+                        report.matched.len()
+                    );
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("rfid-lint: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match lint_workspace(&root) {
+        Ok(diags) => {
+            if json {
+                print!("{}", to_json(&diags));
+            } else {
+                for d in &diags {
+                    println!("{d}");
+                }
+                if diags.is_empty() {
+                    eprintln!("rfid-lint: workspace clean");
+                } else {
+                    eprintln!("rfid-lint: {} finding(s)", diags.len());
+                }
+            }
+            if check && !diags.is_empty() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("rfid-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("rfid-lint: {msg}");
+    eprintln!("usage: rfid-lint [--check] [--json] [--self-test] [--root <dir>]");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,194 @@
+//! Workspace discovery: which files the linter scans, and the fixture
+//! self-test that keeps the gate honest.
+//!
+//! The scan covers every `.rs` file under a `src/` directory of the
+//! workspace (the root facade's `src/` and each `crates/*/src/`, compat
+//! shims included). Integration tests, examples and benches are out of
+//! scope — the invariants protect shipped code paths — and the linter's own
+//! seeded-violation fixtures (`crates/lint/fixtures/`) are excluded from
+//! the workspace scan because violating the rules is their job.
+
+use crate::diagnostics::{apply_waivers, Diagnostic};
+use crate::lexer::lex;
+use crate::rules::{run_all, ALL_RULES};
+use crate::scope::FileContext;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Find the workspace root: walk up from `start` to the first directory
+/// whose `Cargo.toml` contains a `[workspace]` table.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// All `.rs` files in scope, as `(absolute path, workspace-relative path)`,
+/// sorted by relative path so diagnostics are deterministic.
+pub fn workspace_files(root: &Path) -> Vec<(PathBuf, String)> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files);
+    files.sort_by(|a, b| a.1.cmp(&b.1));
+    files
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<(PathBuf, String)>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if matches!(name.as_str(), "target" | ".git" | "fixtures") {
+                continue;
+            }
+            walk(root, &path, out);
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            // Shipped code lives under a src/ directory; tests/examples/
+            // benches directories are out of scope.
+            let in_src = rel.starts_with("src/") || rel.contains("/src/");
+            if in_src {
+                out.push((path, rel));
+            }
+        }
+    }
+}
+
+/// Lint one file's source text under its workspace-relative path.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let ctx = FileContext::new(rel_path.to_string(), lex(source));
+    apply_waivers(&ctx, run_all(&ctx))
+}
+
+/// Lint the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let files = workspace_files(root);
+    if files.is_empty() {
+        return Err(format!("no .rs files found under {}", root.display()));
+    }
+    let mut out = Vec::new();
+    for (abs, rel) in files {
+        let source = fs::read_to_string(&abs)
+            .map_err(|e| format!("failed to read {}: {e}", abs.display()))?;
+        out.extend(lint_source(&rel, &source));
+    }
+    Ok(out)
+}
+
+/// Outcome of the fixture self-test.
+#[derive(Debug, Default)]
+pub struct SelfTestReport {
+    /// Expected findings that fired (as `rule@file:line`).
+    pub matched: Vec<String>,
+    /// Mismatches: expected-but-missing or fired-but-unexpected findings.
+    pub failures: Vec<String>,
+    /// Rules that never fired across all fixtures.
+    pub silent_rules: Vec<String>,
+}
+
+impl SelfTestReport {
+    /// Whether every expectation matched and every rule fired.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty() && self.silent_rules.is_empty()
+    }
+}
+
+/// Run the linter against the seeded-violation fixtures in `fixtures_dir`.
+///
+/// Each fixture declares its virtual workspace path on the first line
+/// (`//# path: crates/wire/src/fixture.rs`) — that is what gives the rules
+/// their scope — and marks every line a rule must fire on with a trailing
+/// `// EXPECT(rule-name)` comment. The self-test demands an *exact* match:
+/// every expected finding fires, nothing else fires, and across the whole
+/// fixture set every rule in [`ALL_RULES`] fires at least once. CI runs this
+/// so the workspace gate cannot silently rot.
+pub fn self_test(fixtures_dir: &Path) -> Result<SelfTestReport, String> {
+    let mut report = SelfTestReport::default();
+    let mut fired_rules: Vec<String> = Vec::new();
+    let mut fixtures: Vec<PathBuf> = fs::read_dir(fixtures_dir)
+        .map_err(|e| format!("failed to read {}: {e}", fixtures_dir.display()))?
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    fixtures.sort();
+    if fixtures.is_empty() {
+        return Err(format!("no fixtures found in {}", fixtures_dir.display()));
+    }
+    for fixture in fixtures {
+        let source = fs::read_to_string(&fixture)
+            .map_err(|e| format!("failed to read {}: {e}", fixture.display()))?;
+        let display = fixture
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let Some(virtual_path) = source
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("//# path:"))
+            .map(str::trim)
+        else {
+            report.failures.push(format!(
+                "{display}: missing `//# path:` directive on line 1"
+            ));
+            continue;
+        };
+        // Expected findings: every `EXPECT(rule)` names its own line.
+        let mut expected: Vec<(String, u32)> = Vec::new();
+        for (lineno, line) in source.lines().enumerate() {
+            let mut rest = line;
+            while let Some(at) = rest.find("EXPECT(") {
+                rest = &rest[at + "EXPECT(".len()..];
+                if let Some(close) = rest.find(')') {
+                    expected.push((rest[..close].to_string(), lineno as u32 + 1));
+                    rest = &rest[close + 1..];
+                } else {
+                    break;
+                }
+            }
+        }
+        let got: Vec<(String, u32)> = lint_source(virtual_path, &source)
+            .into_iter()
+            .map(|d| (d.rule, d.line))
+            .collect();
+        for (rule, line) in &expected {
+            if got.iter().filter(|(r, l)| r == rule && l == line).count() == 1 {
+                report.matched.push(format!("{rule}@{display}:{line}"));
+                fired_rules.push(rule.clone());
+            } else {
+                report.failures.push(format!(
+                    "{display}:{line}: expected `{rule}` to fire exactly once, diagnostics were {got:?}"
+                ));
+            }
+        }
+        for (rule, line) in &got {
+            if !expected.iter().any(|(r, l)| r == rule && l == line) {
+                report.failures.push(format!(
+                    "{display}:{line}: unexpected `{rule}` finding (no EXPECT marker)"
+                ));
+            }
+        }
+    }
+    for rule in ALL_RULES {
+        if !fired_rules.iter().any(|r| r == rule) {
+            report.silent_rules.push(rule.to_string());
+        }
+    }
+    Ok(report)
+}

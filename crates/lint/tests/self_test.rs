@@ -1,0 +1,36 @@
+//! CI-facing guarantees of the linter itself: the seeded fixtures trip every
+//! rule exactly where marked, and the real workspace is clean.
+
+use std::path::Path;
+
+#[test]
+fn fixtures_fire_every_rule_exactly_as_marked() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let report = rfid_lint::self_test(&fixtures).expect("fixture dir readable");
+    assert!(
+        report.passed(),
+        "failures: {:#?}\nsilent rules: {:?}",
+        report.failures,
+        report.silent_rules
+    );
+    assert!(
+        report.matched.len() >= 10,
+        "fixture set looks thin: only {} expected findings fired",
+        report.matched.len()
+    );
+}
+
+#[test]
+fn workspace_has_no_unwaived_findings() {
+    let root = rfid_lint::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let diags = rfid_lint::lint_workspace(&root).expect("lint runs");
+    assert!(
+        diags.is_empty(),
+        "workspace findings:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -316,13 +316,13 @@ fn check_header(bytes: &[u8], kind: u8) -> Result<Reader<'_>, WireError> {
     let mut r = Reader::new(bytes);
     let version = r.get_u8()?;
     if version != WIRE_VERSION {
-        return Err(WireError::new(format!(
+        return Err(WireError::bad_header(format!(
             "unsupported wire version {version} (this codec speaks {WIRE_VERSION})"
         )));
     }
     let got = r.get_u8()?;
     if got != kind {
-        return Err(WireError::new(format!(
+        return Err(WireError::bad_header(format!(
             "payload kind mismatch: expected {kind:#04x}, got {got:#04x}"
         )));
     }
@@ -337,6 +337,14 @@ fn get_epoch(raw: i64) -> Result<Epoch, WireError> {
     u32::try_from(raw)
         .map(Epoch)
         .map_err(|_| WireError::new("epoch out of u32 range"))
+}
+
+/// Accumulate one zigzag delta onto a running base without wrapping: a
+/// hostile message can place each individual delta in range while their sum
+/// overflows `i64` (an abort under `overflow-checks`, silent wrap without).
+fn checked_delta(base: i64, delta: i64, what: &str) -> Result<i64, WireError> {
+    base.checked_add(delta)
+        .ok_or_else(|| WireError::length_overflow(what))
 }
 
 /// Optional tag reference against a table: `0` for `None`, `1 + index`
@@ -438,7 +446,7 @@ fn decode_reading_seq(r: &mut Reader<'_>, table: &TagTable) -> Result<Vec<RawRea
     let mut prev_epoch = 0i64;
     for _ in 0..count {
         let tag = table.tag_at(r.get_varint()?)?;
-        let epoch = get_epoch(prev_epoch + r.get_zigzag()?)?;
+        let epoch = get_epoch(checked_delta(prev_epoch, r.get_zigzag()?, "reading epoch")?)?;
         prev_epoch = i64::from(epoch.0);
         let reader = r.get_varint()?;
         let reader = u16::try_from(reader)
@@ -487,7 +495,11 @@ fn decode_automaton(r: &mut Reader<'_>) -> Result<AutomatonState, WireError> {
             let mut readings = Vec::with_capacity(count.min(1 << 20));
             let mut prev_epoch = i64::from(since.0);
             for _ in 0..count {
-                let epoch = get_epoch(prev_epoch + r.get_zigzag()?)?;
+                let epoch = get_epoch(checked_delta(
+                    prev_epoch,
+                    r.get_zigzag()?,
+                    "automaton epoch",
+                )?)?;
                 prev_epoch = i64::from(epoch.0);
                 readings.push((epoch, r.get_f64()?));
             }
@@ -545,7 +557,7 @@ fn decode_delta(r: &mut Reader<'_>) -> Result<StateDelta, WireError> {
             let mut edits = Vec::with_capacity(count.min(1 << 20));
             let mut prev_pos = 0i64;
             for _ in 0..count {
-                let pos = prev_pos + r.get_zigzag()?;
+                let pos = checked_delta(prev_pos, r.get_zigzag()?, "edit position")?;
                 prev_pos = pos;
                 let pos = u32::try_from(pos)
                     .map_err(|_| WireError::new("edit position out of u32 range"))?;

@@ -58,25 +58,83 @@ impl fmt::Display for WireFormat {
     }
 }
 
+/// What went wrong while decoding, machine-matchable.
+///
+/// The distributed layer retries or quarantines a peer differently depending
+/// on whether its bytes were cut short in transit ([`Truncated`]), speak a
+/// different protocol ([`BadHeader`]), or are internally inconsistent
+/// ([`LengthOverflow`], [`Malformed`]) — so the kind is part of the decode
+/// contract, not just the message text.
+///
+/// [`Truncated`]: WireErrorKind::Truncated
+/// [`BadHeader`]: WireErrorKind::BadHeader
+/// [`LengthOverflow`]: WireErrorKind::LengthOverflow
+/// [`Malformed`]: WireErrorKind::Malformed
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireErrorKind {
+    /// The buffer ended mid-field: a well-formed prefix of a longer message.
+    Truncated,
+    /// The version byte or payload-kind tag is not one this codec speaks.
+    BadHeader,
+    /// A length prefix or delta-encoded value overflows its target type —
+    /// the message lies about its own size.
+    LengthOverflow,
+    /// Structurally invalid content (bad table index, out-of-range enum
+    /// discriminant, trailing bytes, …).
+    Malformed,
+    /// The JSON fallback format failed to parse.
+    Json,
+}
+
 /// Decoding failure: corrupted, truncated, mis-versioned or mis-typed bytes.
 ///
 /// Encoding never fails; decoding validates the version header, the payload
 /// kind, every length prefix and every table index before building a value.
+/// Decoding *never panics* — arbitrary bytes from a peer surface as one of
+/// the [`WireErrorKind`]s (machine-checked by the `panic-free-decode` rule
+/// of `rfid-lint` and fuzzed in `tests/fuzz.rs`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireError {
+    kind: WireErrorKind,
     message: String,
 }
 
 impl WireError {
-    /// A decoding error with the given description.
+    /// A structurally-invalid-content error with the given description.
     pub fn new(message: impl Into<String>) -> WireError {
+        WireError::with_kind(WireErrorKind::Malformed, message)
+    }
+
+    /// An error of an explicit [`WireErrorKind`].
+    pub fn with_kind(kind: WireErrorKind, message: impl Into<String>) -> WireError {
         WireError {
+            kind,
             message: message.into(),
         }
     }
 
+    /// Which class of failure this is.
+    pub fn kind(&self) -> WireErrorKind {
+        self.kind
+    }
+
     pub(crate) fn truncated(what: &str) -> WireError {
-        WireError::new(format!("message truncated while reading {what}"))
+        WireError::with_kind(
+            WireErrorKind::Truncated,
+            format!("message truncated while reading {what}"),
+        )
+    }
+
+    pub(crate) fn bad_header(what: impl Into<String>) -> WireError {
+        WireError::with_kind(WireErrorKind::BadHeader, what)
+    }
+
+    pub(crate) fn length_overflow(what: &str) -> WireError {
+        WireError::with_kind(
+            WireErrorKind::LengthOverflow,
+            format!("length or delta overflows while reading {what}"),
+        )
     }
 }
 
@@ -90,7 +148,7 @@ impl std::error::Error for WireError {}
 
 impl From<serde_json::Error> for WireError {
     fn from(err: serde_json::Error) -> WireError {
-        WireError::new(format!("json payload: {err}"))
+        WireError::with_kind(WireErrorKind::Json, format!("json payload: {err}"))
     }
 }
 
@@ -109,7 +167,13 @@ mod tests {
     fn errors_format_and_convert() {
         let err = WireError::new("boom");
         assert!(err.to_string().contains("boom"));
+        assert_eq!(err.kind(), WireErrorKind::Malformed);
         let err = WireError::truncated("f64");
         assert!(err.to_string().contains("truncated"));
+        assert_eq!(err.kind(), WireErrorKind::Truncated);
+        let err = WireError::length_overflow("byte-string length");
+        assert_eq!(err.kind(), WireErrorKind::LengthOverflow);
+        let err = WireError::bad_header("version 9 is from the future");
+        assert_eq!(err.kind(), WireErrorKind::BadHeader);
     }
 }

@@ -121,23 +121,39 @@ impl<'a> Reader<'a> {
 
     /// Read an `f64` from its 8 raw little-endian bytes.
     pub fn get_f64(&mut self) -> Result<f64, WireError> {
-        if self.pos + 8 > self.bytes.len() {
-            return Err(WireError::truncated("f64"));
-        }
-        let mut raw = [0u8; 8];
-        raw.copy_from_slice(&self.bytes[self.pos..self.pos + 8]);
-        self.pos += 8;
+        let end = self
+            .pos
+            .checked_add(8)
+            .ok_or_else(|| WireError::length_overflow("f64"))?;
+        let raw: [u8; 8] = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| WireError::truncated("f64"))?
+            .try_into()
+            .map_err(|_| WireError::truncated("f64"))?;
+        self.pos = end;
         Ok(f64::from_bits(u64::from_le_bytes(raw)))
     }
 
     /// Read a length-prefixed byte string.
+    ///
+    /// The length prefix is validated before any allocation or slicing: a
+    /// prefix that would wrap `usize` (possible on declared lengths near
+    /// `u64::MAX`) is a [`LengthOverflow`](crate::WireErrorKind), not a
+    /// wrapped-around bounds check.
     pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
-        let len = self.get_varint()? as usize;
-        if self.pos + len > self.bytes.len() {
-            return Err(WireError::truncated("byte string"));
-        }
-        let out = self.bytes[self.pos..self.pos + len].to_vec();
-        self.pos += len;
+        let len = usize::try_from(self.get_varint()?)
+            .map_err(|_| WireError::length_overflow("byte string"))?;
+        let end = self
+            .pos
+            .checked_add(len)
+            .ok_or_else(|| WireError::length_overflow("byte string"))?;
+        let out = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| WireError::truncated("byte string"))?
+            .to_vec();
+        self.pos = end;
         Ok(out)
     }
 
@@ -196,6 +212,7 @@ impl TagTable {
     pub fn index_of(&self, tag: TagId) -> u64 {
         self.sorted
             .binary_search(&tag)
+            // LINT-ALLOW(panic-free-decode): encode-side lookup over the builder's own input; a miss is a codec bug, documented under # Panics above
             .expect("tag was interned when the table was built") as u64
     }
 

@@ -1,0 +1,278 @@
+//! Adversarial decoding: the wire decoder must treat every byte sequence —
+//! truncated, bit-flipped, or outright random — as data, never as a reason
+//! to panic. Valid encodings must additionally be *stable*: decoding and
+//! re-encoding reproduces the original bytes.
+//!
+//! This is the runtime half of the `panic-free-decode` invariant; the static
+//! half is enforced by `rfid-lint` over `crates/wire/src`.
+
+use proptest::prelude::*;
+use rfid_core::{CollapsedState, MigrationState, ReadingsState};
+use rfid_query::{AutomatonState, ObjectQueryState, SharedStateBundle, StateDelta};
+use rfid_types::{Epoch, RawReading, ReaderId, TagId};
+use rfid_wire::primitives::{Reader, TagTable, Writer};
+use rfid_wire::{WireCodec, WireErrorKind, WireFormat, WIRE_VERSION};
+
+fn binary() -> WireCodec {
+    WireCodec::new(WireFormat::Binary)
+}
+
+fn both() -> [WireCodec; 2] {
+    [
+        WireCodec::new(WireFormat::Binary),
+        WireCodec::new(WireFormat::Json),
+    ]
+}
+
+/// Run every decoder over `bytes`; the only acceptable outcomes are `Ok` and
+/// `Err` — a panic fails the test by unwinding.
+fn decode_everything(codec: &WireCodec, bytes: &[u8]) {
+    let _ = codec.decode_readings(bytes);
+    let _ = codec.decode_collapsed(bytes);
+    let _ = codec.decode_migration(bytes);
+    let _ = codec.decode_query_state(bytes);
+    let _ = codec.decode_bundle(bytes);
+    let _ = codec.state_from_payload(TagId::item(1), bytes);
+}
+
+fn arb_tag() -> impl Strategy<Value = TagId> {
+    (0u64..3, prop_oneof![0u64..200, Just((1u64 << 62) - 1)]).prop_map(
+        |(kind, serial)| match kind {
+            0 => TagId::item(serial),
+            1 => TagId::case(serial),
+            _ => TagId::pallet(serial),
+        },
+    )
+}
+
+fn arb_epoch() -> impl Strategy<Value = Epoch> {
+    prop_oneof![
+        (0u32..5000).prop_map(Epoch),
+        Just(Epoch(u32::MAX)),
+        Just(Epoch(0)),
+    ]
+}
+
+fn arb_weight() -> impl Strategy<Value = f64> {
+    prop_oneof![-1e6f64..1e6, Just(0.0f64), Just(-0.0f64), Just(-1e-300f64)]
+}
+
+fn arb_readings() -> impl Strategy<Value = Vec<RawReading>> {
+    prop::collection::vec(
+        (arb_epoch(), arb_tag(), 0u16..u16::MAX)
+            .prop_map(|(time, tag, reader)| RawReading::new(time, tag, ReaderId(reader))),
+        0..40,
+    )
+}
+
+fn arb_collapsed() -> impl Strategy<Value = CollapsedState> {
+    (
+        arb_tag(),
+        prop::collection::btree_map(arb_tag(), arb_weight(), 0..10),
+        prop::option::of(arb_tag()),
+    )
+        .prop_map(|(object, weights, container)| CollapsedState {
+            object,
+            weights,
+            container,
+        })
+}
+
+fn arb_migration() -> impl Strategy<Value = MigrationState> {
+    prop_oneof![
+        Just(MigrationState::None),
+        arb_collapsed().prop_map(MigrationState::Collapsed),
+        (arb_tag(), arb_readings(), prop::option::of(arb_tag())).prop_map(
+            |(object, readings, container)| {
+                MigrationState::Readings(ReadingsState {
+                    object,
+                    readings,
+                    container,
+                })
+            }
+        ),
+    ]
+}
+
+fn arb_query_state() -> impl Strategy<Value = ObjectQueryState> {
+    (
+        0u32..4,
+        arb_tag(),
+        prop_oneof![
+            Just(AutomatonState::Idle),
+            (
+                arb_epoch(),
+                prop::collection::vec((arb_epoch(), arb_weight()), 0..15),
+                any::<bool>(),
+            )
+                .prop_map(|(since, readings, fired)| AutomatonState::Accumulating {
+                    since,
+                    readings,
+                    fired,
+                }),
+        ],
+    )
+        .prop_map(|(q, tag, automaton)| ObjectQueryState {
+            query: format!("Q{q}"),
+            tag,
+            automaton,
+        })
+}
+
+fn arb_bundle() -> impl Strategy<Value = SharedStateBundle> {
+    (
+        arb_tag(),
+        prop::collection::vec(any::<u8>(), 0..32),
+        prop::collection::vec(
+            (
+                arb_tag(),
+                prop::collection::vec((0u32..4096, any::<u8>()), 0..8),
+                prop::collection::vec(any::<u8>(), 0..12),
+                0u32..8192,
+                prop::option::of(prop::collection::vec(any::<u8>(), 0..16)),
+            )
+                .prop_map(|(tag, mut edits, suffix, len, full)| {
+                    edits.sort_by_key(|&(pos, _)| pos);
+                    edits.dedup_by_key(|&mut (pos, _)| pos);
+                    let (edits, suffix) = if full.is_some() {
+                        (Vec::new(), Vec::new())
+                    } else {
+                        (edits, suffix)
+                    };
+                    StateDelta {
+                        tag,
+                        edits,
+                        suffix,
+                        len,
+                        full,
+                    }
+                }),
+            0..6,
+        ),
+    )
+        .prop_map(|(centroid_tag, centroid_bytes, deltas)| SharedStateBundle {
+            centroid_tag,
+            centroid_bytes,
+            deltas,
+        })
+}
+
+/// Valid binary encodings of every payload family, for mutation.
+fn arb_encoding() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        arb_readings().prop_map(|r| binary().encode_readings(&r)),
+        arb_collapsed().prop_map(|s| binary().encode_collapsed(&s)),
+        arb_migration().prop_map(|s| binary().encode_migration(&s)),
+        arb_query_state().prop_map(|s| binary().encode_query_state(&s)),
+        arb_bundle().prop_map(|b| binary().encode_bundle(&b)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_strict_prefix_errs_and_never_panics(bytes in arb_encoding()) {
+        // Binary messages either promise more bytes (truncation mid-field)
+        // or fail `expect_exhausted`; either way a strict prefix is an error,
+        // and crucially never an abort.
+        for cut in 0..bytes.len() {
+            let prefix = &bytes[..cut];
+            prop_assert!(binary().decode_readings(prefix).is_err());
+            prop_assert!(binary().decode_collapsed(prefix).is_err());
+            prop_assert!(binary().decode_migration(prefix).is_err());
+            prop_assert!(binary().decode_query_state(prefix).is_err());
+            prop_assert!(binary().decode_bundle(prefix).is_err());
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic(bytes in arb_encoding(), idx in any::<u16>(), bit in 0u8..8) {
+        // A single flipped bit may still decode (payload bits), may change
+        // the message meaning, or may corrupt structure — all fine, as long
+        // as no decoder panics.
+        let mut mutated = bytes;
+        if !mutated.is_empty() {
+            let at = idx as usize % mutated.len();
+            mutated[at] ^= 1 << bit;
+        }
+        for codec in both() {
+            decode_everything(&codec, &mutated);
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        for codec in both() {
+            decode_everything(&codec, &bytes);
+        }
+    }
+
+    #[test]
+    fn decoding_then_reencoding_is_stable(state in arb_collapsed()) {
+        for codec in both() {
+            let bytes = codec.encode_collapsed(&state);
+            let back = codec.decode_collapsed(&bytes).unwrap();
+            prop_assert_eq!(codec.encode_collapsed(&back), bytes.clone());
+        }
+    }
+
+    #[test]
+    fn reading_batches_reencode_stably(readings in arb_readings()) {
+        for codec in both() {
+            let bytes = codec.encode_readings(&readings);
+            let back = codec.decode_readings(&bytes).unwrap();
+            prop_assert_eq!(codec.encode_readings(&back), bytes.clone());
+        }
+    }
+}
+
+/// Each epoch delta below is individually a legal zigzag varint, but their
+/// running sum overflows `i64` — exactly the shape a hostile peer would send
+/// to abort a site built with `overflow-checks`. Must be a clean error.
+#[test]
+fn zigzag_delta_sum_overflow_is_an_error_not_an_abort() {
+    let tag = TagId::item(1);
+    let table = TagTable::from_tags([tag]);
+    let mut w = Writer::new();
+    w.put_u8(WIRE_VERSION);
+    w.put_u8(0x02); // KIND_READINGS
+    table.encode(&mut w);
+    w.put_varint(2); // two readings
+    w.put_varint(0); // reading 1: tag index
+    w.put_zigzag(i64::from(u32::MAX)); // epoch u32::MAX (valid)
+    w.put_varint(0); // reader id
+    w.put_varint(0); // reading 2: tag index
+    w.put_zigzag(i64::MAX); // prev + delta wraps i64
+    w.put_varint(0); // reader id
+    let err = binary()
+        .decode_readings(&w.into_bytes())
+        .expect_err("overflowing epoch delta must be rejected");
+    assert_eq!(err.kind(), WireErrorKind::LengthOverflow);
+}
+
+/// A declared byte-string length near `u64::MAX` used to wrap the
+/// `pos + len` bounds check in release builds and panic on the slice; it is
+/// now a typed `LengthOverflow`.
+#[test]
+fn huge_length_prefixes_are_length_overflow_errors() {
+    let mut w = Writer::new();
+    w.put_varint(u64::MAX);
+    let bytes = w.into_bytes();
+    let mut r = Reader::new(&bytes);
+    let err = r.get_bytes().expect_err("length prefix exceeds any buffer");
+    assert_eq!(err.kind(), WireErrorKind::LengthOverflow);
+}
+
+/// Truncation and bad headers surface as their own machine-matchable kinds.
+#[test]
+fn error_kinds_classify_truncation_and_headers() {
+    let valid = binary().encode_readings(&[RawReading::new(Epoch(3), TagId::item(1), ReaderId(0))]);
+    let err = binary().decode_readings(&valid[..1]).unwrap_err();
+    assert_eq!(err.kind(), WireErrorKind::Truncated);
+    let mut wrong_version = valid.clone();
+    wrong_version[0] = WIRE_VERSION + 1;
+    let err = binary().decode_readings(&wrong_version).unwrap_err();
+    assert_eq!(err.kind(), WireErrorKind::BadHeader);
+    // Valid header of the wrong payload kind.
+    let err = binary().decode_collapsed(&valid).unwrap_err();
+    assert_eq!(err.kind(), WireErrorKind::BadHeader);
+}
