@@ -12,13 +12,14 @@
 //! `BENCH_WIRE_OUT` environment variable), so the communication-cost
 //! trajectory is tracked across PRs; the `inference_dense` experiment does
 //! the same for solver wall-clock via `BENCH_infer.json` /
-//! `BENCH_INFER_OUT`.
+//! `BENCH_INFER_OUT`, and the `faults` experiment for fault-degradation
+//! tables via `BENCH_faults.json` / `BENCH_FAULTS_OUT`.
 
 use rfid_bench::{
-    fig4, fig5a, fig5b, fig5c, fig5d, fig5e, fig5f, fig6a, fig6b, incremental_inference,
-    infer_measurements, inference_dense_json, inference_dense_table, parallel_scaling, scalability,
-    table3, table4, table5, table_query, wire_formats_json, wire_formats_table, wire_measurements,
-    Scale,
+    fault_measurements, faults_json, faults_table, fig4, fig5a, fig5b, fig5c, fig5d, fig5e, fig5f,
+    fig6a, fig6b, incremental_inference, infer_measurements, inference_dense_json,
+    inference_dense_table, parallel_scaling, scalability, table3, table4, table5, table_query,
+    wire_formats_json, wire_formats_table, wire_measurements, Scale,
 };
 use rfid_eval::Series;
 use std::time::Instant;
@@ -42,6 +43,7 @@ const ALL: &[&str] = &[
     "incremental_inference",
     "inference_dense",
     "wire",
+    "faults",
 ];
 
 fn print_series(title: &str, series: &[Series]) {
@@ -112,6 +114,16 @@ fn run(name: &str, scale: Scale) {
                 std::env::var("BENCH_WIRE_OUT").unwrap_or_else(|_| "BENCH_wire.json".to_string());
             match std::fs::write(&path, wire_formats_json(scale, &measurements)) {
                 Ok(()) => eprintln!("[wire measurements written to {path}]"),
+                Err(err) => eprintln!("[failed to write {path}: {err}]"),
+            }
+        }
+        "faults" => {
+            let study = fault_measurements(scale);
+            println!("{}", faults_table(&study));
+            let path = std::env::var("BENCH_FAULTS_OUT")
+                .unwrap_or_else(|_| "BENCH_faults.json".to_string());
+            match std::fs::write(&path, faults_json(scale, &study)) {
+                Ok(()) => eprintln!("[fault measurements written to {path}]"),
                 Err(err) => eprintln!("[failed to write {path}: {err}]"),
             }
         }

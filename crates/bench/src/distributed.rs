@@ -9,7 +9,10 @@ use rfid_dist::{
 };
 use rfid_eval::{Series, Table};
 use rfid_query::{Alert, ExposureQuery, QueryProcessor};
-use rfid_sim::{ChainConfig, ChainTrace, SupplyChainSimulator, TemperatureModel, WarehouseConfig};
+use rfid_sim::{
+    presets, ChainConfig, ChainTrace, FaultPlan, FaultPlanConfig, SupplyChainSimulator,
+    TemperatureModel, WarehouseConfig,
+};
 use rfid_types::{Epoch, LocationId, ObjectEvent, TagId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
@@ -292,26 +295,15 @@ pub fn table_query(scale: Scale) -> Table {
 /// 2400 s, 20 items/case, 3 cases/pallet, seed 97 — 286,534 readings,
 /// 2,394 transfers, 1,200 objects.
 pub fn short_dwell_chain(scale: Scale, sites: u32) -> ChainTrace {
-    let mut warehouse = WarehouseConfig::default()
-        .with_length(match scale {
+    presets::short_dwell_chain(
+        match scale {
             Scale::Smoke => 1500,
             _ => 2400,
-        })
-        .with_items_per_case(scale.items_per_case() * 2)
-        .with_cases_per_pallet(scale.cases_per_pallet())
-        .with_seed(97);
-    // Short dwells: cases clear their shelves quickly, so objects hop
-    // sites often and migration work dominates.
-    warehouse.shelf_dwell_min = 60;
-    warehouse.shelf_dwell_max = 180;
-    warehouse.pallet_injection_interval = 120;
-    SupplyChainSimulator::new(ChainConfig {
-        warehouse,
-        num_warehouses: sites,
-        transit_secs: 60,
-        fanout: 2,
-    })
-    .generate()
+        },
+        sites,
+        scale.items_per_case() * 2,
+        scale.cases_per_pallet(),
+    )
 }
 
 /// Parallel scale-out: sequential vs sharded thread-per-site wall-clock of
@@ -758,6 +750,212 @@ pub fn wire_formats_json(scale: Scale, measurements: &[WireMeasurement]) -> Stri
     out
 }
 
+/// One per-strategy measurement of the fault-degradation study.
+#[derive(Debug, Clone)]
+pub struct FaultMeasurement {
+    /// Migration strategy name.
+    pub strategy: &'static str,
+    /// Containment accuracy (%) of the fault-free run.
+    pub baseline_accuracy: f64,
+    /// Containment accuracy (%) under the lossy fault plan.
+    pub faulted_accuracy: f64,
+    /// Total bytes on the wire without faults.
+    pub baseline_bytes: usize,
+    /// Total bytes on the wire under the fault plan (duplicated deliveries
+    /// are charged once; outage-dropped readings never ship).
+    pub faulted_bytes: usize,
+    /// Inter-site messages without faults.
+    pub baseline_messages: usize,
+    /// Inter-site messages under the fault plan.
+    pub faulted_messages: usize,
+}
+
+impl FaultMeasurement {
+    /// Accuracy lost to the faults, in percentage points.
+    pub fn degradation(&self) -> f64 {
+        self.baseline_accuracy - self.faulted_accuracy
+    }
+}
+
+/// The full fault-degradation study: the plan that was injected plus one
+/// [`FaultMeasurement`] per migration strategy.
+#[derive(Debug, Clone)]
+pub struct FaultStudy {
+    /// Seed of the generated [`FaultPlan`].
+    pub seed: u64,
+    /// Checkpoint cadence of the faulted runs, seconds.
+    pub checkpoint_every_secs: u32,
+    /// Scheduled site crashes in the plan.
+    pub crashes: usize,
+    /// Scheduled reader-outage bursts in the plan.
+    pub outages: usize,
+    /// Per-shipment delivery-delay probability.
+    pub delay_probability: f64,
+    /// Per-shipment duplicate-delivery probability.
+    pub duplicate_probability: f64,
+    /// One row per migration strategy.
+    pub measurements: Vec<FaultMeasurement>,
+}
+
+/// Fault-degradation study at the 8-site short-dwell reference scale: for
+/// every migration strategy, containment accuracy and communication cost of
+/// the fault-free run versus a run under a seeded lossy [`FaultPlan`] —
+/// reader-outage bursts, delayed and duplicated deliveries, and site crashes
+/// with real downtime, restored from periodic checkpoints.
+///
+/// Every faulted run is executed both sequentially and with one worker per
+/// site and asserted bit-identical (containment, communication, custody), so
+/// the table measures the *faults*, never the executor. Zero-downtime crashes
+/// would not show up at all — the crash-consistency suite pins that recovery
+/// from a checkpoint plus journal replay is lossless — so the plan uses
+/// crashes with downtime, which lose the down window's readings. The
+/// `Centralized` baseline runs on a single engine with no per-site volatile
+/// state, so only reader outages (not crashes or delivery faults) degrade it.
+pub fn fault_measurements(scale: Scale) -> FaultStudy {
+    let chain = short_dwell_chain(scale, 8);
+    let horizon = chain.sites[0].meta.length;
+    let fault_config = FaultPlanConfig {
+        crash_probability: 0.5,
+        max_downtime_secs: 180,
+        ..FaultPlanConfig::lossy(presets::REFERENCE_SEED, 8, horizon)
+    };
+    let plan = FaultPlan::generate(&fault_config);
+    let checkpoint_every = 300;
+    let (crashes, outages) = plan.events().iter().fold((0, 0), |(c, o), e| match e {
+        rfid_sim::FaultEvent::Crash { .. } => (c + 1, o),
+        rfid_sim::FaultEvent::Outage { .. } => (c, o + 1),
+    });
+    let mut measurements = Vec::new();
+    for (name, strategy) in [
+        ("None", MigrationStrategy::None),
+        ("CR-readings", MigrationStrategy::CriticalRegionReadings),
+        ("CollapsedWeights", MigrationStrategy::CollapsedWeights),
+        ("Centralized", MigrationStrategy::Centralized),
+    ] {
+        let base_config = |workers: usize| DistributedConfig {
+            strategy,
+            inference: InferenceConfig::default().without_change_detection(),
+            num_workers: workers,
+            ..Default::default()
+        };
+        let faulted_config = |workers: usize| {
+            base_config(workers)
+                .with_checkpoints(checkpoint_every)
+                .with_faults(plan.clone())
+        };
+        let baseline = DistributedDriver::new(base_config(1)).run(&chain);
+        let faulted = DistributedDriver::new(faulted_config(1)).run(&chain);
+        let faulted_parallel = DistributedDriver::new(faulted_config(8)).run(&chain);
+        assert_eq!(
+            faulted.containment, faulted_parallel.containment,
+            "{name}: the fault plan must injure both executors identically"
+        );
+        assert_eq!(faulted.comm, faulted_parallel.comm);
+        assert_eq!(faulted.ons, faulted_parallel.ons);
+        measurements.push(FaultMeasurement {
+            strategy: name,
+            baseline_accuracy: 100.0 - chain_containment_error(&chain, &baseline),
+            faulted_accuracy: 100.0 - chain_containment_error(&chain, &faulted),
+            baseline_bytes: baseline.comm.total_bytes(),
+            faulted_bytes: faulted.comm.total_bytes(),
+            baseline_messages: baseline.comm.total_messages(),
+            faulted_messages: faulted.comm.total_messages(),
+        });
+    }
+    FaultStudy {
+        seed: fault_config.seed,
+        checkpoint_every_secs: checkpoint_every,
+        crashes,
+        outages,
+        delay_probability: fault_config.delay_probability,
+        duplicate_probability: fault_config.duplicate_probability,
+        measurements,
+    }
+}
+
+/// The human-readable table of [`fault_measurements`].
+pub fn faults(scale: Scale) -> Table {
+    faults_table(&fault_measurements(scale))
+}
+
+/// Render a pre-computed study as the degradation table (so one measurement
+/// pass can feed both the table and `BENCH_faults.json`).
+pub fn faults_table(study: &FaultStudy) -> Table {
+    let mut table = Table::new(
+        "Fault degradation: accuracy and communication under a seeded lossy fault plan",
+        &[
+            "strategy",
+            "baseline acc (%)",
+            "faulted acc (%)",
+            "degradation (pp)",
+            "baseline bytes",
+            "faulted bytes",
+            "baseline msgs",
+            "faulted msgs",
+        ],
+    );
+    for m in &study.measurements {
+        table.push_row(&[
+            m.strategy.to_string(),
+            format!("{:.1}", m.baseline_accuracy),
+            format!("{:.1}", m.faulted_accuracy),
+            format!("{:.1}", m.degradation()),
+            m.baseline_bytes.to_string(),
+            m.faulted_bytes.to_string(),
+            m.baseline_messages.to_string(),
+            m.faulted_messages.to_string(),
+        ]);
+    }
+    table
+}
+
+/// The machine-readable companion of [`faults`] — the contents of
+/// `BENCH_faults.json`, tracked across PRs alongside `BENCH_wire.json` and
+/// `BENCH_infer.json`. Hand-rendered JSON (stable key order, one row object
+/// per strategy).
+pub fn faults_json(scale: Scale, study: &FaultStudy) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str("  \"reference\": \"8-site short-dwell chain, seed 97, 2400 s\",\n");
+    out.push_str(
+        "  \"metric\": \"containment accuracy (%) and comm cost, fault-free vs lossy plan\",\n",
+    );
+    out.push_str(&format!(
+        "  \"plan\": {{\"seed\": {}, \"checkpoint_every_secs\": {}, \"crashes\": {}, \
+         \"outages\": {}, \"delay_probability\": {:.3}, \"duplicate_probability\": {:.3}}},\n",
+        study.seed,
+        study.checkpoint_every_secs,
+        study.crashes,
+        study.outages,
+        study.delay_probability,
+        study.duplicate_probability,
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, m) in study.measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"strategy\": \"{}\", \"baseline_accuracy_pct\": {:.2}, \
+             \"faulted_accuracy_pct\": {:.2}, \"degradation_pp\": {:.2}, \
+             \"baseline_bytes\": {}, \"faulted_bytes\": {}, \"baseline_messages\": {}, \
+             \"faulted_messages\": {}}}{}\n",
+            m.strategy,
+            m.baseline_accuracy,
+            m.faulted_accuracy,
+            m.degradation(),
+            m.baseline_bytes,
+            m.faulted_bytes,
+            m.baseline_messages,
+            m.faulted_messages,
+            if i + 1 == study.measurements.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Section 5.3 scalability: wall-clock time of distributed inference as the
 /// number of items per warehouse grows, with static and mobile shelf readers.
 pub fn scalability(scale: Scale) -> Table {
@@ -943,6 +1141,35 @@ mod tests {
         assert!(json_doc.contains("\"rows\": ["));
         assert!(json_doc.contains("\"strategy\": \"Centralized\""));
         assert!(json_doc.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn fault_study_is_executor_deterministic_and_tracked() {
+        // the function itself asserts sequential == parallel on every
+        // faulted row
+        let study = fault_measurements(Scale::Smoke);
+        assert_eq!(study.measurements.len(), 4, "one row per strategy");
+        assert!(
+            study.crashes + study.outages > 0,
+            "the lossy preset must schedule site-level faults"
+        );
+        for m in &study.measurements {
+            assert!((0.0..=100.0).contains(&m.baseline_accuracy), "{m:?}");
+            assert!((0.0..=100.0).contains(&m.faulted_accuracy), "{m:?}");
+            if m.strategy == "None" {
+                assert_eq!(m.baseline_bytes, 0);
+            } else {
+                assert!(m.baseline_bytes > 0, "{}: strategies must ship", m.strategy);
+            }
+        }
+        let table = faults_table(&study);
+        assert_eq!(table.headers.len(), 8);
+        assert_eq!(table.rows.len(), 4);
+        let json = faults_json(Scale::Smoke, &study);
+        assert!(json.contains("\"plan\": {"));
+        assert!(json.contains("\"strategy\": \"Centralized\""));
+        assert!(json.contains("\"degradation_pp\""));
+        assert!(json.trim_end().ends_with('}'));
     }
 
     #[test]

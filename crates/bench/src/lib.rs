@@ -16,9 +16,11 @@ pub mod distributed;
 pub mod single_site;
 
 pub use distributed::{
-    fig5e, fig5f, incremental_inference, infer_measurements, inference_dense, inference_dense_json,
-    inference_dense_table, parallel_scaling, scalability, table5, table_query, wire_formats,
-    wire_formats_json, wire_formats_table, wire_measurements, InferMeasurement, WireMeasurement,
+    fault_measurements, faults, faults_json, faults_table, fig5e, fig5f, incremental_inference,
+    infer_measurements, inference_dense, inference_dense_json, inference_dense_table,
+    parallel_scaling, scalability, table5, table_query, wire_formats, wire_formats_json,
+    wire_formats_table, wire_measurements, FaultMeasurement, FaultStudy, InferMeasurement,
+    WireMeasurement,
 };
 pub use single_site::{
     evaluate_rfinfer, evaluate_smurf_star, fig4, fig5a, fig5b, fig5c, fig5d, fig6a, fig6b, table3,

@@ -23,8 +23,46 @@ use rand_chacha::ChaCha8Rng;
 use rfid_types::{
     ContainmentMap, Epoch, LocationId, ObjectEvent, RawReading, ReadRateTable, ReadingBatch, TagId,
 };
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The complete durable state of an [`InferenceEngine`], produced by
+/// [`InferenceEngine::snapshot`] and consumed by
+/// [`InferenceEngine::restore`].
+///
+/// A snapshot captures everything the engine accumulated at runtime — the
+/// observation store, imported prior weights, the containment estimate, the
+/// detected-change log, the last outcome and its epoch, the calibrated
+/// threshold, the dirty-set journal and the cross-run evidence cache. It
+/// deliberately excludes the configuration and likelihood model (a restore
+/// target is constructed with those) and the dense-solver scratch arenas
+/// (capacity-only; rebuilt lazily with no effect on results).
+///
+/// `restore(snapshot)` after `snapshot()` round-trips bitwise: every
+/// subsequent inference run produces results identical to an engine that was
+/// never snapshotted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// The sparse observation store.
+    pub store: Observations,
+    /// Prior co-location weights imported from other sites.
+    pub prior: PriorWeights,
+    /// The current (change-point refined) containment estimate.
+    pub containment: ContainmentMap,
+    /// All containment changes detected so far.
+    pub detected: Vec<DetectedChange>,
+    /// The outcome of the most recent inference run, if any.
+    pub last_outcome: Option<InferenceOutcome>,
+    /// The epoch of the most recent inference run.
+    pub last_inference_at: Option<Epoch>,
+    /// The cached change-point threshold, if calibration has happened.
+    pub threshold: Option<f64>,
+    /// The dirty-set journal of store changes since the last run.
+    pub dirty: DirtySet,
+    /// The cross-run posterior/evidence cache.
+    pub cache: EvidenceCache,
+}
 
 /// The report produced by one inference run.
 #[derive(Debug, Clone)]
@@ -441,6 +479,40 @@ impl InferenceEngine {
         let removed = self.store.retain_ranges_for(tag, &[]);
         self.dirty.record_all(tag, removed);
     }
+
+    /// Capture the engine's complete durable state — see [`EngineSnapshot`]
+    /// for what is (and is not) included.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            store: self.store.clone(),
+            prior: self.prior.clone(),
+            containment: self.containment.clone(),
+            detected: self.detected.clone(),
+            last_outcome: self.last_outcome.as_deref().cloned(),
+            last_inference_at: self.last_inference_at,
+            threshold: self.threshold,
+            dirty: self.dirty.clone(),
+            cache: self.cache.clone(),
+        }
+    }
+
+    /// Replace the engine's runtime state with a snapshot previously taken
+    /// by [`Self::snapshot`] (on this engine or on any engine constructed
+    /// with the same configuration and read-rate table). The dense-solver
+    /// scratch is reset — it holds no results, only capacity — so restored
+    /// runs are bit-identical to uninterrupted ones.
+    pub fn restore(&mut self, snapshot: EngineSnapshot) {
+        self.store = snapshot.store;
+        self.prior = snapshot.prior;
+        self.containment = snapshot.containment;
+        self.detected = snapshot.detected;
+        self.last_outcome = snapshot.last_outcome.map(Arc::new);
+        self.last_inference_at = snapshot.last_inference_at;
+        self.threshold = snapshot.threshold;
+        self.dirty = snapshot.dirty;
+        self.cache = snapshot.cache;
+        self.scratch = DenseScratch::default();
+    }
 }
 
 // The distributed layer runs one engine per site on worker threads; keep the
@@ -638,6 +710,45 @@ mod tests {
         let before = engine.stored_observations();
         engine.forget(TagId::item(1));
         assert!(engine.stored_observations() < before);
+    }
+
+    /// Restoring a snapshot into a fresh engine and continuing must be
+    /// bit-identical to the engine that never stopped: same containment,
+    /// same outcome, same reuse counters (the cache travels with the
+    /// snapshot).
+    #[test]
+    fn snapshot_restore_round_trips_bitwise() {
+        let config = InferenceConfig::default()
+            .with_period(10)
+            .with_fixed_threshold(5.0)
+            .with_truncation(TruncationPolicy::Full);
+        let mut live = InferenceEngine::new(config.clone(), rates());
+        feed_co_travel(&mut live, 0, 20, 0);
+        live.run_inference(Epoch(20));
+        // More readings after the run, so the dirty journal is non-empty at
+        // snapshot time.
+        feed_co_travel(&mut live, 20, 25, 0);
+        let snapshot = live.snapshot();
+        assert_eq!(snapshot, live.snapshot(), "snapshot is a pure read");
+
+        let mut restored = InferenceEngine::new(config, rates());
+        restored.restore(snapshot);
+        assert_eq!(
+            restored.container_of(TagId::item(1)),
+            live.container_of(TagId::item(1))
+        );
+        assert_eq!(restored.last_inference_at(), live.last_inference_at());
+
+        // Continue both engines identically; everything must match bitwise.
+        for engine in [&mut live, &mut restored] {
+            feed_co_travel(engine, 25, 40, 0);
+        }
+        let live_report = live.run_inference(Epoch(40));
+        let restored_report = restored.run_inference(Epoch(40));
+        assert_eq!(live_report.outcome, restored_report.outcome);
+        assert_eq!(live_report.stats, restored_report.stats);
+        assert_eq!(live_report.changes, restored_report.changes);
+        assert_eq!(live.snapshot(), restored.snapshot());
     }
 
     #[test]

@@ -71,13 +71,13 @@ pub mod truncate;
 pub use changepoint::{change_statistic, detect_changes, DetectedChange, ThresholdCalibrator};
 pub use config::{ChangeDetectionConfig, InferenceConfig, ThresholdPolicy};
 pub use dense::DenseScratch;
-pub use engine::{InferenceEngine, InferenceReport};
+pub use engine::{EngineSnapshot, InferenceEngine, InferenceReport};
 pub use likelihood::{LikelihoodModel, ReaderSetTable};
 pub use observations::{ObsAt, Observations};
 pub use posterior::{container_posterior, container_posterior_rows, Posterior};
 pub use rfinfer::{
-    DirtySet, EvidenceCache, InferenceOutcome, InferenceStats, ObjectEvidence, PriorWeights,
-    RfInfer, RfInferConfig,
+    CachedVariant, DirtySet, EvidenceCache, InferenceOutcome, InferenceStats, ObjectEvidence,
+    PriorWeights, RfInfer, RfInferConfig,
 };
 pub use state::{CollapsedState, MigrationState, ReadingsState};
 pub use truncate::{

@@ -20,7 +20,7 @@ pub struct ObsAt {
 }
 
 /// Sparse per-tag observation index built from raw readings.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Observations {
     per_tag: BTreeMap<TagId, Vec<ObsAt>>,
 }

@@ -301,7 +301,7 @@ impl InferenceOutcome {
 /// for it), which counts it in the dirty statistics without invalidating any
 /// cached per-epoch computation (priors are re-applied from scratch every
 /// run).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DirtySet {
     changed: BTreeMap<TagId, BTreeSet<Epoch>>,
 }
@@ -376,6 +376,13 @@ impl DirtySet {
         union
     }
 
+    /// All `(tag, changed epochs)` entries in ascending tag order — the
+    /// checkpoint codec's view of the journal. A tag marked via
+    /// [`Self::mark`] appears with an empty epoch set.
+    pub fn entries(&self) -> impl Iterator<Item = (TagId, &BTreeSet<Epoch>)> {
+        self.changed.iter().map(|(t, e)| (*t, e))
+    }
+
     /// Forget all recorded changes.
     pub fn clear(&mut self) {
         self.changed.clear();
@@ -393,20 +400,22 @@ pub(crate) const MAX_CACHED_VARIANTS: usize = 4;
 /// epoch-sorted key vector plus one flat row arena holding every posterior's
 /// probability row back to back — so the dense solver walks and reuses the
 /// rows without touching a per-posterior allocation.
-#[derive(Debug, Clone)]
-pub(crate) struct CachedVariant {
-    pub(crate) members: Vec<TagId>,
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CachedVariant {
+    /// The member set the cached posteriors smooth over.
+    pub members: Vec<TagId>,
     /// Epochs of the cached posteriors, ascending.
-    pub(crate) epochs: Vec<Epoch>,
+    pub epochs: Vec<Epoch>,
     /// Probability rows of the cached posteriors, concatenated in epoch
     /// order; row width is `qrows.len() / epochs.len()`.
-    pub(crate) qrows: Vec<f64>,
-    pub(crate) evidence: BTreeMap<TagId, Vec<(Epoch, f64)>>,
+    pub qrows: Vec<f64>,
+    /// Per-object point-evidence series computed against those posteriors.
+    pub evidence: BTreeMap<TagId, Vec<(Epoch, f64)>>,
 }
 
 impl CachedVariant {
     /// The cached posteriors as `(epoch, row)` pairs, in epoch order.
-    fn rows(&self) -> impl Iterator<Item = (Epoch, &[f64])> {
+    pub(crate) fn rows(&self) -> impl Iterator<Item = (Epoch, &[f64])> {
         let width = self.qrows.len().checked_div(self.epochs.len()).unwrap_or(0);
         self.epochs
             .iter()
@@ -463,7 +472,7 @@ impl Variant {
 /// per-epoch E-step posteriors keyed by the member set they smoothed over —
 /// together with the per-object point-evidence series computed against each
 /// variant.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct EvidenceCache {
     pub(crate) containers: BTreeMap<TagId, Vec<CachedVariant>>,
 }
@@ -484,6 +493,20 @@ impl EvidenceCache {
             .sum()
     }
 
+    /// All `(container, variants)` entries in ascending container order —
+    /// the checkpoint codec's view of the cache.
+    pub fn variants(&self) -> impl Iterator<Item = (TagId, &[CachedVariant])> {
+        self.containers.iter().map(|(t, v)| (*t, v.as_slice()))
+    }
+
+    /// Replace the cached variants of one container. This is the checkpoint
+    /// *restore* path — insertion order across containers is irrelevant (the
+    /// map is keyed), and passing the variants decoded from a checkpoint
+    /// rebuilds the cache bit-identically.
+    pub fn set_variants(&mut self, container: TagId, variants: Vec<CachedVariant>) {
+        self.containers.insert(container, variants);
+    }
+
     /// Drop everything (e.g. when switching an engine to full recompute).
     pub fn clear(&mut self) {
         self.containers.clear();
@@ -492,7 +515,7 @@ impl EvidenceCache {
 
 /// Work accounting of one inference run: how much of the E-step and M-step
 /// was reused from the cross-run cache versus computed fresh.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InferenceStats {
     /// Tags whose observations or imported state changed since the previous
     /// run (zero for a full recompute, which tracks no dirtiness).

@@ -79,6 +79,26 @@ impl CommCost {
         self.messages.iter().sum()
     }
 
+    /// The tally as `(bytes, messages)` arrays in [`MessageKind::ALL`]
+    /// order — the form a [`SiteCheckpoint`](rfid_wire::SiteCheckpoint)
+    /// carries.
+    pub fn to_parts(&self) -> ([u64; 4], [u64; 4]) {
+        (
+            self.bytes.map(|b| b as u64),
+            self.messages.map(|m| m as u64),
+        )
+    }
+
+    /// Rebuild a tally from [`Self::to_parts`] arrays, the restore path of a
+    /// checkpointed site. Round-trips exactly: `CommCost::from_parts(a, b)`
+    /// of `c.to_parts()` equals `c`.
+    pub fn from_parts(bytes: [u64; 4], messages: [u64; 4]) -> CommCost {
+        CommCost {
+            bytes: bytes.map(|b| b as usize),
+            messages: messages.map(|m| m as usize),
+        }
+    }
+
     /// Merge another tally into this one.
     pub fn merge(&mut self, other: &CommCost) {
         for i in 0..self.bytes.len() {
@@ -151,6 +171,20 @@ mod tests {
             CommCost::merged(std::iter::empty::<&CommCost>()).total_bytes(),
             0
         );
+    }
+
+    #[test]
+    fn parts_round_trip_the_tally() {
+        let mut cost = CommCost::new();
+        cost.record(MessageKind::RawReadings, 140);
+        cost.record(MessageKind::InferenceState, 33);
+        cost.record(MessageKind::QueryState, 256);
+        cost.record(MessageKind::QueryState, 4);
+        cost.record(MessageKind::OnsUpdate, 10);
+        let (bytes, messages) = cost.to_parts();
+        assert_eq!(CommCost::from_parts(bytes, messages), cost);
+        assert_eq!(bytes[2], 260, "kind order must match MessageKind::ALL");
+        assert_eq!(messages[2], 2);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use rfid_core::InferenceConfig;
 use rfid_query::ExposureQuery;
-use rfid_sim::TemperatureModel;
+use rfid_sim::{FaultPlan, TemperatureModel};
 use rfid_types::TagId;
 use rfid_wire::WireFormat;
 use serde::{Deserialize, Serialize};
@@ -67,6 +67,24 @@ pub struct DistributedConfig {
     /// bit-identical accuracy, alerts and custody — only the bytes charged to
     /// [`CommCost`](crate::CommCost) (and the encode wall-clock) differ.
     pub wire_format: WireFormat,
+    /// Checkpoint policy: every site cuts a durable
+    /// [`SiteCheckpoint`](rfid_wire::SiteCheckpoint) at the end of each epoch
+    /// that is a positive multiple of this period (encoded in the run's
+    /// [`wire_format`](Self::wire_format)), and keeps only the newest one —
+    /// incoming shipments received after it live in a journal that each new
+    /// checkpoint compacts. `None` (the default) disables checkpointing.
+    /// Checkpoints alone never change a run's outcome; they only matter when
+    /// a [`FaultPlan`] crash restores from one. Ignored by
+    /// [`MigrationStrategy::Centralized`].
+    pub checkpoint_every_secs: Option<u32>,
+    /// Deterministic fault schedule injected into the run (site crashes with
+    /// restore-from-checkpoint, reader outages, delayed and duplicated
+    /// shipments). `None` (the default) runs fault-free. The plan is queried
+    /// identically by the sequential and parallel executors, so a faulty run
+    /// is still bit-identical across worker counts; crashes with zero
+    /// downtime are additionally bit-identical to the uninterrupted run.
+    /// [`MigrationStrategy::Centralized`] honours reader outages only.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for DistributedConfig {
@@ -80,6 +98,8 @@ impl Default for DistributedConfig {
             event_stride_secs: 10,
             num_workers: 1,
             wire_format: WireFormat::Binary,
+            checkpoint_every_secs: None,
+            faults: None,
         }
     }
 }
@@ -94,6 +114,18 @@ impl DistributedConfig {
     /// Builder-style setter for the cross-site wire format.
     pub fn with_wire_format(mut self, format: WireFormat) -> Self {
         self.wire_format = format;
+        self
+    }
+
+    /// Builder-style setter for the checkpoint period.
+    pub fn with_checkpoints(mut self, every_secs: u32) -> Self {
+        self.checkpoint_every_secs = Some(every_secs);
+        self
+    }
+
+    /// Builder-style setter for the fault schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
         self
     }
 }
@@ -112,6 +144,21 @@ mod tests {
         assert_eq!(config.num_workers, 1, "sequential by default");
         assert_eq!(DistributedConfig::default().with_workers(8).num_workers, 8);
         assert_eq!(config.wire_format, WireFormat::Binary, "compact by default");
+        assert_eq!(
+            config.checkpoint_every_secs, None,
+            "no checkpoints by default"
+        );
+        assert!(config.faults.is_none(), "fault-free by default");
+        assert_eq!(
+            DistributedConfig::default()
+                .with_checkpoints(300)
+                .checkpoint_every_secs,
+            Some(300)
+        );
+        assert!(DistributedConfig::default()
+            .with_faults(FaultPlan::scripted_crash(4, 1, rfid_types::Epoch(100), 0))
+            .faults
+            .is_some());
         assert_eq!(
             DistributedConfig::default()
                 .with_wire_format(WireFormat::Json)

@@ -29,12 +29,12 @@ use crate::ons::{Ons, ONS_UPDATE_BYTES};
 use rfid_core::{InferenceEngine, InferenceReport, InferenceStats, MigrationState};
 use rfid_query::sharing::unshared_bytes_with;
 use rfid_query::{share_states_with, Alert, ObjectQueryState, QueryProcessor};
-use rfid_sim::{ChainTrace, ObjectTransfer};
+use rfid_sim::{ChainTrace, CrashFault, FaultPlan, ObjectTransfer};
 use rfid_types::{
     ContainmentMap, Epoch, LocationId, ObjectEvent, RawReading, ReadRateTable, ReaderId,
     SensorReading, SiteId, TagId,
 };
-use rfid_wire::WireCodec;
+use rfid_wire::{PendingShipment, SiteCheckpoint, WireCodec};
 use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
@@ -88,6 +88,7 @@ impl DistributedOutcome {
 /// which a strictly sequential replay would have generated the message, so a
 /// receiving site imports a batch identically no matter which worker thread
 /// delivered which part of it first.
+#[derive(Clone)]
 pub(crate) struct ShipmentMsg {
     /// Epoch the shipment left its origin.
     pub(crate) depart: Epoch,
@@ -114,6 +115,32 @@ impl ShipmentMsg {
     /// route, then tag — the exact order the one-thread replay emits.
     fn order_key(&self) -> (Epoch, SiteId, SiteId, TagId) {
         (self.depart, self.from, self.to, self.tag)
+    }
+
+    /// The durable form this message takes inside a [`SiteCheckpoint`].
+    fn to_pending(&self) -> PendingShipment {
+        PendingShipment {
+            depart: self.depart,
+            from: self.from.0,
+            to: self.to.0,
+            tag: self.tag,
+            arrive: self.arrive,
+            inference: self.inference.clone(),
+            query: self.query.clone(),
+        }
+    }
+
+    /// Rehydrate a checkpointed shipment.
+    fn from_pending(pending: PendingShipment) -> ShipmentMsg {
+        ShipmentMsg {
+            depart: pending.depart,
+            from: SiteId(pending.from),
+            to: SiteId(pending.to),
+            tag: pending.tag,
+            arrive: pending.arrive,
+            inference: pending.inference,
+            query: pending.query,
+        }
     }
 }
 
@@ -228,6 +255,25 @@ pub(crate) struct SiteState<'a> {
     inference_runs: usize,
     inference_wall: Duration,
     inference_stats: InferenceStats,
+    /// Checkpoint period (validated non-zero); `None` disables durability.
+    checkpoint_every: Option<u32>,
+    /// Encoded bytes of the newest checkpoint — the durable artifact a crash
+    /// restores from. Only the newest is retained (bounded memory); the
+    /// journal covers everything after it.
+    last_checkpoint: Option<Vec<u8>>,
+    /// Durable receive log: every shipment accepted since the last
+    /// checkpoint compaction. Only maintained when this site can crash.
+    journal: Vec<ShipmentMsg>,
+    /// The run's fault schedule (cloned per site: plans are small and the
+    /// site queries them on hot paths).
+    faults: Option<FaultPlan>,
+    /// This site's scheduled crash, extracted from the plan.
+    crash: Option<CrashFault>,
+    /// Set while the site is down after a crash with non-zero downtime;
+    /// every processing method is a no-op until the epoch it holds.
+    down_until: Option<Epoch>,
+    /// Whether this epoch's processing is suppressed (down after a crash).
+    down: bool,
 }
 
 impl<'a> SiteState<'a> {
@@ -272,6 +318,16 @@ impl<'a> SiteState<'a> {
             inference_runs: 0,
             inference_wall: Duration::ZERO,
             inference_stats: InferenceStats::default(),
+            checkpoint_every: config.checkpoint_every_secs.filter(|&k| k > 0),
+            last_checkpoint: None,
+            journal: Vec::new(),
+            faults: config.faults.clone(),
+            crash: config
+                .faults
+                .as_ref()
+                .and_then(|plan| plan.crash(site as u16)),
+            down_until: None,
+            down: false,
         }
     }
 
@@ -283,23 +339,46 @@ impl<'a> SiteState<'a> {
     }
 
     /// Feed this epoch's local sensor and RFID streams into the site.
+    /// RFID readings falling inside a scheduled reader outage are dropped —
+    /// a pure function of the fault plan, so replays drop them identically.
     pub(crate) fn ingest(&mut self, now: Epoch) {
+        if self.down {
+            return;
+        }
         while self.sensor_cursor < self.sensors.len()
             && self.sensors[self.sensor_cursor].time <= now
         {
             self.processor.on_sensor(self.sensors[self.sensor_cursor]);
             self.sensor_cursor += 1;
         }
+        let site = self.site as u16;
         while self.reading_cursor < self.readings.len()
             && self.readings[self.reading_cursor].time <= now
         {
-            self.engine.observe(self.readings[self.reading_cursor]);
+            let reading = self.readings[self.reading_cursor];
             self.reading_cursor += 1;
+            if let Some(plan) = &self.faults {
+                if plan.reading_dropped(site, reading.time) {
+                    continue;
+                }
+            }
+            self.engine.observe(reading);
         }
     }
 
-    /// Buffer an inbound shipment until its arrival epoch.
+    /// Buffer an inbound shipment until its arrival epoch, journaling it
+    /// first if this site can crash: the journal is the durable receive log
+    /// a restore re-enqueues, so no shipment is lost with the volatile inbox.
     pub(crate) fn receive(&mut self, msg: ShipmentMsg) {
+        if self.crash.is_some() {
+            self.journal.push(msg.clone());
+        }
+        self.enqueue(msg);
+    }
+
+    /// Insert into the volatile inbox without journaling (the restore path,
+    /// which re-enqueues already-journaled shipments).
+    fn enqueue(&mut self, msg: ShipmentMsg) {
         self.inbox.entry(msg.arrive).or_default().push(msg);
     }
 
@@ -312,6 +391,9 @@ impl<'a> SiteState<'a> {
     /// one into the inbox a drain early — [`Self::deliver_zero_transit`]
     /// imports them at the correct point either way.
     pub(crate) fn deliver(&mut self, now: Epoch) {
+        if self.down {
+            return;
+        }
         if let Some(batch) = self.inbox.remove(&now) {
             let (ready, hold): (Vec<ShipmentMsg>, Vec<ShipmentMsg>) =
                 batch.into_iter().partition(|msg| msg.depart < now);
@@ -325,6 +407,9 @@ impl<'a> SiteState<'a> {
     /// Import this epoch's zero-transit shipments (`depart == arrive ==
     /// now`), which the departure pass just produced.
     pub(crate) fn deliver_zero_transit(&mut self, now: Epoch) {
+        if self.down {
+            return;
+        }
         if let Some(batch) = self.inbox.remove(&now) {
             self.import(batch);
         }
@@ -356,6 +441,9 @@ impl<'a> SiteState<'a> {
         now: Epoch,
         out: &mut Vec<ShipmentMsg>,
     ) {
+        if self.down {
+            return;
+        }
         let mut departing = Vec::new();
         while self.departure_cursor < self.departures.len()
             && self.departures[self.departure_cursor].depart == now
@@ -441,15 +529,32 @@ impl<'a> SiteState<'a> {
                     Vec::new()
                 };
                 shipment_states.extend(query.iter().cloned());
-                out.push(ShipmentMsg {
+                // Delivery faults are decided sender-side from the message's
+                // identifying key, so both executors (and a crash replay)
+                // inject the same delay or duplicate for the same shipment.
+                // A delayed arrival past the horizon is never delivered.
+                let mut delivered_at = arrive;
+                let mut duplicated = false;
+                if let Some(plan) = &self.faults {
+                    let delay = plan.shipment_delay_secs(from.0, to.0, tag, now);
+                    if delay > 0 {
+                        delivered_at = Epoch(arrive.0.saturating_add(delay));
+                    }
+                    duplicated = plan.shipment_duplicated(from.0, to.0, tag, now);
+                }
+                let msg = ShipmentMsg {
                     depart: now,
                     from,
                     to,
                     tag,
-                    arrive,
+                    arrive: delivered_at,
                     inference,
                     query,
-                });
+                };
+                if duplicated {
+                    out.push(msg.clone());
+                }
+                out.push(msg);
             }
             // Centroid-based sharing: compress the query states of this
             // shipment's objects (Section 4.2) over payloads in the run's
@@ -484,6 +589,9 @@ impl<'a> SiteState<'a> {
     /// query processor. `ons` must already reflect every transfer departing
     /// at or before `now`.
     pub(crate) fn step_and_feed(&mut self, ctx: &FederatedCtx<'_>, now: Epoch, ons: &Ons) {
+        if self.down {
+            return;
+        }
         if let Some(report) = self.engine.step(now) {
             self.note_report(&report);
         }
@@ -497,6 +605,192 @@ impl<'a> SiteState<'a> {
                 }
                 ctx.driver.feed_event(&mut self.processor, event);
             }
+        }
+    }
+
+    /// Epoch-start fault hook, called by both executors before any other
+    /// processing at `now`. Fires the scheduled crash: immediately restore
+    /// and replay for a zero-downtime crash (lossless), or mark the site
+    /// down and defer the restore to the rejoin epoch for a lossy one. All
+    /// processing methods are no-ops while the site is down.
+    pub(crate) fn maybe_crash(&mut self, ctx: &FederatedCtx<'_>, chain: &ChainTrace, now: Epoch) {
+        if let Some(crash) = self.crash {
+            if crash.at == now {
+                if crash.downtime_secs == 0 {
+                    self.crash_and_restore(ctx, chain, crash.at);
+                    self.down = false;
+                    return;
+                }
+                self.down_until = Some(crash.resume_at());
+            }
+            if let Some(resume) = self.down_until {
+                if now < resume {
+                    self.down = true;
+                    return;
+                }
+                // Rejoin: restore to the pre-crash state, then fast-forward
+                // through the missed epochs — their local readings and
+                // departures are lost, which is the lossy part.
+                self.down_until = None;
+                self.crash_and_restore(ctx, chain, crash.at);
+                self.fast_forward(resume);
+            }
+        }
+        self.down = false;
+    }
+
+    /// Crash at the start of `crash_at`: destroy the volatile state, restore
+    /// from the newest checkpoint (or from scratch when none exists),
+    /// re-enqueue the durable journal, and deterministically replay the
+    /// local trace tail up to (excluding) `crash_at`. Replayed departures
+    /// are discarded — their shipments already reached their destinations in
+    /// the pre-crash timeline — but are still charged, which is exactly how
+    /// the communication tally is rebuilt to match the uninterrupted run.
+    fn crash_and_restore(&mut self, ctx: &FederatedCtx<'_>, chain: &ChainTrace, crash_at: Epoch) {
+        self.inbox.clear();
+        let restored = self.last_checkpoint.as_ref().map(|bytes| {
+            self.codec
+                .decode_checkpoint(bytes)
+                .expect("a site's own checkpoint decodes")
+        });
+        let replay_from = match restored {
+            Some(checkpoint) => {
+                let resume = checkpoint.at.0 + 1;
+                self.engine.restore(checkpoint.engine);
+                self.processor.restore(checkpoint.processor);
+                self.reading_cursor = checkpoint.reading_cursor as usize;
+                self.sensor_cursor = checkpoint.sensor_cursor as usize;
+                self.departure_cursor = checkpoint.departure_cursor as usize;
+                self.comm = CommCost::from_parts(checkpoint.comm_bytes, checkpoint.comm_messages);
+                self.shared_bytes = checkpoint.shared_bytes as usize;
+                self.unshared_bytes = checkpoint.unshared_bytes as usize;
+                self.inference_runs = checkpoint.inference_runs as usize;
+                self.inference_stats = checkpoint.stats;
+                for pending in checkpoint.inbox {
+                    self.enqueue(ShipmentMsg::from_pending(pending));
+                }
+                resume
+            }
+            None => {
+                let trace = &chain.sites[self.site];
+                self.engine = InferenceEngine::new(
+                    ctx.driver.config.inference.clone(),
+                    trace.read_rates.clone(),
+                );
+                self.processor = ctx.driver.make_processor();
+                self.reading_cursor = 0;
+                self.sensor_cursor = 0;
+                self.departure_cursor = 0;
+                self.comm = CommCost::new();
+                self.shared_bytes = 0;
+                self.unshared_bytes = 0;
+                self.inference_runs = 0;
+                self.inference_stats = InferenceStats::default();
+                0
+            }
+        };
+        // Wall-clock is not durable state (and deliberately outside the
+        // determinism contract); the replay below re-accumulates some.
+        self.inference_wall = Duration::ZERO;
+        // Re-enqueue the durable receive log — everything accepted after the
+        // checkpoint — without journaling it a second time.
+        let journaled: Vec<ShipmentMsg> = self.journal.clone();
+        for msg in journaled {
+            self.enqueue(msg);
+        }
+        // Bounded replay of the local tail, in the executors' per-epoch call
+        // order, against a private custody replica.
+        let mut ons = OnsTracker::new();
+        let mut discarded: Vec<ShipmentMsg> = Vec::new();
+        for t in replay_from..crash_at.0 {
+            let now = Epoch(t);
+            self.ingest(now);
+            self.deliver(now);
+            self.depart(ctx, now, &mut discarded);
+            discarded.clear();
+            self.deliver_zero_transit(now);
+            ons.advance(&chain.transfers, now);
+            self.step_and_feed(ctx, now, ons.get());
+        }
+    }
+
+    /// Skip the cursors past everything the site slept through and import,
+    /// in sequential generation order, the shipments that arrived while it
+    /// was down.
+    fn fast_forward(&mut self, resume: Epoch) {
+        while self.reading_cursor < self.readings.len()
+            && self.readings[self.reading_cursor].time < resume
+        {
+            self.reading_cursor += 1;
+        }
+        while self.sensor_cursor < self.sensors.len()
+            && self.sensors[self.sensor_cursor].time < resume
+        {
+            self.sensor_cursor += 1;
+        }
+        while self.departure_cursor < self.departures.len()
+            && self.departures[self.departure_cursor].depart < resume
+        {
+            self.departure_cursor += 1;
+        }
+        let stale: Vec<Epoch> = self.inbox.range(..resume).map(|(key, _)| *key).collect();
+        let mut late = Vec::new();
+        for key in stale {
+            if let Some(batch) = self.inbox.remove(&key) {
+                late.extend(batch);
+            }
+        }
+        self.import(late);
+    }
+
+    /// End-of-epoch durability hook: cut a checkpoint when the policy says
+    /// so, retain only its encoded bytes, and compact the journal down to
+    /// the receives the checkpoint does not already cover.
+    pub(crate) fn maybe_checkpoint(&mut self, now: Epoch) {
+        let Some(every) = self.checkpoint_every else {
+            return;
+        };
+        if self.down || now.0 == 0 || !now.0.is_multiple_of(every) {
+            return;
+        }
+        let checkpoint = self.build_checkpoint(now);
+        self.last_checkpoint = Some(self.codec.encode_checkpoint(&checkpoint));
+        // Receives departing at or before `now` are either already imported
+        // (inside the engine snapshot) or in the checkpoint inbox; only
+        // shipments a racing worker delivered early from the next epoch
+        // remain journaled.
+        self.journal.retain(|msg| msg.depart > now);
+    }
+
+    /// The site's durable state at the end of epoch `at`. The inbox section
+    /// keeps only shipments departing at or before `at`, sorted into
+    /// sequential generation order, so both executors cut byte-identical
+    /// checkpoints even when a racing worker delivered an `at + 1` shipment
+    /// early.
+    fn build_checkpoint(&self, at: Epoch) -> SiteCheckpoint {
+        let mut pending: Vec<&ShipmentMsg> = self
+            .inbox
+            .values()
+            .flatten()
+            .filter(|msg| msg.depart <= at)
+            .collect();
+        pending.sort_by_key(|msg| msg.order_key());
+        let (comm_bytes, comm_messages) = self.comm.to_parts();
+        SiteCheckpoint {
+            site: self.site as u16,
+            at,
+            engine: self.engine.snapshot(),
+            processor: self.processor.snapshot(),
+            reading_cursor: self.reading_cursor as u64,
+            sensor_cursor: self.sensor_cursor as u64,
+            departure_cursor: self.departure_cursor as u64,
+            inbox: pending.into_iter().map(ShipmentMsg::to_pending).collect(),
+            comm_bytes,
+            comm_messages,
+            shared_bytes: self.shared_bytes as u64,
+            unshared_bytes: self.unshared_bytes as u64,
+            inference_runs: self.inference_runs as u64,
+            stats: self.inference_stats,
         }
     }
 
@@ -663,8 +957,12 @@ impl DistributedDriver {
 
         for t in 0..=ctx.horizon {
             let now = Epoch(t);
+            // 0. Scheduled faults fire at the top of the epoch: a crash
+            // destroys the volatile state before any of this epoch's
+            // processing, and restore + replay happen here too.
             // 1+2. Local streams, then shipments arriving now.
             for site in sites.iter_mut() {
+                site.maybe_crash(&ctx, chain, now);
                 site.ingest(now);
                 site.deliver(now);
             }
@@ -688,6 +986,8 @@ impl DistributedDriver {
             ons.advance(&chain.transfers, now);
             for site in sites.iter_mut() {
                 site.step_and_feed(&ctx, now, ons.get());
+                // 5. Durability: cut a checkpoint at the policy boundary.
+                site.maybe_checkpoint(now);
             }
         }
 
@@ -751,11 +1051,19 @@ impl DistributedDriver {
         let mut inference_stats = InferenceStats::default();
 
         // Every reading of every site crosses the network, remapped into the
-        // global location space.
+        // global location space. Reader outages from the fault plan drop
+        // readings here exactly as the federated sites drop them in `ingest`;
+        // crashes and shipment faults do not apply — there are no inter-site
+        // shipments and the central server is assumed durable.
         let mut readings: Vec<RawReading> = Vec::new();
         for (s, site) in chain.sites.iter().enumerate() {
             let offset = (s * site_locs) as u16;
             for r in site.readings.readings_unordered() {
+                if let Some(plan) = &self.config.faults {
+                    if plan.reading_dropped(s as u16, r.time) {
+                        continue;
+                    }
+                }
                 readings.push(RawReading::new(
                     r.time,
                     r.tag,

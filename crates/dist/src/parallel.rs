@@ -190,8 +190,10 @@ fn worker_loop<'a>(
 
     for t in 0..=ctx.horizon {
         let now = Epoch(t);
-        // Local streams and previously-buffered arrivals, then dispatches.
+        // Scheduled faults first — identical to the sequential replay — then
+        // local streams and previously-buffered arrivals, then dispatches.
         for site in sites.iter_mut() {
+            site.maybe_crash(ctx, chain, now);
             site.ingest(now);
             site.deliver(now);
         }
@@ -224,6 +226,11 @@ fn worker_loop<'a>(
         ons.advance(&chain.transfers, now);
         for site in sites.iter_mut() {
             site.step_and_feed(ctx, now, ons.get());
+            // Durability: cut a checkpoint at the policy boundary. The inbox
+            // section is filtered to shipments departing ≤ `now`, so a racing
+            // sibling's early epoch-(t+1) delivery cannot leak into it and
+            // checkpoint bytes match the sequential replay's.
+            site.maybe_checkpoint(now);
         }
     }
 

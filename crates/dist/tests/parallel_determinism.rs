@@ -11,21 +11,11 @@ use rfid_dist::{
     DistributedConfig, DistributedDriver, DistributedOutcome, MessageKind, MigrationStrategy,
 };
 use rfid_query::ExposureQuery;
-use rfid_sim::{ChainConfig, ChainTrace, SupplyChainSimulator, TemperatureModel, WarehouseConfig};
+use rfid_sim::{presets, ChainTrace, TemperatureModel};
 use std::collections::BTreeMap;
 
 fn smoke_chain() -> ChainTrace {
-    SupplyChainSimulator::new(ChainConfig {
-        warehouse: WarehouseConfig::default()
-            .with_length(1800)
-            .with_items_per_case(4)
-            .with_cases_per_pallet(2)
-            .with_seed(55),
-        num_warehouses: 3,
-        transit_secs: 90,
-        fanout: 2,
-    })
-    .generate()
+    presets::smoke_chain(1800, 3, None)
 }
 
 fn config(chain: &ChainTrace, strategy: MigrationStrategy, workers: usize) -> DistributedConfig {

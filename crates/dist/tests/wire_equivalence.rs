@@ -15,27 +15,15 @@ use rfid_dist::{
     MigrationStrategy, WireFormat,
 };
 use rfid_query::ExposureQuery;
-use rfid_sim::{ChainConfig, ChainTrace, SupplyChainSimulator, TemperatureModel, WarehouseConfig};
+use rfid_sim::{
+    presets, ChainConfig, ChainTrace, SupplyChainSimulator, TemperatureModel, WarehouseConfig,
+};
 use std::collections::BTreeMap;
 
 /// The CHANGES.md reference chain: 8 warehouses, short shelf dwells
 /// (60–180 s), fast injection cadence, 2400 s horizon, seed 97.
 fn reference_chain() -> ChainTrace {
-    let mut warehouse = WarehouseConfig::default()
-        .with_length(2400)
-        .with_items_per_case(20)
-        .with_cases_per_pallet(3)
-        .with_seed(97);
-    warehouse.shelf_dwell_min = 60;
-    warehouse.shelf_dwell_max = 180;
-    warehouse.pallet_injection_interval = 120;
-    SupplyChainSimulator::new(ChainConfig {
-        warehouse,
-        num_warehouses: 8,
-        transit_secs: 60,
-        fanout: 2,
-    })
-    .generate()
+    presets::short_dwell_chain(2400, 8, 20, 3)
 }
 
 /// A small two-site chain for the query-state comparison.

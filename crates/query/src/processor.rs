@@ -13,7 +13,28 @@ use crate::pattern::ExposureAutomaton;
 use crate::state::ObjectQueryState;
 use crate::windows::LatestByLocation;
 use rfid_types::{ObjectEvent, SensorReading, TagId};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// The complete durable state of a [`QueryProcessor`], produced by
+/// [`QueryProcessor::snapshot`] and consumed by
+/// [`QueryProcessor::restore`].
+///
+/// A snapshot captures everything the processor accumulated at runtime — the
+/// latest sensor reading per location, every per-object automaton, and the
+/// alert log. It deliberately excludes the registered queries: a restore
+/// target is constructed with the same registrations (the distributed driver
+/// registers a site's queries before restoring its state), and automaton
+/// durations are re-derived from them on restore.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessorSnapshot {
+    /// The latest sensor reading of every location, in location order.
+    pub temperatures: Vec<SensorReading>,
+    /// Every per-object automaton, in `(query, tag)` order.
+    pub automata: Vec<ObjectQueryState>,
+    /// All alerts emitted so far.
+    pub alerts: Vec<Alert>,
+}
 
 /// Per-site continuous query processor.
 ///
@@ -152,6 +173,38 @@ impl QueryProcessor {
         self.automata.retain(|(_, t), _| *t != tag);
     }
 
+    /// Capture the processor's complete durable state — see
+    /// [`ProcessorSnapshot`] for what is (and is not) included.
+    pub fn snapshot(&self) -> ProcessorSnapshot {
+        ProcessorSnapshot {
+            temperatures: self.temperatures.readings().copied().collect(),
+            automata: self
+                .automata
+                .iter()
+                .map(|((query, tag), automaton)| ObjectQueryState {
+                    query: query.clone(),
+                    tag: *tag,
+                    automaton: automaton.state().clone(),
+                })
+                .collect(),
+            alerts: self.alerts.clone(),
+        }
+    }
+
+    /// Replace the processor's runtime state with a snapshot previously
+    /// taken by [`Self::snapshot`], on this processor or on any processor
+    /// with the same queries registered (automaton durations are re-derived
+    /// from the registrations, exactly as [`Self::import_state`] does).
+    pub fn restore(&mut self, snapshot: ProcessorSnapshot) {
+        self.temperatures = LatestByLocation::new();
+        for reading in snapshot.temperatures {
+            self.temperatures.insert(reading);
+        }
+        self.automata.clear();
+        self.import_state(snapshot.automata);
+        self.alerts = snapshot.alerts;
+    }
+
     /// Number of per-object automata currently maintained.
     pub fn tracked_states(&self) -> usize {
         self.automata.len()
@@ -268,6 +321,34 @@ mod tests {
         }
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].since, Epoch(0), "exposure started at site A");
+    }
+
+    /// Restoring a snapshot into a fresh processor (same registrations) and
+    /// continuing must match the processor that never stopped.
+    #[test]
+    fn snapshot_restore_round_trips_bitwise() {
+        let mut live = QueryProcessor::new();
+        live.register(q1_short([]));
+        live.on_sensor(warm(0, 0));
+        for t in (0..=60).step_by(10) {
+            live.on_event(&event(t, 0, None));
+        }
+        let snapshot = live.snapshot();
+        assert_eq!(snapshot, live.snapshot(), "snapshot is a pure read");
+
+        let mut restored = QueryProcessor::new();
+        restored.register(q1_short([]));
+        restored.restore(snapshot);
+        assert_eq!(restored.tracked_states(), live.tracked_states());
+
+        for qp in [&mut live, &mut restored] {
+            for t in (70..=120).step_by(10) {
+                qp.on_event(&event(t, 0, None));
+            }
+        }
+        assert_eq!(live.alerts(), restored.alerts());
+        assert_eq!(live.alerts().len(), 1, "exposure crossed the threshold");
+        assert_eq!(live.snapshot(), restored.snapshot());
     }
 
     #[test]

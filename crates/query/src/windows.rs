@@ -45,6 +45,13 @@ impl LatestByLocation {
         self.at(location).map(|r| r.value)
     }
 
+    /// The retained readings in ascending location order — the checkpoint
+    /// codec's view of the window. Re-inserting them into an empty window
+    /// rebuilds it bit-identically.
+    pub fn readings(&self) -> impl Iterator<Item = &SensorReading> {
+        self.latest.values()
+    }
+
     /// Number of locations with at least one reading.
     pub fn len(&self) -> usize {
         self.latest.len()

@@ -1,0 +1,486 @@
+//! Deterministic fault injection for the distributed executors.
+//!
+//! A [`FaultPlan`] is a *pre-computed schedule* of failures, fixed entirely
+//! by its seed at construction time: site crashes (with optional downtime),
+//! reader-outage bursts, and per-shipment delivery faults (delay,
+//! duplication). Because every decision is either tabulated up front or a
+//! pure function of the shipment's identifying key, the same plan injects
+//! the *identical* fault sequence regardless of execution order — sequential
+//! and parallel executors, any worker count, any epoch interleaving.
+//!
+//! Two kinds of fault, with very different contracts:
+//!
+//! * **Crashes** ([`CrashFault`]) are *lossless* when `downtime_secs == 0`:
+//!   the site loses its volatile state at the start of the crash epoch,
+//!   restores from its last checkpoint, replays the trace tail, and the run
+//!   must finish bit-identical to an uninterrupted one. With downtime the
+//!   site additionally skips epochs, which is lossy by design.
+//! * **Outages, delays and duplicates** are lossy: they change which
+//!   readings and shipments a site sees. They feed the `faults` accuracy-
+//!   degradation experiment, not the bit-identity tests.
+
+use crate::chain::ChainTrace;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rfid_types::{Epoch, TagId};
+use serde::{Deserialize, Serialize};
+
+/// Parameters from which a [`FaultPlan`] is generated.
+///
+/// All probabilities are per independent trial: `crash_probability` and
+/// `outage_probability` per site, `delay_probability` and
+/// `duplicate_probability` per shipment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlanConfig {
+    /// Master seed; everything else being equal, the same seed produces the
+    /// same plan and the same per-shipment decisions.
+    pub seed: u64,
+    /// Number of sites the plan covers.
+    pub num_sites: u16,
+    /// Trace horizon in seconds; scheduled faults land inside it.
+    pub horizon_secs: u32,
+    /// Chance that a site crashes once during the run.
+    pub crash_probability: f64,
+    /// Upper bound on post-crash downtime; `0` makes crashes lossless
+    /// (restore within the crash epoch).
+    pub max_downtime_secs: u32,
+    /// Chance that a site suffers a reader-outage burst.
+    pub outage_probability: f64,
+    /// Upper bound on the length of one outage burst.
+    pub outage_max_secs: u32,
+    /// Chance that a shipment's delivery is delayed.
+    pub delay_probability: f64,
+    /// Upper bound on the delivery delay of one shipment.
+    pub delay_max_secs: u32,
+    /// Chance that a shipment is delivered twice.
+    pub duplicate_probability: f64,
+}
+
+impl FaultPlanConfig {
+    /// A configuration with every fault disabled — the identity plan.
+    pub fn quiet(seed: u64, num_sites: u16, horizon_secs: u32) -> FaultPlanConfig {
+        FaultPlanConfig {
+            seed,
+            num_sites,
+            horizon_secs,
+            crash_probability: 0.0,
+            max_downtime_secs: 0,
+            outage_probability: 0.0,
+            outage_max_secs: 0,
+            delay_probability: 0.0,
+            delay_max_secs: 0,
+            duplicate_probability: 0.0,
+        }
+    }
+
+    /// The lossy preset used by the `faults` experiment: no crashes, but
+    /// reader outages and delayed/duplicated shipments on every site.
+    pub fn lossy(seed: u64, num_sites: u16, horizon_secs: u32) -> FaultPlanConfig {
+        FaultPlanConfig {
+            crash_probability: 0.0,
+            max_downtime_secs: 0,
+            outage_probability: 0.75,
+            outage_max_secs: horizon_secs / 8,
+            delay_probability: 0.25,
+            delay_max_secs: 120,
+            duplicate_probability: 0.1,
+            ..FaultPlanConfig::quiet(seed, num_sites, horizon_secs)
+        }
+    }
+}
+
+/// One scheduled site crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashFault {
+    /// The site loses its volatile state at the *start* of this epoch,
+    /// before ingesting anything.
+    pub at: Epoch,
+    /// Epochs the site stays down after the crash; `0` restores within the
+    /// crash epoch (lossless).
+    pub downtime_secs: u32,
+}
+
+impl CrashFault {
+    /// First epoch at which the site works again: `at` itself when downtime
+    /// is zero.
+    pub fn resume_at(&self) -> Epoch {
+        Epoch(self.at.0.saturating_add(self.downtime_secs))
+    }
+}
+
+/// One reader-outage burst: the site's readers report nothing in
+/// `from..=until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageWindow {
+    /// First silent epoch.
+    pub from: Epoch,
+    /// Last silent epoch (inclusive).
+    pub until: Epoch,
+}
+
+impl OutageWindow {
+    /// Whether `at` falls inside the burst.
+    pub fn covers(&self, at: Epoch) -> bool {
+        self.from <= at && at <= self.until
+    }
+}
+
+/// The faults scheduled for one site.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteFaults {
+    /// At most one crash per run.
+    pub crash: Option<CrashFault>,
+    /// Reader-outage bursts, disjoint and in ascending epoch order.
+    pub outages: Vec<OutageWindow>,
+}
+
+/// One entry of [`FaultPlan::events`] — the scheduled (per-site) faults in a
+/// canonical order, for pinning determinism in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// A scheduled crash.
+    Crash {
+        /// Crashing site.
+        site: u16,
+        /// Crash epoch.
+        at: Epoch,
+        /// Downtime after the crash.
+        downtime_secs: u32,
+    },
+    /// A scheduled reader outage.
+    Outage {
+        /// Affected site.
+        site: u16,
+        /// First silent epoch.
+        from: Epoch,
+        /// Last silent epoch (inclusive).
+        until: Epoch,
+    },
+}
+
+/// A deterministic, order-independent fault schedule.
+///
+/// Site-level faults (crashes, outages) are tabulated at construction from a
+/// per-site `ChaCha8` stream; shipment-level faults (delay, duplication) are
+/// pure functions of the shipment's `(from, to, tag, depart)` key, hashed
+/// into a fresh `ChaCha8` seed. Querying the plan never mutates it, so any
+/// number of workers asking in any order observe the same answers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    seed: u64,
+    delay_probability: f64,
+    delay_max_secs: u32,
+    duplicate_probability: f64,
+    sites: Vec<SiteFaults>,
+}
+
+impl FaultPlan {
+    /// Generate the plan for `config`, fixing every site-level fault.
+    pub fn generate(config: &FaultPlanConfig) -> FaultPlan {
+        let horizon = config.horizon_secs.max(1);
+        let sites = (0..config.num_sites)
+            .map(|site| {
+                let mut rng = ChaCha8Rng::seed_from_u64(site_seed(config.seed, site));
+                let crash = if config.crash_probability > 0.0
+                    && rng.gen_bool(config.crash_probability.min(1.0))
+                {
+                    // Crash somewhere in the middle half of the run, so a
+                    // checkpoint exists before it and epochs remain after it.
+                    let at = Epoch(rng.gen_range(horizon / 4..=horizon * 3 / 4));
+                    let downtime_secs = if config.max_downtime_secs > 0 {
+                        rng.gen_range(0..=config.max_downtime_secs)
+                    } else {
+                        0
+                    };
+                    Some(CrashFault { at, downtime_secs })
+                } else {
+                    None
+                };
+                let mut outages = Vec::new();
+                if config.outage_probability > 0.0
+                    && config.outage_max_secs > 0
+                    && rng.gen_bool(config.outage_probability.min(1.0))
+                {
+                    let len = rng.gen_range(1..=config.outage_max_secs);
+                    let latest_start = horizon.saturating_sub(len).max(1);
+                    let from = rng.gen_range(1..=latest_start);
+                    outages.push(OutageWindow {
+                        from: Epoch(from),
+                        until: Epoch(from + len - 1),
+                    });
+                }
+                SiteFaults { crash, outages }
+            })
+            .collect();
+        FaultPlan {
+            seed: config.seed,
+            delay_probability: config.delay_probability,
+            delay_max_secs: config.delay_max_secs,
+            duplicate_probability: config.duplicate_probability,
+            sites,
+        }
+    }
+
+    /// A plan whose only fault is a crash of `site` at `at` with the given
+    /// downtime — the scripted form used by the crash-consistency sweep.
+    pub fn scripted_crash(num_sites: u16, site: u16, at: Epoch, downtime_secs: u32) -> FaultPlan {
+        let mut sites = vec![SiteFaults::default(); usize::from(num_sites)];
+        if let Some(faults) = sites.get_mut(usize::from(site)) {
+            faults.crash = Some(CrashFault { at, downtime_secs });
+        }
+        FaultPlan {
+            seed: 0,
+            delay_probability: 0.0,
+            delay_max_secs: 0,
+            duplicate_probability: 0.0,
+            sites,
+        }
+    }
+
+    /// The scheduled crash of `site`, if any.
+    pub fn crash(&self, site: u16) -> Option<CrashFault> {
+        self.sites.get(usize::from(site)).and_then(|f| f.crash)
+    }
+
+    /// Whether `site`'s readers are silent at `at`.
+    pub fn reading_dropped(&self, site: u16, at: Epoch) -> bool {
+        self.sites
+            .get(usize::from(site))
+            .map(|f| f.outages.iter().any(|w| w.covers(at)))
+            .unwrap_or(false)
+    }
+
+    /// Extra transit seconds for the shipment identified by
+    /// `(from, to, tag, depart)`; `0` when the shipment is on time. A pure
+    /// function of the key — identical across runs and worker counts.
+    pub fn shipment_delay_secs(&self, from: u16, to: u16, tag: TagId, depart: Epoch) -> u32 {
+        if self.delay_probability <= 0.0 || self.delay_max_secs == 0 {
+            return 0;
+        }
+        let mut rng = self.shipment_rng(from, to, tag, depart, 0x0de1);
+        if rng.gen_bool(self.delay_probability.min(1.0)) {
+            rng.gen_range(1..=self.delay_max_secs)
+        } else {
+            0
+        }
+    }
+
+    /// Whether the shipment identified by `(from, to, tag, depart)` is
+    /// delivered twice. A pure function of the key.
+    pub fn shipment_duplicated(&self, from: u16, to: u16, tag: TagId, depart: Epoch) -> bool {
+        if self.duplicate_probability <= 0.0 {
+            return false;
+        }
+        let mut rng = self.shipment_rng(from, to, tag, depart, 0xd0b1);
+        rng.gen_bool(self.duplicate_probability.min(1.0))
+    }
+
+    /// The scheduled (site-level) faults in canonical order: by site, crashes
+    /// before outages, outages by start epoch. Equal seeds produce equal
+    /// event lists — the hook the determinism tests pin.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        let mut events = Vec::new();
+        for (site, faults) in self.sites.iter().enumerate() {
+            let site = site as u16;
+            if let Some(crash) = faults.crash {
+                events.push(FaultEvent::Crash {
+                    site,
+                    at: crash.at,
+                    downtime_secs: crash.downtime_secs,
+                });
+            }
+            for outage in &faults.outages {
+                events.push(FaultEvent::Outage {
+                    site,
+                    from: outage.from,
+                    until: outage.until,
+                });
+            }
+        }
+        events
+    }
+
+    /// Whether the plan schedules or can produce any fault at all.
+    pub fn is_quiet(&self) -> bool {
+        self.delay_probability <= 0.0
+            && self.duplicate_probability <= 0.0
+            && self
+                .sites
+                .iter()
+                .all(|f| f.crash.is_none() && f.outages.is_empty())
+    }
+
+    /// Check the plan against a generated trace: every shipment-delay draw
+    /// for the trace's transfers, plus the event list. Used by tests to pin
+    /// that two plans behave identically on a concrete workload.
+    pub fn trace_decisions(&self, chain: &ChainTrace) -> Vec<(TagId, Epoch, u32, bool)> {
+        chain
+            .transfers
+            .iter()
+            .map(|t| {
+                let from = t.from_site.0;
+                let to = t.to_site.0;
+                (
+                    t.tag,
+                    t.depart,
+                    self.shipment_delay_secs(from, to, t.tag, t.depart),
+                    self.shipment_duplicated(from, to, t.tag, t.depart),
+                )
+            })
+            .collect()
+    }
+
+    fn shipment_rng(&self, from: u16, to: u16, tag: TagId, depart: Epoch, salt: u64) -> ChaCha8Rng {
+        let mut key = self.seed ^ salt;
+        key = mix(key, u64::from(from));
+        key = mix(key, u64::from(to));
+        key = mix(key, tag.raw());
+        key = mix(key, u64::from(depart.0));
+        ChaCha8Rng::seed_from_u64(key)
+    }
+}
+
+/// Per-site stream seed, decorrelated from neighbouring sites.
+fn site_seed(seed: u64, site: u16) -> u64 {
+    mix(seed ^ 0xfa17, u64::from(site))
+}
+
+/// SplitMix64-style avalanche step folding `v` into `h`.
+fn mix(h: u64, v: u64) -> u64 {
+    let mut z = h ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossy_plan(seed: u64) -> FaultPlan {
+        FaultPlan::generate(&FaultPlanConfig::lossy(seed, 8, 2400))
+    }
+
+    #[test]
+    fn same_seed_produces_identical_plans_and_events() {
+        let a = lossy_plan(7);
+        let b = lossy_plan(7);
+        assert_eq!(a, b);
+        assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    fn different_seeds_produce_different_schedules() {
+        let plans: Vec<FaultPlan> = (0..8).map(lossy_plan).collect();
+        let distinct = plans
+            .iter()
+            .map(|p| format!("{:?}", p.events()))
+            .collect::<std::collections::BTreeSet<_>>();
+        assert!(
+            distinct.len() > 1,
+            "eight seeds should not all share one schedule"
+        );
+    }
+
+    #[test]
+    fn shipment_decisions_are_pure_functions_of_the_key() {
+        let plan = lossy_plan(11);
+        let tag = TagId::item(42);
+        let first = (
+            plan.shipment_delay_secs(0, 1, tag, Epoch(300)),
+            plan.shipment_duplicated(0, 1, tag, Epoch(300)),
+        );
+        // Interleave queries for other keys, then re-ask: the answer cannot
+        // depend on query order.
+        for serial in 0..50 {
+            plan.shipment_delay_secs(1, 2, TagId::item(serial), Epoch(500));
+            plan.shipment_duplicated(2, 3, TagId::case(serial), Epoch(700));
+        }
+        let second = (
+            plan.shipment_delay_secs(0, 1, tag, Epoch(300)),
+            plan.shipment_duplicated(0, 1, tag, Epoch(300)),
+        );
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn lossy_preset_actually_injects_faults() {
+        let plan = lossy_plan(3);
+        assert!(!plan.is_quiet());
+        assert!(!plan.events().is_empty(), "expected at least one outage");
+        let mut delayed = 0;
+        let mut duplicated = 0;
+        for serial in 0..400u64 {
+            let tag = TagId::item(serial);
+            if plan.shipment_delay_secs(0, 1, tag, Epoch(serial as u32)) > 0 {
+                delayed += 1;
+            }
+            if plan.shipment_duplicated(0, 1, tag, Epoch(serial as u32)) {
+                duplicated += 1;
+            }
+        }
+        assert!(
+            delayed > 0,
+            "delay probability 0.25 never fired in 400 draws"
+        );
+        assert!(
+            duplicated > 0,
+            "dup probability 0.1 never fired in 400 draws"
+        );
+    }
+
+    #[test]
+    fn quiet_config_yields_the_identity_plan() {
+        let plan = FaultPlan::generate(&FaultPlanConfig::quiet(9, 4, 1000));
+        assert!(plan.is_quiet());
+        assert!(plan.events().is_empty());
+        assert_eq!(plan.crash(0), None);
+        assert!(!plan.reading_dropped(2, Epoch(500)));
+        assert_eq!(plan.shipment_delay_secs(0, 1, TagId::item(1), Epoch(5)), 0);
+        assert!(!plan.shipment_duplicated(0, 1, TagId::item(1), Epoch(5)));
+    }
+
+    #[test]
+    fn scripted_crash_hits_exactly_one_site() {
+        let plan = FaultPlan::scripted_crash(4, 2, Epoch(600), 0);
+        assert_eq!(
+            plan.crash(2),
+            Some(CrashFault {
+                at: Epoch(600),
+                downtime_secs: 0
+            })
+        );
+        for site in [0, 1, 3] {
+            assert_eq!(plan.crash(site), None);
+        }
+        assert_eq!(
+            plan.events(),
+            vec![FaultEvent::Crash {
+                site: 2,
+                at: Epoch(600),
+                downtime_secs: 0
+            }]
+        );
+        assert_eq!(plan.crash(2).unwrap().resume_at(), Epoch(600));
+        assert_eq!(
+            FaultPlan::scripted_crash(4, 1, Epoch(100), 50)
+                .crash(1)
+                .unwrap()
+                .resume_at(),
+            Epoch(150)
+        );
+    }
+
+    #[test]
+    fn outage_windows_cover_their_range_inclusively() {
+        let window = OutageWindow {
+            from: Epoch(10),
+            until: Epoch(20),
+        };
+        assert!(!window.covers(Epoch(9)));
+        assert!(window.covers(Epoch(10)));
+        assert!(window.covers(Epoch(20)));
+        assert!(!window.covers(Epoch(21)));
+    }
+}

@@ -1,0 +1,93 @@
+//! Canonical workload presets shared by benchmarks and integration tests.
+//!
+//! Two chains recur throughout the workspace and were historically
+//! re-declared wherever they were needed; this module is now their single
+//! definition:
+//!
+//! * the **seed-97 short-dwell reference chain** — the 8-site configuration
+//!   behind `BENCH_wire.json`, `BENCH_parallel.json` and `BENCH_faults.json`:
+//!   short shelf dwells and a fast injection cadence so objects hop sites
+//!   often and migration (and fault recovery) dominates;
+//! * the **seed-55 smoke chain** — the small 3-site chain the integration
+//!   and determinism tests run at.
+
+use crate::chain::{ChainTrace, SupplyChainSimulator};
+use crate::config::{ChainConfig, WarehouseConfig};
+
+/// Seed of the short-dwell reference chain (8-site benchmarks).
+pub const REFERENCE_SEED: u64 = 97;
+
+/// Seed of the smoke chain (integration and determinism tests).
+pub const SMOKE_SEED: u64 = 55;
+
+/// The short-dwell reference chain: `sites` warehouses in a fanout-2 DAG,
+/// seed [`REFERENCE_SEED`], 60 s transit, shelf dwells of 60–180 s and a
+/// pallet injected every 120 s, so cases clear their shelves quickly and
+/// objects hop sites often.
+pub fn short_dwell_chain(
+    length_secs: u32,
+    sites: u32,
+    items_per_case: u32,
+    cases_per_pallet: u32,
+) -> ChainTrace {
+    let mut warehouse = WarehouseConfig::default()
+        .with_length(length_secs)
+        .with_items_per_case(items_per_case)
+        .with_cases_per_pallet(cases_per_pallet)
+        .with_seed(REFERENCE_SEED);
+    warehouse.shelf_dwell_min = 60;
+    warehouse.shelf_dwell_max = 180;
+    warehouse.pallet_injection_interval = 120;
+    SupplyChainSimulator::new(ChainConfig {
+        warehouse,
+        num_warehouses: sites,
+        transit_secs: 60,
+        fanout: 2,
+    })
+    .generate()
+}
+
+/// The smoke chain: `sites` warehouses, seed [`SMOKE_SEED`], 4 items per
+/// case, 2 cases per pallet, 90 s transit, fanout 2 — small enough for
+/// debug-profile test runs.
+pub fn smoke_chain(length_secs: u32, sites: u32, anomaly_interval: Option<u32>) -> ChainTrace {
+    let mut warehouse = WarehouseConfig::default()
+        .with_length(length_secs)
+        .with_items_per_case(4)
+        .with_cases_per_pallet(2)
+        .with_seed(SMOKE_SEED);
+    warehouse.anomaly_interval = anomaly_interval;
+    SupplyChainSimulator::new(ChainConfig {
+        warehouse,
+        num_warehouses: sites,
+        transit_secs: 90,
+        fanout: 2,
+    })
+    .generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_deterministic() {
+        let a = smoke_chain(600, 3, None);
+        let b = smoke_chain(600, 3, None);
+        assert_eq!(a.transfers, b.transfers);
+        assert_eq!(a.sites.len(), 3);
+        let c = short_dwell_chain(600, 4, 4, 2);
+        let d = short_dwell_chain(600, 4, 4, 2);
+        assert_eq!(c.transfers, d.transfers);
+        assert_eq!(c.sites.len(), 4);
+    }
+
+    #[test]
+    fn short_dwell_chain_produces_cross_site_traffic() {
+        let chain = short_dwell_chain(1500, 4, 4, 2);
+        assert!(
+            !chain.transfers.is_empty(),
+            "the reference chain must move objects between sites"
+        );
+    }
+}

@@ -14,6 +14,7 @@
 //! | `0x04` | [`SharedStateBundle`] | centroid payload + per-object deltas |
 //! | `0x05` | [`CollapsedState`] | tag table + per-candidate weight bits |
 //! | `0x06` | query-state payload | tag-less `(query, automaton)` for sharing |
+//! | `0x07` | [`crate::checkpoint::SiteCheckpoint`] | site-wide tag table + engine/processor snapshots + durability bookkeeping |
 //!
 //! Bodies are built from the primitives of [`crate::primitives`]: unsigned
 //! varints, zigzag varints for deltas, raw IEEE-754 bits for floats, and one
@@ -305,14 +306,14 @@ impl WireCodec {
     }
 }
 
-fn header(kind: u8) -> Writer {
+pub(crate) fn header(kind: u8) -> Writer {
     let mut w = Writer::new();
     w.put_u8(WIRE_VERSION);
     w.put_u8(kind);
     w
 }
 
-fn check_header(bytes: &[u8], kind: u8) -> Result<Reader<'_>, WireError> {
+pub(crate) fn check_header(bytes: &[u8], kind: u8) -> Result<Reader<'_>, WireError> {
     let mut r = Reader::new(bytes);
     let version = r.get_u8()?;
     if version != WIRE_VERSION {
@@ -329,11 +330,11 @@ fn check_header(bytes: &[u8], kind: u8) -> Result<Reader<'_>, WireError> {
     Ok(r)
 }
 
-fn get_string(r: &mut Reader<'_>) -> Result<String, WireError> {
+pub(crate) fn get_string(r: &mut Reader<'_>) -> Result<String, WireError> {
     String::from_utf8(r.get_bytes()?).map_err(|_| WireError::new("string is not valid UTF-8"))
 }
 
-fn get_epoch(raw: i64) -> Result<Epoch, WireError> {
+pub(crate) fn get_epoch(raw: i64) -> Result<Epoch, WireError> {
     u32::try_from(raw)
         .map(Epoch)
         .map_err(|_| WireError::new("epoch out of u32 range"))
@@ -342,21 +343,24 @@ fn get_epoch(raw: i64) -> Result<Epoch, WireError> {
 /// Accumulate one zigzag delta onto a running base without wrapping: a
 /// hostile message can place each individual delta in range while their sum
 /// overflows `i64` (an abort under `overflow-checks`, silent wrap without).
-fn checked_delta(base: i64, delta: i64, what: &str) -> Result<i64, WireError> {
+pub(crate) fn checked_delta(base: i64, delta: i64, what: &str) -> Result<i64, WireError> {
     base.checked_add(delta)
         .ok_or_else(|| WireError::length_overflow(what))
 }
 
 /// Optional tag reference against a table: `0` for `None`, `1 + index`
 /// otherwise.
-fn put_opt_tag(w: &mut Writer, table: &TagTable, tag: Option<TagId>) {
+pub(crate) fn put_opt_tag(w: &mut Writer, table: &TagTable, tag: Option<TagId>) {
     match tag {
         None => w.put_varint(0),
         Some(t) => w.put_varint(1 + table.index_of(t)),
     }
 }
 
-fn get_opt_tag(r: &mut Reader<'_>, table: &TagTable) -> Result<Option<TagId>, WireError> {
+pub(crate) fn get_opt_tag(
+    r: &mut Reader<'_>,
+    table: &TagTable,
+) -> Result<Option<TagId>, WireError> {
     match r.get_varint()? {
         0 => Ok(None),
         n => Ok(Some(table.tag_at(n - 1)?)),
@@ -457,7 +461,7 @@ fn decode_reading_seq(r: &mut Reader<'_>, table: &TagTable) -> Result<Vec<RawRea
     Ok(readings)
 }
 
-fn encode_automaton(w: &mut Writer, automaton: &AutomatonState) {
+pub(crate) fn encode_automaton(w: &mut Writer, automaton: &AutomatonState) {
     match automaton {
         AutomatonState::Idle => w.put_u8(AUTOMATON_IDLE),
         AutomatonState::Accumulating {
@@ -481,7 +485,7 @@ fn encode_automaton(w: &mut Writer, automaton: &AutomatonState) {
     }
 }
 
-fn decode_automaton(r: &mut Reader<'_>) -> Result<AutomatonState, WireError> {
+pub(crate) fn decode_automaton(r: &mut Reader<'_>) -> Result<AutomatonState, WireError> {
     match r.get_u8()? {
         AUTOMATON_IDLE => Ok(AutomatonState::Idle),
         AUTOMATON_ACCUMULATING => {

@@ -18,7 +18,10 @@
 //!   ([`rfid_core::MigrationState`], [`rfid_core::CollapsedState`]);
 //! * centralized raw-reading forwarding (`&[RawReading]` batches);
 //! * query-state bundles ([`rfid_query::SharedStateBundle`],
-//!   [`rfid_query::ObjectQueryState`]).
+//!   [`rfid_query::ObjectQueryState`]);
+//! * site checkpoints ([`SiteCheckpoint`]) — a site's complete durable state
+//!   (engine + processor snapshots, cursors, inbox, accounting) framed as a
+//!   first-class payload so a checkpoint is also a serialized artifact.
 //!
 //! The [`WireFormat`] selects between [`WireFormat::Binary`] (the default of
 //! the distributed layer) and [`WireFormat::Json`] — plain, inspectable
@@ -29,9 +32,11 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod codec;
 pub mod primitives;
 
+pub use checkpoint::{PendingShipment, SiteCheckpoint};
 pub use codec::{WireCodec, WIRE_VERSION};
 
 use serde::{Deserialize, Serialize};

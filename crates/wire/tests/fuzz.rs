@@ -32,6 +32,7 @@ fn decode_everything(codec: &WireCodec, bytes: &[u8]) {
     let _ = codec.decode_migration(bytes);
     let _ = codec.decode_query_state(bytes);
     let _ = codec.decode_bundle(bytes);
+    let _ = codec.decode_checkpoint(bytes);
     let _ = codec.state_from_payload(TagId::item(1), bytes);
 }
 
@@ -157,6 +158,89 @@ fn arb_bundle() -> impl Strategy<Value = SharedStateBundle> {
         })
 }
 
+/// A small but fully-populated checkpoint: every section non-empty, so
+/// truncation and bit-flip sweeps cross section boundaries.
+fn arb_checkpoint() -> impl Strategy<Value = rfid_wire::SiteCheckpoint> {
+    use rfid_core::{
+        CachedVariant, DirtySet, EngineSnapshot, EvidenceCache, Observations, PriorWeights,
+    };
+    use rfid_query::ProcessorSnapshot;
+    use rfid_types::{ContainmentMap, LocationId, SensorReading};
+    (
+        arb_readings(),
+        prop::collection::vec((arb_tag(), arb_tag(), arb_weight()), 0..6),
+        prop::collection::vec((arb_tag(), arb_epoch()), 0..6),
+        arb_query_state(),
+        (arb_epoch(), 0u16..16, arb_tag(), arb_epoch()),
+    )
+        .prop_map(
+            |(readings, priors, records, state, (depart, to, tag, arrive))| {
+                let mut store = Observations::new();
+                for reading in &readings {
+                    store.insert(*reading);
+                }
+                let mut prior = PriorWeights::empty();
+                let mut containment = ContainmentMap::new();
+                for (object, container, weight) in priors {
+                    prior.set(object, container, weight);
+                    containment.set(object, container);
+                }
+                let mut dirty = DirtySet::new();
+                for (dirty_tag, epoch) in records {
+                    dirty.record(dirty_tag, epoch);
+                }
+                let mut cache = EvidenceCache::new();
+                cache.set_variants(
+                    tag,
+                    vec![CachedVariant {
+                        members: vec![tag],
+                        epochs: vec![depart],
+                        qrows: vec![0.5, -0.5],
+                        evidence: [(tag, vec![(depart, 1.0)])].into_iter().collect(),
+                    }],
+                );
+                rfid_wire::SiteCheckpoint {
+                    site: 3,
+                    at: arrive,
+                    engine: EngineSnapshot {
+                        store,
+                        prior,
+                        containment,
+                        detected: Vec::new(),
+                        last_outcome: None,
+                        last_inference_at: Some(arrive),
+                        threshold: Some(4.5),
+                        dirty,
+                        cache,
+                    },
+                    processor: ProcessorSnapshot {
+                        temperatures: vec![SensorReading::new(depart, LocationId(1), 20.5)],
+                        automata: vec![state.clone()],
+                        alerts: Vec::new(),
+                    },
+                    reading_cursor: readings.len() as u64,
+                    sensor_cursor: 1,
+                    departure_cursor: 0,
+                    inbox: vec![rfid_wire::PendingShipment {
+                        depart,
+                        from: 0,
+                        to,
+                        tag,
+                        arrive,
+                        inference: Some(vec![7, 7, 7]),
+                        query: vec![state],
+                    }],
+                    comm_bytes: [1, 2, 3, 4],
+                    comm_messages: [1, 1, 1, 1],
+                    shared_bytes: 10,
+                    unshared_bytes: 20,
+                    inference_runs: 2,
+                    stats: Default::default(),
+                }
+            },
+        )
+}
+
 /// Valid binary encodings of every payload family, for mutation.
 fn arb_encoding() -> impl Strategy<Value = Vec<u8>> {
     prop_oneof![
@@ -165,6 +249,7 @@ fn arb_encoding() -> impl Strategy<Value = Vec<u8>> {
         arb_migration().prop_map(|s| binary().encode_migration(&s)),
         arb_query_state().prop_map(|s| binary().encode_query_state(&s)),
         arb_bundle().prop_map(|b| binary().encode_bundle(&b)),
+        arb_checkpoint().prop_map(|c| binary().encode_checkpoint(&c)),
     ]
 }
 
@@ -181,6 +266,7 @@ proptest! {
             prop_assert!(binary().decode_migration(prefix).is_err());
             prop_assert!(binary().decode_query_state(prefix).is_err());
             prop_assert!(binary().decode_bundle(prefix).is_err());
+            prop_assert!(binary().decode_checkpoint(prefix).is_err());
         }
     }
 
@@ -275,4 +361,11 @@ fn error_kinds_classify_truncation_and_headers() {
     // Valid header of the wrong payload kind.
     let err = binary().decode_collapsed(&valid).unwrap_err();
     assert_eq!(err.kind(), WireErrorKind::BadHeader);
+    // Checkpoints classify the same way: a readings payload is the wrong
+    // kind, a truncated checkpoint is Truncated, a corrupted version byte is
+    // BadHeader.
+    let err = binary().decode_checkpoint(&valid).unwrap_err();
+    assert_eq!(err.kind(), WireErrorKind::BadHeader);
+    let err = binary().decode_checkpoint(&valid[..1]).unwrap_err();
+    assert_eq!(err.kind(), WireErrorKind::Truncated);
 }

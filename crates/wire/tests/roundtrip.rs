@@ -3,10 +3,16 @@
 //! single-entry payloads, and epochs at the `u32` wraparound boundary.
 
 use proptest::prelude::*;
-use rfid_core::{CollapsedState, MigrationState, ReadingsState};
-use rfid_query::{AutomatonState, ObjectQueryState, SharedStateBundle, StateDelta};
-use rfid_types::{Epoch, RawReading, ReaderId, TagId};
-use rfid_wire::{WireCodec, WireFormat};
+use rfid_core::{
+    CachedVariant, CollapsedState, DetectedChange, DirtySet, EngineSnapshot, EvidenceCache,
+    InferenceOutcome, InferenceStats, MigrationState, ObjectEvidence, Observations, PriorWeights,
+    ReadingsState,
+};
+use rfid_query::{
+    Alert, AutomatonState, ObjectQueryState, ProcessorSnapshot, SharedStateBundle, StateDelta,
+};
+use rfid_types::{ContainmentMap, Epoch, LocationId, RawReading, ReaderId, SensorReading, TagId};
+use rfid_wire::{PendingShipment, SiteCheckpoint, WireCodec, WireFormat};
 use std::collections::BTreeMap;
 
 fn both() -> [WireCodec; 2] {
@@ -224,6 +230,343 @@ proptest! {
                 prop_assert_eq!(recovered, original);
             }
         }
+    }
+}
+
+/// An `(epoch, value)` series in arbitrary order — the codec must preserve
+/// order and duplicates bitwise.
+fn arb_series() -> impl Strategy<Value = Vec<(Epoch, f64)>> {
+    prop::collection::vec((arb_epoch(), arb_weight()), 0..6)
+}
+
+fn arb_observations() -> impl Strategy<Value = Observations> {
+    prop::collection::vec(arb_reading(), 0..25).prop_map(|readings| {
+        let mut store = Observations::new();
+        for reading in readings {
+            store.insert(reading);
+        }
+        store
+    })
+}
+
+fn arb_prior() -> impl Strategy<Value = PriorWeights> {
+    prop::collection::vec((arb_tag(), arb_tag(), arb_weight()), 0..8).prop_map(|entries| {
+        let mut prior = PriorWeights::empty();
+        for (object, container, weight) in entries {
+            prior.set(object, container, weight);
+        }
+        prior
+    })
+}
+
+fn arb_containment() -> impl Strategy<Value = ContainmentMap> {
+    prop::collection::btree_map(arb_tag(), arb_tag(), 0..8).prop_map(|pairs| {
+        let mut map = ContainmentMap::new();
+        for (object, container) in pairs {
+            map.set(object, container);
+        }
+        map
+    })
+}
+
+fn arb_dirty() -> impl Strategy<Value = DirtySet> {
+    (
+        prop::collection::vec(arb_tag(), 0..4),
+        prop::collection::vec((arb_tag(), arb_epoch()), 0..10),
+    )
+        .prop_map(|(marks, records)| {
+            let mut dirty = DirtySet::new();
+            for tag in marks {
+                dirty.mark(tag);
+            }
+            for (tag, epoch) in records {
+                dirty.record(tag, epoch);
+            }
+            dirty
+        })
+}
+
+fn arb_cache() -> impl Strategy<Value = EvidenceCache> {
+    let variant = (
+        prop::collection::vec(arb_tag(), 0..4),
+        prop::collection::vec(arb_epoch(), 0..5),
+        prop::collection::vec(arb_weight(), 0..8),
+        prop::collection::btree_map(arb_tag(), arb_series(), 0..3),
+    )
+        .prop_map(|(members, epochs, qrows, evidence)| CachedVariant {
+            members,
+            epochs,
+            qrows,
+            evidence,
+        });
+    prop::collection::btree_map(arb_tag(), prop::collection::vec(variant, 0..3), 0..3).prop_map(
+        |containers| {
+            let mut cache = EvidenceCache::new();
+            for (container, variants) in containers {
+                cache.set_variants(container, variants);
+            }
+            cache
+        },
+    )
+}
+
+fn arb_outcome() -> impl Strategy<Value = InferenceOutcome> {
+    let evidence = (
+        prop::collection::vec(arb_tag(), 0..5),
+        prop::collection::btree_map(arb_tag(), arb_weight(), 0..5),
+        prop::collection::btree_map(arb_tag(), arb_series(), 0..3),
+        prop::option::of(arb_tag()),
+    )
+        .prop_map(
+            |(candidates, weights, point_evidence, assigned)| ObjectEvidence {
+                candidates,
+                weights,
+                point_evidence,
+                assigned,
+            },
+        );
+    (
+        arb_containment(),
+        prop::collection::btree_map(arb_tag(), evidence, 0..4),
+        prop::collection::btree_map(
+            arb_tag(),
+            prop::collection::vec((arb_epoch(), (0u16..300).prop_map(LocationId)), 0..5),
+            0..4,
+        ),
+        0usize..20,
+        0usize..64,
+    )
+        .prop_map(
+            |(containment, objects, tag_locations, iterations, num_locations)| InferenceOutcome {
+                containment,
+                objects,
+                tag_locations,
+                iterations,
+                num_locations,
+            },
+        )
+}
+
+fn arb_engine() -> impl Strategy<Value = EngineSnapshot> {
+    let detected = (
+        arb_tag(),
+        arb_epoch(),
+        prop::option::of(arb_tag()),
+        prop::option::of(arb_tag()),
+        arb_weight(),
+    )
+        .prop_map(
+            |(object, change_at, old_container, new_container, statistic)| DetectedChange {
+                object,
+                change_at,
+                old_container,
+                new_container,
+                statistic,
+            },
+        );
+    (
+        arb_observations(),
+        arb_prior(),
+        arb_containment(),
+        prop::collection::vec(detected, 0..3),
+        prop::option::of(arb_outcome()),
+        prop::option::of(arb_epoch()),
+        prop::option::of(arb_weight()),
+        arb_dirty(),
+        arb_cache(),
+    )
+        .prop_map(
+            |(
+                store,
+                prior,
+                containment,
+                detected,
+                last_outcome,
+                last_inference_at,
+                threshold,
+                dirty,
+                cache,
+            )| {
+                EngineSnapshot {
+                    store,
+                    prior,
+                    containment,
+                    detected,
+                    last_outcome,
+                    last_inference_at,
+                    threshold,
+                    dirty,
+                    cache,
+                }
+            },
+        )
+}
+
+fn arb_processor() -> impl Strategy<Value = ProcessorSnapshot> {
+    let alert = ((0u32..4), arb_tag(), arb_epoch(), arb_epoch(), arb_series()).prop_map(
+        |(q, tag, since, at, readings)| Alert {
+            query: format!("Q{q}"),
+            tag,
+            since,
+            at,
+            readings,
+        },
+    );
+    (
+        prop::collection::vec(
+            (arb_epoch(), 0u16..300, arb_weight())
+                .prop_map(|(time, loc, value)| SensorReading::new(time, LocationId(loc), value)),
+            0..5,
+        ),
+        prop::collection::vec(arb_query_state(), 0..5),
+        prop::collection::vec(alert, 0..4),
+    )
+        .prop_map(|(temperatures, automata, alerts)| ProcessorSnapshot {
+            temperatures,
+            automata,
+            alerts,
+        })
+}
+
+fn arb_pending() -> impl Strategy<Value = PendingShipment> {
+    (
+        arb_epoch(),
+        0u16..16,
+        0u16..16,
+        arb_tag(),
+        arb_epoch(),
+        prop::option::of(prop::collection::vec(any::<u8>(), 0..24)),
+        prop::collection::vec(arb_query_state(), 0..3),
+    )
+        .prop_map(
+            |(depart, from, to, tag, arrive, inference, query)| PendingShipment {
+                depart,
+                from,
+                to,
+                tag,
+                arrive,
+                inference,
+                query,
+            },
+        )
+}
+
+fn arb_checkpoint() -> impl Strategy<Value = SiteCheckpoint> {
+    let accounting = (
+        prop::collection::vec(0u64..1 << 40, 4),
+        prop::collection::vec(0u64..1 << 20, 4),
+        0u64..1 << 40,
+        0u64..1 << 40,
+        0u64..10_000,
+        prop::collection::vec(0usize..100_000, 5),
+    );
+    (
+        (0u16..64, arb_epoch(), arb_engine(), arb_processor()),
+        (0u64..1 << 32, 0u64..1 << 32, 0u64..1 << 32),
+        prop::collection::vec(arb_pending(), 0..4),
+        accounting,
+    )
+        .prop_map(
+            |(
+                (site, at, engine, processor),
+                (reading_cursor, sensor_cursor, departure_cursor),
+                inbox,
+                (bytes, messages, shared_bytes, unshared_bytes, inference_runs, stats),
+            )| SiteCheckpoint {
+                site,
+                at,
+                engine,
+                processor,
+                reading_cursor,
+                sensor_cursor,
+                departure_cursor,
+                inbox,
+                comm_bytes: [bytes[0], bytes[1], bytes[2], bytes[3]],
+                comm_messages: [messages[0], messages[1], messages[2], messages[3]],
+                shared_bytes,
+                unshared_bytes,
+                inference_runs,
+                stats: InferenceStats {
+                    dirty_tags: stats[0],
+                    posteriors_reused: stats[1],
+                    posteriors_computed: stats[2],
+                    evidence_reused: stats[3],
+                    evidence_computed: stats[4],
+                },
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn checkpoints_round_trip_bitwise(checkpoint in arb_checkpoint()) {
+        for codec in both() {
+            let bytes = codec.encode_checkpoint(&checkpoint);
+            let back = codec.decode_checkpoint(&bytes).unwrap();
+            prop_assert_eq!(&back, &checkpoint);
+            // Bit-exactness beyond `PartialEq` (which conflates 0.0 and
+            // -0.0): re-encoding the decoded checkpoint must reproduce the
+            // original bytes, so every f64 bit pattern survived.
+            prop_assert_eq!(codec.encode_checkpoint(&back), bytes);
+        }
+    }
+}
+
+#[test]
+fn checkpoint_epochs_survive_the_wraparound_boundary() {
+    // Epoch u32::MAX everywhere a delta chain starts or ends: observation
+    // epochs, the checkpoint cut, dirty records and a pending shipment.
+    let mut store = Observations::new();
+    store.insert(RawReading::new(
+        Epoch(u32::MAX),
+        TagId::item(1),
+        ReaderId(0),
+    ));
+    store.insert(RawReading::new(Epoch(0), TagId::item(1), ReaderId(1)));
+    let mut dirty = DirtySet::new();
+    dirty.record(TagId::item(1), Epoch(u32::MAX));
+    dirty.record(TagId::item(1), Epoch(0));
+    let checkpoint = SiteCheckpoint {
+        site: u16::MAX,
+        at: Epoch(u32::MAX),
+        engine: EngineSnapshot {
+            store,
+            prior: PriorWeights::empty(),
+            containment: ContainmentMap::new(),
+            detected: Vec::new(),
+            last_outcome: None,
+            last_inference_at: Some(Epoch(u32::MAX)),
+            threshold: None,
+            dirty,
+            cache: EvidenceCache::new(),
+        },
+        processor: ProcessorSnapshot {
+            temperatures: Vec::new(),
+            automata: Vec::new(),
+            alerts: Vec::new(),
+        },
+        reading_cursor: u64::from(u32::MAX),
+        sensor_cursor: 0,
+        departure_cursor: 0,
+        inbox: vec![PendingShipment {
+            depart: Epoch(u32::MAX),
+            from: 0,
+            to: 1,
+            tag: TagId::item(1),
+            arrive: Epoch(u32::MAX),
+            inference: None,
+            query: Vec::new(),
+        }],
+        comm_bytes: [u64::from(u32::MAX); 4],
+        comm_messages: [0; 4],
+        shared_bytes: 0,
+        unshared_bytes: 0,
+        inference_runs: 0,
+        stats: InferenceStats::default(),
+    };
+    for codec in both() {
+        let bytes = codec.encode_checkpoint(&checkpoint);
+        assert_eq!(codec.decode_checkpoint(&bytes).unwrap(), checkpoint);
     }
 }
 

@@ -2,38 +2,14 @@
 //! inference with state migration, hybrid query processing, and the
 //! communication-cost comparison (Sections 4, 5.3 and 5.4 at smoke scale).
 
+mod test_support;
+
 use rfid::core::InferenceConfig;
 use rfid::dist::{DistributedConfig, DistributedDriver, MessageKind, MigrationStrategy};
 use rfid::query::ExposureQuery;
-use rfid::sim::{ChainConfig, SupplyChainSimulator, TemperatureModel, WarehouseConfig};
-use rfid::types::Epoch;
+use rfid::sim::TemperatureModel;
 use std::collections::BTreeMap;
-
-fn chain(length: u32, sites: u32, anomaly: Option<u32>) -> rfid::sim::ChainTrace {
-    let mut warehouse = WarehouseConfig::default()
-        .with_length(length)
-        .with_items_per_case(4)
-        .with_cases_per_pallet(2)
-        .with_seed(55);
-    warehouse.anomaly_interval = anomaly;
-    SupplyChainSimulator::new(ChainConfig {
-        warehouse,
-        num_warehouses: sites,
-        transit_secs: 90,
-        fanout: 2,
-    })
-    .generate()
-}
-
-fn accuracy(chain: &rfid::sim::ChainTrace, outcome: &rfid::dist::DistributedOutcome) -> f64 {
-    let end = Epoch(chain.sites[0].meta.length);
-    let objects = chain.objects();
-    let correct = objects
-        .iter()
-        .filter(|&&o| outcome.container_of(o) == chain.containment.container_at(o, end))
-        .count();
-    correct as f64 / objects.len().max(1) as f64
-}
+use test_support::{chain_accuracy as accuracy, smoke_chain as chain};
 
 #[test]
 fn collapsed_migration_approximates_centralized_accuracy_at_a_fraction_of_the_cost() {
@@ -50,7 +26,10 @@ fn collapsed_migration_approximates_centralized_accuracy_at_a_fraction_of_the_co
     let centralized = run(MigrationStrategy::Centralized);
     let acc_collapsed = accuracy(&chain, &collapsed);
     let acc_central = accuracy(&chain, &centralized);
-    assert!(acc_collapsed > 0.85, "collapsed accuracy {acc_collapsed:.3}");
+    assert!(
+        acc_collapsed > 0.85,
+        "collapsed accuracy {acc_collapsed:.3}"
+    );
     assert!(
         acc_collapsed >= acc_central - 0.1,
         "collapsed ({acc_collapsed:.3}) should approximate centralized ({acc_central:.3})"
@@ -82,7 +61,10 @@ fn hybrid_queries_fire_and_query_state_sharing_pays_off() {
         ..Default::default()
     })
     .run(&chain);
-    assert!(!outcome.alerts.is_empty(), "sustained exposure must raise alerts");
+    assert!(
+        !outcome.alerts.is_empty(),
+        "sustained exposure must raise alerts"
+    );
     assert!(outcome.alerts.iter().all(|a| a.query == "Q1"));
     // sharing never makes migrated query state larger, and usually shrinks it
     assert!(outcome.query_state_shared_bytes <= outcome.query_state_unshared_bytes);
@@ -99,14 +81,13 @@ fn object_custody_is_tracked_by_the_ons() {
     })
     .run(&chain);
     // every transferred tag ends up registered at a non-source site
-    let moved: Vec<_> = chain
-        .transfers
-        .iter()
-        .map(|t| (t.tag, t.to_site))
-        .collect();
+    let moved: Vec<_> = chain.transfers.iter().map(|t| (t.tag, t.to_site)).collect();
     assert!(!moved.is_empty());
     for (tag, _) in moved.iter().take(50) {
-        let site = outcome.ons.lookup(*tag).expect("transferred tag is registered");
+        let site = outcome
+            .ons
+            .lookup(*tag)
+            .expect("transferred tag is registered");
         assert_ne!(site.0, u16::MAX);
     }
 }

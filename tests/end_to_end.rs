@@ -2,38 +2,13 @@
 //! inference → evaluation, the SMURF* comparison, and the lab-trace
 //! emulation. These mirror (at smoke scale) the claims of Section 5.1/5.2.
 
-use rfid::core::{InferenceConfig, InferenceEngine, TruncationPolicy};
+mod test_support;
+
+use rfid::core::{InferenceConfig, TruncationPolicy};
 use rfid::eval::{changes_f_measure, metrics::ReportedChange, ChangeMatchConfig};
 use rfid::sim::{LabConfig, LabTraceId, WarehouseConfig, WarehouseSimulator};
 use rfid::smurf::{SmurfStar, SmurfStarConfig};
-use rfid::types::{Epoch, Trace};
-
-fn containment_accuracy(trace: &Trace, estimate: impl Fn(rfid::types::TagId) -> Option<rfid::types::TagId>) -> f64 {
-    let end = Epoch(trace.meta.length);
-    let objects = trace.objects();
-    let correct = objects
-        .iter()
-        .filter(|&&o| estimate(o) == trace.truth.container_at(o, end))
-        .count();
-    correct as f64 / objects.len().max(1) as f64
-}
-
-fn run_engine(trace: &Trace, config: InferenceConfig) -> InferenceEngine {
-    let mut engine = InferenceEngine::new(config, trace.read_rates.clone());
-    let mut readings = trace.readings.clone();
-    let all = readings.readings().to_vec();
-    let mut cursor = 0usize;
-    for t in 0..=trace.meta.length {
-        let now = Epoch(t);
-        while cursor < all.len() && all[cursor].time == now {
-            engine.observe(all[cursor]);
-            cursor += 1;
-        }
-        engine.step(now);
-    }
-    engine.run_inference(Epoch(trace.meta.length));
-    engine
-}
+use test_support::{containment_accuracy, run_engine};
 
 #[test]
 fn stable_containment_is_recovered_with_high_accuracy() {
@@ -48,7 +23,10 @@ fn stable_containment_is_recovered_with_high_accuracy() {
             .with_seed(100),
     )
     .generate();
-    let engine = run_engine(&trace, InferenceConfig::default().without_change_detection());
+    let engine = run_engine(
+        &trace,
+        InferenceConfig::default().without_change_detection(),
+    );
     let accuracy = containment_accuracy(&trace, |o| engine.container_of(o));
     assert!(
         accuracy > 0.93,
@@ -74,7 +52,10 @@ fn critical_region_truncation_matches_full_history_accuracy() {
             .with_truncation(TruncationPolicy::Full)
             .without_change_detection(),
     );
-    let cr = run_engine(&trace, InferenceConfig::default().without_change_detection());
+    let cr = run_engine(
+        &trace,
+        InferenceConfig::default().without_change_detection(),
+    );
     let full_acc = containment_accuracy(&trace, |o| full.container_of(o));
     let cr_acc = containment_accuracy(&trace, |o| cr.container_of(o));
     assert!(
@@ -122,10 +103,7 @@ fn injected_containment_changes_are_detected() {
     )
     .generate();
     assert!(!trace.truth.containment.changes().is_empty());
-    let engine = run_engine(
-        &trace,
-        InferenceConfig::default().with_recent_history(500),
-    );
+    let engine = run_engine(&trace, InferenceConfig::default().with_recent_history(500));
     let reported: Vec<ReportedChange> = engine
         .detected_changes()
         .iter()
