@@ -12,14 +12,17 @@
 //! `BENCH_WIRE_OUT` environment variable), so the communication-cost
 //! trajectory is tracked across PRs; the `inference_dense` experiment does
 //! the same for solver wall-clock via `BENCH_infer.json` /
-//! `BENCH_INFER_OUT`, and the `faults` experiment for fault-degradation
-//! tables via `BENCH_faults.json` / `BENCH_FAULTS_OUT`.
+//! `BENCH_INFER_OUT`, the `faults` experiment for fault-degradation
+//! tables via `BENCH_faults.json` / `BENCH_FAULTS_OUT`, and the `degraded`
+//! experiment for transport loss/partition degradation via
+//! `BENCH_degraded.json` / `BENCH_DEGRADED_OUT`.
 
 use rfid_bench::{
-    fault_measurements, faults_json, faults_table, fig4, fig5a, fig5b, fig5c, fig5d, fig5e, fig5f,
-    fig6a, fig6b, incremental_inference, infer_measurements, inference_dense_json,
-    inference_dense_table, parallel_scaling, scalability, table3, table4, table5, table_query,
-    wire_formats_json, wire_formats_table, wire_measurements, Scale,
+    degraded_json, degraded_measurements, degraded_table, fault_measurements, faults_json,
+    faults_table, fig4, fig5a, fig5b, fig5c, fig5d, fig5e, fig5f, fig6a, fig6b,
+    incremental_inference, infer_measurements, inference_dense_json, inference_dense_table,
+    parallel_scaling, scalability, table3, table4, table5, table_query, wire_formats_json,
+    wire_formats_table, wire_measurements, Scale,
 };
 use rfid_eval::Series;
 use std::time::Instant;
@@ -44,6 +47,7 @@ const ALL: &[&str] = &[
     "inference_dense",
     "wire",
     "faults",
+    "degraded",
 ];
 
 fn print_series(title: &str, series: &[Series]) {
@@ -124,6 +128,16 @@ fn run(name: &str, scale: Scale) {
                 .unwrap_or_else(|_| "BENCH_faults.json".to_string());
             match std::fs::write(&path, faults_json(scale, &study)) {
                 Ok(()) => eprintln!("[fault measurements written to {path}]"),
+                Err(err) => eprintln!("[failed to write {path}: {err}]"),
+            }
+        }
+        "degraded" => {
+            let study = degraded_measurements(scale);
+            println!("{}", degraded_table(&study));
+            let path = std::env::var("BENCH_DEGRADED_OUT")
+                .unwrap_or_else(|_| "BENCH_degraded.json".to_string());
+            match std::fs::write(&path, degraded_json(scale, &study)) {
+                Ok(()) => eprintln!("[degradation measurements written to {path}]"),
                 Err(err) => eprintln!("[failed to write {path}: {err}]"),
             }
         }

@@ -824,6 +824,7 @@ pub fn fault_measurements(scale: Scale) -> FaultStudy {
     let (crashes, outages) = plan.events().iter().fold((0, 0), |(c, o), e| match e {
         rfid_sim::FaultEvent::Crash { .. } => (c + 1, o),
         rfid_sim::FaultEvent::Outage { .. } => (c, o + 1),
+        rfid_sim::FaultEvent::Partition { .. } => (c, o),
     });
     let mut measurements = Vec::new();
     for (name, strategy) in [
@@ -950,6 +951,204 @@ pub fn faults_json(scale: Scale, study: &FaultStudy) -> String {
             } else {
                 ","
             }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One scenario × strategy row of the transport-degradation study.
+#[derive(Debug, Clone)]
+pub struct DegradedMeasurement {
+    /// Fault scenario label (`loss 0.00` … `loss 0.30`, `partition 0<->1`).
+    pub scenario: String,
+    /// Migration strategy name.
+    pub strategy: &'static str,
+    /// Containment accuracy (%) under the scenario.
+    pub accuracy: f64,
+    /// Total bytes on the wire, *including* the Control overhead of acks,
+    /// retransmissions and resyncs.
+    pub total_bytes: usize,
+    /// Bytes charged to [`MessageKind::Control`] alone.
+    pub control_bytes: usize,
+    /// Payload copies sent beyond each envelope's first attempt.
+    pub retransmissions: u64,
+    /// Duplicate copies discarded by receiver-side dedup.
+    pub duplicates_dropped: u64,
+    /// Late state messages merged into an already-cold-started engine.
+    pub reconciled: u64,
+    /// Envelopes given up on — the destination stayed in degraded mode.
+    pub abandoned: u64,
+}
+
+/// The full transport-degradation study: one row per scenario × strategy.
+#[derive(Debug, Clone)]
+pub struct DegradedStudy {
+    /// Seed of the generated loss plans.
+    pub seed: u64,
+    /// The swept per-attempt loss rates.
+    pub loss_rates: Vec<f64>,
+    /// All measurements, scenario-major.
+    pub rows: Vec<DegradedMeasurement>,
+}
+
+/// Transport-degradation study at the 8-site short-dwell reference scale:
+/// containment accuracy and total communication (now including the Control
+/// bytes of acks and the payload bytes of retransmissions) for every
+/// migration strategy, as the per-attempt loss rate sweeps {0, 0.05, 0.15,
+/// 0.30} (ack losses at half the payload rate), plus one scripted scenario
+/// that partitions the 0 ↔ 1 link for the entire horizon so the destination
+/// demonstrably runs in degraded mode.
+///
+/// As with [`fault_measurements`], every faulted run is executed both
+/// sequentially and with one worker per site and asserted bit-identical —
+/// the loss/ack/partition draws are pure functions of message keys, so the
+/// table measures the *network*, never the executor.
+pub fn degraded_measurements(scale: Scale) -> DegradedStudy {
+    let chain = short_dwell_chain(scale, 8);
+    let horizon = chain.sites[0].meta.length;
+    let loss_rates = vec![0.0, 0.05, 0.15, 0.30];
+    let mut scenarios: Vec<(String, FaultPlan)> = loss_rates
+        .iter()
+        .map(|&rate| {
+            let plan = FaultPlan::generate(&FaultPlanConfig {
+                loss_probability: rate,
+                ack_loss_probability: rate / 2.0,
+                ..FaultPlanConfig::quiet(presets::REFERENCE_SEED, 8, horizon)
+            });
+            (format!("loss {rate:.2}"), plan)
+        })
+        .collect();
+    scenarios.push((
+        "partition 0<->1".to_string(),
+        FaultPlan::scripted_partition(8, 0, 1, Epoch(0), Epoch(horizon)),
+    ));
+    let mut rows = Vec::new();
+    for (scenario, plan) in &scenarios {
+        for (name, strategy) in [
+            ("None", MigrationStrategy::None),
+            ("CR-readings", MigrationStrategy::CriticalRegionReadings),
+            ("CollapsedWeights", MigrationStrategy::CollapsedWeights),
+            ("Centralized", MigrationStrategy::Centralized),
+        ] {
+            let config = |workers: usize| {
+                DistributedConfig {
+                    strategy,
+                    inference: InferenceConfig::default().without_change_detection(),
+                    num_workers: workers,
+                    ..Default::default()
+                }
+                .with_faults(plan.clone())
+            };
+            let faulted = DistributedDriver::new(config(1)).run(&chain);
+            let faulted_parallel = DistributedDriver::new(config(8)).run(&chain);
+            assert_eq!(
+                faulted.containment, faulted_parallel.containment,
+                "{scenario}/{name}: the loss schedule must injure both executors identically"
+            );
+            assert_eq!(faulted.comm, faulted_parallel.comm, "{scenario}/{name}");
+            assert_eq!(faulted.ons, faulted_parallel.ons, "{scenario}/{name}");
+            assert_eq!(
+                faulted.transport, faulted_parallel.transport,
+                "{scenario}/{name}"
+            );
+            rows.push(DegradedMeasurement {
+                scenario: scenario.clone(),
+                strategy: name,
+                accuracy: 100.0 - chain_containment_error(&chain, &faulted),
+                total_bytes: faulted.comm.total_bytes(),
+                control_bytes: faulted.comm.bytes_of_kind(MessageKind::Control),
+                retransmissions: faulted.transport.retransmissions,
+                duplicates_dropped: faulted.transport.duplicates_dropped,
+                reconciled: faulted.transport.reconciled,
+                abandoned: faulted.transport.abandoned,
+            });
+        }
+    }
+    DegradedStudy {
+        seed: presets::REFERENCE_SEED,
+        loss_rates,
+        rows,
+    }
+}
+
+/// The human-readable table of [`degraded_measurements`].
+pub fn degraded(scale: Scale) -> Table {
+    degraded_table(&degraded_measurements(scale))
+}
+
+/// Render a pre-computed study as the degradation table (so one measurement
+/// pass can feed both the table and `BENCH_degraded.json`).
+pub fn degraded_table(study: &DegradedStudy) -> Table {
+    let mut table = Table::new(
+        "Transport degradation: accuracy and communication under message loss and partitions",
+        &[
+            "scenario",
+            "strategy",
+            "accuracy (%)",
+            "total bytes",
+            "control bytes",
+            "retx",
+            "dedup drops",
+            "reconciled",
+            "abandoned",
+        ],
+    );
+    for m in &study.rows {
+        table.push_row(&[
+            m.scenario.clone(),
+            m.strategy.to_string(),
+            format!("{:.1}", m.accuracy),
+            m.total_bytes.to_string(),
+            m.control_bytes.to_string(),
+            m.retransmissions.to_string(),
+            m.duplicates_dropped.to_string(),
+            m.reconciled.to_string(),
+            m.abandoned.to_string(),
+        ]);
+    }
+    table
+}
+
+/// The machine-readable companion of [`degraded`] — the contents of
+/// `BENCH_degraded.json`, tracked across PRs alongside `BENCH_faults.json`.
+/// Hand-rendered JSON (stable key order, one row object per scenario ×
+/// strategy).
+pub fn degraded_json(scale: Scale, study: &DegradedStudy) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str("  \"reference\": \"8-site short-dwell chain, seed 97, 2400 s\",\n");
+    out.push_str(
+        "  \"metric\": \"containment accuracy (%) and comm cost (incl. Control) under \
+         transport loss and partitions\",\n",
+    );
+    out.push_str(&format!(
+        "  \"plan\": {{\"seed\": {}, \"loss_rates\": [{}], \
+         \"partition\": \"0<->1 for the whole horizon\"}},\n",
+        study.seed,
+        study
+            .loss_rates
+            .iter()
+            .map(|r| format!("{r:.2}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, m) in study.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"strategy\": \"{}\", \"accuracy_pct\": {:.2}, \
+             \"total_bytes\": {}, \"control_bytes\": {}, \"retransmissions\": {}, \
+             \"duplicates_dropped\": {}, \"reconciled\": {}, \"abandoned\": {}}}{}\n",
+            m.scenario,
+            m.strategy,
+            m.accuracy,
+            m.total_bytes,
+            m.control_bytes,
+            m.retransmissions,
+            m.duplicates_dropped,
+            m.reconciled,
+            m.abandoned,
+            if i + 1 == study.rows.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");

@@ -16,6 +16,10 @@ pub mod distributed;
 pub mod single_site;
 
 pub use distributed::{
+    degraded, degraded_json, degraded_measurements, degraded_table, DegradedMeasurement,
+    DegradedStudy,
+};
+pub use distributed::{
     fault_measurements, faults, faults_json, faults_table, fig5e, fig5f, incremental_inference,
     infer_measurements, inference_dense, inference_dense_json, inference_dense_table,
     parallel_scaling, scalability, table5, table_query, wire_formats, wire_formats_json,

@@ -64,6 +64,27 @@ pub struct EngineSnapshot {
     pub cache: EvidenceCache,
 }
 
+/// What an [`InferenceEngine::import_late_state`] call actually merged —
+/// the receipt a distributed driver uses to account a degraded-mode
+/// reconciliation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImportSummary {
+    /// The object whose state was merged; `None` when the migration carried
+    /// nothing ([`MigrationState::None`]).
+    pub object: Option<TagId>,
+    /// Collapsed co-location weights merged into the prior.
+    pub weights: usize,
+    /// Critical-region readings re-observed into the store.
+    pub readings: usize,
+}
+
+impl ImportSummary {
+    /// Whether anything at all was merged.
+    pub fn merged(&self) -> bool {
+        self.object.is_some()
+    }
+}
+
 /// The report produced by one inference run.
 #[derive(Debug, Clone)]
 pub struct InferenceReport {
@@ -449,8 +470,20 @@ impl InferenceEngine {
     /// Import migration state for an object arriving from another site,
     /// marking the affected tags dirty for the next incremental run.
     pub fn import_state(&mut self, state: MigrationState) {
+        self.import_late_state(state);
+    }
+
+    /// Import migration state that may arrive *after* the object itself —
+    /// the reconciliation path of a reliable transport whose delivery was
+    /// delayed past the physical arrival. The engine has typically already
+    /// cold-started the object from its local readings; the late state merges
+    /// through exactly the same dirty-set journal as an on-time import, so
+    /// the next incremental run folds it in bit-identically to a full
+    /// recompute. Returns what was merged, so the caller can account the
+    /// reconciliation.
+    pub fn import_late_state(&mut self, state: MigrationState) -> ImportSummary {
         match state {
-            MigrationState::None => {}
+            MigrationState::None => ImportSummary::default(),
             MigrationState::Collapsed(collapsed) => {
                 if let Some(container) = collapsed.container {
                     self.containment.set(collapsed.object, container);
@@ -460,14 +493,25 @@ impl InferenceEngine {
                 // per-epoch value needs invalidation — but the object counts
                 // as dirty.
                 self.dirty.mark(collapsed.object);
+                ImportSummary {
+                    object: Some(collapsed.object),
+                    weights: collapsed.weights.len(),
+                    readings: 0,
+                }
             }
             MigrationState::Readings(readings) => {
                 if let Some(container) = readings.container {
                     self.containment.set(readings.object, container);
                 }
                 self.dirty.mark(readings.object);
+                let count = readings.readings.len();
                 for r in readings.readings {
                     self.observe(r);
+                }
+                ImportSummary {
+                    object: Some(readings.object),
+                    weights: 0,
+                    readings: count,
                 }
             }
         }
@@ -700,6 +744,71 @@ mod tests {
             report.outcome.container_of(TagId::item(1)),
             Some(TagId::case(1))
         );
+    }
+
+    #[test]
+    fn late_state_reconciles_into_a_cold_started_engine() {
+        // A destination that cold-started an object (its state message was
+        // delayed in transit) and later merges the late state must end up
+        // bit-identical to a destination that imported the state on time —
+        // the dirty-set journal re-runs the affected object either way.
+        let config = InferenceConfig::default()
+            .with_period(10)
+            .without_change_detection();
+        let mut origin = InferenceEngine::new(config.clone(), rates());
+        for t in 0..30u32 {
+            origin.observe(RawReading::new(Epoch(t), TagId::item(1), ReaderId(0)));
+            origin.observe(RawReading::new(Epoch(t), TagId::case(1), ReaderId(0)));
+            let decoy_reader = if t < 3 { 0 } else { 1 };
+            origin.observe(RawReading::new(
+                Epoch(t),
+                TagId::case(2),
+                ReaderId(decoy_reader),
+            ));
+        }
+        origin.run_inference(Epoch(30));
+        let state = origin.export_collapsed(TagId::item(1));
+
+        let local = |engine: &mut InferenceEngine| {
+            for t in 100..102u32 {
+                engine.observe(RawReading::new(Epoch(t), TagId::item(1), ReaderId(2)));
+                engine.observe(RawReading::new(Epoch(t), TagId::case(2), ReaderId(2)));
+            }
+        };
+
+        // On time: state imported before any local evidence.
+        let mut on_time = InferenceEngine::new(config.clone(), rates());
+        on_time.import_state(MigrationState::Collapsed(state.clone()));
+        local(&mut on_time);
+        on_time.run_inference(Epoch(110));
+
+        // Degraded: the object arrives first, the engine cold-starts it from
+        // local readings (and believes the decoy), then the state gets
+        // through and is reconciled.
+        let mut degraded = InferenceEngine::new(config, rates());
+        local(&mut degraded);
+        degraded.run_inference(Epoch(102));
+        assert_eq!(
+            degraded.container_of(TagId::item(1)),
+            Some(TagId::case(2)),
+            "cold start believes the local decoy"
+        );
+        let summary = degraded.import_late_state(MigrationState::Collapsed(state));
+        assert!(summary.merged());
+        assert_eq!(summary.object, Some(TagId::item(1)));
+        assert!(summary.weights > 0);
+        assert_eq!(summary.readings, 0);
+        degraded.run_inference(Epoch(110));
+
+        assert_eq!(
+            degraded.container_of(TagId::item(1)),
+            on_time.container_of(TagId::item(1)),
+            "reconciliation must converge to the on-time outcome"
+        );
+        assert_eq!(degraded.container_of(TagId::item(1)), Some(TagId::case(1)));
+
+        // A no-op migration merges nothing.
+        assert!(!degraded.import_late_state(MigrationState::None).merged());
     }
 
     #[test]

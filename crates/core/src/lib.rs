@@ -71,7 +71,7 @@ pub mod truncate;
 pub use changepoint::{change_statistic, detect_changes, DetectedChange, ThresholdCalibrator};
 pub use config::{ChangeDetectionConfig, InferenceConfig, ThresholdPolicy};
 pub use dense::DenseScratch;
-pub use engine::{EngineSnapshot, InferenceEngine, InferenceReport};
+pub use engine::{EngineSnapshot, ImportSummary, InferenceEngine, InferenceReport};
 pub use likelihood::{LikelihoodModel, ReaderSetTable};
 pub use observations::{ObsAt, Observations};
 pub use posterior::{container_posterior, container_posterior_rows, Posterior};

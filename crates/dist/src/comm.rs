@@ -19,15 +19,24 @@ pub enum MessageKind {
     QueryState,
     /// Object-name-service custody updates (which site holds which tag).
     OnsUpdate,
+    /// Reliable-transport control traffic: acks and anti-entropy resync
+    /// requests. Only charged when the transport's ack/retransmit machinery
+    /// is active (a fault plan with loss or partitions).
+    Control,
 }
 
 impl MessageKind {
+    /// Number of message kinds — the arity of every per-kind array,
+    /// including the checkpoint form.
+    pub const KINDS: usize = 5;
+
     /// All message kinds, in a fixed order.
-    pub const ALL: [MessageKind; 4] = [
+    pub const ALL: [MessageKind; MessageKind::KINDS] = [
         MessageKind::RawReadings,
         MessageKind::InferenceState,
         MessageKind::QueryState,
         MessageKind::OnsUpdate,
+        MessageKind::Control,
     ];
 
     fn index(self) -> usize {
@@ -36,6 +45,7 @@ impl MessageKind {
             MessageKind::InferenceState => 1,
             MessageKind::QueryState => 2,
             MessageKind::OnsUpdate => 3,
+            MessageKind::Control => 4,
         }
     }
 }
@@ -43,8 +53,8 @@ impl MessageKind {
 /// Byte tallies per [`MessageKind`].
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommCost {
-    bytes: [usize; 4],
-    messages: [usize; 4],
+    bytes: [usize; MessageKind::KINDS],
+    messages: [usize; MessageKind::KINDS],
 }
 
 impl CommCost {
@@ -82,7 +92,7 @@ impl CommCost {
     /// The tally as `(bytes, messages)` arrays in [`MessageKind::ALL`]
     /// order — the form a [`SiteCheckpoint`](rfid_wire::SiteCheckpoint)
     /// carries.
-    pub fn to_parts(&self) -> ([u64; 4], [u64; 4]) {
+    pub fn to_parts(&self) -> ([u64; MessageKind::KINDS], [u64; MessageKind::KINDS]) {
         (
             self.bytes.map(|b| b as u64),
             self.messages.map(|m| m as u64),
@@ -92,7 +102,10 @@ impl CommCost {
     /// Rebuild a tally from [`Self::to_parts`] arrays, the restore path of a
     /// checkpointed site. Round-trips exactly: `CommCost::from_parts(a, b)`
     /// of `c.to_parts()` equals `c`.
-    pub fn from_parts(bytes: [u64; 4], messages: [u64; 4]) -> CommCost {
+    pub fn from_parts(
+        bytes: [u64; MessageKind::KINDS],
+        messages: [u64; MessageKind::KINDS],
+    ) -> CommCost {
         CommCost {
             bytes: bytes.map(|b| b as usize),
             messages: messages.map(|m| m as usize),
@@ -181,10 +194,13 @@ mod tests {
         cost.record(MessageKind::QueryState, 256);
         cost.record(MessageKind::QueryState, 4);
         cost.record(MessageKind::OnsUpdate, 10);
+        cost.record(MessageKind::Control, 6);
         let (bytes, messages) = cost.to_parts();
         assert_eq!(CommCost::from_parts(bytes, messages), cost);
         assert_eq!(bytes[2], 260, "kind order must match MessageKind::ALL");
         assert_eq!(messages[2], 2);
+        assert_eq!(bytes[4], 6, "control is the fifth kind");
+        assert_eq!(bytes.len(), MessageKind::KINDS);
     }
 
     #[test]

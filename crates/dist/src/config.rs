@@ -33,6 +33,54 @@ pub enum MigrationStrategy {
     Centralized,
 }
 
+/// Tuning of the reliable-delivery transport (see `crate::transport`).
+///
+/// The transport activates automatically when the run's
+/// [`FaultPlan`] can lose payloads or partition links
+/// ([`FaultPlan::has_transport_faults`]); `always_on` forces the
+/// sequence-number/dedup machinery even on loss-free plans, which the
+/// equivalence tests use to pin that a reliable loss-free run is
+/// bit-identical to direct delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportConfig {
+    /// Base retransmission backoff added on top of the round-trip estimate;
+    /// attempt `k` waits `rtt + min(rto_base_secs << k, rto_max_secs)`.
+    pub rto_base_secs: u32,
+    /// Cap on the exponential backoff term.
+    pub rto_max_secs: u32,
+    /// Retransmissions allowed per payload after the first attempt; `None`
+    /// retries until the horizon (the "retry budget ∞" of the equivalence
+    /// proptests).
+    pub max_retries: Option<u32>,
+    /// Run the sequence-number/dedup machinery even when the fault plan is
+    /// loss-free (acks are elided, so the byte accounting is unchanged).
+    pub always_on: bool,
+}
+
+impl Default for TransportConfig {
+    fn default() -> TransportConfig {
+        TransportConfig {
+            rto_base_secs: 30,
+            rto_max_secs: 480,
+            max_retries: Some(5),
+            always_on: false,
+        }
+    }
+}
+
+impl TransportConfig {
+    /// A transport that never gives up: unlimited retries with a small
+    /// backoff, so any partition shorter than the horizon is ridden out.
+    pub fn persistent() -> TransportConfig {
+        TransportConfig {
+            rto_base_secs: 15,
+            rto_max_secs: 120,
+            max_retries: None,
+            always_on: false,
+        }
+    }
+}
+
 /// Configuration of a [`DistributedDriver`](crate::DistributedDriver) run.
 #[derive(Debug, Clone)]
 pub struct DistributedConfig {
@@ -85,6 +133,10 @@ pub struct DistributedConfig {
     /// downtime are additionally bit-identical to the uninterrupted run.
     /// [`MigrationStrategy::Centralized`] honours reader outages only.
     pub faults: Option<FaultPlan>,
+    /// Reliable-delivery transport tuning. Inert unless the fault plan has
+    /// transport faults (loss/partitions) or
+    /// [`always_on`](TransportConfig::always_on) is set.
+    pub transport: TransportConfig,
 }
 
 impl Default for DistributedConfig {
@@ -100,6 +152,7 @@ impl Default for DistributedConfig {
             wire_format: WireFormat::Binary,
             checkpoint_every_secs: None,
             faults: None,
+            transport: TransportConfig::default(),
         }
     }
 }
@@ -128,6 +181,12 @@ impl DistributedConfig {
         self.faults = Some(faults);
         self
     }
+
+    /// Builder-style setter for the transport tuning.
+    pub fn with_transport(mut self, transport: TransportConfig) -> Self {
+        self.transport = transport;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +208,23 @@ mod tests {
             "no checkpoints by default"
         );
         assert!(config.faults.is_none(), "fault-free by default");
+        assert_eq!(config.transport, TransportConfig::default());
+        assert_eq!(config.transport.max_retries, Some(5));
+        assert!(!config.transport.always_on);
+        assert_eq!(
+            TransportConfig::persistent().max_retries,
+            None,
+            "persistent transport never gives up"
+        );
+        assert!(
+            DistributedConfig::default()
+                .with_transport(TransportConfig {
+                    always_on: true,
+                    ..TransportConfig::default()
+                })
+                .transport
+                .always_on
+        );
         assert_eq!(
             DistributedConfig::default()
                 .with_checkpoints(300)

@@ -26,6 +26,7 @@
 use crate::comm::{CommCost, MessageKind};
 use crate::config::{DistributedConfig, MigrationStrategy};
 use crate::ons::{Ons, ONS_UPDATE_BYTES};
+use crate::transport::{DeliveryPlan, EdgeSequencer, ReliableInbox, TransportMode, TransportStats};
 use rfid_core::{InferenceEngine, InferenceReport, InferenceStats, MigrationState};
 use rfid_query::sharing::unshared_bytes_with;
 use rfid_query::{share_states_with, Alert, ObjectQueryState, QueryProcessor};
@@ -34,7 +35,7 @@ use rfid_types::{
     ContainmentMap, Epoch, LocationId, ObjectEvent, RawReading, ReadRateTable, ReaderId,
     SensorReading, SiteId, TagId,
 };
-use rfid_wire::{PendingShipment, SiteCheckpoint, WireCodec};
+use rfid_wire::{ControlMsg, PendingShipment, SiteCheckpoint, WireCodec};
 use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
@@ -71,6 +72,10 @@ pub struct DistributedOutcome {
     /// Dirty-set sizes and cache-reuse counters, summed across all runs of
     /// all engines.
     pub inference_stats: InferenceStats,
+    /// Reliable-transport counters (envelopes, retransmissions, dedup drops,
+    /// degraded-mode abandonments, …) summed across sites. All zero when the
+    /// transport is [`TransportMode::Off`].
+    pub transport: TransportStats,
 }
 
 impl DistributedOutcome {
@@ -100,6 +105,17 @@ pub(crate) struct ShipmentMsg {
     pub(crate) tag: TagId,
     /// Epoch the shipment reaches `to` and its state is imported.
     pub(crate) arrive: Epoch,
+    /// Reliable-transport sequence number on the `from → to` edge; every
+    /// retransmitted copy of one envelope carries the same number, which is
+    /// how the receiver deduplicates. Always 0 when the transport is off or
+    /// the envelope carries nothing.
+    pub(crate) seq: u64,
+    /// Epoch the *object* physically reaches `to` per the trace — unlike
+    /// [`arrive`](Self::arrive), never stretched by delivery faults or
+    /// retransmission. A copy with `arrive > physical` is late state merged
+    /// into an engine that already cold-started the object, and state older
+    /// than the tag's last local departure is stale.
+    pub(crate) physical: Epoch,
     /// Migrating inference state (see [`MigrationStrategy`]), already encoded
     /// in the run's [`WireCodec`] — exactly the bytes charged to
     /// [`MessageKind::InferenceState`]. `None` when nothing migrates (the
@@ -117,6 +133,13 @@ impl ShipmentMsg {
         (self.depart, self.from, self.to, self.tag)
     }
 
+    /// Whether this message carries anything the transport must deliver
+    /// reliably; empty envelopes (the `None` strategy, container tags) skip
+    /// the sequence/ack machinery entirely.
+    fn is_envelope(&self) -> bool {
+        self.inference.is_some() || !self.query.is_empty()
+    }
+
     /// The durable form this message takes inside a [`SiteCheckpoint`].
     fn to_pending(&self) -> PendingShipment {
         PendingShipment {
@@ -125,6 +148,8 @@ impl ShipmentMsg {
             to: self.to.0,
             tag: self.tag,
             arrive: self.arrive,
+            seq: self.seq,
+            physical: self.physical,
             inference: self.inference.clone(),
             query: self.query.clone(),
         }
@@ -138,6 +163,8 @@ impl ShipmentMsg {
             to: SiteId(pending.to),
             tag: pending.tag,
             arrive: pending.arrive,
+            seq: pending.seq,
+            physical: pending.physical,
             inference: pending.inference,
             query: pending.query,
         }
@@ -155,6 +182,8 @@ pub(crate) struct FederatedCtx<'a> {
     stride: u32,
     /// Encoder/decoder for every cross-site payload.
     codec: WireCodec,
+    /// How much of the reliable-delivery machinery this run engages.
+    transport_mode: TransportMode,
 }
 
 impl<'a> FederatedCtx<'a> {
@@ -168,6 +197,10 @@ impl<'a> FederatedCtx<'a> {
             with_queries: !driver.config.queries.is_empty(),
             stride: driver.config.event_stride_secs.max(1),
             codec: WireCodec::new(driver.config.wire_format),
+            transport_mode: TransportMode::resolve(
+                driver.config.faults.as_ref(),
+                &driver.config.transport,
+            ),
         }
     }
 }
@@ -221,6 +254,7 @@ pub(crate) struct SiteOutcome {
     inference_stats: InferenceStats,
     alerts: Vec<Alert>,
     containment: Vec<(TagId, TagId)>,
+    transport: TransportStats,
 }
 
 /// The per-site state machine: one site's engine, query processor, replay
@@ -274,6 +308,20 @@ pub(crate) struct SiteState<'a> {
     down_until: Option<Epoch>,
     /// Whether this epoch's processing is suppressed (down after a crash).
     down: bool,
+    /// How much of the reliable-delivery machinery this run engages.
+    transport_mode: TransportMode,
+    /// Outbound per-destination sequence counters (transport on only).
+    seqs: EdgeSequencer,
+    /// Receiver-side dedup state, one [`ReliableInbox`] per inbound edge.
+    dedup: BTreeMap<u16, ReliableInbox>,
+    /// Last local departure epoch per tag — the staleness guard: transport
+    /// copies carrying state older than the tag's last departure from this
+    /// site are dropped instead of resurrecting a forwarded object.
+    forgotten: BTreeMap<TagId, Epoch>,
+    /// Transport counters this site contributes to the merged outcome.
+    tstats: TransportStats,
+    /// Total sites in the chain (the rejoin resync fans out to all peers).
+    num_sites: usize,
 }
 
 impl<'a> SiteState<'a> {
@@ -328,6 +376,12 @@ impl<'a> SiteState<'a> {
                 .and_then(|plan| plan.crash(site as u16)),
             down_until: None,
             down: false,
+            transport_mode: ctx.transport_mode,
+            seqs: EdgeSequencer::new(),
+            dedup: BTreeMap::new(),
+            forgotten: BTreeMap::new(),
+            tstats: TransportStats::default(),
+            num_sites: chain.sites.len(),
         }
     }
 
@@ -418,12 +472,57 @@ impl<'a> SiteState<'a> {
     fn import(&mut self, mut batch: Vec<ShipmentMsg>) {
         batch.sort_by_key(ShipmentMsg::order_key);
         for msg in batch {
+            let guarded = msg.is_envelope() && self.transport_mode.dedups();
+            if guarded {
+                if self.transport_mode == TransportMode::Reliable {
+                    // The receiver acks every arriving copy — duplicates
+                    // included, since the sender may be retransmitting
+                    // precisely because an earlier ack was lost. Real encoded
+                    // bytes, booked at the ack sender.
+                    let ack = ControlMsg::Ack {
+                        from: self.site as u16,
+                        to: msg.from.0,
+                        seq: msg.seq,
+                    };
+                    let bytes = self.codec.encode_control(&ack).len();
+                    self.comm.record(MessageKind::Control, bytes);
+                    self.tstats.acks += 1;
+                }
+                // At-most-once delivery: retransmitted (and fault-duplicated)
+                // copies of a sequence number never reach the engine twice.
+                if !self.dedup.entry(msg.from.0).or_default().accept(msg.seq) {
+                    self.tstats.duplicates_dropped += 1;
+                    continue;
+                }
+                // Staleness guard: if the tag already departed this site
+                // after the physical arrival this copy belongs to, its state
+                // would resurrect a forwarded object — drop it.
+                if self
+                    .forgotten
+                    .get(&msg.tag)
+                    .is_some_and(|&gone| gone > msg.physical)
+                {
+                    self.tstats.stale_dropped += 1;
+                    continue;
+                }
+            }
             if let Some(payload) = &msg.inference {
                 let state = self
                     .codec
                     .decode_migration(payload)
                     .expect("in-process shipment payload decodes");
-                self.engine.import_state(state);
+                if guarded && msg.arrive > msg.physical {
+                    // Degraded-mode reconciliation: the object itself arrived
+                    // earlier and was cold-started from local readings; merge
+                    // the late migration state through the dirty-set journal
+                    // so incremental inference re-runs it exactly.
+                    let summary = self.engine.import_late_state(state);
+                    if summary.merged() {
+                        self.tstats.reconciled += 1;
+                    }
+                } else {
+                    self.engine.import_state(state);
+                }
             }
             if !msg.query.is_empty() {
                 self.processor.import_state(msg.query);
@@ -483,6 +582,10 @@ impl<'a> SiteState<'a> {
         }
         for ((to, arrive), tags) in by_shipment {
             let mut shipment_states: Vec<ObjectQueryState> = Vec::new();
+            // Transmissions of the physical shipment's query bundle: under a
+            // reliable transport the bundle rides on every retransmission, so
+            // it is charged once per the slowest envelope's attempt count.
+            let mut group_attempts = 1u32;
             // Readings already on this shipment: a migrating object re-ships
             // its candidate containers' critical-region readings, and objects
             // of one case share those candidates, so without per-shipment
@@ -542,19 +645,90 @@ impl<'a> SiteState<'a> {
                     }
                     duplicated = plan.shipment_duplicated(from.0, to.0, tag, now);
                 }
-                let msg = ShipmentMsg {
+                let mut msg = ShipmentMsg {
                     depart: now,
                     from,
                     to,
                     tag,
                     arrive: delivered_at,
+                    seq: 0,
+                    physical: arrive,
                     inference,
                     query,
                 };
-                if duplicated {
-                    out.push(msg.clone());
+                // Only envelopes with a payload ride the reliable channel
+                // (crash restore rebuilds the sequence counters from exactly
+                // this predicate, so it must stay a pure function of the
+                // strategy and the tag).
+                debug_assert_eq!(
+                    msg.is_envelope(),
+                    ctx.migrates_state && tag.is_object(),
+                    "envelope predicate drifted from the seq-rebuild rule"
+                );
+                if !(msg.is_envelope() && self.transport_mode.dedups()) {
+                    // Direct path: the exact seed behavior, bit for bit.
+                    if duplicated {
+                        out.push(msg.clone());
+                    }
+                    out.push(msg);
+                } else {
+                    msg.seq = self.seqs.next(to.0);
+                    if self.transport_mode == TransportMode::Optimistic {
+                        self.tstats.envelopes += 1;
+                        self.tstats.transmissions += 1;
+                        if duplicated {
+                            out.push(msg.clone());
+                        }
+                        out.push(msg);
+                    } else {
+                        // Reliable: simulate the whole ack/retransmit
+                        // exchange sender-side (a pure function of the fault
+                        // plan), emit one copy per surviving attempt, and
+                        // charge the payload once per transmission.
+                        let plan = self
+                            .faults
+                            .as_ref()
+                            .expect("reliable transport implies a fault plan");
+                        let delivery = DeliveryPlan::compute(
+                            plan,
+                            &ctx.driver.config.transport,
+                            from.0,
+                            to.0,
+                            tag,
+                            now,
+                            delivered_at,
+                            Epoch(ctx.horizon),
+                        );
+                        self.tstats.envelopes += 1;
+                        self.tstats.transmissions += u64::from(delivery.attempts);
+                        self.tstats.retransmissions +=
+                            u64::from(delivery.attempts.saturating_sub(1));
+                        if let Some(payload) = &msg.inference {
+                            for _ in 1..delivery.attempts {
+                                self.comm.record(MessageKind::InferenceState, payload.len());
+                            }
+                        }
+                        group_attempts = group_attempts.max(delivery.attempts);
+                        if delivery.abandoned {
+                            // Retry budget exhausted (or the partition outlived
+                            // the horizon): the destination never sees this
+                            // state and cold-starts the physically-arrived
+                            // object — degraded mode.
+                            self.tstats.abandoned += 1;
+                        } else {
+                            if duplicated {
+                                let mut copy = msg.clone();
+                                copy.arrive = delivery.arrivals[0];
+                                out.push(copy);
+                            }
+                            for &arrival in &delivery.arrivals {
+                                let mut copy = msg.clone();
+                                copy.arrive = arrival;
+                                out.push(copy);
+                            }
+                        }
+                    }
                 }
-                out.push(msg);
             }
             // Centroid-based sharing: compress the query states of this
             // shipment's objects (Section 4.2) over payloads in the run's
@@ -575,12 +749,18 @@ impl<'a> SiteState<'a> {
                 let shared = bundled.min(unshared);
                 self.shared_bytes += shared;
                 self.unshared_bytes += unshared;
-                self.comm.record(MessageKind::QueryState, shared);
+                // The sharing-efficiency comparison (Section 5.4) counts the
+                // logical bundle once; the wire tally charges it once per
+                // transmission of the shipment it rides on.
+                for _ in 0..group_attempts {
+                    self.comm.record(MessageKind::QueryState, shared);
+                }
             }
             // The state has left the building.
             for &tag in &tags {
                 self.engine.forget(tag);
                 self.processor.forget(tag);
+                self.forgotten.insert(tag, now);
             }
         }
     }
@@ -634,6 +814,27 @@ impl<'a> SiteState<'a> {
                 self.down_until = None;
                 self.crash_and_restore(ctx, chain, crash.at);
                 self.fast_forward(resume);
+                // Anti-entropy resync: a rejoining site asks every peer to
+                // replay anything it missed while dark — one control round
+                // per inbound edge, charged like any other control traffic.
+                // (The pending-inbox replay itself is the `fast_forward`
+                // import above; only the request bytes are new.)
+                if self.transport_mode == TransportMode::Reliable {
+                    let me = self.site as u16;
+                    for peer in 0..self.num_sites as u16 {
+                        if peer == me {
+                            continue;
+                        }
+                        let resync = ControlMsg::Resync {
+                            site: me,
+                            peer,
+                            since: resume,
+                        };
+                        let bytes = self.codec.encode_control(&resync).len();
+                        self.comm.record(MessageKind::Control, bytes);
+                        self.tstats.resyncs += 1;
+                    }
+                }
             }
         }
         self.down = false;
@@ -666,6 +867,12 @@ impl<'a> SiteState<'a> {
                 self.unshared_bytes = checkpoint.unshared_bytes as usize;
                 self.inference_runs = checkpoint.inference_runs as usize;
                 self.inference_stats = checkpoint.stats;
+                self.tstats = checkpoint.transport;
+                self.dedup = checkpoint
+                    .inbox_seqs
+                    .iter()
+                    .map(|seqs| (seqs.peer, ReliableInbox::from_seqs(seqs)))
+                    .collect();
                 for pending in checkpoint.inbox {
                     self.enqueue(ShipmentMsg::from_pending(pending));
                 }
@@ -686,9 +893,24 @@ impl<'a> SiteState<'a> {
                 self.unshared_bytes = 0;
                 self.inference_runs = 0;
                 self.inference_stats = InferenceStats::default();
+                self.tstats = TransportStats::default();
+                self.dedup.clear();
                 0
             }
         };
+        // Outbound sequence counters and the staleness guard are not
+        // persisted: both are pure functions of the already-processed
+        // departure prefix (the envelope predicate asserted in `depart`), so
+        // the restore recomputes them and the tail replay extends them.
+        self.seqs.clear();
+        self.forgotten.clear();
+        let assigns_seqs = self.transport_mode.dedups() && ctx.migrates_state;
+        for tr in &self.departures[..self.departure_cursor] {
+            self.forgotten.insert(tr.tag, tr.depart);
+            if assigns_seqs && tr.tag.is_object() {
+                self.seqs.next(tr.to_site.0);
+            }
+        }
         // Wall-clock is not durable state (and deliberately outside the
         // determinism contract); the replay below re-accumulates some.
         self.inference_wall = Duration::ZERO;
@@ -791,6 +1013,12 @@ impl<'a> SiteState<'a> {
             unshared_bytes: self.unshared_bytes as u64,
             inference_runs: self.inference_runs as u64,
             stats: self.inference_stats,
+            inbox_seqs: self
+                .dedup
+                .iter()
+                .map(|(&peer, inbox)| inbox.to_seqs(peer))
+                .collect(),
+            transport: self.tstats,
         }
     }
 
@@ -825,6 +1053,7 @@ impl<'a> SiteState<'a> {
             inference_stats: self.inference_stats,
             alerts: self.processor.alerts().to_vec(),
             containment,
+            transport: self.tstats,
         }
     }
 }
@@ -847,8 +1076,10 @@ pub(crate) fn merge_outcomes(mut outcomes: Vec<SiteOutcome>, ons: Ons) -> Distri
         }
     }
     let mut inference_stats = InferenceStats::default();
+    let mut transport = TransportStats::default();
     for outcome in &outcomes {
         inference_stats.absorb(&outcome.inference_stats);
+        transport.merge(&outcome.transport);
     }
     DistributedOutcome {
         containment,
@@ -860,6 +1091,7 @@ pub(crate) fn merge_outcomes(mut outcomes: Vec<SiteOutcome>, ons: Ons) -> Distri
         inference_runs: outcomes.iter().map(|o| o.inference_runs).sum(),
         inference_wall: outcomes.iter().map(|o| o.inference_wall).sum(),
         inference_stats,
+        transport,
     }
 }
 
@@ -1092,6 +1324,19 @@ impl DistributedDriver {
         }
 
         let codec = WireCodec::new(self.config.wire_format);
+        // The coordinator uplink runs the same reliable transport as the
+        // federated edges when the fault plan can lose messages: per-batch
+        // loss draws (keyed by origin site, epoch and attempt — partitions do
+        // not apply to the uplink, which is assumed multipath), deterministic
+        // backoff, per-attempt byte charging and one ack per delivered batch.
+        // A delivered batch is ingested at its delivery epoch; an abandoned
+        // one never reaches the engine, degrading the central estimate.
+        let transport_mode =
+            TransportMode::resolve(self.config.faults.as_ref(), &self.config.transport);
+        let transport_cfg = self.config.transport;
+        let mut tstats = TransportStats::default();
+        let mut uplink_seqs: Vec<u64> = vec![0; num_sites];
+        let mut deferred: BTreeMap<u32, Vec<Vec<u8>>> = BTreeMap::new();
         let mut reading_cursor = 0usize;
         let mut sensor_cursor = 0usize;
         let mut ran_at_horizon = false;
@@ -1101,6 +1346,18 @@ impl DistributedDriver {
             while sensor_cursor < sensors.len() && sensors[sensor_cursor].time <= now {
                 processor.on_sensor(sensors[sensor_cursor]);
                 sensor_cursor += 1;
+            }
+            // Batches retransmitted from earlier epochs that finally got
+            // through land before this epoch's fresh forwarding.
+            if let Some(late) = deferred.remove(&t) {
+                for payload in late {
+                    let decoded = codec
+                        .decode_readings(&payload)
+                        .expect("in-process reading batch decodes");
+                    for reading in decoded {
+                        engine.observe(reading);
+                    }
+                }
             }
             // Raw-reading forwarding: each site sends the epoch's readings as
             // one encoded batch message — what actually crosses the network —
@@ -1112,7 +1369,7 @@ impl DistributedDriver {
             }
             if epoch_start < reading_cursor {
                 let arrived = &readings[epoch_start..reading_cursor];
-                for site in 0..num_sites {
+                for (site, uplink_seq) in uplink_seqs.iter_mut().enumerate() {
                     site_batch.clear();
                     site_batch.extend(
                         arrived
@@ -1123,12 +1380,80 @@ impl DistributedDriver {
                         continue;
                     }
                     let payload = codec.encode_readings(&site_batch);
-                    comm.record(MessageKind::RawReadings, payload.len());
-                    let decoded = codec
-                        .decode_readings(&payload)
-                        .expect("in-process reading batch decodes");
-                    for reading in decoded {
-                        engine.observe(reading);
+                    if transport_mode == TransportMode::Reliable {
+                        let plan = self
+                            .config
+                            .faults
+                            .as_ref()
+                            .expect("reliable transport implies a fault plan");
+                        let mut attempts = 0u32;
+                        let mut delivered: Option<u32> = None;
+                        let mut send = t;
+                        let mut k = 0u32;
+                        loop {
+                            if send > horizon {
+                                break;
+                            }
+                            attempts += 1;
+                            if !plan.forward_lost(site as u16, now, k) {
+                                delivered = Some(send);
+                                break;
+                            }
+                            if transport_cfg.max_retries.is_some_and(|max| k >= max) {
+                                break;
+                            }
+                            let backoff = transport_cfg
+                                .rto_base_secs
+                                .checked_shl(k)
+                                .map_or(transport_cfg.rto_max_secs, |b| {
+                                    b.min(transport_cfg.rto_max_secs)
+                                })
+                                .max(1);
+                            send = send.saturating_add(backoff);
+                            k += 1;
+                        }
+                        for _ in 0..attempts {
+                            comm.record(MessageKind::RawReadings, payload.len());
+                        }
+                        tstats.envelopes += 1;
+                        tstats.transmissions += u64::from(attempts);
+                        tstats.retransmissions += u64::from(attempts.saturating_sub(1));
+                        match delivered {
+                            Some(at) => {
+                                let seq = *uplink_seq;
+                                *uplink_seq += 1;
+                                let ack = ControlMsg::Ack {
+                                    from: num_sites as u16,
+                                    to: site as u16,
+                                    seq,
+                                };
+                                comm.record(MessageKind::Control, codec.encode_control(&ack).len());
+                                tstats.acks += 1;
+                                if at == t {
+                                    let decoded = codec
+                                        .decode_readings(&payload)
+                                        .expect("in-process reading batch decodes");
+                                    for reading in decoded {
+                                        engine.observe(reading);
+                                    }
+                                } else {
+                                    deferred.entry(at).or_default().push(payload);
+                                }
+                            }
+                            None => tstats.abandoned += 1,
+                        }
+                    } else {
+                        comm.record(MessageKind::RawReadings, payload.len());
+                        if transport_mode == TransportMode::Optimistic {
+                            tstats.envelopes += 1;
+                            tstats.transmissions += 1;
+                        }
+                        let decoded = codec
+                            .decode_readings(&payload)
+                            .expect("in-process reading batch decodes");
+                        for reading in decoded {
+                            engine.observe(reading);
+                        }
                     }
                 }
             }
@@ -1174,6 +1499,7 @@ impl DistributedDriver {
             inference_runs,
             inference_wall,
             inference_stats,
+            transport: tstats,
         }
     }
 }

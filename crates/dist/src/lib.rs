@@ -58,9 +58,11 @@ pub mod config;
 pub mod driver;
 pub mod ons;
 mod parallel;
+pub mod transport;
 
 pub use comm::{CommCost, MessageKind};
-pub use config::{DistributedConfig, MigrationStrategy};
+pub use config::{DistributedConfig, MigrationStrategy, TransportConfig};
 pub use driver::{DistributedDriver, DistributedOutcome};
 pub use ons::{Ons, ONS_UPDATE_BYTES};
 pub use rfid_wire::{WireCodec, WireFormat};
+pub use transport::{TransportMode, TransportStats};

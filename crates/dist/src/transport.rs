@@ -1,0 +1,496 @@
+//! Reliable-delivery transport for cross-site payloads.
+//!
+//! The seed drivers delivered every [`ShipmentMsg`](crate::driver) directly:
+//! a message handed to the destination's inbox was guaranteed to arrive. A
+//! [`FaultPlan`] with loss probabilities or link partitions breaks that
+//! assumption, so this module adds the classic reliable-channel machinery on
+//! top of the same inbox exchange:
+//!
+//! * every cross-site payload travels on a **per-edge sequence-numbered
+//!   channel** ([`EdgeSequencer`]);
+//! * the receiver **deduplicates** by sequence number ([`ReliableInbox`]) so
+//!   retransmitted (or fault-duplicated) copies are ingested at most once;
+//! * the receiver **acks** every arriving copy, and the sender
+//!   **retransmits** under deterministic epoch-based exponential backoff
+//!   until an ack is seen or the retry budget runs out ([`DeliveryPlan`]).
+//!
+//! Determinism is the whole design: both executors (sequential and
+//! parallel), and a crash-replaying site, must observe the *same* losses,
+//! retransmissions and arrival epochs. The entire ack/retransmit exchange is
+//! therefore computed sender-side at departure time as a pure function of the
+//! message key and the [`FaultPlan`]'s order-independent hash draws —
+//! [`DeliveryPlan::compute`] — and the sender emits one inbox copy per
+//! attempt that actually arrives. The receiver's dedup and ack accounting
+//! then runs against real arriving copies, so the at-most-once guarantee is
+//! enforced where it matters, not assumed.
+//!
+//! Three [`TransportMode`]s keep the legacy paths bit-identical:
+//!
+//! | mode | when | behavior |
+//! |---|---|---|
+//! | [`Off`] | no plan, or a plan without transport faults | exact seed behavior: direct delivery, duplicated copies imported twice |
+//! | [`Optimistic`] | [`TransportConfig::always_on`] on a loss-free plan | sequence numbers + dedup active, acks elided (zero control bytes) |
+//! | [`Reliable`] | the plan can lose payloads or partition links | full seq/ack/retransmit/dedup with control-byte accounting |
+//!
+//! [`Off`]: TransportMode::Off
+//! [`Optimistic`]: TransportMode::Optimistic
+//! [`Reliable`]: TransportMode::Reliable
+
+use crate::config::TransportConfig;
+use rfid_sim::FaultPlan;
+use rfid_types::{Epoch, TagId};
+use rfid_wire::EdgeSeqs;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub use rfid_wire::TransportStats;
+
+/// How much of the reliable-delivery machinery a run engages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportMode {
+    /// Direct delivery, exactly the pre-transport behavior. No sequence
+    /// numbers are assigned, no dedup runs, fault-duplicated copies are
+    /// imported twice.
+    Off,
+    /// Sequence numbers and receiver dedup are active but acks are elided —
+    /// the loss-free fast path [`TransportConfig::always_on`] forces, used to
+    /// pin that a reliable loss-free run is bit-identical to direct delivery
+    /// (including per-kind byte tallies: zero control bytes).
+    Optimistic,
+    /// The full protocol: retransmission under deterministic backoff, acks
+    /// charged as [`MessageKind::Control`](crate::MessageKind::Control)
+    /// traffic, dedup, degraded-mode abandonment.
+    Reliable,
+}
+
+impl TransportMode {
+    /// Resolve the mode for a run from its fault plan and transport tuning.
+    pub fn resolve(plan: Option<&FaultPlan>, config: &TransportConfig) -> TransportMode {
+        match plan {
+            Some(plan) if plan.has_transport_faults() => TransportMode::Reliable,
+            _ if config.always_on => TransportMode::Optimistic,
+            _ => TransportMode::Off,
+        }
+    }
+
+    /// Whether receivers assign/deduplicate sequence numbers in this mode.
+    pub fn dedups(self) -> bool {
+        self != TransportMode::Off
+    }
+}
+
+/// Per-destination outbound sequence counters for one site.
+///
+/// Sequence numbers are per directed edge and are assigned in the site's
+/// deterministic departure order, so a crash-restored site can rebuild its
+/// counters by counting the transport envelopes in its already-processed
+/// departure prefix.
+#[derive(Debug, Default, Clone)]
+pub struct EdgeSequencer {
+    next: BTreeMap<u16, u64>,
+}
+
+impl EdgeSequencer {
+    /// Fresh counters (every edge starts at sequence 0).
+    pub fn new() -> EdgeSequencer {
+        EdgeSequencer::default()
+    }
+
+    /// Allocate the next sequence number on the edge to `peer`.
+    pub fn next(&mut self, peer: u16) -> u64 {
+        let counter = self.next.entry(peer).or_insert(0);
+        let seq = *counter;
+        *counter += 1;
+        seq
+    }
+
+    /// Drop all counters (crash restore rebuilds them from the departure
+    /// prefix).
+    pub fn clear(&mut self) {
+        self.next.clear();
+    }
+}
+
+/// Receiver-side dedup state for one inbound edge: a watermark below which
+/// every sequence number has been seen, plus the sparse set of seen numbers
+/// above it.
+///
+/// `watermark` counts the contiguous prefix `0..watermark` of seen sequence
+/// numbers; out-of-order arrivals park in `extras` until the gap closes, at
+/// which point the watermark advances and the extras compact away — bounded
+/// memory even under heavy reordering.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ReliableInbox {
+    watermark: u64,
+    extras: BTreeSet<u64>,
+}
+
+impl ReliableInbox {
+    /// An inbox that has seen nothing.
+    pub fn new() -> ReliableInbox {
+        ReliableInbox::default()
+    }
+
+    /// Record `seq`; returns `true` the first time a number is seen and
+    /// `false` for every duplicate.
+    pub fn accept(&mut self, seq: u64) -> bool {
+        if seq < self.watermark || !self.extras.insert(seq) {
+            return false;
+        }
+        while self.extras.remove(&self.watermark) {
+            self.watermark += 1;
+        }
+        true
+    }
+
+    /// The durable form carried inside a
+    /// [`SiteCheckpoint`](rfid_wire::SiteCheckpoint).
+    pub fn to_seqs(&self, peer: u16) -> EdgeSeqs {
+        EdgeSeqs {
+            peer,
+            watermark: self.watermark,
+            extras: self.extras.iter().copied().collect(),
+        }
+    }
+
+    /// Rehydrate from a checkpointed [`EdgeSeqs`].
+    pub fn from_seqs(seqs: &EdgeSeqs) -> ReliableInbox {
+        ReliableInbox {
+            watermark: seqs.watermark,
+            extras: seqs.extras.iter().copied().collect(),
+        }
+    }
+}
+
+/// The sender-side simulation of one envelope's reliable delivery: which
+/// attempts were transmitted, and the epoch at which each surviving copy
+/// reaches the destination.
+///
+/// Computed at departure time as a pure function of the message key, the
+/// [`FaultPlan`] and the [`TransportConfig`] — so the sequential executor,
+/// every parallel worker and a crash-replaying sender all derive the
+/// identical schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveryPlan {
+    /// Arrival epoch of every copy that survives loss and partitions, in
+    /// transmission order (ascending). Empty when the envelope is abandoned.
+    pub arrivals: Vec<Epoch>,
+    /// Number of copies actually transmitted (1 = no retransmission).
+    pub attempts: u32,
+    /// No copy ever arrived within the horizon: the destination proceeds in
+    /// degraded mode (cold-start ingestion of the physically-arrived object).
+    pub abandoned: bool,
+}
+
+impl DeliveryPlan {
+    /// Simulate the delivery of one envelope on the edge `from → to`.
+    ///
+    /// `arrive` is the first-attempt arrival epoch (the physical transit,
+    /// plus any legacy delay fault, which therefore stretches every
+    /// attempt's transit identically). Attempt `k` is transmitted at
+    /// `s_k` where `s_0 = depart` and `s_{k+1} = s_k + rtt +
+    /// min(rto_base · 2^k, rto_max)`; it is lost iff the plan's loss draw
+    /// for `(edge, tag, depart, k)` fires or the edge is partitioned at
+    /// `s_k`. A surviving copy arrives `transit` epochs later (never past
+    /// the horizon) and is acked immediately; the ack is lost iff the ack
+    /// draw fires or the *reverse* edge is partitioned at the arrival
+    /// epoch, and otherwise reaches the sender one hop later, stopping all
+    /// retransmission from that epoch on. `max_retries` bounds the number
+    /// of retransmissions (`None` retries until the horizon).
+    // The argument list *is* the message key plus its schedule inputs;
+    // bundling them into a struct would only rename the coupling.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute(
+        plan: &FaultPlan,
+        config: &TransportConfig,
+        from: u16,
+        to: u16,
+        tag: TagId,
+        depart: Epoch,
+        arrive: Epoch,
+        horizon: Epoch,
+    ) -> DeliveryPlan {
+        let transit = arrive.0.saturating_sub(depart.0);
+        let hop = transit.max(1);
+        let rtt = hop.saturating_mul(2);
+        let mut arrivals = Vec::new();
+        let mut attempts = 0u32;
+        let mut send = depart.0;
+        // Earliest epoch at which an ack is back at the sender.
+        let mut acked_at: Option<u32> = None;
+        let mut k = 0u32;
+        loop {
+            if send > horizon.0 || acked_at.is_some_and(|ack| ack <= send) {
+                break;
+            }
+            attempts += 1;
+            let lost = plan.message_lost(from, to, tag, depart, k)
+                || plan.link_partitioned(from, to, Epoch(send));
+            if !lost {
+                let arrival = send.saturating_add(transit);
+                if arrival <= horizon.0 {
+                    arrivals.push(Epoch(arrival));
+                    let ack_lost = plan.ack_lost(from, to, tag, depart, k)
+                        || plan.link_partitioned(to, from, Epoch(arrival));
+                    if !ack_lost {
+                        let back = arrival.saturating_add(hop);
+                        acked_at = Some(acked_at.map_or(back, |prev| prev.min(back)));
+                    }
+                }
+            }
+            if config.max_retries.is_some_and(|max| k >= max) {
+                break;
+            }
+            let backoff = config
+                .rto_base_secs
+                .checked_shl(k)
+                .map_or(config.rto_max_secs, |b| b.min(config.rto_max_secs));
+            send = send.saturating_add(rtt.saturating_add(backoff).max(1));
+            k += 1;
+        }
+        DeliveryPlan {
+            abandoned: arrivals.is_empty(),
+            arrivals,
+            attempts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_sim::FaultPlanConfig;
+
+    fn unreliable_plan(seed: u64) -> FaultPlan {
+        FaultPlan::generate(&FaultPlanConfig::unreliable(seed, 4, 3600))
+    }
+
+    #[test]
+    fn mode_resolution_matches_the_plan() {
+        let config = TransportConfig::default();
+        assert_eq!(TransportMode::resolve(None, &config), TransportMode::Off);
+        let quiet = FaultPlan::generate(&FaultPlanConfig::quiet(7, 4, 3600));
+        assert_eq!(
+            TransportMode::resolve(Some(&quiet), &config),
+            TransportMode::Off,
+            "a plan without transport faults keeps the legacy direct path"
+        );
+        let lossy = FaultPlan::generate(&FaultPlanConfig::lossy(7, 4, 3600));
+        assert_eq!(
+            TransportMode::resolve(Some(&lossy), &config),
+            TransportMode::Off,
+            "delay/dup-only plans predate the transport and stay direct"
+        );
+        let always = TransportConfig {
+            always_on: true,
+            ..TransportConfig::default()
+        };
+        assert_eq!(
+            TransportMode::resolve(None, &always),
+            TransportMode::Optimistic
+        );
+        assert_eq!(
+            TransportMode::resolve(Some(&quiet), &always),
+            TransportMode::Optimistic
+        );
+        let unreliable = unreliable_plan(7);
+        for cfg in [&config, &always] {
+            assert_eq!(
+                TransportMode::resolve(Some(&unreliable), cfg),
+                TransportMode::Reliable
+            );
+        }
+        assert!(TransportMode::Reliable.dedups());
+        assert!(TransportMode::Optimistic.dedups());
+        assert!(!TransportMode::Off.dedups());
+    }
+
+    #[test]
+    fn sequencers_count_per_edge() {
+        let mut seqs = EdgeSequencer::new();
+        assert_eq!(seqs.next(1), 0);
+        assert_eq!(seqs.next(1), 1);
+        assert_eq!(seqs.next(2), 0, "edges are independent channels");
+        assert_eq!(seqs.next(1), 2);
+        seqs.clear();
+        assert_eq!(seqs.next(1), 0);
+    }
+
+    #[test]
+    fn inbox_accepts_each_sequence_number_exactly_once() {
+        let mut inbox = ReliableInbox::new();
+        assert!(inbox.accept(0));
+        assert!(!inbox.accept(0), "duplicate of the first copy");
+        assert!(inbox.accept(2), "out of order is fine");
+        assert!(inbox.accept(1));
+        assert!(!inbox.accept(2));
+        assert!(!inbox.accept(1));
+        assert!(inbox.accept(3));
+        // 0..=3 all seen: everything compacted into the watermark.
+        assert_eq!(inbox.to_seqs(9).watermark, 4);
+        assert!(inbox.to_seqs(9).extras.is_empty());
+    }
+
+    #[test]
+    fn inbox_round_trips_through_checkpoint_form() {
+        let mut inbox = ReliableInbox::new();
+        for seq in [0u64, 1, 5, 7] {
+            assert!(inbox.accept(seq));
+        }
+        let seqs = inbox.to_seqs(3);
+        assert_eq!(seqs.peer, 3);
+        assert_eq!(seqs.watermark, 2);
+        assert_eq!(seqs.extras, vec![5, 7]);
+        let mut back = ReliableInbox::from_seqs(&seqs);
+        assert_eq!(back, inbox);
+        // The rehydrated inbox keeps rejecting what the original saw.
+        for seq in [0u64, 1, 5, 7] {
+            assert!(!back.accept(seq));
+        }
+        assert!(back.accept(6));
+    }
+
+    #[test]
+    fn loss_free_plans_deliver_on_the_first_attempt() {
+        let quiet = FaultPlan::generate(&FaultPlanConfig::quiet(11, 4, 3600));
+        let plan = DeliveryPlan::compute(
+            &quiet,
+            &TransportConfig::default(),
+            0,
+            1,
+            TagId::item(4),
+            Epoch(100),
+            Epoch(160),
+            Epoch(3600),
+        );
+        assert_eq!(plan.arrivals, vec![Epoch(160)]);
+        assert_eq!(plan.attempts, 1);
+        assert!(!plan.abandoned);
+    }
+
+    #[test]
+    fn a_partition_outliving_the_horizon_abandons_the_envelope() {
+        let dark = FaultPlan::scripted_partition(4, 0, 1, Epoch(0), Epoch(3600));
+        let plan = DeliveryPlan::compute(
+            &dark,
+            &TransportConfig::default(),
+            0,
+            1,
+            TagId::item(4),
+            Epoch(100),
+            Epoch(160),
+            Epoch(3600),
+        );
+        assert!(plan.abandoned);
+        assert!(plan.arrivals.is_empty());
+        assert!(
+            plan.attempts >= 2,
+            "the sender kept trying into the dark window"
+        );
+    }
+
+    #[test]
+    fn unlimited_retries_ride_out_a_bounded_partition() {
+        // Link dark for the first 600 epochs only; a persistent transport
+        // must get a copy through after it heals.
+        let dark = FaultPlan::scripted_partition(4, 0, 1, Epoch(0), Epoch(600));
+        let plan = DeliveryPlan::compute(
+            &dark,
+            &TransportConfig::persistent(),
+            0,
+            1,
+            TagId::item(4),
+            Epoch(100),
+            Epoch(160),
+            Epoch(3600),
+        );
+        assert!(!plan.abandoned);
+        assert!(plan.attempts > 1);
+        assert!(
+            plan.arrivals.iter().all(|&a| a > Epoch(600)),
+            "nothing crosses while the link is dark"
+        );
+    }
+
+    #[test]
+    fn the_retry_budget_is_a_hard_cap() {
+        let dark = FaultPlan::scripted_partition(4, 0, 1, Epoch(0), Epoch(3600));
+        for budget in [0u32, 1, 3] {
+            let plan = DeliveryPlan::compute(
+                &dark,
+                &TransportConfig {
+                    max_retries: Some(budget),
+                    ..TransportConfig::default()
+                },
+                0,
+                1,
+                TagId::item(4),
+                Epoch(0),
+                Epoch(60),
+                Epoch(3600),
+            );
+            assert_eq!(plan.attempts, budget + 1);
+            assert!(plan.abandoned);
+        }
+    }
+
+    #[test]
+    fn delivery_plans_are_pure_functions_of_the_key() {
+        let config = TransportConfig::default();
+        for seed in [3u64, 97] {
+            let a = unreliable_plan(seed);
+            let b = unreliable_plan(seed);
+            for tag in [TagId::item(1), TagId::case(9)] {
+                for depart in [0u32, 500, 1200] {
+                    let args = (0u16, 2u16, tag, Epoch(depart), Epoch(depart + 90));
+                    let first = DeliveryPlan::compute(
+                        &a,
+                        &config,
+                        args.0,
+                        args.1,
+                        args.2,
+                        args.3,
+                        args.4,
+                        Epoch(3600),
+                    );
+                    let second = DeliveryPlan::compute(
+                        &b,
+                        &config,
+                        args.0,
+                        args.1,
+                        args.2,
+                        args.3,
+                        args.4,
+                        Epoch(3600),
+                    );
+                    assert_eq!(first, second);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lost_acks_produce_duplicate_arrivals_for_dedup_to_drop() {
+        // Scan an unreliable plan for an envelope where a copy arrived, its
+        // ack was lost, and the retransmission also arrived — the situation
+        // the receiver-side dedup exists for.
+        let plan = unreliable_plan(97);
+        let config = TransportConfig::persistent();
+        let found = (0u64..400).any(|serial| {
+            let d = DeliveryPlan::compute(
+                &plan,
+                &config,
+                0,
+                1,
+                TagId::item(serial),
+                Epoch(50),
+                Epoch(110),
+                Epoch(3600),
+            );
+            d.arrivals.len() > 1
+        });
+        assert!(
+            found,
+            "an unreliable plan must produce at least one duplicate arrival"
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! The headline transport invariant: a loss-free run through the reliable
+//! transport (sequence numbers assigned, receiver-side dedup active) is
+//! *bit-identical* to legacy direct delivery — same containment, same
+//! per-kind communication bytes, same alerts, same ONS — across every
+//! migration strategy, both wire formats, and both executors. Sequencing
+//! and dedup are pure bookkeeping until the network actually misbehaves.
+
+use rfid_core::InferenceConfig;
+use rfid_dist::{
+    DistributedConfig, DistributedDriver, DistributedOutcome, MessageKind, MigrationStrategy,
+    TransportConfig, WireFormat,
+};
+use rfid_query::ExposureQuery;
+use rfid_sim::{presets, ChainTrace, FaultPlan, FaultPlanConfig, TemperatureModel};
+use std::collections::BTreeMap;
+
+fn smoke_chain() -> ChainTrace {
+    presets::smoke_chain(1800, 3, None)
+}
+
+const STRATEGIES: [MigrationStrategy; 4] = [
+    MigrationStrategy::None,
+    MigrationStrategy::CriticalRegionReadings,
+    MigrationStrategy::CollapsedWeights,
+    MigrationStrategy::Centralized,
+];
+
+fn config(
+    chain: &ChainTrace,
+    strategy: MigrationStrategy,
+    format: WireFormat,
+    workers: usize,
+) -> DistributedConfig {
+    let mut properties = BTreeMap::new();
+    for object in chain.objects() {
+        properties.insert(object, "temperature-sensitive".to_string());
+    }
+    DistributedConfig {
+        strategy,
+        inference: InferenceConfig::default().without_change_detection(),
+        queries: vec![ExposureQuery {
+            duration_secs: 600,
+            ..ExposureQuery::q1([])
+        }],
+        product_properties: properties,
+        temperature: Some(TemperatureModel::new([])),
+        ..Default::default()
+    }
+    .with_wire_format(format)
+    .with_workers(workers)
+}
+
+/// Field-by-field equality, ignoring the transport counters themselves
+/// (the transport-on run *does* count envelopes — what must not change is
+/// everything observable: accuracy, bytes, alerts, custody).
+fn assert_identical(seq: &DistributedOutcome, par: &DistributedOutcome, label: &str) {
+    assert_eq!(
+        seq.containment, par.containment,
+        "{label}: containment diverged"
+    );
+    for kind in MessageKind::ALL {
+        assert_eq!(
+            seq.comm.bytes_of_kind(kind),
+            par.comm.bytes_of_kind(kind),
+            "{label}: bytes of {kind:?} diverged"
+        );
+        assert_eq!(
+            seq.comm.messages_of_kind(kind),
+            par.comm.messages_of_kind(kind),
+            "{label}: message count of {kind:?} diverged"
+        );
+    }
+    assert_eq!(seq.alerts, par.alerts, "{label}: alerts diverged");
+    assert_eq!(
+        seq.query_state_shared_bytes, par.query_state_shared_bytes,
+        "{label}: shared query-state bytes diverged"
+    );
+    assert_eq!(
+        seq.query_state_unshared_bytes, par.query_state_unshared_bytes,
+        "{label}: unshared query-state bytes diverged"
+    );
+    assert_eq!(seq.ons, par.ons, "{label}: ONS custody diverged");
+    assert_eq!(
+        seq.inference_runs, par.inference_runs,
+        "{label}: inference-run count diverged"
+    );
+}
+
+#[test]
+fn loss_free_transport_is_bit_identical_to_direct_delivery() {
+    let chain = smoke_chain();
+    assert!(!chain.transfers.is_empty(), "the chain must see migrations");
+    let on = TransportConfig {
+        always_on: true,
+        ..TransportConfig::default()
+    };
+    for format in [WireFormat::Binary, WireFormat::Json] {
+        for strategy in STRATEGIES {
+            let baseline = DistributedDriver::new(config(&chain, strategy, format, 1)).run(&chain);
+            assert_eq!(
+                baseline.transport,
+                Default::default(),
+                "{strategy:?}/{format:?}: the transport must stay Off by default"
+            );
+            let sequential =
+                DistributedDriver::new(config(&chain, strategy, format, 1).with_transport(on))
+                    .run(&chain);
+            let parallel = DistributedDriver::new(
+                config(&chain, strategy, format, chain.sites.len()).with_transport(on),
+            )
+            .run(&chain);
+            assert_identical(
+                &baseline,
+                &sequential,
+                &format!("{strategy:?}/{format:?} seq"),
+            );
+            assert_identical(
+                &baseline,
+                &parallel,
+                &format!("{strategy:?}/{format:?} par"),
+            );
+            assert_eq!(
+                sequential.transport, parallel.transport,
+                "{strategy:?}/{format:?}: transport counters diverged across executors"
+            );
+            // The transport really ran: payloads were sequenced and each was
+            // delivered exactly once on the first attempt — no acks on the
+            // wire (Control stays silent), nothing retransmitted, dropped,
+            // reconciled or abandoned.
+            let t = sequential.transport;
+            if strategy == MigrationStrategy::None {
+                // Nothing migrates: the transport has nothing to guard.
+                assert_eq!(t.envelopes, 0, "{strategy:?}/{format:?}");
+            } else {
+                assert!(
+                    t.envelopes > 0,
+                    "{strategy:?}/{format:?}: no envelopes were sequenced"
+                );
+            }
+            assert_eq!(t.transmissions, t.envelopes, "{strategy:?}/{format:?}");
+            assert_eq!(t.retransmissions, 0, "{strategy:?}/{format:?}");
+            assert_eq!(t.acks, 0, "{strategy:?}/{format:?}");
+            assert_eq!(t.duplicates_dropped, 0, "{strategy:?}/{format:?}");
+            assert_eq!(t.abandoned, 0, "{strategy:?}/{format:?}");
+            assert_eq!(t.stale_dropped, 0, "{strategy:?}/{format:?}");
+            assert_eq!(t.reconciled, 0, "{strategy:?}/{format:?}");
+            assert_eq!(
+                sequential.comm.bytes_of_kind(MessageKind::Control),
+                0,
+                "{strategy:?}/{format:?}: a loss-free run must put no control bytes on the wire"
+            );
+        }
+    }
+}
+
+#[test]
+fn a_quiet_fault_plan_keeps_the_transport_off() {
+    // A plan with no loss, no ack loss and no partitions — even combined
+    // with `always_on: false` — must leave the legacy direct-delivery path
+    // byte-exact (this is what keeps the `faults` benchmark stable).
+    let chain = smoke_chain();
+    let horizon = chain.sites[0].meta.length;
+    let plan = FaultPlan::generate(&FaultPlanConfig::quiet(
+        7,
+        chain.sites.len() as u16,
+        horizon,
+    ));
+    for strategy in STRATEGIES {
+        let baseline =
+            DistributedDriver::new(config(&chain, strategy, WireFormat::Binary, 1)).run(&chain);
+        let quieted = DistributedDriver::new(
+            config(&chain, strategy, WireFormat::Binary, 1).with_faults(plan.clone()),
+        )
+        .run(&chain);
+        assert_identical(&baseline, &quieted, &format!("{strategy:?} quiet plan"));
+        assert_eq!(
+            quieted.transport,
+            Default::default(),
+            "{strategy:?}: a quiet plan must not wake the transport"
+        );
+    }
+}

@@ -18,6 +18,11 @@
 //! * **Outages, delays and duplicates** are lossy: they change which
 //!   readings and shipments a site sees. They feed the `faults` accuracy-
 //!   degradation experiment, not the bit-identity tests.
+//! * **Losses, ack losses and link partitions** drive the reliable-delivery
+//!   transport in `rfid-dist`: individual transmission attempts (and their
+//!   acks) vanish, or a directed link goes dark for a tabulated window.
+//!   Whether the payload still arrives depends on the transport's retry
+//!   budget; these faults feed the `degraded` experiment.
 
 use crate::chain::ChainTrace;
 use rand::Rng;
@@ -55,6 +60,17 @@ pub struct FaultPlanConfig {
     pub delay_max_secs: u32,
     /// Chance that a shipment is delivered twice.
     pub duplicate_probability: f64,
+    /// Chance that one *transmission attempt* of a cross-site payload is
+    /// lost in transit. Each retransmission draws independently.
+    pub loss_probability: f64,
+    /// Chance that the ack for a delivered attempt is lost on the way back,
+    /// provoking a spurious retransmission.
+    pub ack_loss_probability: f64,
+    /// Chance that a directed link suffers one partition window during the
+    /// run.
+    pub partition_probability: f64,
+    /// Upper bound on the length of one partition window.
+    pub partition_max_secs: u32,
 }
 
 impl FaultPlanConfig {
@@ -71,11 +87,16 @@ impl FaultPlanConfig {
             delay_probability: 0.0,
             delay_max_secs: 0,
             duplicate_probability: 0.0,
+            loss_probability: 0.0,
+            ack_loss_probability: 0.0,
+            partition_probability: 0.0,
+            partition_max_secs: 0,
         }
     }
 
     /// The lossy preset used by the `faults` experiment: no crashes, but
-    /// reader outages and delayed/duplicated shipments on every site.
+    /// reader outages and delayed/duplicated shipments on every site. No
+    /// transport faults — the legacy direct-delivery path stays byte-exact.
     pub fn lossy(seed: u64, num_sites: u16, horizon_secs: u32) -> FaultPlanConfig {
         FaultPlanConfig {
             crash_probability: 0.0,
@@ -85,6 +106,20 @@ impl FaultPlanConfig {
             delay_probability: 0.25,
             delay_max_secs: 120,
             duplicate_probability: 0.1,
+            ..FaultPlanConfig::quiet(seed, num_sites, horizon_secs)
+        }
+    }
+
+    /// The unreliable-network preset used by the `degraded` experiment:
+    /// attempt losses, ack losses and per-link partition windows, but no
+    /// crashes or reader outages — accuracy degradation is attributable to
+    /// the transport alone.
+    pub fn unreliable(seed: u64, num_sites: u16, horizon_secs: u32) -> FaultPlanConfig {
+        FaultPlanConfig {
+            loss_probability: 0.15,
+            ack_loss_probability: 0.1,
+            partition_probability: 0.4,
+            partition_max_secs: horizon_secs / 6,
             ..FaultPlanConfig::quiet(seed, num_sites, horizon_secs)
         }
     }
@@ -126,6 +161,28 @@ impl OutageWindow {
     }
 }
 
+/// One tabulated partition window of a *directed* link: payloads sent
+/// `from_site → to_site` while the window covers the send epoch are lost
+/// (the reverse direction has its own independent window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionWindow {
+    /// Sending side of the dark link.
+    pub from_site: u16,
+    /// Receiving side of the dark link.
+    pub to_site: u16,
+    /// First dark epoch.
+    pub from: Epoch,
+    /// Last dark epoch (inclusive).
+    pub until: Epoch,
+}
+
+impl PartitionWindow {
+    /// Whether a send at `at` over this directed link is swallowed.
+    pub fn covers(&self, at: Epoch) -> bool {
+        self.from <= at && at <= self.until
+    }
+}
+
 /// The faults scheduled for one site.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SiteFaults {
@@ -157,6 +214,17 @@ pub enum FaultEvent {
         /// Last silent epoch (inclusive).
         until: Epoch,
     },
+    /// A scheduled directed-link partition.
+    Partition {
+        /// Sending side of the dark link.
+        from_site: u16,
+        /// Receiving side of the dark link.
+        to_site: u16,
+        /// First dark epoch.
+        from: Epoch,
+        /// Last dark epoch (inclusive).
+        until: Epoch,
+    },
 }
 
 /// A deterministic, order-independent fault schedule.
@@ -172,7 +240,12 @@ pub struct FaultPlan {
     delay_probability: f64,
     delay_max_secs: u32,
     duplicate_probability: f64,
+    loss_probability: f64,
+    ack_loss_probability: f64,
     sites: Vec<SiteFaults>,
+    /// Directed-link partition windows, tabulated at generation time in
+    /// canonical `(from_site, to_site)` order.
+    partitions: Vec<PartitionWindow>,
 }
 
 impl FaultPlan {
@@ -213,12 +286,40 @@ impl FaultPlan {
                 SiteFaults { crash, outages }
             })
             .collect();
+        let mut partitions = Vec::new();
+        if config.partition_probability > 0.0 && config.partition_max_secs > 0 {
+            // Each *directed* edge draws from its own key-hashed stream, so
+            // the tabulation is independent of iteration details elsewhere.
+            for from_site in 0..config.num_sites {
+                for to_site in 0..config.num_sites {
+                    if from_site == to_site {
+                        continue;
+                    }
+                    let mut rng =
+                        ChaCha8Rng::seed_from_u64(edge_seed(config.seed, from_site, to_site));
+                    if rng.gen_bool(config.partition_probability.min(1.0)) {
+                        let len = rng.gen_range(1..=config.partition_max_secs.min(horizon));
+                        let latest_start = horizon.saturating_sub(len).max(1);
+                        let from = rng.gen_range(1..=latest_start);
+                        partitions.push(PartitionWindow {
+                            from_site,
+                            to_site,
+                            from: Epoch(from),
+                            until: Epoch(from + len - 1),
+                        });
+                    }
+                }
+            }
+        }
         FaultPlan {
             seed: config.seed,
             delay_probability: config.delay_probability,
             delay_max_secs: config.delay_max_secs,
             duplicate_probability: config.duplicate_probability,
+            loss_probability: config.loss_probability,
+            ack_loss_probability: config.ack_loss_probability,
             sites,
+            partitions,
         }
     }
 
@@ -234,7 +335,48 @@ impl FaultPlan {
             delay_probability: 0.0,
             delay_max_secs: 0,
             duplicate_probability: 0.0,
+            loss_probability: 0.0,
+            ack_loss_probability: 0.0,
             sites,
+            partitions: Vec::new(),
+        }
+    }
+
+    /// A plan whose only fault is a symmetric partition of the link between
+    /// `a` and `b` over `from..=until` — the scripted form used by the
+    /// degraded-mode tests and the `degraded` experiment's partition
+    /// scenario. Both directions of the link go dark.
+    pub fn scripted_partition(
+        num_sites: u16,
+        a: u16,
+        b: u16,
+        from: Epoch,
+        until: Epoch,
+    ) -> FaultPlan {
+        let mut partitions = Vec::new();
+        if a < num_sites && b < num_sites && a != b {
+            partitions.push(PartitionWindow {
+                from_site: a.min(b),
+                to_site: a.max(b),
+                from,
+                until,
+            });
+            partitions.push(PartitionWindow {
+                from_site: a.max(b),
+                to_site: a.min(b),
+                from,
+                until,
+            });
+        }
+        FaultPlan {
+            seed: 0,
+            delay_probability: 0.0,
+            delay_max_secs: 0,
+            duplicate_probability: 0.0,
+            loss_probability: 0.0,
+            ack_loss_probability: 0.0,
+            sites: vec![SiteFaults::default(); usize::from(num_sites)],
+            partitions,
         }
     }
 
@@ -276,8 +418,84 @@ impl FaultPlan {
         rng.gen_bool(self.duplicate_probability.min(1.0))
     }
 
+    /// Whether transmission attempt `attempt` (0-based) of the payload
+    /// identified by `(from, to, tag, depart)` is lost in transit. A pure
+    /// function of the key — every retransmission draws independently, and
+    /// the answer is identical across runs and worker counts.
+    pub fn message_lost(
+        &self,
+        from: u16,
+        to: u16,
+        tag: TagId,
+        depart: Epoch,
+        attempt: u32,
+    ) -> bool {
+        if self.loss_probability <= 0.0 {
+            return false;
+        }
+        let mut rng = self.attempt_rng(from, to, tag, depart, attempt, 0x105e);
+        rng.gen_bool(self.loss_probability.min(1.0))
+    }
+
+    /// Whether the ack for attempt `attempt` of the payload identified by
+    /// `(from, to, tag, depart)` is lost on the reverse path. A pure function
+    /// of the key.
+    pub fn ack_lost(&self, from: u16, to: u16, tag: TagId, depart: Epoch, attempt: u32) -> bool {
+        if self.ack_loss_probability <= 0.0 {
+            return false;
+        }
+        let mut rng = self.attempt_rng(from, to, tag, depart, attempt, 0x0ac4);
+        rng.gen_bool(self.ack_loss_probability.min(1.0))
+    }
+
+    /// Whether the directed link `from → to` is partitioned at `at`: a send
+    /// over the link at that epoch is swallowed regardless of loss draws.
+    pub fn link_partitioned(&self, from: u16, to: u16, at: Epoch) -> bool {
+        self.partitions
+            .iter()
+            .any(|w| w.from_site == from && w.to_site == to && w.covers(at))
+    }
+
+    /// Whether attempt `attempt` of the centralized reading-batch forward
+    /// from `site` at `epoch` is lost. Centralized forwarding is keyed by
+    /// `(site, epoch)` rather than a shipment tag; partitions do not apply
+    /// to the coordinator uplink.
+    pub fn forward_lost(&self, site: u16, epoch: Epoch, attempt: u32) -> bool {
+        if self.loss_probability <= 0.0 {
+            return false;
+        }
+        let mut key = self.seed ^ 0xf04d;
+        key = mix(key, u64::from(site));
+        key = mix(key, u64::from(epoch.0));
+        key = mix(key, u64::from(attempt));
+        let mut rng = ChaCha8Rng::seed_from_u64(key);
+        rng.gen_bool(self.loss_probability.min(1.0))
+    }
+
+    /// Whether the plan can lose payloads at all — the trigger for the
+    /// reliable transport's ack/retransmit machinery.
+    pub fn has_transport_faults(&self) -> bool {
+        self.loss_probability > 0.0
+            || self.ack_loss_probability > 0.0
+            || !self.partitions.is_empty()
+    }
+
+    /// All partition windows of the directed link `from → to`, in start
+    /// order.
+    pub fn link_partitions(&self, from: u16, to: u16) -> Vec<PartitionWindow> {
+        let mut windows: Vec<PartitionWindow> = self
+            .partitions
+            .iter()
+            .filter(|w| w.from_site == from && w.to_site == to)
+            .copied()
+            .collect();
+        windows.sort_by_key(|w| w.from);
+        windows
+    }
+
     /// The scheduled (site-level) faults in canonical order: by site, crashes
-    /// before outages, outages by start epoch. Equal seeds produce equal
+    /// before outages, outages by start epoch; then partition windows by
+    /// `(from_site, to_site, start)`. Equal seeds produce equal
     /// event lists — the hook the determinism tests pin.
     pub fn events(&self) -> Vec<FaultEvent> {
         let mut events = Vec::new();
@@ -298,6 +516,16 @@ impl FaultPlan {
                 });
             }
         }
+        let mut partitions = self.partitions.clone();
+        partitions.sort_by_key(|w| (w.from_site, w.to_site, w.from));
+        for w in partitions {
+            events.push(FaultEvent::Partition {
+                from_site: w.from_site,
+                to_site: w.to_site,
+                from: w.from,
+                until: w.until,
+            });
+        }
         events
     }
 
@@ -305,6 +533,7 @@ impl FaultPlan {
     pub fn is_quiet(&self) -> bool {
         self.delay_probability <= 0.0
             && self.duplicate_probability <= 0.0
+            && !self.has_transport_faults()
             && self
                 .sites
                 .iter()
@@ -339,11 +568,34 @@ impl FaultPlan {
         key = mix(key, u64::from(depart.0));
         ChaCha8Rng::seed_from_u64(key)
     }
+
+    fn attempt_rng(
+        &self,
+        from: u16,
+        to: u16,
+        tag: TagId,
+        depart: Epoch,
+        attempt: u32,
+        salt: u64,
+    ) -> ChaCha8Rng {
+        let mut key = self.seed ^ salt;
+        key = mix(key, u64::from(from));
+        key = mix(key, u64::from(to));
+        key = mix(key, tag.raw());
+        key = mix(key, u64::from(depart.0));
+        key = mix(key, u64::from(attempt));
+        ChaCha8Rng::seed_from_u64(key)
+    }
 }
 
 /// Per-site stream seed, decorrelated from neighbouring sites.
 fn site_seed(seed: u64, site: u16) -> u64 {
     mix(seed ^ 0xfa17, u64::from(site))
+}
+
+/// Per-directed-edge stream seed for partition tabulation.
+fn edge_seed(seed: u64, from: u16, to: u16) -> u64 {
+    mix(mix(seed ^ 0x9a27, u64::from(from)), u64::from(to))
 }
 
 /// SplitMix64-style avalanche step folding `v` into `h`.
@@ -470,6 +722,120 @@ mod tests {
                 .resume_at(),
             Epoch(150)
         );
+    }
+
+    fn unreliable_plan(seed: u64) -> FaultPlan {
+        FaultPlan::generate(&FaultPlanConfig::unreliable(seed, 8, 2400))
+    }
+
+    #[test]
+    fn loss_and_ack_draws_are_pure_functions_of_the_key() {
+        let plan = unreliable_plan(13);
+        let tag = TagId::case(7);
+        let first: Vec<(bool, bool)> = (0..6)
+            .map(|attempt| {
+                (
+                    plan.message_lost(1, 2, tag, Epoch(400), attempt),
+                    plan.ack_lost(1, 2, tag, Epoch(400), attempt),
+                )
+            })
+            .collect();
+        // Interleave unrelated queries, then re-ask: answers cannot depend
+        // on query order (the worker-count-independence contract).
+        for serial in 0..50 {
+            plan.message_lost(2, 3, TagId::item(serial), Epoch(900), 0);
+            plan.ack_lost(0, 1, TagId::pallet(serial), Epoch(100), 1);
+            plan.forward_lost(3, Epoch(serial as u32), 0);
+        }
+        let second: Vec<(bool, bool)> = (0..6)
+            .map(|attempt| {
+                (
+                    plan.message_lost(1, 2, tag, Epoch(400), attempt),
+                    plan.ack_lost(1, 2, tag, Epoch(400), attempt),
+                )
+            })
+            .collect();
+        assert_eq!(first, second);
+        // Attempts draw independently: across many keys at 15% loss some
+        // first attempts survive and some retransmissions also fail.
+        let mut lost_first = 0;
+        let mut lost_retry = 0;
+        for serial in 0..400u64 {
+            let tag = TagId::item(serial);
+            if plan.message_lost(0, 1, tag, Epoch(serial as u32), 0) {
+                lost_first += 1;
+            }
+            if plan.message_lost(0, 1, tag, Epoch(serial as u32), 1) {
+                lost_retry += 1;
+            }
+        }
+        assert!(lost_first > 0, "loss probability 0.15 never fired");
+        assert!(lost_retry > 0, "retry attempts must draw independently");
+        assert!(lost_first < 400, "loss probability 0.15 fired every time");
+    }
+
+    #[test]
+    fn partition_windows_are_tabulated_identically_for_equal_seeds() {
+        let a = unreliable_plan(29);
+        let b = unreliable_plan(29);
+        assert_eq!(a, b);
+        assert_eq!(a.events(), b.events());
+        assert!(a.has_transport_faults());
+        let partitions: Vec<FaultEvent> = a
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, FaultEvent::Partition { .. }))
+            .collect();
+        assert!(
+            !partitions.is_empty(),
+            "partition probability 0.4 over 56 directed edges never fired"
+        );
+        // The tabulation agrees with the point query for every window.
+        for event in &partitions {
+            if let FaultEvent::Partition {
+                from_site,
+                to_site,
+                from,
+                until,
+            } = *event
+            {
+                assert!(a.link_partitioned(from_site, to_site, from));
+                assert!(a.link_partitioned(from_site, to_site, until));
+                assert!(!a.link_partitioned(from_site, to_site, Epoch(until.0 + 1)));
+            }
+        }
+    }
+
+    #[test]
+    fn scripted_partition_darkens_both_directions_only_in_window() {
+        let plan = FaultPlan::scripted_partition(4, 1, 2, Epoch(300), Epoch(600));
+        assert!(plan.has_transport_faults());
+        assert!(plan.link_partitioned(1, 2, Epoch(300)));
+        assert!(plan.link_partitioned(2, 1, Epoch(600)));
+        assert!(!plan.link_partitioned(1, 2, Epoch(299)));
+        assert!(!plan.link_partitioned(2, 1, Epoch(601)));
+        assert!(!plan.link_partitioned(0, 1, Epoch(400)));
+        assert_eq!(plan.link_partitions(1, 2).len(), 1);
+        assert_eq!(plan.events().len(), 2, "one window per direction");
+        // Loss draws stay quiet on a scripted partition plan.
+        assert!(!plan.message_lost(1, 2, TagId::item(1), Epoch(10), 0));
+        assert!(!plan.forward_lost(1, Epoch(10), 0));
+    }
+
+    #[test]
+    fn quiet_and_lossy_presets_have_no_transport_faults() {
+        let quiet = FaultPlan::generate(&FaultPlanConfig::quiet(9, 4, 1000));
+        assert!(!quiet.has_transport_faults());
+        let lossy = lossy_plan(5);
+        assert!(
+            !lossy.has_transport_faults(),
+            "lossy preset must keep the legacy direct-delivery byte behavior"
+        );
+        assert!(!lossy.message_lost(0, 1, TagId::item(1), Epoch(5), 0));
+        assert!(!lossy.ack_lost(0, 1, TagId::item(1), Epoch(5), 0));
+        let unreliable = unreliable_plan(5);
+        assert!(unreliable.has_transport_faults());
+        assert!(!unreliable.is_quiet());
     }
 
     #[test]

@@ -57,10 +57,80 @@ pub struct PendingShipment {
     pub tag: TagId,
     /// Epoch at which the shipment arrives.
     pub arrive: Epoch,
+    /// Per-edge transport sequence number (0 when the transport is off).
+    pub seq: u64,
+    /// Epoch at which the physical object arrives; `arrive` is when the
+    /// *state message* is delivered, which trails it under retransmission.
+    pub physical: Epoch,
     /// Encoded migration state travelling with the object, if any.
     pub inference: Option<Vec<u8>>,
     /// Query state travelling with the object.
     pub query: Vec<ObjectQueryState>,
+}
+
+/// Durable dedup state of one incoming transport edge: every sequence number
+/// `<= watermark` has been delivered, plus a sparse set of out-of-order
+/// extras above it.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeSeqs {
+    /// The sending peer site.
+    pub peer: u16,
+    /// Highest sequence number below which everything was delivered.
+    pub watermark: u64,
+    /// Delivered sequence numbers above the watermark, ascending.
+    pub extras: Vec<u64>,
+}
+
+/// Reliable-transport counters of one site (or, merged, a whole run).
+///
+/// Invariants the transport tests pin: `delivered + abandoned == envelopes`
+/// where `delivered = envelopes - abandoned`, and
+/// `duplicates_dropped == arrivals - deliveries`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Logical payloads handed to the transport (one per shipment group
+    /// member or forwarded batch).
+    pub envelopes: u64,
+    /// Transmission attempts that left the sender (first sends and
+    /// retransmissions).
+    pub transmissions: u64,
+    /// Attempts beyond the first per envelope.
+    pub retransmissions: u64,
+    /// Acks sent by receivers (lost or not).
+    pub acks: u64,
+    /// Arrivals dropped by receiver-side dedup.
+    pub duplicates_dropped: u64,
+    /// Late state messages merged into a live engine after a degraded
+    /// cold-start ingest.
+    pub reconciled: u64,
+    /// Late state messages dropped because the object had already departed
+    /// again.
+    pub stale_dropped: u64,
+    /// Envelopes that exhausted their retry budget (or the horizon) without
+    /// a single arrival.
+    pub abandoned: u64,
+    /// Anti-entropy resync requests sent after downtime.
+    pub resyncs: u64,
+}
+
+impl TransportStats {
+    /// Fold `other` into `self` (all counters are additive).
+    pub fn merge(&mut self, other: &TransportStats) {
+        self.envelopes += other.envelopes;
+        self.transmissions += other.transmissions;
+        self.retransmissions += other.retransmissions;
+        self.acks += other.acks;
+        self.duplicates_dropped += other.duplicates_dropped;
+        self.reconciled += other.reconciled;
+        self.stale_dropped += other.stale_dropped;
+        self.abandoned += other.abandoned;
+        self.resyncs += other.resyncs;
+    }
+
+    /// Envelopes that reached their destination at least once.
+    pub fn delivered(&self) -> u64 {
+        self.envelopes.saturating_sub(self.abandoned)
+    }
 }
 
 /// A site's complete durable state at one epoch, as a wire payload.
@@ -89,10 +159,13 @@ pub struct SiteCheckpoint {
     /// `(depart, from, to, tag)` order.
     pub inbox: Vec<PendingShipment>,
     /// Communication bytes per message kind, in the kind-table order of the
-    /// distributed layer (raw readings, inference state, query state, ONS).
-    pub comm_bytes: [u64; 4],
+    /// distributed layer (raw readings, inference state, query state, ONS,
+    /// transport control). Encoded with a leading arity so a checkpoint
+    /// written before a kind existed still decodes (missing kinds read as
+    /// zero).
+    pub comm_bytes: [u64; 5],
     /// Communication messages per kind, same order as `comm_bytes`.
-    pub comm_messages: [u64; 4],
+    pub comm_messages: [u64; 5],
     /// Query-state bytes shipped with centroid sharing.
     pub shared_bytes: u64,
     /// Query-state bytes that would have shipped without sharing.
@@ -101,6 +174,10 @@ pub struct SiteCheckpoint {
     pub inference_runs: u64,
     /// Cache-reuse accounting accumulated so far.
     pub stats: InferenceStats,
+    /// Per-in-edge transport dedup state, in ascending peer order.
+    pub inbox_seqs: Vec<EdgeSeqs>,
+    /// Reliable-transport counters accumulated so far.
+    pub transport: TransportStats,
 }
 
 impl WireCodec {
@@ -123,6 +200,9 @@ impl WireCodec {
                 for shipment in &checkpoint.inbox {
                     encode_shipment(&mut w, &table, shipment);
                 }
+                // Versioned arity: the kind count leads each comm array, so
+                // adding a kind never invalidates older checkpoints.
+                w.put_varint(checkpoint.comm_bytes.len() as u64);
                 for bytes in checkpoint.comm_bytes {
                     w.put_varint(bytes);
                 }
@@ -133,6 +213,16 @@ impl WireCodec {
                 w.put_varint(checkpoint.unshared_bytes);
                 w.put_varint(checkpoint.inference_runs);
                 encode_stats(&mut w, &checkpoint.stats);
+                w.put_varint(checkpoint.inbox_seqs.len() as u64);
+                for edge in &checkpoint.inbox_seqs {
+                    w.put_varint(u64::from(edge.peer));
+                    w.put_varint(edge.watermark);
+                    w.put_varint(edge.extras.len() as u64);
+                    for &seq in &edge.extras {
+                        w.put_varint(seq);
+                    }
+                }
+                encode_transport(&mut w, &checkpoint.transport);
                 w.into_bytes()
             }
         }
@@ -157,22 +247,41 @@ impl WireCodec {
                 for _ in 0..count {
                     inbox.push(decode_shipment(&mut r, &table)?);
                 }
-                let comm_bytes = [
-                    r.get_varint()?,
-                    r.get_varint()?,
-                    r.get_varint()?,
-                    r.get_varint()?,
-                ];
-                let comm_messages = [
-                    r.get_varint()?,
-                    r.get_varint()?,
-                    r.get_varint()?,
-                    r.get_varint()?,
-                ];
+                let kinds = r.get_varint()? as usize;
+                if kinds > 5 {
+                    return Err(WireError::new(format!(
+                        "checkpoint declares {kinds} message kinds, this codec knows 5"
+                    )));
+                }
+                let mut comm_bytes = [0u64; 5];
+                for slot in comm_bytes.iter_mut().take(kinds) {
+                    *slot = r.get_varint()?;
+                }
+                let mut comm_messages = [0u64; 5];
+                for slot in comm_messages.iter_mut().take(kinds) {
+                    *slot = r.get_varint()?;
+                }
                 let shared_bytes = r.get_varint()?;
                 let unshared_bytes = r.get_varint()?;
                 let inference_runs = r.get_varint()?;
                 let stats = decode_stats(&mut r)?;
+                let edge_count = r.get_varint()? as usize;
+                let mut inbox_seqs = Vec::with_capacity(edge_count.min(1 << 16));
+                for _ in 0..edge_count {
+                    let peer = get_u16(r.get_varint()?, "edge peer")?;
+                    let watermark = r.get_varint()?;
+                    let extra_count = r.get_varint()? as usize;
+                    let mut extras = Vec::with_capacity(extra_count.min(1 << 16));
+                    for _ in 0..extra_count {
+                        extras.push(r.get_varint()?);
+                    }
+                    inbox_seqs.push(EdgeSeqs {
+                        peer,
+                        watermark,
+                        extras,
+                    });
+                }
+                let transport = decode_transport(&mut r)?;
                 r.expect_exhausted()?;
                 Ok(SiteCheckpoint {
                     site,
@@ -189,6 +298,8 @@ impl WireCodec {
                     unshared_bytes,
                     inference_runs,
                     stats,
+                    inbox_seqs,
+                    transport,
                 })
             }
         }
@@ -281,6 +392,52 @@ fn decode_stats(r: &mut Reader<'_>) -> Result<InferenceStats, WireError> {
         posteriors_computed: r.get_varint()? as usize,
         evidence_reused: r.get_varint()? as usize,
         evidence_computed: r.get_varint()? as usize,
+    })
+}
+
+/// Transport counters with a leading arity, like the comm arrays: counters
+/// appended in later versions read as zero from older checkpoints.
+fn encode_transport(w: &mut Writer, transport: &TransportStats) {
+    let counters = [
+        transport.envelopes,
+        transport.transmissions,
+        transport.retransmissions,
+        transport.acks,
+        transport.duplicates_dropped,
+        transport.reconciled,
+        transport.stale_dropped,
+        transport.abandoned,
+        transport.resyncs,
+    ];
+    w.put_varint(counters.len() as u64);
+    for counter in counters {
+        w.put_varint(counter);
+    }
+}
+
+fn decode_transport(r: &mut Reader<'_>) -> Result<TransportStats, WireError> {
+    let arity = r.get_varint()? as usize;
+    if arity > 9 {
+        return Err(WireError::new(format!(
+            "checkpoint declares {arity} transport counters, this codec knows 9"
+        )));
+    }
+    let mut counters = [0u64; 9];
+    for slot in counters.iter_mut().take(arity) {
+        *slot = r.get_varint()?;
+    }
+    let [envelopes, transmissions, retransmissions, acks, duplicates_dropped, reconciled, stale_dropped, abandoned, resyncs] =
+        counters;
+    Ok(TransportStats {
+        envelopes,
+        transmissions,
+        retransmissions,
+        acks,
+        duplicates_dropped,
+        reconciled,
+        stale_dropped,
+        abandoned,
+        resyncs,
     })
 }
 
@@ -795,6 +952,8 @@ fn encode_shipment(w: &mut Writer, table: &TagTable, shipment: &PendingShipment)
     w.put_varint(u64::from(shipment.to));
     w.put_varint(table.index_of(shipment.tag));
     w.put_varint(u64::from(shipment.arrive.0));
+    w.put_varint(shipment.seq);
+    w.put_varint(u64::from(shipment.physical.0));
     match &shipment.inference {
         Some(bytes) => {
             w.put_u8(1);
@@ -814,6 +973,8 @@ fn decode_shipment(r: &mut Reader<'_>, table: &TagTable) -> Result<PendingShipme
     let to = get_u16(r.get_varint()?, "destination site")?;
     let tag = table.tag_at(r.get_varint()?)?;
     let arrive = get_epoch(cast_epoch(r.get_varint()?))?;
+    let seq = r.get_varint()?;
+    let physical = get_epoch(cast_epoch(r.get_varint()?))?;
     let inference = match r.get_u8()? {
         0 => None,
         1 => Some(r.get_bytes()?),
@@ -830,6 +991,8 @@ fn decode_shipment(r: &mut Reader<'_>, table: &TagTable) -> Result<PendingShipme
         to,
         tag,
         arrive,
+        seq,
+        physical,
         inference,
         query,
     })
@@ -951,6 +1114,8 @@ mod tests {
                 to: 2,
                 tag: TagId::item(9),
                 arrive: Epoch(5),
+                seq: 17,
+                physical: Epoch(4),
                 inference: Some(vec![1, 2, 3]),
                 query: vec![ObjectQueryState {
                     query: "Q2".to_string(),
@@ -958,8 +1123,8 @@ mod tests {
                     automaton: AutomatonState::Idle,
                 }],
             }],
-            comm_bytes: [0, 120, 30, 8],
-            comm_messages: [0, 2, 1, 1],
+            comm_bytes: [0, 120, 30, 8, 6],
+            comm_messages: [0, 2, 1, 1, 1],
             shared_bytes: 30,
             unshared_bytes: 45,
             inference_runs: 2,
@@ -969,6 +1134,29 @@ mod tests {
                 posteriors_computed: 7,
                 evidence_reused: 11,
                 evidence_computed: 13,
+            },
+            inbox_seqs: vec![
+                EdgeSeqs {
+                    peer: 0,
+                    watermark: 4,
+                    extras: vec![6, 9],
+                },
+                EdgeSeqs {
+                    peer: 1,
+                    watermark: 17,
+                    extras: Vec::new(),
+                },
+            ],
+            transport: TransportStats {
+                envelopes: 12,
+                transmissions: 15,
+                retransmissions: 3,
+                acks: 14,
+                duplicates_dropped: 2,
+                reconciled: 1,
+                stale_dropped: 0,
+                abandoned: 1,
+                resyncs: 1,
             },
         }
     }
@@ -1022,17 +1210,84 @@ mod tests {
             sensor_cursor: 0,
             departure_cursor: 0,
             inbox: Vec::new(),
-            comm_bytes: [0; 4],
-            comm_messages: [0; 4],
+            comm_bytes: [0; 5],
+            comm_messages: [0; 5],
             shared_bytes: 0,
             unshared_bytes: 0,
             inference_runs: 0,
             stats: InferenceStats::default(),
+            inbox_seqs: Vec::new(),
+            transport: TransportStats::default(),
         };
         for codec in codecs() {
             let bytes = codec.encode_checkpoint(&empty);
             assert_eq!(codec.decode_checkpoint(&bytes).unwrap(), empty);
         }
+    }
+
+    #[test]
+    fn smaller_comm_arities_decode_zero_filled() {
+        // A checkpoint written by a codec that knew only 4 message kinds and
+        // no transport counters: the arity prefixes make it decode cleanly,
+        // with the missing slots zero-filled.
+        let mut w = header(KIND_CHECKPOINT);
+        w.put_varint(0); // site
+        w.put_varint(0); // at
+        TagTable::from_tags([]).encode(&mut w);
+        for _ in 0..3 {
+            w.put_varint(0); // store tags, prior objects, containment count
+        }
+        w.put_varint(0); // detected changes
+        w.put_u8(0); // no outcome
+        w.put_u8(0); // no inference epoch
+        w.put_u8(0); // no threshold
+        w.put_varint(0); // dirty tags
+        w.put_varint(0); // cache containers
+        for _ in 0..3 {
+            w.put_varint(0); // temperatures, automata, alerts
+        }
+        for _ in 0..3 {
+            w.put_varint(0); // cursors
+        }
+        w.put_varint(0); // inbox
+        w.put_varint(4); // four comm kinds only
+        for i in 0..4u64 {
+            w.put_varint(i + 1); // comm bytes
+        }
+        for _ in 0..4 {
+            w.put_varint(1); // comm messages
+        }
+        for _ in 0..3 {
+            w.put_varint(0); // shared, unshared, runs
+        }
+        for _ in 0..5 {
+            w.put_varint(0); // inference stats
+        }
+        w.put_varint(0); // no edge seqs
+        w.put_varint(0); // zero transport counters
+        let decoded = WireCodec::new(WireFormat::Binary)
+            .decode_checkpoint(&w.into_bytes())
+            .unwrap();
+        assert_eq!(decoded.comm_bytes, [1, 2, 3, 4, 0]);
+        assert_eq!(decoded.comm_messages, [1, 1, 1, 1, 0]);
+        assert_eq!(decoded.transport, TransportStats::default());
+        assert!(decoded.inbox_seqs.is_empty());
+    }
+
+    #[test]
+    fn oversized_arities_are_rejected() {
+        let binary = WireCodec::new(WireFormat::Binary);
+        let sample = sample();
+        let bytes = binary.encode_checkpoint(&sample);
+        // Corrupting the comm arity to an unknown larger value must produce
+        // a clean error, never a misaligned decode.
+        let arity_pos = bytes
+            .windows(6)
+            .position(|w| w == [5, 0, 120, 30, 8, 6])
+            .expect("comm arity prefix present");
+        let mut corrupted = bytes.clone();
+        corrupted[arity_pos] = 6;
+        assert!(binary.decode_checkpoint(&corrupted).is_err());
     }
 
     #[test]

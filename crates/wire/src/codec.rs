@@ -15,6 +15,7 @@
 //! | `0x05` | [`CollapsedState`] | tag table + per-candidate weight bits |
 //! | `0x06` | query-state payload | tag-less `(query, automaton)` for sharing |
 //! | `0x07` | [`crate::checkpoint::SiteCheckpoint`] | site-wide tag table + engine/processor snapshots + durability bookkeeping |
+//! | `0x08` | [`crate::ControlMsg`] | transport control: ack / anti-entropy resync |
 //!
 //! Bodies are built from the primitives of [`crate::primitives`]: unsigned
 //! varints, zigzag varints for deltas, raw IEEE-754 bits for floats, and one

@@ -1,0 +1,193 @@
+//! Transport control messages: acks and anti-entropy resync requests.
+//!
+//! The reliable-delivery transport of `rfid-dist` pairs every cross-site
+//! payload with a sequence number on its directed edge; the receiver
+//! acknowledges each arrival with an [`ControlMsg::Ack`], and a site
+//! rejoining after downtime announces itself with a [`ControlMsg::Resync`]
+//! per in-edge. Control messages ride the same versioned wire as every other
+//! payload (kind `0x08`), so their bytes are charged and visible in the
+//! communication tables.
+
+use crate::codec::{check_header, header, WireCodec};
+use crate::{WireError, WireFormat};
+use rfid_types::Epoch;
+use serde::{Deserialize, Serialize};
+
+/// Payload-kind byte of a control message.
+pub(crate) const KIND_CONTROL: u8 = 0x08;
+
+const CONTROL_ACK: u8 = 0;
+const CONTROL_RESYNC: u8 = 1;
+
+/// One transport control message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlMsg {
+    /// Acknowledges receipt of the payload carrying sequence number `seq` on
+    /// the directed edge `from → to` (sent back `to → from`).
+    Ack {
+        /// Sender of the acknowledged payload.
+        from: u16,
+        /// Receiver of the acknowledged payload (the ack's sender).
+        to: u16,
+        /// Acknowledged per-edge sequence number.
+        seq: u64,
+    },
+    /// Anti-entropy resync request: `site` rejoined after downtime and asks
+    /// `peer` to re-deliver anything unacked since `since`.
+    Resync {
+        /// The rejoining site.
+        site: u16,
+        /// The peer being asked to re-deliver.
+        peer: u16,
+        /// First epoch the rejoining site may have missed.
+        since: Epoch,
+    },
+}
+
+impl WireCodec {
+    /// Encode a transport control message.
+    pub fn encode_control(&self, msg: &ControlMsg) -> Vec<u8> {
+        match self.format() {
+            WireFormat::Json => serde_json::to_vec(msg).expect("control message serializes"),
+            WireFormat::Binary => {
+                let mut w = header(KIND_CONTROL);
+                match msg {
+                    ControlMsg::Ack { from, to, seq } => {
+                        w.put_u8(CONTROL_ACK);
+                        w.put_varint(u64::from(*from));
+                        w.put_varint(u64::from(*to));
+                        w.put_varint(*seq);
+                    }
+                    ControlMsg::Resync { site, peer, since } => {
+                        w.put_u8(CONTROL_RESYNC);
+                        w.put_varint(u64::from(*site));
+                        w.put_varint(u64::from(*peer));
+                        w.put_varint(u64::from(since.0));
+                    }
+                }
+                w.into_bytes()
+            }
+        }
+    }
+
+    /// Decode a [`Self::encode_control`] message.
+    pub fn decode_control(&self, bytes: &[u8]) -> Result<ControlMsg, WireError> {
+        match self.format() {
+            WireFormat::Json => Ok(serde_json::from_slice(bytes)?),
+            WireFormat::Binary => {
+                let mut r = check_header(bytes, KIND_CONTROL)?;
+                let msg = match r.get_u8()? {
+                    CONTROL_ACK => {
+                        let from = get_site(&mut r)?;
+                        let to = get_site(&mut r)?;
+                        let seq = r.get_varint()?;
+                        ControlMsg::Ack { from, to, seq }
+                    }
+                    CONTROL_RESYNC => {
+                        let site = get_site(&mut r)?;
+                        let peer = get_site(&mut r)?;
+                        let since = get_control_epoch(&mut r)?;
+                        ControlMsg::Resync { site, peer, since }
+                    }
+                    _ => return Err(WireError::new("unknown control variant")),
+                };
+                r.expect_exhausted()?;
+                Ok(msg)
+            }
+        }
+    }
+}
+
+fn get_site(r: &mut crate::primitives::Reader<'_>) -> Result<u16, WireError> {
+    u16::try_from(r.get_varint()?).map_err(|_| WireError::new("site id out of u16 range"))
+}
+
+fn get_control_epoch(r: &mut crate::primitives::Reader<'_>) -> Result<Epoch, WireError> {
+    u32::try_from(r.get_varint()?)
+        .map(Epoch)
+        .map_err(|_| WireError::new("epoch out of u32 range"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codecs() -> [WireCodec; 2] {
+        [
+            WireCodec::new(WireFormat::Binary),
+            WireCodec::new(WireFormat::Json),
+        ]
+    }
+
+    #[test]
+    fn control_messages_round_trip_in_both_formats() {
+        let msgs = [
+            ControlMsg::Ack {
+                from: 0,
+                to: 7,
+                seq: 0,
+            },
+            ControlMsg::Ack {
+                from: u16::MAX,
+                to: 0,
+                seq: u64::MAX,
+            },
+            ControlMsg::Resync {
+                site: 3,
+                peer: 5,
+                since: Epoch(0),
+            },
+            ControlMsg::Resync {
+                site: 1,
+                peer: 2,
+                since: Epoch(u32::MAX),
+            },
+        ];
+        for codec in codecs() {
+            for msg in &msgs {
+                let bytes = codec.encode_control(msg);
+                assert_eq!(&codec.decode_control(&bytes).unwrap(), msg);
+            }
+        }
+    }
+
+    #[test]
+    fn binary_acks_are_a_handful_of_bytes() {
+        let binary = WireCodec::new(WireFormat::Binary);
+        let bytes = binary.encode_control(&ControlMsg::Ack {
+            from: 2,
+            to: 5,
+            seq: 17,
+        });
+        assert!(
+            bytes.len() <= 8,
+            "an ack should cost a handful of bytes, got {}",
+            bytes.len()
+        );
+        let json = WireCodec::new(WireFormat::Json).encode_control(&ControlMsg::Ack {
+            from: 2,
+            to: 5,
+            seq: 17,
+        });
+        assert!(bytes.len() < json.len());
+    }
+
+    #[test]
+    fn corrupted_control_messages_are_rejected() {
+        let binary = WireCodec::new(WireFormat::Binary);
+        let bytes = binary.encode_control(&ControlMsg::Ack {
+            from: 1,
+            to: 2,
+            seq: 3,
+        });
+        for cut in 0..bytes.len() {
+            assert!(binary.decode_control(&bytes[..cut]).is_err());
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(binary.decode_control(&trailing).is_err());
+        let mut bad_variant = bytes;
+        bad_variant[2] = 9;
+        assert!(binary.decode_control(&bad_variant).is_err());
+    }
+}

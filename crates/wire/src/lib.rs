@@ -34,10 +34,12 @@
 
 pub mod checkpoint;
 pub mod codec;
+pub mod control;
 pub mod primitives;
 
-pub use checkpoint::{PendingShipment, SiteCheckpoint};
+pub use checkpoint::{EdgeSeqs, PendingShipment, SiteCheckpoint, TransportStats};
 pub use codec::{WireCodec, WIRE_VERSION};
+pub use control::ControlMsg;
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

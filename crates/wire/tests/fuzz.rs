@@ -33,6 +33,7 @@ fn decode_everything(codec: &WireCodec, bytes: &[u8]) {
     let _ = codec.decode_query_state(bytes);
     let _ = codec.decode_bundle(bytes);
     let _ = codec.decode_checkpoint(bytes);
+    let _ = codec.decode_control(bytes);
     let _ = codec.state_from_payload(TagId::item(1), bytes);
 }
 
@@ -227,21 +228,51 @@ fn arb_checkpoint() -> impl Strategy<Value = rfid_wire::SiteCheckpoint> {
                         to,
                         tag,
                         arrive,
+                        seq: 9,
+                        physical: arrive,
                         inference: Some(vec![7, 7, 7]),
                         query: vec![state],
                     }],
-                    comm_bytes: [1, 2, 3, 4],
-                    comm_messages: [1, 1, 1, 1],
+                    comm_bytes: [1, 2, 3, 4, 5],
+                    comm_messages: [1, 1, 1, 1, 1],
                     shared_bytes: 10,
                     unshared_bytes: 20,
                     inference_runs: 2,
                     stats: Default::default(),
+                    inbox_seqs: vec![rfid_wire::EdgeSeqs {
+                        peer: to,
+                        watermark: 4,
+                        extras: vec![6, 9],
+                    }],
+                    transport: rfid_wire::TransportStats {
+                        envelopes: 3,
+                        transmissions: 5,
+                        retransmissions: 2,
+                        acks: 3,
+                        duplicates_dropped: 1,
+                        reconciled: 1,
+                        stale_dropped: 0,
+                        abandoned: 0,
+                        resyncs: 1,
+                    },
                 }
             },
         )
 }
 
 /// Valid binary encodings of every payload family, for mutation.
+fn arb_control() -> impl Strategy<Value = rfid_wire::ControlMsg> {
+    prop_oneof![
+        (0u16..64, 0u16..64, any::<u64>()).prop_map(|(from, to, seq)| rfid_wire::ControlMsg::Ack {
+            from,
+            to,
+            seq
+        }),
+        (0u16..64, 0u16..64, arb_epoch())
+            .prop_map(|(site, peer, since)| rfid_wire::ControlMsg::Resync { site, peer, since }),
+    ]
+}
+
 fn arb_encoding() -> impl Strategy<Value = Vec<u8>> {
     prop_oneof![
         arb_readings().prop_map(|r| binary().encode_readings(&r)),
@@ -250,6 +281,7 @@ fn arb_encoding() -> impl Strategy<Value = Vec<u8>> {
         arb_query_state().prop_map(|s| binary().encode_query_state(&s)),
         arb_bundle().prop_map(|b| binary().encode_bundle(&b)),
         arb_checkpoint().prop_map(|c| binary().encode_checkpoint(&c)),
+        arb_control().prop_map(|m| binary().encode_control(&m)),
     ]
 }
 
@@ -267,6 +299,7 @@ proptest! {
             prop_assert!(binary().decode_query_state(prefix).is_err());
             prop_assert!(binary().decode_bundle(prefix).is_err());
             prop_assert!(binary().decode_checkpoint(prefix).is_err());
+            prop_assert!(binary().decode_control(prefix).is_err());
         }
     }
 

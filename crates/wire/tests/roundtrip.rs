@@ -12,7 +12,9 @@ use rfid_query::{
     Alert, AutomatonState, ObjectQueryState, ProcessorSnapshot, SharedStateBundle, StateDelta,
 };
 use rfid_types::{ContainmentMap, Epoch, LocationId, RawReading, ReaderId, SensorReading, TagId};
-use rfid_wire::{PendingShipment, SiteCheckpoint, WireCodec, WireFormat};
+use rfid_wire::{
+    ControlMsg, EdgeSeqs, PendingShipment, SiteCheckpoint, TransportStats, WireCodec, WireFormat,
+};
 use std::collections::BTreeMap;
 
 fn both() -> [WireCodec; 2] {
@@ -435,26 +437,59 @@ fn arb_pending() -> impl Strategy<Value = PendingShipment> {
         0u16..16,
         arb_tag(),
         arb_epoch(),
+        (any::<u64>(), arb_epoch()),
         prop::option::of(prop::collection::vec(any::<u8>(), 0..24)),
         prop::collection::vec(arb_query_state(), 0..3),
     )
         .prop_map(
-            |(depart, from, to, tag, arrive, inference, query)| PendingShipment {
+            |(depart, from, to, tag, arrive, (seq, physical), inference, query)| PendingShipment {
                 depart,
                 from,
                 to,
                 tag,
                 arrive,
+                seq,
+                physical,
                 inference,
                 query,
             },
         )
 }
 
+fn arb_edge_seqs() -> impl Strategy<Value = Vec<EdgeSeqs>> {
+    prop::collection::vec(
+        (
+            0u16..64,
+            any::<u64>(),
+            prop::collection::vec(any::<u64>(), 0..5),
+        )
+            .prop_map(|(peer, watermark, extras)| EdgeSeqs {
+                peer,
+                watermark,
+                extras,
+            }),
+        0..4,
+    )
+}
+
+fn arb_transport_stats() -> impl Strategy<Value = TransportStats> {
+    prop::collection::vec(0u64..1 << 40, 9).prop_map(|v| TransportStats {
+        envelopes: v[0],
+        transmissions: v[1],
+        retransmissions: v[2],
+        acks: v[3],
+        duplicates_dropped: v[4],
+        reconciled: v[5],
+        stale_dropped: v[6],
+        abandoned: v[7],
+        resyncs: v[8],
+    })
+}
+
 fn arb_checkpoint() -> impl Strategy<Value = SiteCheckpoint> {
     let accounting = (
-        prop::collection::vec(0u64..1 << 40, 4),
-        prop::collection::vec(0u64..1 << 20, 4),
+        prop::collection::vec(0u64..1 << 40, 5),
+        prop::collection::vec(0u64..1 << 20, 5),
         0u64..1 << 40,
         0u64..1 << 40,
         0u64..10_000,
@@ -465,6 +500,7 @@ fn arb_checkpoint() -> impl Strategy<Value = SiteCheckpoint> {
         (0u64..1 << 32, 0u64..1 << 32, 0u64..1 << 32),
         prop::collection::vec(arb_pending(), 0..4),
         accounting,
+        (arb_edge_seqs(), arb_transport_stats()),
     )
         .prop_map(
             |(
@@ -472,6 +508,7 @@ fn arb_checkpoint() -> impl Strategy<Value = SiteCheckpoint> {
                 (reading_cursor, sensor_cursor, departure_cursor),
                 inbox,
                 (bytes, messages, shared_bytes, unshared_bytes, inference_runs, stats),
+                (inbox_seqs, transport),
             )| SiteCheckpoint {
                 site,
                 at,
@@ -481,8 +518,14 @@ fn arb_checkpoint() -> impl Strategy<Value = SiteCheckpoint> {
                 sensor_cursor,
                 departure_cursor,
                 inbox,
-                comm_bytes: [bytes[0], bytes[1], bytes[2], bytes[3]],
-                comm_messages: [messages[0], messages[1], messages[2], messages[3]],
+                comm_bytes: [bytes[0], bytes[1], bytes[2], bytes[3], bytes[4]],
+                comm_messages: [
+                    messages[0],
+                    messages[1],
+                    messages[2],
+                    messages[3],
+                    messages[4],
+                ],
                 shared_bytes,
                 unshared_bytes,
                 inference_runs,
@@ -493,8 +536,34 @@ fn arb_checkpoint() -> impl Strategy<Value = SiteCheckpoint> {
                     evidence_reused: stats[3],
                     evidence_computed: stats[4],
                 },
+                inbox_seqs,
+                transport,
             },
         )
+}
+
+fn arb_control() -> impl Strategy<Value = ControlMsg> {
+    prop_oneof![
+        (any::<u16>(), any::<u16>(), any::<u64>()).prop_map(|(from, to, seq)| ControlMsg::Ack {
+            from,
+            to,
+            seq
+        }),
+        (any::<u16>(), any::<u16>(), arb_epoch())
+            .prop_map(|(site, peer, since)| ControlMsg::Resync { site, peer, since }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn control_messages_round_trip(msg in arb_control()) {
+        for codec in both() {
+            let bytes = codec.encode_control(&msg);
+            prop_assert_eq!(codec.decode_control(&bytes).unwrap(), msg);
+            // Byte-stable: decode then re-encode reproduces the wire bytes.
+            prop_assert_eq!(codec.encode_control(&codec.decode_control(&bytes).unwrap()), bytes);
+        }
+    }
 }
 
 proptest! {
@@ -554,15 +623,23 @@ fn checkpoint_epochs_survive_the_wraparound_boundary() {
             to: 1,
             tag: TagId::item(1),
             arrive: Epoch(u32::MAX),
+            seq: u64::MAX,
+            physical: Epoch(u32::MAX),
             inference: None,
             query: Vec::new(),
         }],
-        comm_bytes: [u64::from(u32::MAX); 4],
-        comm_messages: [0; 4],
+        comm_bytes: [u64::from(u32::MAX); 5],
+        comm_messages: [0; 5],
         shared_bytes: 0,
         unshared_bytes: 0,
         inference_runs: 0,
         stats: InferenceStats::default(),
+        inbox_seqs: vec![EdgeSeqs {
+            peer: u16::MAX,
+            watermark: u64::MAX,
+            extras: Vec::new(),
+        }],
+        transport: TransportStats::default(),
     };
     for codec in both() {
         let bytes = codec.encode_checkpoint(&checkpoint);
