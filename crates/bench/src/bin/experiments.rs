@@ -13,16 +13,19 @@
 //! trajectory is tracked across PRs; the `inference_dense` experiment does
 //! the same for solver wall-clock via `BENCH_infer.json` /
 //! `BENCH_INFER_OUT`, the `faults` experiment for fault-degradation
-//! tables via `BENCH_faults.json` / `BENCH_FAULTS_OUT`, and the `degraded`
+//! tables via `BENCH_faults.json` / `BENCH_FAULTS_OUT`, the `degraded`
 //! experiment for transport loss/partition degradation via
-//! `BENCH_degraded.json` / `BENCH_DEGRADED_OUT`.
+//! `BENCH_degraded.json` / `BENCH_DEGRADED_OUT`, and the `chaos` soak
+//! (every fault family at once, all invariant oracles asserted) via
+//! `BENCH_chaos.json` / `BENCH_CHAOS_OUT`.
 
 use rfid_bench::{
-    degraded_json, degraded_measurements, degraded_table, fault_measurements, faults_json,
-    faults_table, fig4, fig5a, fig5b, fig5c, fig5d, fig5e, fig5f, fig6a, fig6b,
-    incremental_inference, infer_measurements, inference_dense_json, inference_dense_table,
-    parallel_scaling, scalability, table3, table4, table5, table_query, wire_formats_json,
-    wire_formats_table, wire_measurements, Scale,
+    chaos_json, chaos_measurements, chaos_memory_table, chaos_table, degraded_json,
+    degraded_measurements, degraded_table, fault_measurements, faults_json, faults_table, fig4,
+    fig5a, fig5b, fig5c, fig5d, fig5e, fig5f, fig6a, fig6b, incremental_inference,
+    infer_measurements, inference_dense_json, inference_dense_table, parallel_scaling, scalability,
+    table3, table4, table5, table_query, wire_formats_json, wire_formats_table, wire_measurements,
+    Scale,
 };
 use rfid_eval::Series;
 use std::time::Instant;
@@ -48,6 +51,7 @@ const ALL: &[&str] = &[
     "wire",
     "faults",
     "degraded",
+    "chaos",
 ];
 
 fn print_series(title: &str, series: &[Series]) {
@@ -138,6 +142,26 @@ fn run(name: &str, scale: Scale) {
                 .unwrap_or_else(|_| "BENCH_degraded.json".to_string());
             match std::fs::write(&path, degraded_json(scale, &study)) {
                 Ok(()) => eprintln!("[degradation measurements written to {path}]"),
+                Err(err) => eprintln!("[failed to write {path}: {err}]"),
+            }
+        }
+        "chaos" => {
+            let study = chaos_measurements(scale);
+            println!("{}", chaos_table(&study));
+            println!("{}", chaos_memory_table(&study));
+            let quarantined: u64 = study.soak.iter().map(|m| m.quarantined).sum();
+            let resyncs: u64 = study.soak.iter().map(|m| m.resyncs).sum();
+            let evicted: u64 = study.memory.iter().map(|m| m.evicted_cache_entries).sum();
+            eprintln!(
+                "[chaos soak: {} runs, {quarantined} envelopes quarantined, \
+                 {resyncs} resyncs, {evicted} cache entries evicted under budget; \
+                 every run passed all invariant oracles]",
+                study.soak.len() * 2 + study.memory.len(),
+            );
+            let path =
+                std::env::var("BENCH_CHAOS_OUT").unwrap_or_else(|_| "BENCH_chaos.json".to_string());
+            match std::fs::write(&path, chaos_json(scale, &study)) {
+                Ok(()) => eprintln!("[chaos measurements written to {path}]"),
                 Err(err) => eprintln!("[failed to write {path}: {err}]"),
             }
         }

@@ -2,15 +2,15 @@
 //! table of Section 5.4 and the scalability study of Section 5.3.
 
 use crate::Scale;
-use rfid_core::InferenceConfig;
+use rfid_core::{InferenceConfig, MemoryBudget};
 use rfid_dist::{
-    DistributedConfig, DistributedDriver, DistributedOutcome, MessageKind, MigrationStrategy,
-    WireFormat,
+    assert_audit, DistributedConfig, DistributedDriver, DistributedOutcome, MessageKind,
+    MigrationStrategy, WireFormat,
 };
 use rfid_eval::{Series, Table};
 use rfid_query::{Alert, ExposureQuery, QueryProcessor};
 use rfid_sim::{
-    presets, ChainConfig, ChainTrace, FaultPlan, FaultPlanConfig, SupplyChainSimulator,
+    presets, ChainConfig, ChainTrace, ChaosPlan, FaultPlan, FaultPlanConfig, SupplyChainSimulator,
     TemperatureModel, WarehouseConfig,
 };
 use rfid_types::{Epoch, LocationId, ObjectEvent, TagId};
@@ -824,7 +824,7 @@ pub fn fault_measurements(scale: Scale) -> FaultStudy {
     let (crashes, outages) = plan.events().iter().fold((0, 0), |(c, o), e| match e {
         rfid_sim::FaultEvent::Crash { .. } => (c + 1, o),
         rfid_sim::FaultEvent::Outage { .. } => (c, o + 1),
-        rfid_sim::FaultEvent::Partition { .. } => (c, o),
+        _ => (c, o),
     });
     let mut measurements = Vec::new();
     for (name, strategy) in [
@@ -1011,11 +1011,15 @@ pub fn degraded_measurements(scale: Scale) -> DegradedStudy {
     let mut scenarios: Vec<(String, FaultPlan)> = loss_rates
         .iter()
         .map(|&rate| {
-            let plan = FaultPlan::generate(&FaultPlanConfig {
-                loss_probability: rate,
-                ack_loss_probability: rate / 2.0,
-                ..FaultPlanConfig::quiet(presets::REFERENCE_SEED, 8, horizon)
-            });
+            let plan = presets::lossy_network_plan(
+                presets::REFERENCE_SEED,
+                8,
+                horizon,
+                rate,
+                rate / 2.0,
+                0.0,
+                0,
+            );
             (format!("loss {rate:.2}"), plan)
         })
         .collect();
@@ -1149,6 +1153,296 @@ pub fn degraded_json(scale: Scale, study: &DegradedStudy) -> String {
             m.reconciled,
             m.abandoned,
             if i + 1 == study.rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One schedule × strategy row of the chaos soak.
+#[derive(Debug, Clone)]
+pub struct ChaosMeasurement {
+    /// Index of the schedule within the soak sweep.
+    pub schedule: usize,
+    /// Per-schedule derived seed.
+    pub seed: u64,
+    /// Migration strategy name.
+    pub strategy: &'static str,
+    /// Containment accuracy (%) under the chaos schedule.
+    pub accuracy: f64,
+    /// Total bytes on the wire, including Control overhead.
+    pub total_bytes: usize,
+    /// Poisoned envelopes diverted into the quarantine ledger.
+    pub quarantined: u64,
+    /// Anti-entropy resync requests sent after quarantines.
+    pub resyncs: u64,
+    /// Envelopes given up on (degraded-mode cold starts).
+    pub abandoned: u64,
+    /// Duplicate copies discarded by receiver-side dedup.
+    pub duplicates_dropped: u64,
+    /// High-water mark of the per-site observation stores.
+    pub memory_high_water: u64,
+}
+
+/// One budget row of the accuracy-vs-memory-budget sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosMemoryMeasurement {
+    /// Budget label (`unbounded` or the observation cap).
+    pub budget: String,
+    /// Containment accuracy (%) under the budget.
+    pub accuracy: f64,
+    /// High-water mark of the observation stores.
+    pub high_water: u64,
+    /// Budget-driven compaction passes.
+    pub compactions: u64,
+    /// Observation entries collapsed into summary priors.
+    pub compacted_observations: u64,
+    /// Cold evidence-cache containers evicted.
+    pub evicted_cache_entries: u64,
+}
+
+/// The full chaos soak: schedule × strategy rows plus the memory sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosStudy {
+    /// Master seed the per-schedule seeds derive from.
+    pub master_seed: u64,
+    /// Checkpoint cadence of every run, seconds.
+    pub checkpoint_every_secs: u32,
+    /// One row per schedule × strategy.
+    pub soak: Vec<ChaosMeasurement>,
+    /// Accuracy-vs-budget rows (schedule 0, `CollapsedWeights`).
+    pub memory: Vec<ChaosMemoryMeasurement>,
+}
+
+/// Chaos soak at the 8-site short-dwell reference scale: a
+/// [`ChaosPlan::schedule`](rfid_sim::ChaosPlan::schedule) of seeded
+/// schedules — crashes with downtime restored from checkpoints, reader
+/// outages, delivery delay/duplication, transmission and ack loss, link
+/// partitions, corrupted wire bytes, rogue tag readings and per-site clock
+/// skew, all at once — driven through every migration strategy.
+///
+/// Every run is executed both sequentially and with one worker per site and
+/// asserted bit-identical *including* the chaos bookkeeping (quarantine
+/// entries, memory counters, per-edge conservation ledgers), and every
+/// outcome must pass the full invariant-oracle battery of
+/// [`rfid_dist::audit`] — a soak that cannot account for every envelope
+/// aborts instead of producing a table. A second sweep holds the schedule
+/// fixed and tightens the per-site memory budget, measuring what graceful
+/// degradation under memory pressure costs in accuracy.
+pub fn chaos_measurements(scale: Scale) -> ChaosStudy {
+    let chain = short_dwell_chain(scale, 8);
+    let horizon = chain.sites[0].meta.length;
+    let schedules = match scale {
+        Scale::Smoke => 2,
+        _ => 3,
+    };
+    let checkpoint_every = 300;
+    let plans = ChaosPlan::schedule(presets::REFERENCE_SEED, schedules, 8, horizon);
+    let mut soak = Vec::new();
+    for (i, chaos) in plans.iter().enumerate() {
+        for (name, strategy) in [
+            ("None", MigrationStrategy::None),
+            ("CR-readings", MigrationStrategy::CriticalRegionReadings),
+            ("CollapsedWeights", MigrationStrategy::CollapsedWeights),
+            ("Centralized", MigrationStrategy::Centralized),
+        ] {
+            let config = |workers: usize| {
+                DistributedConfig {
+                    strategy,
+                    inference: InferenceConfig::default().without_change_detection(),
+                    num_workers: workers,
+                    ..Default::default()
+                }
+                .with_checkpoints(checkpoint_every)
+                // An unbounded budget never compacts but does track the
+                // high-water observation count, so the soak table can report
+                // peak memory pressure per strategy.
+                .with_memory_budget(MemoryBudget::unbounded())
+                .with_faults(chaos.plan().clone())
+            };
+            let sequential = DistributedDriver::new(config(1)).run(&chain);
+            let parallel = DistributedDriver::new(config(8)).run(&chain);
+            let label = format!("schedule {i}/{name}");
+            assert_eq!(
+                sequential.containment, parallel.containment,
+                "{label}: the chaos schedule must injure both executors identically"
+            );
+            assert_eq!(sequential.comm, parallel.comm, "{label}");
+            assert_eq!(sequential.ons, parallel.ons, "{label}");
+            assert_eq!(sequential.transport, parallel.transport, "{label}");
+            assert_eq!(sequential.quarantine, parallel.quarantine, "{label}");
+            assert_eq!(sequential.memory, parallel.memory, "{label}");
+            assert_eq!(sequential.ledgers, parallel.ledgers, "{label}");
+            assert_audit(&chain, &sequential);
+            assert_audit(&chain, &parallel);
+            soak.push(ChaosMeasurement {
+                schedule: i,
+                seed: chaos.config().seed,
+                strategy: name,
+                accuracy: 100.0 - chain_containment_error(&chain, &sequential),
+                total_bytes: sequential.comm.total_bytes(),
+                quarantined: sequential.transport.quarantined,
+                resyncs: sequential.transport.resyncs,
+                abandoned: sequential.transport.abandoned,
+                duplicates_dropped: sequential.transport.duplicates_dropped,
+                memory_high_water: sequential.memory.high_water,
+            });
+        }
+    }
+    let budgets = [
+        ("unbounded".to_string(), MemoryBudget::unbounded()),
+        ("4096".to_string(), MemoryBudget::capped(4096)),
+        ("1024".to_string(), MemoryBudget::capped(1024)),
+        ("256".to_string(), MemoryBudget::capped(256)),
+    ];
+    let mut memory = Vec::new();
+    for (label, budget) in budgets {
+        let outcome = DistributedDriver::new(
+            DistributedConfig {
+                strategy: MigrationStrategy::CollapsedWeights,
+                inference: InferenceConfig::default().without_change_detection(),
+                ..Default::default()
+            }
+            .with_checkpoints(checkpoint_every)
+            .with_faults(plans[0].plan().clone())
+            .with_memory_budget(budget),
+        )
+        .run(&chain);
+        assert_audit(&chain, &outcome);
+        memory.push(ChaosMemoryMeasurement {
+            budget: label,
+            accuracy: 100.0 - chain_containment_error(&chain, &outcome),
+            high_water: outcome.memory.high_water,
+            compactions: outcome.memory.compactions,
+            compacted_observations: outcome.memory.compacted_observations,
+            evicted_cache_entries: outcome.memory.evicted_cache_entries,
+        });
+    }
+    ChaosStudy {
+        master_seed: presets::REFERENCE_SEED,
+        checkpoint_every_secs: checkpoint_every,
+        soak,
+        memory,
+    }
+}
+
+/// The human-readable tables of [`chaos_measurements`].
+pub fn chaos(scale: Scale) -> (Table, Table) {
+    let study = chaos_measurements(scale);
+    (chaos_table(&study), chaos_memory_table(&study))
+}
+
+/// Render the soak rows (so one measurement pass can feed both tables and
+/// `BENCH_chaos.json`).
+pub fn chaos_table(study: &ChaosStudy) -> Table {
+    let mut table = Table::new(
+        "Chaos soak: every fault family at once, all invariant oracles asserted",
+        &[
+            "schedule",
+            "strategy",
+            "accuracy (%)",
+            "total bytes",
+            "quarantined",
+            "resyncs",
+            "abandoned",
+            "dedup drops",
+            "mem high-water",
+        ],
+    );
+    for m in &study.soak {
+        table.push_row(&[
+            m.schedule.to_string(),
+            m.strategy.to_string(),
+            format!("{:.1}", m.accuracy),
+            m.total_bytes.to_string(),
+            m.quarantined.to_string(),
+            m.resyncs.to_string(),
+            m.abandoned.to_string(),
+            m.duplicates_dropped.to_string(),
+            m.memory_high_water.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Render the accuracy-vs-memory-budget sweep of [`chaos_measurements`].
+pub fn chaos_memory_table(study: &ChaosStudy) -> Table {
+    let mut table = Table::new(
+        "Graceful degradation: accuracy vs per-site memory budget (schedule 0, CollapsedWeights)",
+        &[
+            "budget (obs)",
+            "accuracy (%)",
+            "high-water",
+            "compactions",
+            "compacted obs",
+            "evicted cache",
+        ],
+    );
+    for m in &study.memory {
+        table.push_row(&[
+            m.budget.clone(),
+            format!("{:.1}", m.accuracy),
+            m.high_water.to_string(),
+            m.compactions.to_string(),
+            m.compacted_observations.to_string(),
+            m.evicted_cache_entries.to_string(),
+        ]);
+    }
+    table
+}
+
+/// The machine-readable companion of [`chaos`] — the contents of
+/// `BENCH_chaos.json`, tracked across PRs alongside `BENCH_degraded.json`.
+/// Hand-rendered JSON (stable key order).
+pub fn chaos_json(scale: Scale, study: &ChaosStudy) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str("  \"reference\": \"8-site short-dwell chain, seed 97, 2400 s\",\n");
+    out.push_str(
+        "  \"metric\": \"containment accuracy (%) and degradation counters under full-fault \
+         chaos schedules, all invariant oracles asserted\",\n",
+    );
+    out.push_str(&format!(
+        "  \"plan\": {{\"master_seed\": {}, \"schedules\": {}, \
+         \"checkpoint_every_secs\": {}}},\n",
+        study.master_seed,
+        study.soak.len() / 4,
+        study.checkpoint_every_secs,
+    ));
+    out.push_str("  \"soak\": [\n");
+    for (i, m) in study.soak.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"schedule\": {}, \"seed\": {}, \"strategy\": \"{}\", \
+             \"accuracy_pct\": {:.2}, \"total_bytes\": {}, \"quarantined\": {}, \
+             \"resyncs\": {}, \"abandoned\": {}, \"duplicates_dropped\": {}, \
+             \"memory_high_water\": {}}}{}\n",
+            m.schedule,
+            m.seed,
+            m.strategy,
+            m.accuracy,
+            m.total_bytes,
+            m.quarantined,
+            m.resyncs,
+            m.abandoned,
+            m.duplicates_dropped,
+            m.memory_high_water,
+            if i + 1 == study.soak.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"memory\": [\n");
+    for (i, m) in study.memory.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"budget\": \"{}\", \"accuracy_pct\": {:.2}, \"high_water\": {}, \
+             \"compactions\": {}, \"compacted_observations\": {}, \
+             \"evicted_cache_entries\": {}}}{}\n",
+            m.budget,
+            m.accuracy,
+            m.high_water,
+            m.compactions,
+            m.compacted_observations,
+            m.evicted_cache_entries,
+            if i + 1 == study.memory.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");

@@ -16,6 +16,10 @@ pub mod distributed;
 pub mod single_site;
 
 pub use distributed::{
+    chaos, chaos_json, chaos_measurements, chaos_memory_table, chaos_table, ChaosMeasurement,
+    ChaosMemoryMeasurement, ChaosStudy,
+};
+pub use distributed::{
     degraded, degraded_json, degraded_measurements, degraded_table, DegradedMeasurement,
     DegradedStudy,
 };

@@ -17,7 +17,7 @@ use crate::rfinfer::{
     DirtySet, EvidenceCache, InferenceOutcome, InferenceStats, PriorWeights, RfInfer,
 };
 use crate::state::{CollapsedState, MigrationState, ReadingsState};
-use crate::truncate::retention_plan;
+use crate::truncate::{retention_plan, MemoryBudget, MemoryStats, RetentionPlan};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rfid_types::{
@@ -522,6 +522,64 @@ impl InferenceEngine {
     pub fn forget(&mut self, tag: TagId) {
         let removed = self.store.retain_ranges_for(tag, &[]);
         self.dirty.record_all(tag, removed);
+    }
+
+    /// Enforce a per-site memory budget on the retained history.
+    ///
+    /// Updates `stats.high_water` with the current store size, then — only
+    /// when the store exceeds `budget` — compacts: the retained window
+    /// (starting at the configured recent history) halves until the store
+    /// fits, removed epochs go through the dirty journal like any other
+    /// truncation, and each object that lost history has its current summary
+    /// weights folded into the prior first (the same collapsed state a
+    /// migration ships), so its belief degrades to summary-weight semantics
+    /// instead of being forgotten. Evidence-cache entries whose container no
+    /// longer has retained observations are evicted afterwards. The whole
+    /// pass is a pure function of engine state, so sequential, parallel and
+    /// crash-replayed executions compact identically; with an unbounded
+    /// budget it only tracks the high-water mark and changes nothing.
+    pub fn enforce_budget(&mut self, budget: MemoryBudget, now: Epoch, stats: &mut MemoryStats) {
+        stats.high_water = stats.high_water.max(self.store.len() as u64);
+        if budget.is_unbounded() || self.store.len() <= budget.max_observations {
+            return;
+        }
+        // Fold beliefs into the prior before the history that produced them
+        // is dropped. `export_collapsed` reads the last outcome, not the
+        // store, so the weights are the same ones a migration would carry.
+        // Objects keeping their full history are left untouched — folding is
+        // additive, so it must happen at most once per compaction pass.
+        let mut removed_total: u64 = 0;
+        let mut folded = std::collections::BTreeSet::new();
+        let mut window = self.config.recent_history_secs;
+        loop {
+            let plan = RetentionPlan {
+                per_tag: std::collections::BTreeMap::new(),
+                recent_from: now.minus(window),
+            };
+            let tags: Vec<TagId> = self.store.tags().collect();
+            for tag in tags {
+                let ranges = plan.ranges_for(tag, now);
+                let removed = self.store.retain_ranges_for(tag, &ranges);
+                if !removed.is_empty() && tag.is_object() && folded.insert(tag) {
+                    let collapsed = self.export_collapsed(tag);
+                    if !collapsed.weights.is_empty() {
+                        self.prior.merge(&collapsed.to_prior());
+                    }
+                    self.dirty.mark(tag);
+                }
+                removed_total += removed.len() as u64;
+                self.dirty.record_all(tag, removed);
+            }
+            if self.store.len() <= budget.max_observations || window == 0 {
+                break;
+            }
+            window /= 2;
+        }
+        if removed_total > 0 {
+            stats.compactions += 1;
+            stats.compacted_observations += removed_total;
+        }
+        stats.evicted_cache_entries += self.cache.evict_cold(&self.store) as u64;
     }
 
     /// Capture the engine's complete durable state — see [`EngineSnapshot`]

@@ -81,5 +81,6 @@ pub use rfinfer::{
 };
 pub use state::{CollapsedState, MigrationState, ReadingsState};
 pub use truncate::{
-    critical_region, retention_plan, CriticalRegion, RetentionPlan, TruncationPolicy,
+    critical_region, retention_plan, CriticalRegion, MemoryBudget, MemoryStats, RetentionPlan,
+    TruncationPolicy,
 };

@@ -511,6 +511,18 @@ impl EvidenceCache {
     pub fn clear(&mut self) {
         self.containers.clear();
     }
+
+    /// Evict entries whose container no longer has any retained
+    /// observations. After history compaction the cached posteriors of such
+    /// a container describe epochs the store has forgotten, so no future
+    /// incremental run can match them — keeping them would only hold memory.
+    /// Returns the number of container entries evicted.
+    pub fn evict_cold(&mut self, store: &Observations) -> usize {
+        let before = self.containers.len();
+        self.containers
+            .retain(|container, _| !store.obs_for(*container).is_empty());
+        before - self.containers.len()
+    }
 }
 
 /// Work accounting of one inference run: how much of the E-step and M-step

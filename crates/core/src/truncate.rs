@@ -153,11 +153,21 @@ pub struct RetentionPlan {
 
 impl RetentionPlan {
     /// The ranges to retain for one tag: its critical-region ranges (if any)
-    /// plus the shared recent history.
+    /// plus the shared recent history, merged into disjoint ascending
+    /// inclusive ranges — the result never contains an empty range and no
+    /// two ranges overlap or touch.
     pub fn ranges_for(&self, tag: TagId, now: Epoch) -> Vec<(Epoch, Epoch)> {
         let mut ranges = self.per_tag.get(&tag).cloned().unwrap_or_default();
-        ranges.push((self.recent_from, now));
-        ranges
+        ranges.push((self.recent_from.min(now), now));
+        ranges.sort_unstable();
+        let mut merged: Vec<(Epoch, Epoch)> = Vec::with_capacity(ranges.len());
+        for &(lo, hi) in ranges.iter() {
+            match merged.last_mut() {
+                Some(last) if lo <= last.1.plus(1) => last.1 = last.1.max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        merged
     }
 }
 
@@ -215,6 +225,69 @@ pub fn retention_plan(
                 recent_from: now.minus(recent_secs),
             }
         }
+    }
+}
+
+/// A per-site bound on retained inference memory, enforced between epochs by
+/// `InferenceEngine::enforce_budget`: when the observation store exceeds
+/// `max_observations`, old history beyond the [`TruncationPolicy`] is
+/// compacted into summary weights (the collapsed priors already produced by
+/// the inference) and cold evidence-cache entries are evicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryBudget {
+    /// Maximum number of retained `(tag, epoch)` observation entries before
+    /// compaction kicks in. `usize::MAX` disables compaction entirely.
+    pub max_observations: usize,
+}
+
+impl MemoryBudget {
+    /// A budget that never forces compaction.
+    pub fn unbounded() -> MemoryBudget {
+        MemoryBudget {
+            max_observations: usize::MAX,
+        }
+    }
+
+    /// A budget capped at `max_observations` retained observation entries.
+    pub fn capped(max_observations: usize) -> MemoryBudget {
+        MemoryBudget { max_observations }
+    }
+
+    /// Whether the budget can never force compaction.
+    pub fn is_unbounded(&self) -> bool {
+        self.max_observations == usize::MAX
+    }
+}
+
+impl Default for MemoryBudget {
+    fn default() -> MemoryBudget {
+        MemoryBudget::unbounded()
+    }
+}
+
+/// Memory-pressure counters of one site (or, merged, a whole run). Persisted
+/// through `SiteCheckpoint` so crash-restore replays converge on the same
+/// values.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// Largest observation-store size ever seen (in `(tag, epoch)` entries).
+    pub high_water: u64,
+    /// Budget-driven compaction passes that removed at least one entry.
+    pub compactions: u64,
+    /// Observation entries removed by budget-driven compaction.
+    pub compacted_observations: u64,
+    /// Cold evidence-cache containers evicted under memory pressure.
+    pub evicted_cache_entries: u64,
+}
+
+impl MemoryStats {
+    /// Fold `other` into `self`: high-water marks take the max, event
+    /// counters add.
+    pub fn merge(&mut self, other: &MemoryStats) {
+        self.high_water = self.high_water.max(other.high_water);
+        self.compactions += other.compactions;
+        self.compacted_observations += other.compacted_observations;
+        self.evicted_cache_entries += other.evicted_cache_entries;
     }
 }
 
@@ -330,10 +403,15 @@ mod tests {
         let cr = retention_plan(TruncationPolicy::default(), &outcome, now, 30);
         assert_eq!(cr.recent_from, Epoch(170));
         let ranges = cr.ranges_for(TagId::item(0), now);
-        assert!(ranges.len() >= 2, "critical region plus recent history");
+        // the critical region and the recent history are both covered...
         assert!(ranges
             .iter()
             .any(|&(lo, hi)| lo <= Epoch(110) && hi >= Epoch(100)));
+        assert!(ranges.iter().any(|&(_, hi)| hi == now));
+        // ...by disjoint, non-touching ranges (touching ones merge)
+        for pair in ranges.windows(2) {
+            assert!(pair[1].0 .0 > pair[0].1 .0 + 1, "disjoint: {ranges:?}");
+        }
         // candidate containers keep the same region
         assert!(cr.per_tag.contains_key(&TagId::case(0)));
         assert!(cr.per_tag.contains_key(&TagId::case(1)));

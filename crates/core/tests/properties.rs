@@ -6,8 +6,8 @@
 use proptest::prelude::*;
 use rfid_core::{
     change_statistic, container_posterior, CollapsedState, InferenceConfig, InferenceEngine,
-    LikelihoodModel, MigrationState, Observations, Posterior, ReadingsState, RfInfer,
-    RfInferConfig,
+    LikelihoodModel, MemoryBudget, MemoryStats, MigrationState, Observations, Posterior,
+    ReadingsState, RetentionPlan, RfInfer, RfInferConfig, TruncationPolicy,
 };
 use rfid_types::{Epoch, LocationId, RawReading, ReadRateTable, ReaderId, ReadingBatch, TagId};
 use std::collections::BTreeMap;
@@ -388,5 +388,88 @@ proptest! {
             prop_assert_eq!(&report_full.outcome, &report_incr.outcome);
             prop_assert_eq!(full.containment(), incremental.containment());
         }
+    }
+
+    /// `RetentionPlan::ranges_for` always yields ascending, disjoint,
+    /// non-touching, non-empty inclusive ranges, whatever raw (possibly
+    /// overlapping, possibly unsorted) ranges the plan holds per tag.
+    #[test]
+    fn retention_ranges_are_disjoint_and_nonempty(
+        raw in prop::collection::vec((0u32..500, 0u32..100), 0..10),
+        recent in 0u32..500,
+        now in 0u32..600,
+    ) {
+        let plan = RetentionPlan {
+            per_tag: BTreeMap::from([(
+                TagId::item(1),
+                raw.iter().map(|&(lo, len)| (Epoch(lo), Epoch(lo + len))).collect(),
+            )]),
+            recent_from: Epoch(recent),
+        };
+        let ranges = plan.ranges_for(TagId::item(1), Epoch(now));
+        prop_assert!(!ranges.is_empty(), "the recent history is always retained");
+        for &(lo, hi) in &ranges {
+            prop_assert!(lo <= hi, "empty range {:?}..{:?}", lo, hi);
+        }
+        for pair in ranges.windows(2) {
+            prop_assert!(pair[1].0.0 > pair[0].1.0 + 1,
+                "ranges overlap or touch: {:?}", ranges);
+        }
+        // a tag with no per-tag ranges keeps exactly the recent history
+        prop_assert_eq!(
+            plan.ranges_for(TagId::item(99), Epoch(now)),
+            vec![(Epoch(recent.min(now)), Epoch(now))]
+        );
+    }
+
+    /// Budget-driven compaction is monotone — a tighter budget never retains
+    /// more observations than a looser one — and an unbounded budget is
+    /// bit-identical to never calling `enforce_budget` at all (it only tracks
+    /// the high-water mark).
+    #[test]
+    fn budget_compaction_is_monotone_and_unbounded_is_identity(
+        ops in prop::collection::vec((0u32..3, 0u64..4, 0u64..3, 0u16..3), 20..80),
+        loose in 8usize..60,
+        delta in 1usize..30,
+    ) {
+        let config = InferenceConfig::default()
+            .with_period(10)
+            .with_recent_history(40)
+            .with_truncation(TruncationPolicy::Full)
+            .without_change_detection();
+        let rates = ReadRateTable::diagonal(3, 0.8, 1e-4);
+        let mut engine = InferenceEngine::new(config.clone(), rates.clone());
+        let mut now = Epoch(0);
+        for &(dt, obj, cont, reader) in &ops {
+            now = now.plus(dt + 1);
+            engine.observe(RawReading::new(now, TagId::item(obj), ReaderId(reader)));
+            engine.observe(RawReading::new(now, TagId::case(cont), ReaderId(reader)));
+        }
+        engine.run_inference(now);
+        let snapshot = engine.snapshot();
+
+        // Unbounded: bit-identical to not enforcing any budget.
+        let mut untouched = InferenceEngine::new(config.clone(), rates.clone());
+        untouched.restore(snapshot.clone());
+        let mut stats = MemoryStats::default();
+        untouched.enforce_budget(MemoryBudget::unbounded(), now, &mut stats);
+        prop_assert_eq!(untouched.snapshot(), snapshot.clone());
+        prop_assert_eq!(stats.high_water, snapshot.store.len() as u64);
+        prop_assert_eq!(stats.compactions, 0);
+        prop_assert_eq!(stats.compacted_observations, 0);
+        prop_assert_eq!(stats.evicted_cache_entries, 0);
+
+        // Monotone: the halving loop retains nested windows, so tightening
+        // the budget can only shrink what survives.
+        let tight = loose.saturating_sub(delta);
+        let mut a = InferenceEngine::new(config.clone(), rates.clone());
+        a.restore(snapshot.clone());
+        let mut b = InferenceEngine::new(config, rates);
+        b.restore(snapshot);
+        a.enforce_budget(MemoryBudget::capped(loose), now, &mut MemoryStats::default());
+        b.enforce_budget(MemoryBudget::capped(tight), now, &mut MemoryStats::default());
+        prop_assert!(b.stored_observations() <= a.stored_observations(),
+            "tight budget {} retained {} > loose budget {} retained {}",
+            tight, b.stored_observations(), loose, a.stored_observations());
     }
 }

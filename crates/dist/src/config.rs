@@ -134,9 +134,19 @@ pub struct DistributedConfig {
     /// [`MigrationStrategy::Centralized`] honours reader outages only.
     pub faults: Option<FaultPlan>,
     /// Reliable-delivery transport tuning. Inert unless the fault plan has
-    /// transport faults (loss/partitions) or
+    /// transport faults (loss/partitions/corruption) or
     /// [`always_on`](TransportConfig::always_on) is set.
     pub transport: TransportConfig,
+    /// Per-site memory budget: once a site's retained observation history
+    /// exceeds the cap, old epochs are collapsed into summary prior weights
+    /// and cold evidence-cache entries are evicted
+    /// ([`InferenceEngine::enforce_budget`](rfid_core::InferenceEngine::enforce_budget)),
+    /// with high-water/compaction/eviction counters reported in checkpoints
+    /// and the merged outcome. `None` (the default) retains everything the
+    /// truncation policy keeps; an unbounded budget only tracks the
+    /// high-water mark. The centralized strategy applies the budget to its
+    /// single global engine.
+    pub memory_budget: Option<rfid_core::MemoryBudget>,
 }
 
 impl Default for DistributedConfig {
@@ -153,6 +163,7 @@ impl Default for DistributedConfig {
             checkpoint_every_secs: None,
             faults: None,
             transport: TransportConfig::default(),
+            memory_budget: None,
         }
     }
 }
@@ -187,6 +198,12 @@ impl DistributedConfig {
         self.transport = transport;
         self
     }
+
+    /// Builder-style setter for the per-site memory budget.
+    pub fn with_memory_budget(mut self, budget: rfid_core::MemoryBudget) -> Self {
+        self.memory_budget = Some(budget);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +225,13 @@ mod tests {
             "no checkpoints by default"
         );
         assert!(config.faults.is_none(), "fault-free by default");
+        assert!(config.memory_budget.is_none(), "no budget by default");
+        assert_eq!(
+            DistributedConfig::default()
+                .with_memory_budget(rfid_core::MemoryBudget::capped(1024))
+                .memory_budget,
+            Some(rfid_core::MemoryBudget::capped(1024))
+        );
         assert_eq!(config.transport, TransportConfig::default());
         assert_eq!(config.transport.max_retries, Some(5));
         assert!(!config.transport.always_on);

@@ -27,7 +27,7 @@ use crate::comm::{CommCost, MessageKind};
 use crate::config::{DistributedConfig, MigrationStrategy};
 use crate::ons::{Ons, ONS_UPDATE_BYTES};
 use crate::transport::{DeliveryPlan, EdgeSequencer, ReliableInbox, TransportMode, TransportStats};
-use rfid_core::{InferenceEngine, InferenceReport, InferenceStats, MigrationState};
+use rfid_core::{InferenceEngine, InferenceReport, InferenceStats, MemoryStats, MigrationState};
 use rfid_query::sharing::unshared_bytes_with;
 use rfid_query::{share_states_with, Alert, ObjectQueryState, QueryProcessor};
 use rfid_sim::{ChainTrace, CrashFault, FaultPlan, ObjectTransfer};
@@ -35,7 +35,9 @@ use rfid_types::{
     ContainmentMap, Epoch, LocationId, ObjectEvent, RawReading, ReadRateTable, ReaderId,
     SensorReading, SiteId, TagId,
 };
-use rfid_wire::{ControlMsg, PendingShipment, SiteCheckpoint, WireCodec};
+use rfid_wire::{
+    ControlMsg, EdgeLedger, PendingShipment, QuarantineEntry, SiteCheckpoint, WireCodec,
+};
 use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
@@ -76,6 +78,21 @@ pub struct DistributedOutcome {
     /// degraded-mode abandonments, …) summed across sites. All zero when the
     /// transport is [`TransportMode::Off`].
     pub transport: TransportStats,
+    /// Every poisoned envelope quarantined during the run, tagged with the
+    /// site that quarantined it, in `(site, from, seq)` order. Empty unless
+    /// the fault plan corrupts payloads.
+    pub quarantine: Vec<(SiteId, QuarantineEntry)>,
+    /// Memory-budget counters (high-water observation count, compactions,
+    /// cache evictions) merged across sites. All zero/default unless
+    /// [`DistributedConfig::memory_budget`] is set (`high_water` is tracked
+    /// whenever a budget is configured, even an unbounded one).
+    pub memory: MemoryStats,
+    /// Per-directed-edge conservation ledgers, sender and receiver halves
+    /// merged, sorted by `(from, to)`. Empty when the transport is
+    /// [`TransportMode::Off`] (and for the centralized strategy, whose
+    /// uplink has no per-edge bookkeeping). The invariant oracles in
+    /// [`crate::oracle`] audit these.
+    pub ledgers: Vec<EdgeLedger>,
 }
 
 impl DistributedOutcome {
@@ -255,6 +272,9 @@ pub(crate) struct SiteOutcome {
     alerts: Vec<Alert>,
     containment: Vec<(TagId, TagId)>,
     transport: TransportStats,
+    quarantine: Vec<QuarantineEntry>,
+    memory: MemoryStats,
+    ledgers: BTreeMap<(u16, u16), EdgeLedger>,
 }
 
 /// The per-site state machine: one site's engine, query processor, replay
@@ -322,6 +342,23 @@ pub(crate) struct SiteState<'a> {
     tstats: TransportStats,
     /// Total sites in the chain (the rejoin resync fans out to all peers).
     num_sites: usize,
+    /// This site's reader-clock skew from the fault plan: a reading
+    /// timestamped `t` only becomes visible to `ingest` at epoch `t + skew`
+    /// (timestamps are untouched — the evidence just surfaces late).
+    skew_secs: u32,
+    /// Reader slots at this site, the domain of rogue-reader draws.
+    num_readers: u16,
+    /// Poison ledger: every envelope whose payload failed to decode, in
+    /// acceptance order. Durable in the checkpoint.
+    quarantine: Vec<QuarantineEntry>,
+    /// Memory-budget counters (high-water mark, compactions, evictions).
+    /// Durable in the checkpoint.
+    memory: MemoryStats,
+    /// Per-directed-edge conservation ledgers: this site books the sender
+    /// half of its out-edges and the receiver half of its in-edges; the
+    /// merge step folds both halves of each edge together. Durable in the
+    /// checkpoint.
+    ledgers: BTreeMap<(u16, u16), EdgeLedger>,
 }
 
 impl<'a> SiteState<'a> {
@@ -382,7 +419,23 @@ impl<'a> SiteState<'a> {
             forgotten: BTreeMap::new(),
             tstats: TransportStats::default(),
             num_sites: chain.sites.len(),
+            skew_secs: config
+                .faults
+                .as_ref()
+                .map_or(0, |plan| plan.clock_skew_secs(site as u16)),
+            num_readers: trace.meta.num_locations as u16,
+            quarantine: Vec::new(),
+            memory: MemoryStats::default(),
+            ledgers: BTreeMap::new(),
         }
+    }
+
+    /// The conservation ledger of the directed edge `from → to`, created on
+    /// first touch.
+    fn ledger_entry(&mut self, from: u16, to: u16) -> &mut EdgeLedger {
+        self.ledgers
+            .entry((from, to))
+            .or_insert_with(|| EdgeLedger::new(from, to))
     }
 
     /// Account one engine run into the site's inference totals.
@@ -393,8 +446,11 @@ impl<'a> SiteState<'a> {
     }
 
     /// Feed this epoch's local sensor and RFID streams into the site.
-    /// RFID readings falling inside a scheduled reader outage are dropped —
-    /// a pure function of the fault plan, so replays drop them identically.
+    /// RFID readings falling inside a scheduled reader outage are dropped,
+    /// a skewed reader clock surfaces readings `skew_secs` late (timestamps
+    /// untouched), and a rogue-reader draw injects a cloned reading at a
+    /// deterministic second antenna — all pure functions of the fault plan,
+    /// so replays see the identical stream.
     pub(crate) fn ingest(&mut self, now: Epoch) {
         if self.down {
             return;
@@ -407,7 +463,11 @@ impl<'a> SiteState<'a> {
         }
         let site = self.site as u16;
         while self.reading_cursor < self.readings.len()
-            && self.readings[self.reading_cursor].time <= now
+            && self.readings[self.reading_cursor]
+                .time
+                .0
+                .saturating_add(self.skew_secs)
+                <= now.0
         {
             let reading = self.readings[self.reading_cursor];
             self.reading_cursor += 1;
@@ -417,6 +477,14 @@ impl<'a> SiteState<'a> {
                 }
             }
             self.engine.observe(reading);
+            if let Some(plan) = &self.faults {
+                if let Some(slot) =
+                    plan.rogue_reader_slot(site, reading.time, reading.tag, self.num_readers)
+                {
+                    self.engine
+                        .observe(RawReading::new(reading.time, reading.tag, ReaderId(slot)));
+                }
+            }
         }
     }
 
@@ -471,16 +539,21 @@ impl<'a> SiteState<'a> {
 
     fn import(&mut self, mut batch: Vec<ShipmentMsg>) {
         batch.sort_by_key(ShipmentMsg::order_key);
+        let me = self.site as u16;
         for msg in batch {
             let guarded = msg.is_envelope() && self.transport_mode.dedups();
             if guarded {
+                let payload_len = msg.inference.as_ref().map_or(0, Vec::len) as u64;
+                let entry = self.ledger_entry(msg.from.0, me);
+                entry.recv_copies += 1;
+                entry.recv_bytes += payload_len;
                 if self.transport_mode == TransportMode::Reliable {
                     // The receiver acks every arriving copy — duplicates
                     // included, since the sender may be retransmitting
                     // precisely because an earlier ack was lost. Real encoded
                     // bytes, booked at the ack sender.
                     let ack = ControlMsg::Ack {
-                        from: self.site as u16,
+                        from: me,
                         to: msg.from.0,
                         seq: msg.seq,
                     };
@@ -494,6 +567,7 @@ impl<'a> SiteState<'a> {
                     self.tstats.duplicates_dropped += 1;
                     continue;
                 }
+                self.ledger_entry(msg.from.0, me).accepted += 1;
                 // Staleness guard: if the tag already departed this site
                 // after the physical arrival this copy belongs to, its state
                 // would resurrect a forwarded object — drop it.
@@ -503,29 +577,62 @@ impl<'a> SiteState<'a> {
                     .is_some_and(|&gone| gone > msg.physical)
                 {
                     self.tstats.stale_dropped += 1;
+                    self.ledger_entry(msg.from.0, me).stale += 1;
                     continue;
                 }
             }
             if let Some(payload) = &msg.inference {
-                let state = self
-                    .codec
-                    .decode_migration(payload)
-                    .expect("in-process shipment payload decodes");
-                if guarded && msg.arrive > msg.physical {
-                    // Degraded-mode reconciliation: the object itself arrived
-                    // earlier and was cold-started from local readings; merge
-                    // the late migration state through the dirty-set journal
-                    // so incremental inference re-runs it exactly.
-                    let summary = self.engine.import_late_state(state);
-                    if summary.merged() {
-                        self.tstats.reconciled += 1;
+                match self.codec.decode_migration(payload) {
+                    Ok(state) => {
+                        if guarded && msg.arrive > msg.physical {
+                            // Degraded-mode reconciliation: the object itself
+                            // arrived earlier and was cold-started from local
+                            // readings; merge the late migration state through
+                            // the dirty-set journal so incremental inference
+                            // re-runs it exactly.
+                            let summary = self.engine.import_late_state(state);
+                            if summary.merged() {
+                                self.tstats.reconciled += 1;
+                            }
+                        } else {
+                            self.engine.import_state(state);
+                        }
                     }
-                } else {
-                    self.engine.import_state(state);
+                    Err(_) if guarded => {
+                        // Poison quarantine: a corrupted payload is a typed
+                        // decode error, never a panic. The whole envelope is
+                        // suspect, so its query state is dropped too and the
+                        // receiver degrades to None-semantics for this object
+                        // (cold-started from local readings). A reliable
+                        // receiver additionally asks the sender for
+                        // anti-entropy resync, charged as control traffic.
+                        self.quarantine.push(QuarantineEntry {
+                            from: msg.from.0,
+                            seq: msg.seq,
+                            physical: msg.physical,
+                        });
+                        self.tstats.quarantined += 1;
+                        self.ledger_entry(msg.from.0, me).quarantined += 1;
+                        if self.transport_mode == TransportMode::Reliable {
+                            let resync = ControlMsg::Resync {
+                                site: me,
+                                peer: msg.from.0,
+                                since: msg.physical,
+                            };
+                            let bytes = self.codec.encode_control(&resync).len();
+                            self.comm.record(MessageKind::Control, bytes);
+                            self.tstats.resyncs += 1;
+                        }
+                        continue;
+                    }
+                    Err(err) => panic!("in-process shipment payload decodes: {err}"),
                 }
             }
             if !msg.query.is_empty() {
                 self.processor.import_state(msg.query);
+            }
+            if guarded {
+                self.ledger_entry(msg.from.0, me).imported += 1;
             }
         }
     }
@@ -673,9 +780,27 @@ impl<'a> SiteState<'a> {
                     out.push(msg);
                 } else {
                     msg.seq = self.seqs.next(to.0);
+                    // Poison injection: a corrupted link flips a bit in the
+                    // encoded payload. Keyed by `(edge, seq)` so every
+                    // retransmitted copy of one envelope carries the
+                    // identical corruption and both executors (and a crash
+                    // replay) poison the same envelopes.
+                    if let Some(plan) = &self.faults {
+                        if plan.payload_corrupted(from.0, to.0, msg.seq) {
+                            if let Some(byte) = msg.inference.as_mut().and_then(|p| p.first_mut()) {
+                                *byte ^= 0x80;
+                            }
+                        }
+                    }
+                    let payload_len = msg.inference.as_ref().map_or(0, Vec::len) as u64;
                     if self.transport_mode == TransportMode::Optimistic {
                         self.tstats.envelopes += 1;
                         self.tstats.transmissions += 1;
+                        let copies = 1 + u64::from(duplicated);
+                        let entry = self.ledger_entry(from.0, to.0);
+                        entry.envelopes += 1;
+                        entry.sent_copies += copies;
+                        entry.sent_bytes += payload_len * copies;
                         if duplicated {
                             out.push(msg.clone());
                         }
@@ -703,6 +828,16 @@ impl<'a> SiteState<'a> {
                         self.tstats.transmissions += u64::from(delivery.attempts);
                         self.tstats.retransmissions +=
                             u64::from(delivery.attempts.saturating_sub(1));
+                        let copies = if delivery.abandoned {
+                            0
+                        } else {
+                            delivery.arrivals.len() as u64 + u64::from(duplicated)
+                        };
+                        let entry = self.ledger_entry(from.0, to.0);
+                        entry.envelopes += 1;
+                        entry.abandoned += u64::from(delivery.abandoned);
+                        entry.sent_copies += copies;
+                        entry.sent_bytes += payload_len * copies;
                         if let Some(payload) = &msg.inference {
                             for _ in 1..delivery.attempts {
                                 self.comm.record(MessageKind::InferenceState, payload.len());
@@ -786,6 +921,13 @@ impl<'a> SiteState<'a> {
                 ctx.driver.feed_event(&mut self.processor, event);
             }
         }
+        // Bounded-memory degradation: once the retained history exceeds the
+        // budget, old epochs collapse into summary weights and cold cache
+        // entries are evicted — a pure function of the engine state, so both
+        // executors (and a crash replay) compact identically.
+        if let Some(budget) = ctx.driver.config.memory_budget {
+            self.engine.enforce_budget(budget, now, &mut self.memory);
+        }
     }
 
     /// Epoch-start fault hook, called by both executors before any other
@@ -812,6 +954,14 @@ impl<'a> SiteState<'a> {
                 // through the missed epochs — their local readings and
                 // departures are lost, which is the lossy part.
                 self.down_until = None;
+                // The down flag must drop *before* the restore: the replay
+                // loop inside `crash_and_restore` runs the regular per-epoch
+                // hooks, and every one of them no-ops while the site is down.
+                // Restoring first would skip the tail replay entirely,
+                // leaving the outbound sequence counters at the checkpoint
+                // and re-issuing live sequence numbers for fresh envelopes —
+                // which the peer's dedup window would then silently drop.
+                self.down = false;
                 self.crash_and_restore(ctx, chain, crash.at);
                 self.fast_forward(resume);
                 // Anti-entropy resync: a rejoining site asks every peer to
@@ -868,6 +1018,13 @@ impl<'a> SiteState<'a> {
                 self.inference_runs = checkpoint.inference_runs as usize;
                 self.inference_stats = checkpoint.stats;
                 self.tstats = checkpoint.transport;
+                self.quarantine = checkpoint.quarantine;
+                self.memory = checkpoint.memory;
+                self.ledgers = checkpoint
+                    .ledgers
+                    .iter()
+                    .map(|ledger| ((ledger.from, ledger.to), *ledger))
+                    .collect();
                 self.dedup = checkpoint
                     .inbox_seqs
                     .iter()
@@ -894,6 +1051,9 @@ impl<'a> SiteState<'a> {
                 self.inference_runs = 0;
                 self.inference_stats = InferenceStats::default();
                 self.tstats = TransportStats::default();
+                self.quarantine.clear();
+                self.memory = MemoryStats::default();
+                self.ledgers.clear();
                 self.dedup.clear();
                 0
             }
@@ -941,7 +1101,11 @@ impl<'a> SiteState<'a> {
     /// was down.
     fn fast_forward(&mut self, resume: Epoch) {
         while self.reading_cursor < self.readings.len()
-            && self.readings[self.reading_cursor].time < resume
+            && self.readings[self.reading_cursor]
+                .time
+                .0
+                .saturating_add(self.skew_secs)
+                < resume.0
         {
             self.reading_cursor += 1;
         }
@@ -1019,6 +1183,9 @@ impl<'a> SiteState<'a> {
                 .map(|(&peer, inbox)| inbox.to_seqs(peer))
                 .collect(),
             transport: self.tstats,
+            quarantine: self.quarantine.clone(),
+            memory: self.memory,
+            ledgers: self.ledgers.values().copied().collect(),
         }
     }
 
@@ -1033,7 +1200,28 @@ impl<'a> SiteState<'a> {
 
     /// Consume the site, reporting the containment of the objects this site
     /// owns (per the final ONS), its alerts and its communication tally.
-    pub(crate) fn into_outcome(self, objects: &[TagId], ons: &Ons) -> SiteOutcome {
+    pub(crate) fn into_outcome(mut self, objects: &[TagId], ons: &Ons) -> SiteOutcome {
+        // Conservation drain: copies still in the inbox at the end of the
+        // run (the site was down from their arrival through the horizon, or
+        // a delay fault pushed the arrival past it) are booked as
+        // undelivered, so the per-edge ledgers balance instead of silently
+        // losing them. The dedup probe distinguishes a leftover duplicate of
+        // an accepted envelope from an envelope that never got through.
+        let leftovers = std::mem::take(&mut self.inbox);
+        let me = self.site as u16;
+        for msg in leftovers.into_values().flatten() {
+            if !(msg.is_envelope() && self.transport_mode.dedups()) {
+                continue;
+            }
+            let payload_len = msg.inference.as_ref().map_or(0, Vec::len) as u64;
+            let fresh = self.dedup.entry(msg.from.0).or_default().accept(msg.seq);
+            let entry = self.ledger_entry(msg.from.0, me);
+            entry.undelivered += 1;
+            entry.undelivered_bytes += payload_len;
+            if fresh {
+                entry.dark_envelopes += 1;
+            }
+        }
         let mut containment = Vec::new();
         for &object in objects {
             if ons.site_of(object, SiteId(0)).0 as usize != self.site {
@@ -1054,6 +1242,9 @@ impl<'a> SiteState<'a> {
             alerts: self.processor.alerts().to_vec(),
             containment,
             transport: self.tstats,
+            quarantine: self.quarantine,
+            memory: self.memory,
+            ledgers: self.ledgers,
         }
     }
 }
@@ -1077,9 +1268,22 @@ pub(crate) fn merge_outcomes(mut outcomes: Vec<SiteOutcome>, ons: Ons) -> Distri
     }
     let mut inference_stats = InferenceStats::default();
     let mut transport = TransportStats::default();
+    let mut memory = MemoryStats::default();
+    let mut ledger_map: BTreeMap<(u16, u16), EdgeLedger> = BTreeMap::new();
+    let mut quarantine: Vec<(SiteId, QuarantineEntry)> = Vec::new();
     for outcome in &outcomes {
         inference_stats.absorb(&outcome.inference_stats);
         transport.merge(&outcome.transport);
+        memory.merge(&outcome.memory);
+        for (&key, ledger) in &outcome.ledgers {
+            ledger_map
+                .entry(key)
+                .or_insert_with(|| EdgeLedger::new(key.0, key.1))
+                .merge(ledger);
+        }
+        for &entry in &outcome.quarantine {
+            quarantine.push((SiteId(outcome.site as u16), entry));
+        }
     }
     DistributedOutcome {
         containment,
@@ -1092,6 +1296,9 @@ pub(crate) fn merge_outcomes(mut outcomes: Vec<SiteOutcome>, ons: Ons) -> Distri
         inference_wall: outcomes.iter().map(|o| o.inference_wall).sum(),
         inference_stats,
         transport,
+        quarantine,
+        memory,
+        ledgers: ledger_map.into_values().collect(),
     }
 }
 
@@ -1281,12 +1488,16 @@ impl DistributedDriver {
         let mut inference_runs = 0usize;
         let mut inference_wall = Duration::ZERO;
         let mut inference_stats = InferenceStats::default();
+        let mut memory = MemoryStats::default();
 
         // Every reading of every site crosses the network, remapped into the
         // global location space. Reader outages from the fault plan drop
-        // readings here exactly as the federated sites drop them in `ingest`;
-        // crashes and shipment faults do not apply — there are no inter-site
-        // shipments and the central server is assumed durable.
+        // readings here exactly as the federated sites drop them in `ingest`,
+        // and rogue-reader draws inject the same cloned readings (remapped
+        // into the origin site's block); crashes, shipment faults and clock
+        // skew do not apply — there are no inter-site shipments, the central
+        // server is assumed durable, and the uplink timestamps readings on
+        // ingestion rather than trusting the site clock.
         let mut readings: Vec<RawReading> = Vec::new();
         for (s, site) in chain.sites.iter().enumerate() {
             let offset = (s * site_locs) as u16;
@@ -1301,6 +1512,13 @@ impl DistributedDriver {
                     r.tag,
                     ReaderId(offset + r.reader.0),
                 ));
+                if let Some(plan) = &self.config.faults {
+                    if let Some(slot) =
+                        plan.rogue_reader_slot(s as u16, r.time, r.tag, site_locs as u16)
+                    {
+                        readings.push(RawReading::new(r.time, r.tag, ReaderId(offset + slot)));
+                    }
+                }
             }
         }
         readings.sort_unstable();
@@ -1463,6 +1681,9 @@ impl DistributedDriver {
                 inference_stats.absorb(&report.stats);
                 ran_at_horizon = t == horizon;
             }
+            if let Some(budget) = self.config.memory_budget {
+                engine.enforce_budget(budget, now, &mut memory);
+            }
             if with_queries && t % stride == 0 {
                 for event in engine.events_at(now) {
                     self.feed_event(&mut processor, event);
@@ -1500,6 +1721,9 @@ impl DistributedDriver {
             inference_wall,
             inference_stats,
             transport: tstats,
+            quarantine: Vec::new(),
+            memory,
+            ledgers: Vec::new(),
         }
     }
 }

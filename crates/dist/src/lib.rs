@@ -57,6 +57,7 @@ pub mod comm;
 pub mod config;
 pub mod driver;
 pub mod ons;
+pub mod oracle;
 mod parallel;
 pub mod transport;
 
@@ -64,5 +65,6 @@ pub use comm::{CommCost, MessageKind};
 pub use config::{DistributedConfig, MigrationStrategy, TransportConfig};
 pub use driver::{DistributedDriver, DistributedOutcome};
 pub use ons::{Ons, ONS_UPDATE_BYTES};
-pub use rfid_wire::{WireCodec, WireFormat};
+pub use oracle::{assert_audit, audit, Violation};
+pub use rfid_wire::{EdgeLedger, QuarantineEntry, WireCodec, WireFormat};
 pub use transport::{TransportMode, TransportStats};

@@ -7,11 +7,11 @@
 
 use rfid_core::InferenceConfig;
 use rfid_dist::{
-    DistributedConfig, DistributedDriver, DistributedOutcome, MessageKind, MigrationStrategy,
-    TransportConfig, WireFormat,
+    audit, DistributedConfig, DistributedDriver, DistributedOutcome, MessageKind,
+    MigrationStrategy, TransportConfig, WireFormat,
 };
 use rfid_query::ExposureQuery;
-use rfid_sim::{presets, ChainTrace, FaultPlan, FaultPlanConfig, TemperatureModel};
+use rfid_sim::{presets, ChainTrace, ChaosPlan, FaultPlan, FaultPlanConfig, TemperatureModel};
 use std::collections::BTreeMap;
 
 fn smoke_chain() -> ChainTrace {
@@ -150,6 +150,43 @@ fn loss_free_transport_is_bit_identical_to_direct_delivery() {
                 "{strategy:?}/{format:?}: a loss-free run must put no control bytes on the wire"
             );
         }
+    }
+}
+
+#[test]
+fn a_calm_chaos_plan_is_bit_identical_to_direct_delivery() {
+    // The chaos orchestrator with every fault family disabled is the
+    // identity schedule: outcomes match the no-plan run field by field, the
+    // transport stays asleep, no per-edge ledgers or quarantine entries are
+    // booked — and the run still clears the full invariant-oracle battery.
+    let chain = smoke_chain();
+    let horizon = chain.sites[0].meta.length;
+    let calm = ChaosPlan::calm(11, chain.sites.len() as u16, horizon);
+    assert!(calm.plan().is_quiet(), "calm schedules carry no faults");
+    for strategy in STRATEGIES {
+        let baseline =
+            DistributedDriver::new(config(&chain, strategy, WireFormat::Binary, 1)).run(&chain);
+        let calmed = DistributedDriver::new(
+            config(&chain, strategy, WireFormat::Binary, 1).with_faults(calm.clone().into_plan()),
+        )
+        .run(&chain);
+        assert_identical(&baseline, &calmed, &format!("{strategy:?} calm chaos"));
+        assert_eq!(
+            calmed.transport,
+            Default::default(),
+            "{strategy:?}: a calm chaos plan must not wake the transport"
+        );
+        assert!(
+            calmed.ledgers.is_empty(),
+            "{strategy:?}: the direct path keeps no per-edge ledgers"
+        );
+        assert!(
+            calmed.quarantine.is_empty(),
+            "{strategy:?}: nothing to quarantine on a calm run"
+        );
+        audit(&chain, &calmed).unwrap_or_else(|violation| {
+            panic!("{strategy:?}: calm chaos run failed an oracle: {violation}")
+        });
     }
 }
 

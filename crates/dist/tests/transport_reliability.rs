@@ -20,7 +20,7 @@ use rfid_dist::{
     DistributedConfig, DistributedDriver, DistributedOutcome, MessageKind, MigrationStrategy,
     TransportConfig,
 };
-use rfid_sim::{presets, ChainTrace, FaultPlan, FaultPlanConfig};
+use rfid_sim::{presets, ChainTrace, FaultPlan};
 use std::sync::OnceLock;
 
 const HORIZON: u32 = 1800;
@@ -59,13 +59,7 @@ fn fault_free(strategy: MigrationStrategy) -> &'static DistributedOutcome {
 /// A loss-only plan (no crashes, outages, delays or duplicates) whose
 /// partition windows are bounded well below the horizon.
 fn lossy_network(seed: u64) -> FaultPlan {
-    FaultPlan::generate(&FaultPlanConfig {
-        loss_probability: 0.25,
-        ack_loss_probability: 0.25,
-        partition_probability: 0.3,
-        partition_max_secs: HORIZON / 4,
-        ..FaultPlanConfig::quiet(seed, SITES as u16, HORIZON)
-    })
+    presets::lossy_network_plan(seed, SITES as u16, HORIZON, 0.25, 0.25, 0.3, HORIZON / 4)
 }
 
 /// A gentler loss schedule for the reconciliation property: light enough
@@ -73,13 +67,7 @@ fn lossy_network(seed: u64) -> FaultPlan {
 /// yet heavy enough that retransmission, dedup and late-state reconciliation
 /// all fire.
 fn reconcilable_network(seed: u64) -> FaultPlan {
-    FaultPlan::generate(&FaultPlanConfig {
-        loss_probability: 0.1,
-        ack_loss_probability: 0.1,
-        partition_probability: 0.2,
-        partition_max_secs: HORIZON / 4,
-        ..FaultPlanConfig::quiet(seed, SITES as u16, HORIZON)
-    })
+    presets::lossy_network_plan(seed, SITES as u16, HORIZON, 0.1, 0.1, 0.2, HORIZON / 4)
 }
 
 /// The at-most-once ledger: every copy that arrived was acked, and the

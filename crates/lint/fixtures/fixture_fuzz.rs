@@ -1,0 +1,18 @@
+//# path: crates/wire/src/fixture_fuzz.rs
+//! Seeded violations for R6: every wire kind needs a corrupted-bytes fuzz
+//! case, named by an adjacent annotation comment.
+
+const KIND_UNFUZZED: u8 = 0x7f; // EXPECT(wire-fuzz-coverage)
+
+// FUZZ: corrupted_byte_zero_is_a_typed_error_for_every_kind
+const KIND_COVERED: u8 = 0x7e;
+
+const HEADER_LEN: usize = 4;
+
+fn decode_kind(bytes: &[u8]) -> Option<u8> {
+    bytes.first().copied().filter(|k| *k == KIND_COVERED)
+}
+
+fn widths() -> (u8, usize, Option<u8>) {
+    (KIND_UNFUZZED, HEADER_LEN, decode_kind(&[0x7e]))
+}

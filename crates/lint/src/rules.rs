@@ -1,4 +1,4 @@
-//! The five workspace invariant rules, R1–R5.
+//! The six workspace invariant rules, R1–R6.
 //!
 //! Each rule is a pure function from a [`FileContext`] to diagnostics; the
 //! driver applies waivers afterwards so every rule stays waiver-agnostic.
@@ -11,6 +11,7 @@
 //! | R3 | `nondeterministic-collections` | `crates/{core,dist,wire,query}/src`, non-test |
 //! | R4 | `float-exactness` | `dense.rs`, `dense/kernels.rs`, `posterior.rs`, non-test |
 //! | R5 | `no-wall-clock` | `crates/{core,dist,wire,query}/src`, non-test, non-stats/bench |
+//! | R6 | `wire-fuzz-coverage` | `crates/wire/src` `const KIND_*` declarations |
 
 use crate::diagnostics::Diagnostic;
 use crate::lexer::TokenKind;
@@ -26,15 +27,18 @@ pub const R3_NONDETERMINISTIC_COLLECTIONS: &str = "nondeterministic-collections"
 pub const R4_FLOAT_EXACTNESS: &str = "float-exactness";
 /// Rule name of R5.
 pub const R5_NO_WALL_CLOCK: &str = "no-wall-clock";
+/// Rule name of R6.
+pub const R6_WIRE_FUZZ_COVERAGE: &str = "wire-fuzz-coverage";
 
 /// All rule names, in order. The self-test asserts every one of these fires
 /// on the seeded fixtures.
-pub const ALL_RULES: [&str; 5] = [
+pub const ALL_RULES: [&str; 6] = [
     R1_UNDOCUMENTED_UNSAFE,
     R2_PANIC_FREE_DECODE,
     R3_NONDETERMINISTIC_COLLECTIONS,
     R4_FLOAT_EXACTNESS,
     R5_NO_WALL_CLOCK,
+    R6_WIRE_FUZZ_COVERAGE,
 ];
 
 /// How many lines above an `unsafe` the `SAFETY:` comment may sit (tolerates
@@ -53,6 +57,7 @@ pub fn run_all(file: &FileContext) -> Vec<Diagnostic> {
     r3_nondeterministic_collections(file, &mut out);
     r4_float_exactness(file, &mut out);
     r5_no_wall_clock(file, &mut out);
+    r6_wire_fuzz_coverage(file, &mut out);
     out
 }
 
@@ -425,6 +430,41 @@ fn r5_no_wall_clock(file: &FileContext, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// R6: every wire payload kind must be covered by a corrupted-bytes fuzz
+/// case. The chaos injector flips bits in live payloads, so an unfuzzed
+/// decoder is a quarantine-path liability — each `const KIND_*` declaration
+/// in `crates/wire/src` must carry an adjacent `// FUZZ:` comment naming the
+/// fuzz test that feeds that kind corrupted bytes.
+fn r6_wire_fuzz_coverage(file: &FileContext, out: &mut Vec<Diagnostic>) {
+    if !file.path.starts_with("crates/wire/src/") {
+        return;
+    }
+    for (i, tok) in file.tokens.iter().enumerate() {
+        if tok.text != "const" || file.in_test_code(i) {
+            continue;
+        }
+        let Some(name) = file.tokens.get(i + 1) else {
+            continue;
+        };
+        if name.kind != TokenKind::Ident || !name.text.starts_with("KIND_") {
+            continue;
+        }
+        if file.comment_near(tok.line, SAFETY_WINDOW, "FUZZ:") {
+            continue;
+        }
+        out.push(Diagnostic::new(
+            R6_WIRE_FUZZ_COVERAGE,
+            &file.path,
+            tok.line,
+            format!(
+                "wire kind `{}` without an adjacent `// FUZZ:` comment naming its \
+                 corrupted-bytes fuzz case; the quarantine path makes unfuzzed decoders a liability",
+                name.text
+            ),
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -532,6 +572,20 @@ mod tests {
         // Integer counting sorts do not trip the accumulator pattern.
         let counts = "fn c(xs: &[u32]) {\n let mut fill = [0u32; 8];\n for &x in xs { fill[x as usize] += 1; }\n}";
         assert!(diags("crates/core/src/dense.rs", counts).is_empty());
+    }
+
+    #[test]
+    fn r6_requires_fuzz_annotations_on_wire_kinds() {
+        let bare = "const KIND_MIGRATION: u8 = 0x01;";
+        let d = diags("crates/wire/src/codec.rs", bare);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, R6_WIRE_FUZZ_COVERAGE);
+        let annotated =
+            "// FUZZ: corrupted_byte_zero_is_a_typed_error_for_every_kind\nconst KIND_MIGRATION: u8 = 0x01;";
+        assert!(diags("crates/wire/src/codec.rs", annotated).is_empty());
+        // Non-kind constants and out-of-scope crates are not covered.
+        assert!(diags("crates/wire/src/codec.rs", "const HEADER_LEN: usize = 4;").is_empty());
+        assert!(diags("crates/core/src/x.rs", bare).is_empty());
     }
 
     #[test]

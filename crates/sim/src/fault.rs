@@ -23,6 +23,12 @@
 //!   acks) vanish, or a directed link goes dark for a tabulated window.
 //!   Whether the payload still arrives depends on the transport's retry
 //!   budget; these faults feed the `degraded` experiment.
+//! * **Corruption, rogue readings and clock skew** feed the `chaos` soak
+//!   (see [`crate::chaos::ChaosPlan`]): a corrupted envelope's bytes are
+//!   bit-flipped on the link as a pure function of `(edge, seq)` and must be
+//!   quarantined by the receiver, a rogue reader clones a tag reading at a
+//!   spurious antenna, and a skewed site observes its RFID feed late by a
+//!   tabulated per-site offset.
 
 use crate::chain::ChainTrace;
 use rand::Rng;
@@ -71,6 +77,16 @@ pub struct FaultPlanConfig {
     pub partition_probability: f64,
     /// Upper bound on the length of one partition window.
     pub partition_max_secs: u32,
+    /// Chance that a sequenced envelope's payload bytes are corrupted in
+    /// transit (bit-flips keyed by `(edge, seq)`). The receiver must
+    /// quarantine the poisoned envelope instead of panicking.
+    pub corruption_probability: f64,
+    /// Chance that an RFID reading is cloned by a rogue reader at a spurious
+    /// antenna of the same site, keyed by `(site, epoch, tag)`.
+    pub rogue_probability: f64,
+    /// Upper bound on a site's constant clock skew: its RFID feed is
+    /// observed `skew` seconds late. `0` disables skew entirely.
+    pub clock_skew_max_secs: u32,
 }
 
 impl FaultPlanConfig {
@@ -91,6 +107,9 @@ impl FaultPlanConfig {
             ack_loss_probability: 0.0,
             partition_probability: 0.0,
             partition_max_secs: 0,
+            corruption_probability: 0.0,
+            rogue_probability: 0.0,
+            clock_skew_max_secs: 0,
         }
     }
 
@@ -190,6 +209,9 @@ pub struct SiteFaults {
     pub crash: Option<CrashFault>,
     /// Reader-outage bursts, disjoint and in ascending epoch order.
     pub outages: Vec<OutageWindow>,
+    /// Constant clock skew of the site's RFID feed, in seconds; `0` means
+    /// the site's clock is true.
+    pub clock_skew_secs: u32,
 }
 
 /// One entry of [`FaultPlan::events`] — the scheduled (per-site) faults in a
@@ -225,6 +247,13 @@ pub enum FaultEvent {
         /// Last dark epoch (inclusive).
         until: Epoch,
     },
+    /// A tabulated per-site clock skew.
+    ClockSkew {
+        /// Skewed site.
+        site: u16,
+        /// Constant lateness of the site's RFID feed, in seconds.
+        skew_secs: u32,
+    },
 }
 
 /// A deterministic, order-independent fault schedule.
@@ -242,6 +271,8 @@ pub struct FaultPlan {
     duplicate_probability: f64,
     loss_probability: f64,
     ack_loss_probability: f64,
+    corruption_probability: f64,
+    rogue_probability: f64,
     sites: Vec<SiteFaults>,
     /// Directed-link partition windows, tabulated at generation time in
     /// canonical `(from_site, to_site)` order.
@@ -283,7 +314,19 @@ impl FaultPlan {
                         until: Epoch(from + len - 1),
                     });
                 }
-                SiteFaults { crash, outages }
+                // The skew draw comes *after* the crash/outage draws, so
+                // enabling skew never perturbs the existing schedules of a
+                // plan with the same seed.
+                let clock_skew_secs = if config.clock_skew_max_secs > 0 {
+                    rng.gen_range(0..=config.clock_skew_max_secs)
+                } else {
+                    0
+                };
+                SiteFaults {
+                    crash,
+                    outages,
+                    clock_skew_secs,
+                }
             })
             .collect();
         let mut partitions = Vec::new();
@@ -318,6 +361,8 @@ impl FaultPlan {
             duplicate_probability: config.duplicate_probability,
             loss_probability: config.loss_probability,
             ack_loss_probability: config.ack_loss_probability,
+            corruption_probability: config.corruption_probability,
+            rogue_probability: config.rogue_probability,
             sites,
             partitions,
         }
@@ -337,9 +382,21 @@ impl FaultPlan {
             duplicate_probability: 0.0,
             loss_probability: 0.0,
             ack_loss_probability: 0.0,
+            corruption_probability: 0.0,
+            rogue_probability: 0.0,
             sites,
             partitions: Vec::new(),
         }
+    }
+
+    /// The same plan with an additional scripted crash of `site` at `at` —
+    /// the hook the chaos crash-consistency sweep uses to crash a site at
+    /// every epoch of an otherwise unchanged chaotic schedule.
+    pub fn with_scripted_crash(mut self, site: u16, at: Epoch, downtime_secs: u32) -> FaultPlan {
+        if let Some(faults) = self.sites.get_mut(usize::from(site)) {
+            faults.crash = Some(CrashFault { at, downtime_secs });
+        }
+        self
     }
 
     /// A plan whose only fault is a symmetric partition of the link between
@@ -375,6 +432,8 @@ impl FaultPlan {
             duplicate_probability: 0.0,
             loss_probability: 0.0,
             ack_loss_probability: 0.0,
+            corruption_probability: 0.0,
+            rogue_probability: 0.0,
             sites: vec![SiteFaults::default(); usize::from(num_sites)],
             partitions,
         }
@@ -472,11 +531,64 @@ impl FaultPlan {
         rng.gen_bool(self.loss_probability.min(1.0))
     }
 
+    /// Whether the sequenced envelope `seq` on the directed link
+    /// `from → to` has its payload bytes corrupted in transit. A pure
+    /// function of `(edge, seq)`: every retransmitted copy of the envelope
+    /// carries the same poisoned bytes.
+    pub fn payload_corrupted(&self, from: u16, to: u16, seq: u64) -> bool {
+        if self.corruption_probability <= 0.0 {
+            return false;
+        }
+        let mut key = self.seed ^ 0xc042;
+        key = mix(key, u64::from(from));
+        key = mix(key, u64::from(to));
+        key = mix(key, seq);
+        let mut rng = ChaCha8Rng::seed_from_u64(key);
+        rng.gen_bool(self.corruption_probability.min(1.0))
+    }
+
+    /// The spurious reader slot (in `0..num_readers`) at which a rogue
+    /// reader clones the reading of `tag` observed by `site` at `at`, if
+    /// any. A pure function of `(site, at, tag)`.
+    pub fn rogue_reader_slot(
+        &self,
+        site: u16,
+        at: Epoch,
+        tag: TagId,
+        num_readers: u16,
+    ) -> Option<u16> {
+        if self.rogue_probability <= 0.0 || num_readers == 0 {
+            return None;
+        }
+        let mut key = self.seed ^ 0x409e;
+        key = mix(key, u64::from(site));
+        key = mix(key, u64::from(at.0));
+        key = mix(key, tag.raw());
+        let mut rng = ChaCha8Rng::seed_from_u64(key);
+        if rng.gen_bool(self.rogue_probability.min(1.0)) {
+            Some(rng.gen_range(0..num_readers))
+        } else {
+            None
+        }
+    }
+
+    /// The tabulated clock skew of `site`: its RFID feed is observed this
+    /// many seconds late.
+    pub fn clock_skew_secs(&self, site: u16) -> u32 {
+        self.sites
+            .get(usize::from(site))
+            .map(|f| f.clock_skew_secs)
+            .unwrap_or(0)
+    }
+
     /// Whether the plan can lose payloads at all — the trigger for the
-    /// reliable transport's ack/retransmit machinery.
+    /// reliable transport's ack/retransmit machinery. Corruption counts:
+    /// a poisoned envelope is quarantined, which only the sequenced
+    /// (Reliable) path can recover from via `Resync` anti-entropy.
     pub fn has_transport_faults(&self) -> bool {
         self.loss_probability > 0.0
             || self.ack_loss_probability > 0.0
+            || self.corruption_probability > 0.0
             || !self.partitions.is_empty()
     }
 
@@ -494,9 +606,9 @@ impl FaultPlan {
     }
 
     /// The scheduled (site-level) faults in canonical order: by site, crashes
-    /// before outages, outages by start epoch; then partition windows by
-    /// `(from_site, to_site, start)`. Equal seeds produce equal
-    /// event lists — the hook the determinism tests pin.
+    /// before outages (by start epoch) before the site's clock skew; then
+    /// partition windows by `(from_site, to_site, start)`. Equal seeds
+    /// produce equal event lists — the hook the determinism tests pin.
     pub fn events(&self) -> Vec<FaultEvent> {
         let mut events = Vec::new();
         for (site, faults) in self.sites.iter().enumerate() {
@@ -513,6 +625,12 @@ impl FaultPlan {
                     site,
                     from: outage.from,
                     until: outage.until,
+                });
+            }
+            if faults.clock_skew_secs > 0 {
+                events.push(FaultEvent::ClockSkew {
+                    site,
+                    skew_secs: faults.clock_skew_secs,
                 });
             }
         }
@@ -533,11 +651,12 @@ impl FaultPlan {
     pub fn is_quiet(&self) -> bool {
         self.delay_probability <= 0.0
             && self.duplicate_probability <= 0.0
+            && self.rogue_probability <= 0.0
             && !self.has_transport_faults()
             && self
                 .sites
                 .iter()
-                .all(|f| f.crash.is_none() && f.outages.is_empty())
+                .all(|f| f.crash.is_none() && f.outages.is_empty() && f.clock_skew_secs == 0)
     }
 
     /// Check the plan against a generated trace: every shipment-delay draw
@@ -586,6 +705,11 @@ impl FaultPlan {
         key = mix(key, u64::from(attempt));
         ChaCha8Rng::seed_from_u64(key)
     }
+}
+
+/// Decorrelated per-index seed for multi-schedule chaos sweeps.
+pub(crate) fn derive_seed(master: u64, index: u64) -> u64 {
+    mix(master ^ 0xc0a5, index)
 }
 
 /// Per-site stream seed, decorrelated from neighbouring sites.
@@ -836,6 +960,113 @@ mod tests {
         let unreliable = unreliable_plan(5);
         assert!(unreliable.has_transport_faults());
         assert!(!unreliable.is_quiet());
+    }
+
+    fn chaotic_plan(seed: u64) -> FaultPlan {
+        FaultPlan::generate(&FaultPlanConfig {
+            corruption_probability: 0.2,
+            rogue_probability: 0.1,
+            clock_skew_max_secs: 60,
+            ..FaultPlanConfig::quiet(seed, 8, 2400)
+        })
+    }
+
+    #[test]
+    fn corruption_and_rogue_draws_are_pure_functions_of_the_key() {
+        let plan = chaotic_plan(17);
+        assert!(
+            plan.has_transport_faults(),
+            "corruption wakes the transport"
+        );
+        assert!(!plan.is_quiet());
+        let first = (
+            plan.payload_corrupted(0, 1, 7),
+            plan.rogue_reader_slot(2, Epoch(300), TagId::item(4), 5),
+        );
+        for serial in 0..50 {
+            plan.payload_corrupted(1, 2, serial);
+            plan.rogue_reader_slot(3, Epoch(serial as u32), TagId::case(serial), 4);
+        }
+        let second = (
+            plan.payload_corrupted(0, 1, 7),
+            plan.rogue_reader_slot(2, Epoch(300), TagId::item(4), 5),
+        );
+        assert_eq!(first, second);
+        // Across many keys both families fire at least once and never
+        // saturate, and rogue slots stay inside the reader range.
+        let mut corrupted = 0;
+        let mut rogue = 0;
+        for serial in 0..400u64 {
+            if plan.payload_corrupted(0, 1, serial) {
+                corrupted += 1;
+            }
+            if let Some(slot) =
+                plan.rogue_reader_slot(1, Epoch(serial as u32), TagId::item(serial), 3)
+            {
+                assert!(slot < 3, "rogue slot out of reader range");
+                rogue += 1;
+            }
+        }
+        assert!(corrupted > 0 && corrupted < 400);
+        assert!(rogue > 0 && rogue < 400);
+        assert_eq!(
+            plan.rogue_reader_slot(1, Epoch(5), TagId::item(1), 0),
+            None,
+            "a site without readers has no rogue slot"
+        );
+    }
+
+    #[test]
+    fn clock_skew_is_tabulated_per_site_and_listed_in_events() {
+        let a = chaotic_plan(23);
+        let b = chaotic_plan(23);
+        assert_eq!(a, b);
+        let skews: Vec<u32> = (0..8).map(|s| a.clock_skew_secs(s)).collect();
+        assert!(
+            skews.iter().any(|&s| s > 0),
+            "skew max 60 over 8 sites never fired"
+        );
+        let skew_events: Vec<FaultEvent> = a
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, FaultEvent::ClockSkew { .. }))
+            .collect();
+        for event in &skew_events {
+            if let FaultEvent::ClockSkew { site, skew_secs } = *event {
+                assert_eq!(a.clock_skew_secs(site), skew_secs);
+            }
+        }
+        assert_eq!(
+            skew_events.len(),
+            skews.iter().filter(|&&s| s > 0).count(),
+            "every nonzero skew must appear exactly once in the event list"
+        );
+        // Enabling the chaos knobs must not perturb the legacy draws of a
+        // same-seed plan: the quiet plan and the chaotic plan agree on every
+        // legacy query.
+        let quiet = FaultPlan::generate(&FaultPlanConfig::quiet(23, 8, 2400));
+        assert_eq!(quiet.crash(3), a.crash(3));
+        assert_eq!(
+            quiet.shipment_delay_secs(0, 1, TagId::item(9), Epoch(40)),
+            a.shipment_delay_secs(0, 1, TagId::item(9), Epoch(40))
+        );
+    }
+
+    #[test]
+    fn quiet_plans_never_corrupt_clone_or_skew() {
+        let plan = FaultPlan::generate(&FaultPlanConfig::quiet(9, 4, 1000));
+        assert!(!plan.payload_corrupted(0, 1, 3));
+        assert_eq!(plan.rogue_reader_slot(0, Epoch(5), TagId::item(1), 4), None);
+        assert_eq!(plan.clock_skew_secs(2), 0);
+        let with_crash = plan.with_scripted_crash(1, Epoch(400), 30);
+        assert_eq!(
+            with_crash.crash(1),
+            Some(CrashFault {
+                at: Epoch(400),
+                downtime_secs: 30
+            })
+        );
+        assert_eq!(with_crash.crash(0), None);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::chain::{ChainTrace, SupplyChainSimulator};
 use crate::config::{ChainConfig, WarehouseConfig};
+use crate::fault::{FaultPlan, FaultPlanConfig};
 
 /// Seed of the short-dwell reference chain (8-site benchmarks).
 pub const REFERENCE_SEED: u64 = 97;
@@ -66,9 +67,50 @@ pub fn smoke_chain(length_secs: u32, sites: u32, anomaly_interval: Option<u32>) 
     .generate()
 }
 
+/// The parameterized lossy-network plan: transmission losses, ack losses and
+/// per-link partition windows, with every other fault family disabled. This
+/// is the single constructor behind the `degraded` experiment's loss sweep
+/// and the transport-reliability tests — call sites pass knobs instead of
+/// re-assembling a [`FaultPlanConfig`] by hand.
+pub fn lossy_network_plan(
+    seed: u64,
+    num_sites: u16,
+    horizon_secs: u32,
+    loss_probability: f64,
+    ack_loss_probability: f64,
+    partition_probability: f64,
+    partition_max_secs: u32,
+) -> FaultPlan {
+    FaultPlan::generate(&FaultPlanConfig {
+        loss_probability,
+        ack_loss_probability,
+        partition_probability,
+        partition_max_secs,
+        ..FaultPlanConfig::quiet(seed, num_sites, horizon_secs)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lossy_network_plan_matches_the_hand_assembled_config() {
+        let preset = lossy_network_plan(13, 4, 3600, 0.25, 0.1, 0.3, 900);
+        let by_hand = FaultPlan::generate(&FaultPlanConfig {
+            loss_probability: 0.25,
+            ack_loss_probability: 0.1,
+            partition_probability: 0.3,
+            partition_max_secs: 900,
+            ..FaultPlanConfig::quiet(13, 4, 3600)
+        });
+        assert_eq!(preset, by_hand);
+        assert!(preset.has_transport_faults());
+        assert!(
+            !lossy_network_plan(13, 4, 3600, 0.0, 0.0, 0.0, 0).has_transport_faults(),
+            "all-zero knobs give the quiet plan"
+        );
+    }
 
     #[test]
     fn presets_are_deterministic() {

@@ -36,6 +36,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Payload-kind byte of a binary site checkpoint.
+// FUZZ: corrupted_byte_zero_is_a_typed_error_for_every_kind
 pub(crate) const KIND_CHECKPOINT: u8 = 0x07;
 
 /// One shipment that had arrived at (or was in flight toward) a site when
@@ -111,6 +112,9 @@ pub struct TransportStats {
     pub abandoned: u64,
     /// Anti-entropy resync requests sent after downtime.
     pub resyncs: u64,
+    /// Arrivals whose payload failed to decode and were quarantined instead
+    /// of delivered (poison-message handling).
+    pub quarantined: u64,
 }
 
 impl TransportStats {
@@ -125,11 +129,100 @@ impl TransportStats {
         self.stale_dropped += other.stale_dropped;
         self.abandoned += other.abandoned;
         self.resyncs += other.resyncs;
+        self.quarantined += other.quarantined;
     }
 
     /// Envelopes that reached their destination at least once.
     pub fn delivered(&self) -> u64 {
         self.envelopes.saturating_sub(self.abandoned)
+    }
+}
+
+/// One quarantined arrival: an envelope whose payload failed to decode at
+/// the receiver. Durable in the checkpoint so a crash-restore replay
+/// converges on the same quarantine ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineEntry {
+    /// The sending peer site.
+    pub from: u16,
+    /// The envelope's per-edge transport sequence number.
+    pub seq: u64,
+    /// Epoch of the physical arrival the poisoned state message accompanied.
+    pub physical: Epoch,
+}
+
+/// Per-directed-edge conservation ledger, filled on both ends of the edge:
+/// the sender books what it hands to the transport, the receiver books what
+/// comes out (copies still sitting in a dark receiver's inbox at the end of
+/// the run are booked as undelivered). The invariant oracles check that the
+/// two sides balance —
+/// `envelopes == abandoned + accepted + dark_envelopes`,
+/// `sent_copies == recv_copies + undelivered`,
+/// `sent_bytes == recv_bytes + undelivered_bytes` and
+/// `accepted == imported + stale + quarantined`
+/// — so no envelope is ever silently lost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeLedger {
+    /// Origin site of the edge.
+    pub from: u16,
+    /// Destination site of the edge.
+    pub to: u16,
+    /// Envelopes the sender handed to the transport on this edge.
+    pub envelopes: u64,
+    /// Envelopes the sender gave up on (no copy ever arrives).
+    pub abandoned: u64,
+    /// Transmitted copies that arrive at the receiver (sender's view).
+    pub sent_copies: u64,
+    /// Payload bytes of those arriving copies (sender's view).
+    pub sent_bytes: u64,
+    /// Copies that actually arrived (receiver's view, before dedup).
+    pub recv_copies: u64,
+    /// Payload bytes of arrived copies (receiver's view).
+    pub recv_bytes: u64,
+    /// Envelopes accepted after dedup (first arrival of each sequence).
+    pub accepted: u64,
+    /// Accepted envelopes whose state was delivered or reconciled.
+    pub imported: u64,
+    /// Accepted envelopes dropped as stale (object already departed again).
+    pub stale: u64,
+    /// Accepted envelopes quarantined because their payload failed to
+    /// decode.
+    pub quarantined: u64,
+    /// Copies still sitting undelivered in the receiver's inbox when the run
+    /// ended (the receiver was down from their arrival through the horizon).
+    pub undelivered: u64,
+    /// Payload bytes of those undelivered copies.
+    pub undelivered_bytes: u64,
+    /// Envelopes none of whose copies were ever processed (every copy ended
+    /// the run undelivered) — the receiver-side complement of `abandoned`.
+    pub dark_envelopes: u64,
+}
+
+impl EdgeLedger {
+    /// A zeroed ledger for one directed edge.
+    pub fn new(from: u16, to: u16) -> EdgeLedger {
+        EdgeLedger {
+            from,
+            to,
+            ..EdgeLedger::default()
+        }
+    }
+
+    /// Fold `other` (a ledger of the same edge) into `self`.
+    pub fn merge(&mut self, other: &EdgeLedger) {
+        self.envelopes += other.envelopes;
+        self.abandoned += other.abandoned;
+        self.sent_copies += other.sent_copies;
+        self.sent_bytes += other.sent_bytes;
+        self.recv_copies += other.recv_copies;
+        self.recv_bytes += other.recv_bytes;
+        self.accepted += other.accepted;
+        self.imported += other.imported;
+        self.stale += other.stale;
+        self.quarantined += other.quarantined;
+        self.undelivered += other.undelivered;
+        self.undelivered_bytes += other.undelivered_bytes;
+        self.dark_envelopes += other.dark_envelopes;
     }
 }
 
@@ -178,6 +271,13 @@ pub struct SiteCheckpoint {
     pub inbox_seqs: Vec<EdgeSeqs>,
     /// Reliable-transport counters accumulated so far.
     pub transport: TransportStats,
+    /// Quarantined poison arrivals, in acceptance order.
+    pub quarantine: Vec<QuarantineEntry>,
+    /// Memory-pressure counters accumulated so far.
+    pub memory: rfid_core::MemoryStats,
+    /// Per-directed-edge conservation ledgers this site contributed to, in
+    /// ascending `(from, to)` order.
+    pub ledgers: Vec<EdgeLedger>,
 }
 
 impl WireCodec {
@@ -223,6 +323,17 @@ impl WireCodec {
                     }
                 }
                 encode_transport(&mut w, &checkpoint.transport);
+                w.put_varint(checkpoint.quarantine.len() as u64);
+                for entry in &checkpoint.quarantine {
+                    w.put_varint(u64::from(entry.from));
+                    w.put_varint(entry.seq);
+                    w.put_varint(u64::from(entry.physical.0));
+                }
+                encode_memory(&mut w, &checkpoint.memory);
+                w.put_varint(checkpoint.ledgers.len() as u64);
+                for ledger in &checkpoint.ledgers {
+                    encode_ledger(&mut w, ledger);
+                }
                 w.into_bytes()
             }
         }
@@ -282,6 +393,21 @@ impl WireCodec {
                     });
                 }
                 let transport = decode_transport(&mut r)?;
+                let count = r.get_varint()? as usize;
+                let mut quarantine = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    quarantine.push(QuarantineEntry {
+                        from: get_u16(r.get_varint()?, "quarantine peer")?,
+                        seq: r.get_varint()?,
+                        physical: get_epoch(cast_epoch(r.get_varint()?))?,
+                    });
+                }
+                let memory = decode_memory(&mut r)?;
+                let count = r.get_varint()? as usize;
+                let mut ledgers = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    ledgers.push(decode_ledger(&mut r)?);
+                }
                 r.expect_exhausted()?;
                 Ok(SiteCheckpoint {
                     site,
@@ -300,6 +426,9 @@ impl WireCodec {
                     stats,
                     inbox_seqs,
                     transport,
+                    quarantine,
+                    memory,
+                    ledgers,
                 })
             }
         }
@@ -408,6 +537,7 @@ fn encode_transport(w: &mut Writer, transport: &TransportStats) {
         transport.stale_dropped,
         transport.abandoned,
         transport.resyncs,
+        transport.quarantined,
     ];
     w.put_varint(counters.len() as u64);
     for counter in counters {
@@ -417,16 +547,16 @@ fn encode_transport(w: &mut Writer, transport: &TransportStats) {
 
 fn decode_transport(r: &mut Reader<'_>) -> Result<TransportStats, WireError> {
     let arity = r.get_varint()? as usize;
-    if arity > 9 {
+    if arity > 10 {
         return Err(WireError::new(format!(
-            "checkpoint declares {arity} transport counters, this codec knows 9"
+            "checkpoint declares {arity} transport counters, this codec knows 10"
         )));
     }
-    let mut counters = [0u64; 9];
+    let mut counters = [0u64; 10];
     for slot in counters.iter_mut().take(arity) {
         *slot = r.get_varint()?;
     }
-    let [envelopes, transmissions, retransmissions, acks, duplicates_dropped, reconciled, stale_dropped, abandoned, resyncs] =
+    let [envelopes, transmissions, retransmissions, acks, duplicates_dropped, reconciled, stale_dropped, abandoned, resyncs, quarantined] =
         counters;
     Ok(TransportStats {
         envelopes,
@@ -438,6 +568,101 @@ fn decode_transport(r: &mut Reader<'_>) -> Result<TransportStats, WireError> {
         stale_dropped,
         abandoned,
         resyncs,
+        quarantined,
+    })
+}
+
+/// Memory-pressure counters with a leading arity, like the transport block.
+fn encode_memory(w: &mut Writer, memory: &rfid_core::MemoryStats) {
+    let counters = [
+        memory.high_water,
+        memory.compactions,
+        memory.compacted_observations,
+        memory.evicted_cache_entries,
+    ];
+    w.put_varint(counters.len() as u64);
+    for counter in counters {
+        w.put_varint(counter);
+    }
+}
+
+fn decode_memory(r: &mut Reader<'_>) -> Result<rfid_core::MemoryStats, WireError> {
+    let arity = r.get_varint()? as usize;
+    if arity > 4 {
+        return Err(WireError::new(format!(
+            "checkpoint declares {arity} memory counters, this codec knows 4"
+        )));
+    }
+    let mut counters = [0u64; 4];
+    for slot in counters.iter_mut().take(arity) {
+        *slot = r.get_varint()?;
+    }
+    let [high_water, compactions, compacted_observations, evicted_cache_entries] = counters;
+    Ok(rfid_core::MemoryStats {
+        high_water,
+        compactions,
+        compacted_observations,
+        evicted_cache_entries,
+    })
+}
+
+/// One per-edge conservation ledger: the endpoint pair, then an
+/// arity-prefixed counter block so later versions can append counters.
+fn encode_ledger(w: &mut Writer, ledger: &EdgeLedger) {
+    w.put_varint(u64::from(ledger.from));
+    w.put_varint(u64::from(ledger.to));
+    let counters = [
+        ledger.envelopes,
+        ledger.abandoned,
+        ledger.sent_copies,
+        ledger.sent_bytes,
+        ledger.recv_copies,
+        ledger.recv_bytes,
+        ledger.accepted,
+        ledger.imported,
+        ledger.stale,
+        ledger.quarantined,
+        ledger.undelivered,
+        ledger.undelivered_bytes,
+        ledger.dark_envelopes,
+    ];
+    w.put_varint(counters.len() as u64);
+    for counter in counters {
+        w.put_varint(counter);
+    }
+}
+
+fn decode_ledger(r: &mut Reader<'_>) -> Result<EdgeLedger, WireError> {
+    let from = get_u16(r.get_varint()?, "ledger origin")?;
+    let to = get_u16(r.get_varint()?, "ledger destination")?;
+    let arity = r.get_varint()? as usize;
+    if arity > 13 {
+        return Err(WireError::new(format!(
+            "checkpoint declares {arity} ledger counters, this codec knows 13"
+        )));
+    }
+    let mut counters = [0u64; 13];
+    for slot in counters.iter_mut().take(arity) {
+        *slot = r.get_varint()?;
+    }
+    let [envelopes, abandoned, sent_copies, sent_bytes, recv_copies, recv_bytes, accepted, imported, stale, quarantined, undelivered, undelivered_bytes, dark_envelopes] =
+        counters;
+    Ok(EdgeLedger {
+        from,
+        to,
+        envelopes,
+        abandoned,
+        sent_copies,
+        sent_bytes,
+        recv_copies,
+        recv_bytes,
+        accepted,
+        imported,
+        stale,
+        quarantined,
+        undelivered,
+        undelivered_bytes,
+        dark_envelopes,
     })
 }
 
@@ -1157,7 +1382,39 @@ mod tests {
                 stale_dropped: 0,
                 abandoned: 1,
                 resyncs: 1,
+                quarantined: 1,
             },
+            quarantine: vec![QuarantineEntry {
+                from: 1,
+                seq: 9,
+                physical: Epoch(3),
+            }],
+            memory: rfid_core::MemoryStats {
+                high_water: 40,
+                compactions: 2,
+                compacted_observations: 17,
+                evicted_cache_entries: 3,
+            },
+            ledgers: vec![
+                EdgeLedger {
+                    from: 1,
+                    to: 2,
+                    envelopes: 12,
+                    abandoned: 1,
+                    sent_copies: 13,
+                    sent_bytes: 260,
+                    recv_copies: 13,
+                    recv_bytes: 260,
+                    accepted: 11,
+                    imported: 9,
+                    stale: 1,
+                    quarantined: 1,
+                    undelivered: 1,
+                    undelivered_bytes: 20,
+                    dark_envelopes: 1,
+                },
+                EdgeLedger::new(2, 0),
+            ],
         }
     }
 
@@ -1218,6 +1475,9 @@ mod tests {
             stats: InferenceStats::default(),
             inbox_seqs: Vec::new(),
             transport: TransportStats::default(),
+            quarantine: Vec::new(),
+            memory: rfid_core::MemoryStats::default(),
+            ledgers: Vec::new(),
         };
         for codec in codecs() {
             let bytes = codec.encode_checkpoint(&empty);
@@ -1265,6 +1525,9 @@ mod tests {
         }
         w.put_varint(0); // no edge seqs
         w.put_varint(0); // zero transport counters
+        w.put_varint(0); // no quarantine entries
+        w.put_varint(0); // zero memory counters
+        w.put_varint(0); // no edge ledgers
         let decoded = WireCodec::new(WireFormat::Binary)
             .decode_checkpoint(&w.into_bytes())
             .unwrap();
@@ -1272,6 +1535,33 @@ mod tests {
         assert_eq!(decoded.comm_messages, [1, 1, 1, 1, 0]);
         assert_eq!(decoded.transport, TransportStats::default());
         assert!(decoded.inbox_seqs.is_empty());
+        assert!(decoded.quarantine.is_empty());
+        assert_eq!(decoded.memory, rfid_core::MemoryStats::default());
+        assert!(decoded.ledgers.is_empty());
+    }
+
+    #[test]
+    fn missing_trailing_sections_are_rejected() {
+        // Every section must be present (the arity prefixes version the
+        // counters *inside* a section, not the section's existence): a
+        // checkpoint cut off before the chaos sections is truncated, not a
+        // silently-defaulted decode.
+        let binary = WireCodec::new(WireFormat::Binary);
+        let mut checkpoint = sample();
+        checkpoint.quarantine.clear();
+        checkpoint.memory = rfid_core::MemoryStats::default();
+        checkpoint.ledgers.clear();
+        let bytes = binary.encode_checkpoint(&checkpoint);
+        // The empty trailing sections are quarantine count 0, memory arity 4
+        // + four zeros, ledger count 0 = 7 varint bytes.
+        for cut in 1..=7 {
+            let mut old = bytes.clone();
+            old.truncate(old.len() - cut);
+            assert!(
+                binary.decode_checkpoint(&old).is_err(),
+                "cutting {cut} trailing bytes must not decode"
+            );
+        }
     }
 
     #[test]

@@ -43,11 +43,20 @@ use std::collections::BTreeMap;
 /// Version byte every binary message starts with.
 pub const WIRE_VERSION: u8 = 1;
 
+// Every payload kind carries a corrupted-bytes fuzz case in
+// `tests/fuzz.rs::corrupted_byte_zero_is_a_typed_error_for_every_kind`
+// (enforced by the `wire-fuzz-coverage` lint rule).
+// FUZZ: corrupted_byte_zero_is_a_typed_error_for_every_kind
 const KIND_MIGRATION: u8 = 0x01;
+// FUZZ: corrupted_byte_zero_is_a_typed_error_for_every_kind
 const KIND_READINGS: u8 = 0x02;
+// FUZZ: corrupted_byte_zero_is_a_typed_error_for_every_kind
 const KIND_QUERY_STATE: u8 = 0x03;
+// FUZZ: corrupted_byte_zero_is_a_typed_error_for_every_kind
 const KIND_BUNDLE: u8 = 0x04;
+// FUZZ: corrupted_byte_zero_is_a_typed_error_for_every_kind
 const KIND_COLLAPSED: u8 = 0x05;
+// FUZZ: corrupted_byte_zero_is_a_typed_error_for_every_kind
 const KIND_STATE_PAYLOAD: u8 = 0x06;
 
 const MIGRATION_NONE: u8 = 0;

@@ -14,6 +14,7 @@ use rfid_types::Epoch;
 use serde::{Deserialize, Serialize};
 
 /// Payload-kind byte of a control message.
+// FUZZ: corrupted_byte_zero_is_a_typed_error_for_every_kind
 pub(crate) const KIND_CONTROL: u8 = 0x08;
 
 const CONTROL_ACK: u8 = 0;

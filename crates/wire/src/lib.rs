@@ -37,7 +37,9 @@ pub mod codec;
 pub mod control;
 pub mod primitives;
 
-pub use checkpoint::{EdgeSeqs, PendingShipment, SiteCheckpoint, TransportStats};
+pub use checkpoint::{
+    EdgeLedger, EdgeSeqs, PendingShipment, QuarantineEntry, SiteCheckpoint, TransportStats,
+};
 pub use codec::{WireCodec, WIRE_VERSION};
 pub use control::ControlMsg;
 

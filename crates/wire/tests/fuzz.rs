@@ -254,7 +254,36 @@ fn arb_checkpoint() -> impl Strategy<Value = rfid_wire::SiteCheckpoint> {
                         stale_dropped: 0,
                         abandoned: 0,
                         resyncs: 1,
+                        quarantined: 1,
                     },
+                    quarantine: vec![rfid_wire::QuarantineEntry {
+                        from: 0,
+                        seq: 9,
+                        physical: arrive,
+                    }],
+                    memory: rfid_core::MemoryStats {
+                        high_water: 12,
+                        compactions: 1,
+                        compacted_observations: 4,
+                        evicted_cache_entries: 1,
+                    },
+                    ledgers: vec![rfid_wire::EdgeLedger {
+                        from: 0,
+                        to,
+                        envelopes: 3,
+                        abandoned: 0,
+                        sent_copies: 4,
+                        sent_bytes: 64,
+                        recv_copies: 4,
+                        recv_bytes: 64,
+                        accepted: 3,
+                        imported: 2,
+                        stale: 0,
+                        quarantined: 1,
+                        undelivered: 1,
+                        undelivered_bytes: 16,
+                        dark_envelopes: 0,
+                    }],
                 }
             },
         )
@@ -379,6 +408,125 @@ fn huge_length_prefixes_are_length_overflow_errors() {
     let mut r = Reader::new(&bytes);
     let err = r.get_bytes().expect_err("length prefix exceeds any buffer");
     assert_eq!(err.kind(), WireErrorKind::LengthOverflow);
+}
+
+/// The chaos fault plan corrupts a poisoned envelope by flipping the high
+/// bit of byte 0 — in the binary format that ruins the version byte, in JSON
+/// the opening brace. Every payload kind must turn that into a typed
+/// [`WireError`] (quarantine input), never a panic and never a silent
+/// mis-decode. One case per wire payload kind, referenced by the `// FUZZ:`
+/// annotations next to the `KIND_*` constants (lint rule
+/// `wire-fuzz-coverage`).
+#[test]
+fn corrupted_byte_zero_is_a_typed_error_for_every_kind() {
+    let state = ObjectQueryState {
+        query: "Q1".to_string(),
+        tag: TagId::item(1),
+        automaton: AutomatonState::Idle,
+    };
+    for codec in both() {
+        let encodings: Vec<(&str, Vec<u8>)> = vec![
+            (
+                "KIND_MIGRATION",
+                codec.encode_migration(&MigrationState::None),
+            ),
+            (
+                "KIND_READINGS",
+                codec.encode_readings(&[RawReading::new(Epoch(1), TagId::item(1), ReaderId(0))]),
+            ),
+            ("KIND_QUERY_STATE", codec.encode_query_state(&state)),
+            (
+                "KIND_BUNDLE",
+                codec.encode_bundle(&SharedStateBundle {
+                    centroid_tag: TagId::item(1),
+                    centroid_bytes: vec![1, 2, 3],
+                    deltas: Vec::new(),
+                }),
+            ),
+            (
+                "KIND_COLLAPSED",
+                codec.encode_collapsed(&CollapsedState {
+                    object: TagId::item(1),
+                    weights: [(TagId::case(1), 0.0)].into_iter().collect(),
+                    container: Some(TagId::case(1)),
+                }),
+            ),
+            ("KIND_STATE_PAYLOAD", codec.state_payload(&state)),
+            (
+                "KIND_CONTROL",
+                codec.encode_control(&rfid_wire::ControlMsg::Ack {
+                    from: 0,
+                    to: 1,
+                    seq: 4,
+                }),
+            ),
+        ];
+        for (kind, bytes) in &encodings {
+            let mut poisoned = bytes.clone();
+            poisoned[0] ^= 0x80;
+            decode_everything(&codec, &poisoned);
+            assert!(
+                codec.decode_migration(&poisoned).is_err()
+                    && codec.decode_readings(&poisoned).is_err()
+                    && codec.decode_query_state(&poisoned).is_err()
+                    && codec.decode_bundle(&poisoned).is_err()
+                    && codec.decode_collapsed(&poisoned).is_err()
+                    && codec.state_from_payload(TagId::item(1), &poisoned).is_err()
+                    && codec.decode_control(&poisoned).is_err(),
+                "poisoned {kind} must not decode as any payload"
+            );
+        }
+    }
+    // KIND_CHECKPOINT travels through its own codec entry point.
+    for codec in both() {
+        let checkpoint = codec.encode_checkpoint(&{
+            use rfid_core::{DirtySet, EngineSnapshot, EvidenceCache, Observations, PriorWeights};
+            use rfid_query::ProcessorSnapshot;
+            use rfid_types::ContainmentMap;
+            rfid_wire::SiteCheckpoint {
+                site: 0,
+                at: Epoch(0),
+                engine: EngineSnapshot {
+                    store: Observations::new(),
+                    prior: PriorWeights::empty(),
+                    containment: ContainmentMap::new(),
+                    detected: Vec::new(),
+                    last_outcome: None,
+                    last_inference_at: None,
+                    threshold: None,
+                    dirty: DirtySet::new(),
+                    cache: EvidenceCache::new(),
+                },
+                processor: ProcessorSnapshot {
+                    temperatures: Vec::new(),
+                    automata: Vec::new(),
+                    alerts: Vec::new(),
+                },
+                reading_cursor: 0,
+                sensor_cursor: 0,
+                departure_cursor: 0,
+                inbox: Vec::new(),
+                comm_bytes: [0; 5],
+                comm_messages: [0; 5],
+                shared_bytes: 0,
+                unshared_bytes: 0,
+                inference_runs: 0,
+                stats: Default::default(),
+                inbox_seqs: Vec::new(),
+                transport: Default::default(),
+                quarantine: Vec::new(),
+                memory: Default::default(),
+                ledgers: Vec::new(),
+            }
+        });
+        let mut poisoned = checkpoint;
+        poisoned[0] ^= 0x80;
+        decode_everything(&codec, &poisoned);
+        assert!(
+            codec.decode_checkpoint(&poisoned).is_err(),
+            "poisoned KIND_CHECKPOINT must not decode"
+        );
+    }
 }
 
 /// Truncation and bad headers surface as their own machine-matchable kinds.

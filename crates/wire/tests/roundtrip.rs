@@ -473,7 +473,7 @@ fn arb_edge_seqs() -> impl Strategy<Value = Vec<EdgeSeqs>> {
 }
 
 fn arb_transport_stats() -> impl Strategy<Value = TransportStats> {
-    prop::collection::vec(0u64..1 << 40, 9).prop_map(|v| TransportStats {
+    prop::collection::vec(0u64..1 << 40, 10).prop_map(|v| TransportStats {
         envelopes: v[0],
         transmissions: v[1],
         retransmissions: v[2],
@@ -483,7 +483,57 @@ fn arb_transport_stats() -> impl Strategy<Value = TransportStats> {
         stale_dropped: v[6],
         abandoned: v[7],
         resyncs: v[8],
+        quarantined: v[9],
     })
+}
+
+fn arb_quarantine() -> impl Strategy<Value = Vec<rfid_wire::QuarantineEntry>> {
+    prop::collection::vec(
+        (0u16..64, any::<u64>(), arb_epoch()).prop_map(|(from, seq, physical)| {
+            rfid_wire::QuarantineEntry {
+                from,
+                seq,
+                physical,
+            }
+        }),
+        0..4,
+    )
+}
+
+fn arb_memory() -> impl Strategy<Value = rfid_core::MemoryStats> {
+    prop::collection::vec(0u64..1 << 40, 4).prop_map(|v| rfid_core::MemoryStats {
+        high_water: v[0],
+        compactions: v[1],
+        compacted_observations: v[2],
+        evicted_cache_entries: v[3],
+    })
+}
+
+fn arb_ledgers() -> impl Strategy<Value = Vec<rfid_wire::EdgeLedger>> {
+    prop::collection::vec(
+        (
+            (0u16..64, 0u16..64),
+            prop::collection::vec(0u64..1 << 40, 13),
+        )
+            .prop_map(|((from, to), v)| rfid_wire::EdgeLedger {
+                from,
+                to,
+                envelopes: v[0],
+                abandoned: v[1],
+                sent_copies: v[2],
+                sent_bytes: v[3],
+                recv_copies: v[4],
+                recv_bytes: v[5],
+                accepted: v[6],
+                imported: v[7],
+                stale: v[8],
+                quarantined: v[9],
+                undelivered: v[10],
+                undelivered_bytes: v[11],
+                dark_envelopes: v[12],
+            }),
+        0..4,
+    )
 }
 
 fn arb_checkpoint() -> impl Strategy<Value = SiteCheckpoint> {
@@ -500,7 +550,13 @@ fn arb_checkpoint() -> impl Strategy<Value = SiteCheckpoint> {
         (0u64..1 << 32, 0u64..1 << 32, 0u64..1 << 32),
         prop::collection::vec(arb_pending(), 0..4),
         accounting,
-        (arb_edge_seqs(), arb_transport_stats()),
+        (
+            arb_edge_seqs(),
+            arb_transport_stats(),
+            arb_quarantine(),
+            arb_memory(),
+            arb_ledgers(),
+        ),
     )
         .prop_map(
             |(
@@ -508,7 +564,7 @@ fn arb_checkpoint() -> impl Strategy<Value = SiteCheckpoint> {
                 (reading_cursor, sensor_cursor, departure_cursor),
                 inbox,
                 (bytes, messages, shared_bytes, unshared_bytes, inference_runs, stats),
-                (inbox_seqs, transport),
+                (inbox_seqs, transport, quarantine, memory, ledgers),
             )| SiteCheckpoint {
                 site,
                 at,
@@ -538,6 +594,9 @@ fn arb_checkpoint() -> impl Strategy<Value = SiteCheckpoint> {
                 },
                 inbox_seqs,
                 transport,
+                quarantine,
+                memory,
+                ledgers,
             },
         )
 }
@@ -640,6 +699,18 @@ fn checkpoint_epochs_survive_the_wraparound_boundary() {
             extras: Vec::new(),
         }],
         transport: TransportStats::default(),
+        quarantine: vec![rfid_wire::QuarantineEntry {
+            from: u16::MAX,
+            seq: u64::MAX,
+            physical: Epoch(u32::MAX),
+        }],
+        memory: rfid_core::MemoryStats {
+            high_water: u64::MAX,
+            compactions: 0,
+            compacted_observations: 0,
+            evicted_cache_entries: 0,
+        },
+        ledgers: vec![rfid_wire::EdgeLedger::new(u16::MAX, 0)],
     };
     for codec in both() {
         let bytes = codec.encode_checkpoint(&checkpoint);

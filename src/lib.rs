@@ -20,7 +20,9 @@
 //! * [`dist`] — distributed inference and query processing with state
 //!   migration and communication accounting; sites run sequentially or
 //!   sharded across worker threads (`DistributedConfig::num_workers`) with
-//!   bit-identical results;
+//!   bit-identical results, survive seeded chaos (crashes, loss,
+//!   partitions, poisoned payloads — see [`sim::ChaosPlan`]) and are
+//!   audited by invariant oracles over per-edge conservation ledgers;
 //! * [`wire`] — the compact binary wire codec every cross-site payload is
 //!   routed through (`DistributedConfig::wire_format`), with JSON retained
 //!   for debugging;
@@ -39,3 +41,11 @@ pub use rfid_sim as sim;
 pub use rfid_smurf as smurf;
 pub use rfid_types as types;
 pub use rfid_wire as wire;
+
+// The robustness surface, re-exported at the root: transport accounting,
+// poison quarantine, memory-budget degradation, chaos scheduling and the
+// invariant oracles that audit a finished run. Everything else stays behind
+// its crate alias.
+pub use rfid_core::{MemoryBudget, MemoryStats};
+pub use rfid_dist::{assert_audit, audit, EdgeLedger, QuarantineEntry, TransportStats, Violation};
+pub use rfid_sim::ChaosPlan;
